@@ -1,0 +1,30 @@
+//! One benchmark per paper *figure* regeneration path (Figs. 1–10).
+
+use bench_suite::bench_dataset;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use workchar::experiments::{self, ExperimentId};
+
+fn bench_figures(c: &mut Criterion) {
+    let data = bench_dataset();
+    let mut group = c.benchmark_group("figures");
+    for id in [
+        ExperimentId::Fig1,
+        ExperimentId::Fig2,
+        ExperimentId::Fig3,
+        ExperimentId::Fig4,
+        ExperimentId::Fig5,
+        ExperimentId::Fig6,
+        ExperimentId::Fig7,
+        ExperimentId::Fig8,
+        ExperimentId::Fig9,
+        ExperimentId::Fig10,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(id.slug()), &id, |b, &id| {
+            b.iter(|| black_box(experiments::run(id, &data)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! One benchmark per paper *table* regeneration path (Tables I–X).
+//!
+//! Each bench measures the analysis cost of regenerating the table from an
+//! already-collected dataset (the paper's equivalent: re-deriving a table
+//! from the perf logs), plus one end-to-end bench that includes
+//! characterization itself.
+
+use bench_suite::{bench_config, bench_dataset};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use workchar::characterize::characterize_pair;
+use workchar::dataset::Dataset;
+use workchar::experiments::{self, ExperimentId};
+use workload_synth::cpu2017;
+use workload_synth::profile::InputSize;
+
+fn bench_tables(c: &mut Criterion) {
+    let data = bench_dataset();
+    let mut group = c.benchmark_group("tables");
+    for id in [
+        ExperimentId::Table1,
+        ExperimentId::Table2,
+        ExperimentId::Table3,
+        ExperimentId::Table4,
+        ExperimentId::Table5,
+        ExperimentId::Table6,
+        ExperimentId::Table7,
+        ExperimentId::Table8,
+        ExperimentId::Table9,
+        ExperimentId::Table10,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(id.slug()), &id, |b, &id| {
+            b.iter(|| black_box(experiments::run(id, &data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_characterize_one_pair(c: &mut Criterion) {
+    let config = bench_config();
+    let app = cpu2017::app("505.mcf_r").expect("mcf exists");
+    c.bench_function("characterize_505.mcf_r_ref", |b| {
+        b.iter(|| {
+            let pair = &app.pairs(InputSize::Ref)[0];
+            black_box(characterize_pair(pair, &config))
+        })
+    });
+}
+
+fn bench_collect_dataset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("collect_bench_dataset", |b| {
+        b.iter(|| black_box(bench_dataset()))
+    });
+    group.finish();
+    let _ = Dataset::demo; // referenced to document the demo alternative
+}
+
+criterion_group!(benches, bench_tables, bench_characterize_one_pair, bench_collect_dataset);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Regenerates the beyond-the-paper artifacts: design-choice ablations and
+//! the phase-behaviour analysis the paper proposes as future work.
+//!
+//! ```text
+//! extensions [--results DIR]
+//! ```
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use uarch_sim::engine::WorkloadHints;
+use workchar::ablation;
+use workchar::characterize::{characterize_suite, RunConfig};
+use workchar::phase::analyze_phases;
+use workload_synth::cpu2017;
+use workload_synth::phases::demo_three_phase;
+use workload_synth::profile::InputSize;
+
+fn main() {
+    let mut results_dir = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--results" => {
+                if let Some(dir) = args.next() {
+                    results_dir = PathBuf::from(dir);
+                }
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let _ = std::fs::create_dir_all(&results_dir);
+    let mut all = String::new();
+    let config = RunConfig::default();
+
+    eprintln!("characterizing CPU2017 rate ref pairs for clustering ablations...");
+    let rate_apps: Vec<_> = cpu2017::suite()
+        .into_iter()
+        .filter(|a| !a.suite.is_speed())
+        .collect();
+    let records = characterize_suite(&rate_apps, InputSize::Ref, &config);
+    let refs: Vec<&workchar::characterize::CharRecord> = records.iter().collect();
+
+    for table in [
+        ablation::linkage_ablation(&refs),
+        ablation::subsetter_ablation(&refs),
+        ablation::predictor_ablation(&config.system, &config.scale),
+        ablation::replacement_ablation(&config.scale),
+        ablation::prefetcher_ablation(),
+        ablation::cpi_stack_table(&refs),
+    ] {
+        let text = table.render_ascii();
+        println!("{text}");
+        all.push_str(&text);
+        all.push('\n');
+    }
+
+    eprintln!("sweeping DRAM latency and issue width...");
+    let sweep_apps: Vec<_> = ["505.mcf_r", "549.fotonik3d_r", "525.x264_r", "557.xz_r"]
+        .iter()
+        .map(|n| cpu2017::app(n).expect("known app"))
+        .collect();
+    for sweep in [
+        workchar::sensitivity::memory_latency_sweep(&sweep_apps, &config, &[120, 220, 320, 500]),
+        workchar::sensitivity::issue_width_sweep(&sweep_apps, &config, &[1, 2, 4, 6]),
+    ] {
+        let text = sweep.table().render_ascii();
+        println!("{text}");
+        all.push_str(&text);
+        all.push('\n');
+    }
+
+    eprintln!("running phase analysis on the three-phase demo workload...");
+    let workload = demo_three_phase();
+    let trace: Vec<_> = workload.trace(&config.system, 42, 600_000).collect();
+    match analyze_phases(trace, &config.system, &WorkloadHints::default(), 40, 6) {
+        Ok(analysis) => {
+            let mut text = format!(
+                "Phase analysis of '{}': {} phases (silhouette {:.3})\n",
+                workload.name, analysis.n_phases, analysis.silhouette
+            );
+            for p in &analysis.points {
+                text.push_str(&format!(
+                    "  simulation point: window {} (phase {}, weight {:.2})\n",
+                    p.window, p.phase, p.weight
+                ));
+            }
+            text.push_str(&format!(
+                "  full-run IPC {:.3} vs simulation-point estimate {:.3} \
+                 using {:.0}% of the windows\n",
+                analysis.full_ipc(),
+                analysis.estimated_ipc(),
+                analysis.simulation_fraction() * 100.0
+            ));
+            println!("{text}");
+            all.push_str(&text);
+        }
+        Err(e) => eprintln!("phase analysis failed: {e}"),
+    }
+
+    let path = results_dir.join("extensions.txt");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(all.as_bytes())) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}

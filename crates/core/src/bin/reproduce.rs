@@ -1,0 +1,136 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! reproduce [--quick] [--markdown] [--results DIR] [table1 .. fig10]
+//! ```
+//!
+//! With no experiment arguments, all twenty artifacts are produced. Each is
+//! printed to stdout and written as `<slug>.txt` / `<slug>.csv` under the
+//! results directory (default `results/`).
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use workchar::characterize::RunConfig;
+use workchar::dataset::Dataset;
+use workchar::experiments::{self, correlation_notes, ExperimentId};
+
+fn main() {
+    let mut quick = false;
+    let mut markdown = false;
+    let mut results_dir = PathBuf::from("results");
+    let mut selected: Vec<ExperimentId> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--markdown" => markdown = true,
+            "--results" => {
+                results_dir = PathBuf::from(
+                    args.next().unwrap_or_else(|| usage("--results needs a directory")),
+                );
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            slug => match ExperimentId::from_slug(slug) {
+                Some(id) => selected.push(id),
+                None => usage(&format!("unknown experiment '{slug}'")),
+            },
+        }
+    }
+    if selected.is_empty() {
+        selected = ExperimentId::ALL.to_vec();
+    }
+
+    let config = if quick { RunConfig::quick() } else { RunConfig::default() };
+    eprintln!(
+        "characterizing SPEC CPU2017 (194 pairs, 3 input sizes) and CPU2006 (29 apps) \
+         on {} ...",
+        config.system.name
+    );
+    let t0 = Instant::now();
+    let data = Dataset::collect(config);
+    eprintln!(
+        "collected {} CPU2017 and {} CPU2006 records in {:.1}s",
+        data.cpu17.len(),
+        data.cpu06.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    if let Err(e) = std::fs::create_dir_all(&results_dir) {
+        eprintln!("warning: cannot create {}: {e}", results_dir.display());
+    }
+    let mut report = String::from(
+        "# SPEC CPU2017 characterization — regenerated artifacts\n\n         Produced by the `reproduce` binary; see EXPERIMENTS.md for the\n         paper-vs-measured discussion.\n\n",
+    );
+    for id in selected {
+        let artifact = experiments::run(id, &data);
+        let text = artifact.render();
+        println!("{text}");
+        write_file(&results_dir, &format!("{}.txt", id.slug()), &text);
+        write_file(&results_dir, &format!("{}.csv", id.slug()), &artifact.render_csv());
+        report.push_str(&format!("## {id}\n\n"));
+        for table in &artifact.tables {
+            report.push_str(&table.render_markdown());
+            report.push('\n');
+        }
+        for (i, figure) in artifact.figures.iter().enumerate() {
+            let name = if artifact.figures.len() == 1 {
+                format!("{}.svg", id.slug())
+            } else {
+                format!("{}_{}.svg", id.slug(), i + 1)
+            };
+            write_file(&results_dir, &name, &figure.render_svg(900, 420));
+            report.push_str(&format!("![{}]({name})\n\n", figure.title()));
+        }
+        for (title, body) in &artifact.texts {
+            report.push_str(&format!("**{title}**\n\n```text\n{body}```\n\n"));
+        }
+    }
+    if markdown {
+        write_file(&results_dir, "REPORT.md", &report);
+    }
+
+    // Full per-pair record dump — the machine-readable artifact downstream
+    // analyses start from.
+    write_file(
+        &results_dir,
+        "records_cpu2017.csv",
+        &workchar::characterize::records_csv(&data.cpu17),
+    );
+    write_file(
+        &results_dir,
+        "records_cpu2006.csv",
+        &workchar::characterize::records_csv(&data.cpu06),
+    );
+
+    println!("==== inline correlations (Sections IV-C / IV-D) ====");
+    for (name, c) in correlation_notes(&data) {
+        println!("{name}: {c:+.3}");
+    }
+}
+
+fn write_file(dir: &std::path::Path, name: &str, contents: &str) {
+    let path = dir.join(name);
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(contents.as_bytes())) {
+        Ok(()) => {}
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+fn print_usage() {
+    println!("usage: reproduce [--quick] [--results DIR] [table1..table10 fig1..fig10]");
+    println!("experiments:");
+    for id in ExperimentId::ALL {
+        println!("  {id}");
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run with --help for usage");
+    std::process::exit(2);
+}

@@ -1,0 +1,403 @@
+//! Per-pair characterization: run one application–input pair on the
+//! simulated system and collect every metric the paper reports.
+
+use uarch_sim::config::SystemConfig;
+use uarch_sim::counters::{Event, PerfSession};
+use uarch_sim::engine::Engine;
+use workload_synth::footprint::{GrowthCurve, MemoryMap, PsSampler};
+use workload_synth::generator::{TraceGenerator, TraceScale};
+use workload_synth::profile::{AppInputPair, AppProfile, InputSize, Suite};
+
+/// Configuration of a characterization campaign: which system to simulate
+/// and how aggressively to scale traces down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// The simulated machine (defaults to the paper's Haswell, Table I).
+    pub system: SystemConfig,
+    /// Trace scaling (micro-ops per paper-scale billion instructions).
+    pub scale: TraceScale,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { system: SystemConfig::haswell_e5_2650l_v3(), scale: TraceScale::default() }
+    }
+}
+
+impl RunConfig {
+    /// A reduced-fidelity configuration for tests and demos.
+    pub fn quick() -> Self {
+        RunConfig { system: SystemConfig::haswell_e5_2650l_v3(), scale: TraceScale::quick() }
+    }
+}
+
+/// Everything the paper measures for one application–input pair.
+///
+/// Microarchitecture-dependent values (IPC, miss rates, mispredict rate)
+/// are *measured* from simulation; footprints come from the `ps`-style
+/// sampler; the paper-scale projections convert simulated quantities back
+/// to the paper's units for side-by-side comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharRecord {
+    /// Pair id, e.g. `"603.bwaves_s-in2"`.
+    pub id: String,
+    /// Application name.
+    pub app: String,
+    /// Input name.
+    pub input: String,
+    /// Mini-suite.
+    pub suite: Suite,
+    /// Input size.
+    pub size: InputSize,
+    /// Raw counter file of the simulated run.
+    pub session: PerfSession,
+    /// Simulated micro-ops executed.
+    pub sim_ops: u64,
+    /// Paper-scale dynamic instructions, billions (profile-declared volume).
+    pub instructions_billions: f64,
+    /// Measured instructions per cycle.
+    pub ipc: f64,
+    /// Measured load micro-op percentage.
+    pub load_pct: f64,
+    /// Measured store micro-op percentage.
+    pub store_pct: f64,
+    /// Measured branch instruction percentage.
+    pub branch_pct: f64,
+    /// Measured L1D load miss rate (percent).
+    pub l1_miss_pct: f64,
+    /// Measured local L2 load miss rate (percent).
+    pub l2_miss_pct: f64,
+    /// Measured local L3 load miss rate (percent).
+    pub l3_miss_pct: f64,
+    /// Measured branch mispredict rate (percent).
+    pub mispredict_pct: f64,
+    /// Maximum RSS observed by the sampler, GiB.
+    pub rss_gib: f64,
+    /// Maximum VSZ observed by the sampler, GiB.
+    pub vsz_gib: f64,
+    /// CPI-stack components (cycles per instruction of the counted phase):
+    /// issue/ILP-bound base cycles.
+    pub cpi_base: f64,
+    /// Branch-mispredict refill cycles per instruction.
+    pub cpi_branch: f64,
+    /// Data-cache stall cycles per instruction (after MLP overlap).
+    pub cpi_memory: f64,
+    /// Instruction-fetch stall cycles per instruction.
+    pub cpi_frontend: f64,
+    /// Simulated wall-clock seconds of the scaled trace.
+    pub sim_seconds: f64,
+    /// Projected paper-scale execution seconds:
+    /// `instructions / (measured IPC × clock)`.
+    pub projected_seconds: f64,
+}
+
+impl CharRecord {
+    /// Fraction of branches of one kind (measured), in `[0, 1]`.
+    pub fn branch_kind_frac(&self, event: Event) -> f64 {
+        let total = self.session.count(Event::BrInstExecAllBranches);
+        if total == 0 {
+            0.0
+        } else {
+            self.session.count(event) as f64 / total as f64
+        }
+    }
+
+    /// Paper-scale count (billions) for a measured event, scaled by the
+    /// event's per-instruction rate times the pair's instruction volume.
+    pub fn projected_billions(&self, event: Event) -> f64 {
+        let inst = self.session.count(Event::InstRetiredAny);
+        if inst == 0 {
+            return 0.0;
+        }
+        self.instructions_billions * self.session.count(event) as f64 / inst as f64
+    }
+}
+
+impl CharRecord {
+    /// Column names for [`CharRecord::csv_row`].
+    pub const CSV_HEADER: [&'static str; 18] = [
+        "id", "app", "input", "suite", "size", "sim_ops", "instructions_b",
+        "ipc", "load_pct", "store_pct", "branch_pct", "l1_miss_pct",
+        "l2_miss_pct", "l3_miss_pct", "mispredict_pct", "rss_gib", "vsz_gib",
+        "projected_seconds",
+    ];
+
+    /// One CSV record of the headline metrics (the full counter file stays
+    /// in [`CharRecord::session`]).
+    pub fn csv_row(&self) -> Vec<String> {
+        vec![
+            self.id.clone(),
+            self.app.clone(),
+            self.input.clone(),
+            self.suite.label().to_owned(),
+            self.size.label().to_owned(),
+            self.sim_ops.to_string(),
+            format!("{:.3}", self.instructions_billions),
+            format!("{:.4}", self.ipc),
+            format!("{:.3}", self.load_pct),
+            format!("{:.3}", self.store_pct),
+            format!("{:.3}", self.branch_pct),
+            format!("{:.3}", self.l1_miss_pct),
+            format!("{:.3}", self.l2_miss_pct),
+            format!("{:.3}", self.l3_miss_pct),
+            format!("{:.3}", self.mispredict_pct),
+            format!("{:.4}", self.rss_gib),
+            format!("{:.4}", self.vsz_gib),
+            format!("{:.3}", self.projected_seconds),
+        ]
+    }
+}
+
+/// Renders a record set as one CSV document (header + one row per record).
+pub fn records_csv(records: &[CharRecord]) -> String {
+    let mut out = simreport::csv::line(&CharRecord::CSV_HEADER);
+    for r in records {
+        out.push_str(&simreport::csv::line(&r.csv_row()));
+    }
+    out
+}
+
+/// Builds the canonical (trace, hints) pair for one application–input pair:
+/// the seeded generator at the configured scale, plus engine hints carrying
+/// the generator's L2-bypass range. Every consumer of the simulator —
+/// characterization, ablations, phase analysis — should start here so runs
+/// are comparable.
+pub fn prepared_run(
+    pair: &AppInputPair<'_>,
+    config: &RunConfig,
+) -> (TraceGenerator, uarch_sim::engine::WorkloadHints) {
+    let trace = TraceGenerator::from_pair(pair, &config.system, &config.scale);
+    let mut hints = pair.input.behavior.hints(&config.system);
+    hints.l2_bypass_range = Some(trace.l2_bypass_range());
+    (trace, hints)
+}
+
+/// Runs one pair through a fresh engine and derives every reported metric.
+pub fn characterize_pair(pair: &AppInputPair<'_>, config: &RunConfig) -> CharRecord {
+    let behavior = &pair.input.behavior;
+    let (trace, hints) = prepared_run(pair, config);
+    let sim_ops = trace.remaining();
+
+    // A third of the trace warms caches and predictor so steady-state
+    // rates are measured, mirroring the paper's minutes-long executions.
+    let warmup = sim_ops / 3;
+    let mut engine = Engine::new(&config.system);
+    let session = engine.run_warmed(trace, &hints, warmup);
+    let sim_seconds = engine.seconds(&session);
+    let counted = session.count(Event::InstRetiredAny).max(1) as f64;
+    let breakdown = engine.last_breakdown().expect("run just completed");
+    let per_inst = |cycles: f64| cycles / counted;
+
+    // Footprint: the OS-model sampler observes the allocation plan the same
+    // way `ps -o vsz,rss` observed the real binaries (1 Hz; maxima kept).
+    let growth = if behavior.store_pct > 10.0 {
+        GrowthCurve::Immediate // array/stencil codes touch everything early
+    } else {
+        GrowthCurve::Saturating
+    };
+    let map = MemoryMap::from_behavior(behavior, growth);
+    let mut sampler = PsSampler::new();
+    sampler.sample_run(&map, 60);
+
+    let gib = |bytes: u64| bytes as f64 / (1u64 << 30) as f64;
+    let ipc = session.ipc();
+    let clock_hz = config.system.clock_ghz * 1e9;
+    // instructions / (IPC x clock) is total unhalted cycles / clock; with N
+    // threads the unhalted reference cycles accumulate N-fold per second of
+    // wall time, so wall-clock time divides by the thread count.
+    let projected_seconds = if ipc > 0.0 {
+        behavior.instructions_billions * 1e9
+            / (ipc * clock_hz * behavior.threads.max(1) as f64)
+    } else {
+        0.0
+    };
+
+    CharRecord {
+        id: pair.id(),
+        app: pair.app.name.clone(),
+        input: pair.input.name.clone(),
+        suite: pair.app.suite,
+        size: pair.size,
+        sim_ops,
+        instructions_billions: behavior.instructions_billions,
+        ipc,
+        load_pct: session.load_fraction() * 100.0,
+        store_pct: session.store_fraction() * 100.0,
+        branch_pct: session.branch_fraction() * 100.0,
+        l1_miss_pct: session.l1_miss_rate() * 100.0,
+        l2_miss_pct: session.l2_miss_rate() * 100.0,
+        l3_miss_pct: session.l3_miss_rate() * 100.0,
+        mispredict_pct: session.mispredict_rate() * 100.0,
+        rss_gib: gib(sampler.max_rss_bytes()),
+        vsz_gib: gib(sampler.max_vsz_bytes()),
+        cpi_base: per_inst(breakdown.base),
+        cpi_branch: per_inst(breakdown.branch),
+        cpi_memory: per_inst(breakdown.memory),
+        cpi_frontend: per_inst(breakdown.frontend),
+        sim_seconds,
+        projected_seconds,
+        session,
+    }
+}
+
+/// Characterizes every input of every application at `size`, in parallel.
+pub fn characterize_suite(
+    apps: &[AppProfile],
+    size: InputSize,
+    config: &RunConfig,
+) -> Vec<CharRecord> {
+    let pairs: Vec<AppInputPair<'_>> =
+        apps.iter().flat_map(|app| app.pairs(size)).collect();
+    characterize_pairs(&pairs, config)
+}
+
+/// Characterizes an explicit pair list in parallel, preserving order.
+pub fn characterize_pairs(pairs: &[AppInputPair<'_>], config: &RunConfig) -> Vec<CharRecord> {
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<CharRecord>>> =
+        (0..pairs.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(pairs.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= pairs.len() {
+                    break;
+                }
+                let record = characterize_pair(&pairs[i], config);
+                *slots[i].lock().expect("slot lock") = Some(record);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot lock").expect("every pair characterized"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload_synth::cpu2017;
+
+    fn quick() -> RunConfig {
+        RunConfig::quick()
+    }
+
+    #[test]
+    fn record_fields_are_consistent() {
+        let app = cpu2017::app("505.mcf_r").unwrap();
+        let pair = &app.pairs(InputSize::Ref)[0];
+        let r = characterize_pair(pair, &quick());
+        assert_eq!(r.id, "505.mcf_r");
+        assert_eq!(r.suite, Suite::RateInt);
+        assert!(r.ipc > 0.0);
+        assert!(r.sim_ops > 0);
+        assert!(r.sim_seconds > 0.0);
+        assert!(r.projected_seconds > 0.0);
+        // Mix percentages should be near the profile.
+        let b = &pair.input.behavior;
+        assert!((r.load_pct - b.load_pct).abs() < 2.0, "loads {} vs {}", r.load_pct, b.load_pct);
+        assert!((r.branch_pct - b.branch_pct).abs() < 2.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let app = cpu2017::app("541.leela_r").unwrap();
+        let pair = &app.pairs(InputSize::Ref)[0];
+        let a = characterize_pair(pair, &quick());
+        let b = characterize_pair(pair, &quick());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn footprint_matches_profile_declaration() {
+        let app = cpu2017::app("657.xz_s").unwrap();
+        let pair = &app.pairs(InputSize::Ref)[0];
+        let r = characterize_pair(pair, &quick());
+        let b = &pair.input.behavior;
+        assert!((r.rss_gib - b.rss_gib).abs() / b.rss_gib < 0.02);
+        assert!((r.vsz_gib - b.vsz_gib).abs() / b.vsz_gib < 0.02);
+    }
+
+    #[test]
+    fn parallel_matches_serial_order() {
+        let app = cpu2017::app("502.gcc_r").unwrap();
+        let pairs = app.pairs(InputSize::Ref);
+        let config = quick();
+        let parallel = characterize_pairs(&pairs, &config);
+        assert_eq!(parallel.len(), 5);
+        for (pair, record) in pairs.iter().zip(&parallel) {
+            let serial = characterize_pair(pair, &config);
+            assert_eq!(&serial, record);
+        }
+    }
+
+    #[test]
+    fn suite_characterization_counts() {
+        let apps = vec![
+            cpu2017::app("505.mcf_r").unwrap(),
+            cpu2017::app("525.x264_r").unwrap(),
+        ];
+        let records = characterize_suite(&apps, InputSize::Ref, &quick());
+        assert_eq!(records.len(), 1 + 3);
+    }
+
+    #[test]
+    fn x264_faster_than_mcf() {
+        // The paper's headline int contrast (Fig. 1).
+        let config = quick();
+        let mcf = cpu2017::app("505.mcf_r").unwrap();
+        let x264 = cpu2017::app("525.x264_r").unwrap();
+        let r_mcf = characterize_pair(&mcf.pairs(InputSize::Ref)[0], &config);
+        let r_x264 = characterize_pair(&x264.pairs(InputSize::Ref)[0], &config);
+        assert!(
+            r_x264.ipc > 2.0 * r_mcf.ipc,
+            "x264 {} vs mcf {}",
+            r_x264.ipc,
+            r_mcf.ipc
+        );
+    }
+
+    #[test]
+    fn branch_kind_fracs_sum_to_one() {
+        let app = cpu2017::app("500.perlbench_r").unwrap();
+        let r = characterize_pair(&app.pairs(InputSize::Ref)[0], &quick());
+        let sum: f64 = [
+            Event::BrInstExecAllConditional,
+            Event::BrInstExecAllDirectJmp,
+            Event::BrInstExecAllDirectNearCall,
+            Event::BrInstExecAllIndirectJumpNonCallRet,
+            Event::BrInstExecAllIndirectNearReturn,
+        ]
+        .iter()
+        .map(|&e| r.branch_kind_frac(e))
+        .sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_export_is_rectangular() {
+        let app = cpu2017::app("541.leela_r").unwrap();
+        let r = characterize_pair(&app.pairs(InputSize::Ref)[0], &quick());
+        assert_eq!(r.csv_row().len(), CharRecord::CSV_HEADER.len());
+        let csv = records_csv(&[r]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count(),
+            "header and row must have the same arity"
+        );
+        assert!(lines[0].starts_with("id,app,input,suite,size"));
+    }
+
+    #[test]
+    fn projected_billions_tracks_mix() {
+        let app = cpu2017::app("519.lbm_r").unwrap();
+        let r = characterize_pair(&app.pairs(InputSize::Ref)[0], &quick());
+        let loads_b = r.projected_billions(Event::MemUopsRetiredAllLoads);
+        let expected = r.instructions_billions * r.load_pct / 100.0;
+        assert!((loads_b - expected).abs() / expected < 0.05);
+    }
+}

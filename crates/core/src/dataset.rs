@@ -1,0 +1,126 @@
+//! Campaign dataset: every characterization record the experiments need.
+
+use workload_synth::profile::{AppProfile, InputSize, Suite};
+use workload_synth::{cpu2006, cpu2017};
+
+use crate::characterize::{characterize_suite, CharRecord, RunConfig};
+
+/// All records of one characterization campaign.
+///
+/// Collect once, then regenerate any number of tables and figures from it —
+/// the analogue of the paper's "run everything under perf, then analyze".
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The configuration the campaign ran with.
+    pub config: RunConfig,
+    /// CPU2017 records for all input sizes (194 pairs for the full roster).
+    pub cpu17: Vec<CharRecord>,
+    /// CPU2006 `ref` records (29 for the full roster).
+    pub cpu06: Vec<CharRecord>,
+}
+
+impl Dataset {
+    /// Characterizes the full CPU2017 (all sizes) and CPU2006 (`ref`)
+    /// rosters.
+    pub fn collect(config: RunConfig) -> Self {
+        Dataset::collect_apps(config, &cpu2017::suite(), &cpu2006::suite())
+    }
+
+    /// Characterizes explicit app lists (used by tests and scaled-down
+    /// demos); CPU2017 apps run at every size they define, CPU2006 at `ref`.
+    pub fn collect_apps(
+        config: RunConfig,
+        cpu17_apps: &[AppProfile],
+        cpu06_apps: &[AppProfile],
+    ) -> Self {
+        let mut cpu17 = Vec::new();
+        for size in InputSize::ALL {
+            cpu17.extend(characterize_suite(cpu17_apps, size, &config));
+        }
+        let cpu06 = characterize_suite(cpu06_apps, InputSize::Ref, &config);
+        Dataset { config, cpu17, cpu06 }
+    }
+
+    /// A small fast dataset for tests: eight representative CPU2017
+    /// applications and four CPU2006 applications at quick scale.
+    pub fn demo() -> Self {
+        let names17 = [
+            "505.mcf_r",
+            "519.lbm_r",
+            "525.x264_r",
+            "541.leela_r",
+            "549.fotonik3d_r",
+            "603.bwaves_s",
+            "607.cactuBSSN_s",
+            "657.xz_s",
+        ];
+        let cpu17: Vec<AppProfile> =
+            names17.iter().map(|n| cpu2017::app(n).expect("demo app exists")).collect();
+        let cpu06: Vec<AppProfile> = cpu2006::suite()
+            .into_iter()
+            .filter(|a| {
+                ["429.mcf", "470.lbm", "456.hmmer", "433.milc"].contains(&a.name.as_str())
+            })
+            .collect();
+        Dataset::collect_apps(RunConfig::quick(), &cpu17, &cpu06)
+    }
+
+    /// CPU2017 records at one input size.
+    pub fn cpu17_at(&self, size: InputSize) -> Vec<&CharRecord> {
+        self.cpu17.iter().filter(|r| r.size == size).collect()
+    }
+
+    /// CPU2017 `ref` records of the two `rate` mini-suites (Fig. 9a scope).
+    pub fn rate_ref(&self) -> Vec<&CharRecord> {
+        self.cpu17
+            .iter()
+            .filter(|r| r.size == InputSize::Ref && !r.suite.is_speed())
+            .collect()
+    }
+
+    /// CPU2017 `ref` records of the two `speed` mini-suites (Fig. 9b scope).
+    pub fn speed_ref(&self) -> Vec<&CharRecord> {
+        self.cpu17
+            .iter()
+            .filter(|r| r.size == InputSize::Ref && r.suite.is_speed())
+            .collect()
+    }
+
+    /// CPU2017 `ref` records of one mini-suite, ordered by application name.
+    pub fn mini_suite_ref(&self, suite: Suite) -> Vec<&CharRecord> {
+        let mut v: Vec<&CharRecord> = self
+            .cpu17
+            .iter()
+            .filter(|r| r.size == InputSize::Ref && r.suite == suite)
+            .collect();
+        v.sort_by(|a, b| a.id.cmp(&b.id));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_dataset_shape() {
+        let d = Dataset::demo();
+        // 8 apps; x264 has 3/2/3 inputs, gcc not included; bwaves_s 2/2/2,
+        // xz_s 5/2/2; others single.
+        assert!(!d.cpu17.is_empty());
+        assert_eq!(d.cpu06.len(), 4);
+        let ref_records = d.cpu17_at(InputSize::Ref);
+        assert!(ref_records.len() >= 8);
+        // Accessors partition ref records.
+        assert_eq!(d.rate_ref().len() + d.speed_ref().len(), ref_records.len());
+    }
+
+    #[test]
+    fn mini_suite_ref_sorted() {
+        let d = Dataset::demo();
+        let rate_int = d.mini_suite_ref(Suite::RateInt);
+        assert!(!rate_int.is_empty());
+        assert!(rate_int.windows(2).all(|w| w[0].id <= w[1].id));
+        assert!(rate_int.iter().all(|r| r.suite == Suite::RateInt));
+    }
+}

@@ -1,0 +1,202 @@
+//! PCA redundancy analysis — Section V-A of the paper (Figs. 7–8).
+//!
+//! The 20 characteristics of every application–input pair are standardized
+//! and reduced with PCA; the paper keeps the first four components (76.3% of
+//! total variance) and reads factor loadings to interpret them.
+
+use stat_analysis::matrix::Matrix;
+use stat_analysis::pca::Pca;
+use stat_analysis::StatsError;
+
+use crate::characterize::CharRecord;
+use crate::metrics::{characteristic_rows, CHARACTERISTICS};
+
+/// The fraction of variance the paper's four components captured; we keep
+/// the smallest component count reaching it.
+pub const PAPER_VARIANCE_TARGET: f64 = 0.76;
+
+/// Result of the redundancy analysis over a record set.
+#[derive(Debug, Clone)]
+pub struct RedundancyAnalysis {
+    /// Pair ids, row-aligned with [`RedundancyAnalysis::scores`].
+    pub ids: Vec<String>,
+    /// The fitted PCA model.
+    pub pca: Pca,
+    /// Number of retained components.
+    pub n_components: usize,
+    /// Cumulative explained variance of the retained components.
+    pub explained: f64,
+    /// `[pairs × n_components]` score matrix.
+    pub scores: Matrix,
+    /// `[20 × n_components]` factor loadings (Fig. 8).
+    pub loadings: Matrix,
+}
+
+impl RedundancyAnalysis {
+    /// Runs the full analysis: extract Table VIII characteristics,
+    /// standardize, fit PCA, retain components covering `variance_target`,
+    /// and compute scores and loadings.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StatsError`] if there are fewer than two records or the
+    /// decomposition fails.
+    pub fn fit(records: &[CharRecord], variance_target: f64) -> Result<Self, StatsError> {
+        let rows = characteristic_rows(records);
+        let data = Matrix::from_rows(&rows)?;
+        let pca = Pca::fit(&data)?;
+        let n_components = pca.n_components_for(variance_target)?.clamp(2, 6);
+        let explained = pca.cumulative_explained_variance()[n_components - 1];
+        let scores = pca.scores(&data, n_components)?;
+        let loadings = pca.loadings(n_components)?;
+        Ok(RedundancyAnalysis {
+            ids: records.iter().map(|r| r.id.clone()).collect(),
+            pca,
+            n_components,
+            explained,
+            scores,
+            loadings,
+        })
+    }
+
+    /// Convenience: [`RedundancyAnalysis::fit`] at the paper's 76% target.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RedundancyAnalysis::fit`].
+    pub fn fit_paper(records: &[CharRecord]) -> Result<Self, StatsError> {
+        RedundancyAnalysis::fit(records, PAPER_VARIANCE_TARGET)
+    }
+
+    /// Score rows as plain vectors (clustering input).
+    pub fn score_rows(&self) -> Vec<Vec<f64>> {
+        self.scores.iter_rows().map(|r| r.to_vec()).collect()
+    }
+
+    /// The characteristics with the strongest absolute loading on component
+    /// `k`, descending — the paper's "dominated by" reading of Fig. 8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.n_components`.
+    pub fn dominant_characteristics(&self, k: usize, top: usize) -> Vec<(&'static str, f64)> {
+        assert!(k < self.n_components, "component {k} out of range");
+        let mut pairs: Vec<(&'static str, f64)> = CHARACTERISTICS
+            .iter()
+            .enumerate()
+            .map(|(v, c)| (c.name, self.loadings[(v, k)]))
+            .collect();
+        pairs.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite loadings"));
+        pairs.truncate(top);
+        pairs
+    }
+
+    /// Varimax-rotated loadings (extension): the same factor space with a
+    /// simpler structure, sharpening the paper's "dominated by" reading of
+    /// Fig. 8.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StatsError`] from the rotation (needs >= 2 components).
+    pub fn rotated_loadings(&self) -> Result<Matrix, StatsError> {
+        Ok(stat_analysis::rotation::varimax(&self.loadings)?.loadings)
+    }
+
+    /// Euclidean distance between two pairs' retained-PC coordinates; the
+    /// paper's similarity metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn pc_distance(&self, i: usize, j: usize) -> f64 {
+        let (a, b) = (self.scores.row(i), self.scores.row(j));
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::{characterize_suite, RunConfig};
+    use workload_synth::cpu2017;
+    use workload_synth::profile::InputSize;
+
+    fn sample_records() -> Vec<CharRecord> {
+        let apps = vec![
+            cpu2017::app("505.mcf_r").unwrap(),
+            cpu2017::app("519.lbm_r").unwrap(),
+            cpu2017::app("525.x264_r").unwrap(),
+            cpu2017::app("548.exchange2_r").unwrap(),
+            cpu2017::app("603.bwaves_s").unwrap(),
+            cpu2017::app("607.cactuBSSN_s").unwrap(),
+        ];
+        characterize_suite(&apps, InputSize::Ref, &RunConfig::quick())
+    }
+
+    #[test]
+    fn analysis_shape() {
+        let records = sample_records();
+        let a = RedundancyAnalysis::fit_paper(&records).unwrap();
+        assert_eq!(a.ids.len(), records.len());
+        assert_eq!(a.scores.shape(), (records.len(), a.n_components));
+        assert_eq!(a.loadings.shape(), (20, a.n_components));
+        assert!(a.explained >= 0.5, "explained {}", a.explained);
+        assert!((2..=6).contains(&a.n_components));
+    }
+
+    #[test]
+    fn bwaves_inputs_closer_than_cactu() {
+        // Table IX's validation: the two bwaves_s inputs must sit much
+        // closer in PC space than either sits to cactuBSSN_s.
+        let records = sample_records();
+        let a = RedundancyAnalysis::fit_paper(&records).unwrap();
+        let idx = |id: &str| a.ids.iter().position(|x| x == id).unwrap();
+        let b1 = idx("603.bwaves_s-in1");
+        let b2 = idx("603.bwaves_s-in2");
+        let c = idx("607.cactuBSSN_s");
+        let d_same = a.pc_distance(b1, b2);
+        let d_diff = a.pc_distance(b1, c).min(a.pc_distance(b2, c));
+        assert!(
+            d_same * 2.0 < d_diff,
+            "bwaves pair distance {d_same} vs cactu distance {d_diff}"
+        );
+    }
+
+    #[test]
+    fn dominant_characteristics_sorted_by_magnitude() {
+        let records = sample_records();
+        let a = RedundancyAnalysis::fit_paper(&records).unwrap();
+        let dom = a.dominant_characteristics(0, 5);
+        assert_eq!(dom.len(), 5);
+        assert!(dom.windows(2).all(|w| w[0].1.abs() >= w[1].1.abs()));
+    }
+
+    #[test]
+    fn score_rows_match_matrix() {
+        let records = sample_records();
+        let a = RedundancyAnalysis::fit_paper(&records).unwrap();
+        let rows = a.score_rows();
+        assert_eq!(rows.len(), records.len());
+        assert_eq!(rows[0].len(), a.n_components);
+        assert_eq!(rows[2][1], a.scores[(2, 1)]);
+    }
+
+    #[test]
+    fn rotated_loadings_preserve_communalities() {
+        let records = sample_records();
+        let a = RedundancyAnalysis::fit_paper(&records).unwrap();
+        let rotated = a.rotated_loadings().unwrap();
+        assert_eq!(rotated.shape(), a.loadings.shape());
+        for v in 0..20 {
+            let h0: f64 = (0..a.n_components).map(|k| a.loadings[(v, k)].powi(2)).sum();
+            let h1: f64 = (0..a.n_components).map(|k| rotated[(v, k)].powi(2)).sum();
+            assert!((h0 - h1).abs() < 1e-9, "variable {v}");
+        }
+    }
+
+    #[test]
+    fn too_few_records_error() {
+        let records = sample_records();
+        assert!(RedundancyAnalysis::fit_paper(&records[..1]).is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! Design-space sensitivity studies over the characterized suite.
+//!
+//! The paper positions CPU2017 as the workload set for "simulation-based
+//! design and optimization research for next-generation processors [and]
+//! memory subsystems". This module runs that use case end to end: sweep one
+//! architectural parameter, replay a set of applications at each point, and
+//! tabulate how the suite responds — the what-if analysis a
+//! processor architect would perform with the reproduced infrastructure.
+//! Sweeps are trace-driven: each pair's micro-op stream is generated once on
+//! the baseline machine and replayed unchanged on every variant.
+
+use simreport::figure::{Figure, Kind, Series};
+use simreport::table::{num, Table};
+use uarch_sim::config::SystemConfig;
+use workload_synth::profile::{AppProfile, InputSize};
+
+use uarch_sim::engine::Engine;
+
+use crate::characterize::{prepared_run, RunConfig};
+
+/// One swept configuration point with its suite-average outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Label of the configuration (e.g. `"15 MiB"`).
+    pub label: String,
+    /// Mean IPC across the swept applications.
+    pub mean_ipc: f64,
+    /// Mean local L2 miss rate (percent).
+    pub mean_l2_miss_pct: f64,
+    /// Mean local L3 miss rate (percent).
+    pub mean_l3_miss_pct: f64,
+    /// Mean projected execution seconds.
+    pub mean_seconds: f64,
+}
+
+/// Result of a parameter sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// What was swept (for titles).
+    pub parameter: &'static str,
+    /// The per-configuration outcomes, in sweep order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// Renders the sweep as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            &format!("Sensitivity: suite response to {}", self.parameter),
+            &[self.parameter, "Mean IPC", "L2 miss %", "L3 miss %", "Mean time (s)"],
+        );
+        t.numeric();
+        for p in &self.points {
+            t.row(vec![
+                p.label.clone(),
+                num(p.mean_ipc, 3),
+                num(p.mean_l2_miss_pct, 2),
+                num(p.mean_l3_miss_pct, 2),
+                num(p.mean_seconds, 1),
+            ]);
+        }
+        t
+    }
+
+    /// Renders the sweep's IPC response as a line figure.
+    pub fn figure(&self) -> Figure {
+        let mut f = Figure::new(
+            &format!("Suite mean IPC vs {}", self.parameter),
+            Kind::Line,
+        );
+        let labels: Vec<&str> = self.points.iter().map(|p| p.label.as_str()).collect();
+        let x: Vec<f64> = (0..self.points.len()).map(|i| i as f64).collect();
+        let y: Vec<f64> = self.points.iter().map(|p| p.mean_ipc).collect();
+        f.push(Series::points("mean IPC", &labels, &x, &y));
+        f
+    }
+}
+
+fn sweep_over(
+    parameter: &'static str,
+    apps: &[AppProfile],
+    base: &RunConfig,
+    configs: Vec<(String, SystemConfig)>,
+) -> Sweep {
+    // Trace-driven methodology: the workload adapts its working sets to
+    // whatever machine it is generated for (that is how miss-rate targets
+    // are hit), so a sweep must generate each trace ONCE on the baseline
+    // system and replay the identical micro-op stream on every variant.
+    struct PreparedTrace {
+        ops: Vec<uarch_sim::microop::MicroOp>,
+        hints: uarch_sim::engine::WorkloadHints,
+        instructions_billions: f64,
+        threads: u32,
+    }
+    let mut traces = Vec::new();
+    for app in apps {
+        for pair in app.pairs(InputSize::Ref) {
+            let (generator, hints) = prepared_run(&pair, base);
+            traces.push(PreparedTrace {
+                ops: generator.collect(),
+                hints,
+                instructions_billions: pair.input.behavior.instructions_billions,
+                threads: pair.input.behavior.threads,
+            });
+        }
+    }
+
+    let mut points = Vec::with_capacity(configs.len());
+    for (label, system) in configs {
+        let (mut ipc, mut m2, mut m3, mut secs) = (0.0, 0.0, 0.0, 0.0);
+        for t in &traces {
+            let mut engine = Engine::new(&system);
+            let warm = t.ops.len() as u64 / 3;
+            let session = engine.run_warmed(t.ops.iter().copied(), &t.hints, warm);
+            ipc += session.ipc();
+            m2 += session.l2_miss_rate() * 100.0;
+            m3 += session.l3_miss_rate() * 100.0;
+            if session.ipc() > 0.0 {
+                secs += t.instructions_billions * 1e9
+                    / (session.ipc() * system.clock_ghz * 1e9 * t.threads.max(1) as f64);
+            }
+        }
+        let n = traces.len().max(1) as f64;
+        points.push(SweepPoint {
+            label,
+            mean_ipc: ipc / n,
+            mean_l2_miss_pct: m2 / n,
+            mean_l3_miss_pct: m3 / n,
+            mean_seconds: secs / n,
+        });
+    }
+    Sweep { parameter, points }
+}
+
+/// Sweeps main-memory latency over `cycle_points` — the strongest lever on
+/// the memory-bound applications the paper highlights.
+pub fn memory_latency_sweep(apps: &[AppProfile], base: &RunConfig, cycle_points: &[u64]) -> Sweep {
+    let configs = cycle_points
+        .iter()
+        .map(|&cycles| {
+            let mut system = base.system.clone();
+            system.memory_latency = cycles;
+            (format!("{cycles} cyc"), system)
+        })
+        .collect();
+    sweep_over("DRAM latency", apps, base, configs)
+}
+
+/// Sweeps the core issue width over `width_points` — compute-bound
+/// applications respond, memory-bound ones barely move (the classic
+/// balance-of-machine picture).
+pub fn issue_width_sweep(apps: &[AppProfile], base: &RunConfig, width_points: &[usize]) -> Sweep {
+    let configs = width_points
+        .iter()
+        .map(|&width| {
+            let mut system = base.system.clone();
+            system.issue_width = width;
+            (format!("{width}-wide"), system)
+        })
+        .collect();
+    sweep_over("issue width", apps, base, configs)
+}
+
+/// Sweeps the shared L3 capacity over `mib_points`.
+///
+/// Note: at the default trace scale the per-application L3 working sets are
+/// far smaller than any realistic L3 point, so this sweep is flat unless
+/// `base.scale` is raised substantially — it exists for full-fidelity runs
+/// and is not featured in the `extensions` binary's default report.
+pub fn l3_capacity_sweep(apps: &[AppProfile], base: &RunConfig, mib_points: &[usize]) -> Sweep {
+    let configs = mib_points
+        .iter()
+        .map(|&mib| {
+            (format!("{mib} MiB"), base.system.clone().with_l3_size(mib * 1024 * 1024))
+        })
+        .collect();
+    sweep_over("L3 capacity", apps, base, configs)
+}
+
+/// Sweeps the per-core L2 capacity over `kib_points`.
+pub fn l2_capacity_sweep(apps: &[AppProfile], base: &RunConfig, kib_points: &[usize]) -> Sweep {
+    let configs = kib_points
+        .iter()
+        .map(|&kib| (format!("{kib} KiB"), base.system.clone().with_l2_size(kib * 1024)))
+        .collect();
+    sweep_over("L2 capacity", apps, base, configs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload_synth::cpu2017;
+
+    fn memory_bound_apps() -> Vec<AppProfile> {
+        vec![
+            cpu2017::app("505.mcf_r").unwrap(),
+            cpu2017::app("549.fotonik3d_r").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn larger_l3_never_hurts_ipc() {
+        let sweep =
+            l3_capacity_sweep(&memory_bound_apps(), &RunConfig::quick(), &[4, 30, 120]);
+        assert_eq!(sweep.points.len(), 3);
+        let ipc: Vec<f64> = sweep.points.iter().map(|p| p.mean_ipc).collect();
+        assert!(
+            ipc.windows(2).all(|w| w[1] >= w[0] - 0.02),
+            "IPC must not degrade with more L3: {ipc:?}"
+        );
+    }
+
+    #[test]
+    fn slower_memory_hurts_memory_bound_apps() {
+        let sweep =
+            memory_latency_sweep(&memory_bound_apps(), &RunConfig::quick(), &[100, 220, 500]);
+        let ipc: Vec<f64> = sweep.points.iter().map(|p| p.mean_ipc).collect();
+        assert!(
+            ipc.windows(2).all(|w| w[1] < w[0]),
+            "IPC must fall as DRAM slows: {ipc:?}"
+        );
+        assert!(ipc[0] > ipc[2] * 1.08, "response must be material: {ipc:?}");
+    }
+
+    #[test]
+    fn wider_issue_helps_compute_bound_apps() {
+        let apps = vec![cpu2017::app("525.x264_r").unwrap()];
+        let sweep = issue_width_sweep(&apps, &RunConfig::quick(), &[1, 2, 4]);
+        let ipc: Vec<f64> = sweep.points.iter().map(|p| p.mean_ipc).collect();
+        assert!(ipc[2] > ipc[0] * 1.5, "x264 must scale with width: {ipc:?}");
+    }
+
+    #[test]
+    fn larger_l2_reduces_l2_miss_rate() {
+        let sweep =
+            l2_capacity_sweep(&memory_bound_apps(), &RunConfig::quick(), &[128, 256, 1024]);
+        let m2: Vec<f64> = sweep.points.iter().map(|p| p.mean_l2_miss_pct).collect();
+        assert!(
+            m2.first().unwrap() >= m2.last().unwrap(),
+            "bigger L2 must lower the local L2 miss rate: {m2:?}"
+        );
+    }
+
+    #[test]
+    fn rendering_works() {
+        let sweep = l3_capacity_sweep(&memory_bound_apps(), &RunConfig::quick(), &[8, 30]);
+        let table = sweep.table();
+        assert_eq!(table.n_rows(), 2);
+        assert!(table.render_ascii().contains("30 MiB"));
+        let figure = sweep.figure();
+        assert_eq!(figure.series()[0].len(), 2);
+        assert!(!figure.render_svg(400, 200).is_empty());
+    }
+}

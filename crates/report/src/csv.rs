@@ -1,0 +1,42 @@
+//! Minimal CSV writing (RFC 4180-style quoting).
+
+/// Escapes one CSV field: quotes it when it contains a comma, quote, or
+/// newline, doubling embedded quotes.
+pub fn field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Renders one CSV record (with trailing newline).
+pub fn line<S: AsRef<str>>(cells: &[S]) -> String {
+    let mut out = cells.iter().map(|c| field(c.as_ref())).collect::<Vec<_>>().join(",");
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_untouched() {
+        assert_eq!(field("abc"), "abc");
+        assert_eq!(field("1.25"), "1.25");
+    }
+
+    #[test]
+    fn commas_and_quotes_escaped() {
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(field("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn line_joins_and_terminates() {
+        assert_eq!(line(&["a", "b,c", "d"]), "a,\"b,c\",d\n");
+        assert_eq!(line::<&str>(&[]), "\n");
+    }
+}

@@ -1,0 +1,431 @@
+//! Agglomerative hierarchical clustering with an inspectable dendrogram.
+//!
+//! The paper (Section V-B) starts with every application–input pair in its own
+//! cluster and repeatedly merges the two clusters with the least linkage
+//! distance over Euclidean distances between principal-component coordinates,
+//! visualizing the merge order as a dendrogram (Fig. 9) and cutting it at a
+//! Pareto-optimal cluster count (Fig. 10).
+//!
+//! The implementation uses the Lance–Williams recurrence so all four standard
+//! linkage criteria share one update rule.
+
+use crate::distance::{DistanceTable, Metric};
+use crate::StatsError;
+
+/// Linkage criterion: how the distance between two clusters is derived from
+/// member distances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum Linkage {
+    /// Minimum pairwise distance (nearest neighbour).
+    Single,
+    /// Maximum pairwise distance (furthest neighbour).
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA) — a common default for
+    /// benchmark-subsetting studies.
+    #[default]
+    Average,
+    /// Ward's minimum-variance criterion (on squared Euclidean distances).
+    Ward,
+}
+
+/// One merge step: clusters `a` and `b` became cluster `id` at `height`.
+///
+/// Leaf observations are clusters `0..n`; the merge at step `s` creates
+/// cluster `n + s`, mirroring SciPy's linkage-matrix convention.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First merged cluster id.
+    pub a: usize,
+    /// Second merged cluster id.
+    pub b: usize,
+    /// Linkage distance at which the merge happened.
+    pub height: f64,
+    /// Id of the newly formed cluster.
+    pub id: usize,
+    /// Number of leaves under the new cluster.
+    pub size: usize,
+}
+
+/// The full merge history of an agglomerative clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    n_leaves: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Number of original observations.
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// The merges in the order they were performed (ascending height for
+    /// monotone linkages).
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cuts the tree into exactly `k` clusters, returning a label in
+    /// `0..k` for every leaf. Labels are assigned in order of each cluster's
+    /// smallest leaf index, so the labelling is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] unless `1 <= k <= n_leaves`.
+    pub fn cut(&self, k: usize) -> Result<Vec<usize>, StatsError> {
+        if k == 0 || k > self.n_leaves {
+            return Err(StatsError::InvalidArgument { what: "cluster count k out of range" });
+        }
+        // Apply the first n_leaves - k merges with a union-find.
+        let total = self.n_leaves + self.merges.len();
+        let mut parent: Vec<usize> = (0..total).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for merge in self.merges.iter().take(self.n_leaves - k) {
+            let ra = find(&mut parent, merge.a);
+            let rb = find(&mut parent, merge.b);
+            parent[ra] = merge.id;
+            parent[rb] = merge.id;
+        }
+        // Map roots to compact labels ordered by smallest member leaf.
+        let mut roots: Vec<usize> = Vec::new();
+        let mut leaf_roots = Vec::with_capacity(self.n_leaves);
+        for leaf in 0..self.n_leaves {
+            let r = find(&mut parent, leaf);
+            if !roots.contains(&r) {
+                roots.push(r);
+            }
+            leaf_roots.push(r);
+        }
+        let labels = leaf_roots
+            .iter()
+            .map(|r| roots.iter().position(|x| x == r).expect("root recorded"))
+            .collect();
+        Ok(labels)
+    }
+
+    /// Groups leaf indices by cluster for a cut at `k` clusters.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dendrogram::cut`].
+    pub fn clusters(&self, k: usize) -> Result<Vec<Vec<usize>>, StatsError> {
+        let labels = self.cut(k)?;
+        let mut groups = vec![Vec::new(); k];
+        for (leaf, &label) in labels.iter().enumerate() {
+            groups[label].push(leaf);
+        }
+        Ok(groups)
+    }
+
+    /// Renders a left-to-right ASCII dendrogram, labelling leaves with
+    /// `labels` (Fig. 9 analogue).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `labels.len()` differs
+    /// from the number of leaves.
+    pub fn render_ascii(&self, labels: &[&str], width: usize) -> Result<String, StatsError> {
+        if labels.len() != self.n_leaves {
+            return Err(StatsError::DimensionMismatch {
+                op: "dendrogram labels",
+                left: (self.n_leaves, 1),
+                right: (labels.len(), 1),
+            });
+        }
+        let max_h = self.merges.iter().map(|m| m.height).fold(0.0, f64::max).max(1e-12);
+        // Order leaves by recursive tree traversal so related leaves adjoin.
+        let order = self.leaf_order();
+        let label_w = labels.iter().map(|l| l.len()).max().unwrap_or(0);
+        let chart_w = width.saturating_sub(label_w + 3).max(10);
+
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:label_w$} | 0 {:->chart_w$}\n",
+            "leaf",
+            format!(" max linkage = {max_h:.3}"),
+        ));
+        for &leaf in &order {
+            let h = self.leaf_join_height(leaf).unwrap_or(max_h);
+            let bar = ((h / max_h) * chart_w as f64).round() as usize;
+            let bar = bar.clamp(1, chart_w);
+            out.push_str(&format!("{:label_w$} | {}\n", labels[leaf], "=".repeat(bar)));
+        }
+        Ok(out)
+    }
+
+    /// The height at which `leaf` is merged for the first time, or `None`
+    /// for a single-leaf tree with no merges.
+    pub fn leaf_join_height(&self, leaf: usize) -> Option<f64> {
+        self.merges
+            .iter()
+            .find(|m| m.a == leaf || m.b == leaf)
+            .map(|m| m.height)
+    }
+
+    /// Leaves ordered by a depth-first walk of the final tree, which places
+    /// similar observations next to each other (standard dendrogram order).
+    pub fn leaf_order(&self) -> Vec<usize> {
+        if self.merges.is_empty() {
+            return (0..self.n_leaves).collect();
+        }
+        let root = self.merges.last().expect("nonempty").id;
+        let mut order = Vec::with_capacity(self.n_leaves);
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            if node < self.n_leaves {
+                order.push(node);
+            } else {
+                let m = &self.merges[node - self.n_leaves];
+                stack.push(m.b);
+                stack.push(m.a);
+            }
+        }
+        order
+    }
+}
+
+/// Runs agglomerative clustering over `observations` (rows of equal length).
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] for zero observations or
+/// [`StatsError::DimensionMismatch`] for ragged rows.
+///
+/// # Example
+///
+/// ```
+/// use stat_analysis::cluster::{agglomerative, Linkage};
+/// use stat_analysis::distance::Metric;
+///
+/// let pts = vec![
+///     vec![0.0, 0.0], vec![0.1, 0.0],   // tight pair
+///     vec![5.0, 5.0], vec![5.1, 5.0],   // tight pair, far away
+/// ];
+/// let tree = agglomerative(&pts, Linkage::Average, Metric::Euclidean)?;
+/// let labels = tree.cut(2)?;
+/// assert_eq!(labels[0], labels[1]);
+/// assert_eq!(labels[2], labels[3]);
+/// assert_ne!(labels[0], labels[2]);
+/// # Ok::<(), stat_analysis::StatsError>(())
+/// ```
+pub fn agglomerative(
+    observations: &[Vec<f64>],
+    linkage: Linkage,
+    metric: Metric,
+) -> Result<Dendrogram, StatsError> {
+    let n = observations.len();
+    if n == 0 {
+        return Err(StatsError::Empty { what: "clustering observations" });
+    }
+    if n == 1 {
+        return Ok(Dendrogram { n_leaves: 1, merges: Vec::new() });
+    }
+    let table = DistanceTable::from_rows(observations, metric)?;
+
+    // Active cluster list: (cluster id, size). Distances kept in a dense
+    // symmetric map keyed by active-slot index.
+    let mut ids: Vec<usize> = (0..n).collect();
+    let mut sizes: Vec<usize> = vec![1; n];
+    let mut dist: Vec<Vec<f64>> = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            let base = table.get(i, j);
+            // Ward works on squared distances internally.
+            dist[i][j] = if linkage == Linkage::Ward { base * base } else { base };
+        }
+    }
+
+    let mut merges = Vec::with_capacity(n - 1);
+    let mut active: Vec<usize> = (0..n).collect(); // slots into ids/sizes/dist
+
+    for step in 0..n - 1 {
+        // Find closest active pair.
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for (ai, &i) in active.iter().enumerate() {
+            for &j in active.iter().skip(ai + 1) {
+                let d = dist[i][j];
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        let (i, j, dij) = best;
+        let new_id = n + step;
+        let (si, sj) = (sizes[i] as f64, sizes[j] as f64);
+        let height = if linkage == Linkage::Ward { dij.max(0.0).sqrt() } else { dij };
+        merges.push(Merge {
+            a: ids[i],
+            b: ids[j],
+            height,
+            id: new_id,
+            size: sizes[i] + sizes[j],
+        });
+
+        // Lance–Williams update of distances from the merged cluster to every
+        // other active cluster; the merged cluster reuses slot i.
+        for &k in &active {
+            if k == i || k == j {
+                continue;
+            }
+            let sk = sizes[k] as f64;
+            let dik = dist[i][k];
+            let djk = dist[j][k];
+            let updated = match linkage {
+                Linkage::Single => dik.min(djk),
+                Linkage::Complete => dik.max(djk),
+                Linkage::Average => (si * dik + sj * djk) / (si + sj),
+                Linkage::Ward => {
+                    ((si + sk) * dik + (sj + sk) * djk - sk * dij) / (si + sj + sk)
+                }
+            };
+            dist[i][k] = updated;
+            dist[k][i] = updated;
+        }
+        ids[i] = new_id;
+        sizes[i] += sizes[j];
+        active.retain(|&s| s != j);
+    }
+    Ok(Dendrogram { n_leaves: n, merges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![0.2, 0.1],
+            vec![0.1, 0.3],
+            vec![10.0, 10.0],
+            vec![10.2, 9.9],
+            vec![9.9, 10.1],
+        ]
+    }
+
+    #[test]
+    fn all_linkages_separate_two_blobs() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            let tree = agglomerative(&two_blobs(), linkage, Metric::Euclidean).unwrap();
+            let labels = tree.cut(2).unwrap();
+            assert_eq!(labels[0], labels[1]);
+            assert_eq!(labels[1], labels[2]);
+            assert_eq!(labels[3], labels[4]);
+            assert_eq!(labels[4], labels[5]);
+            assert_ne!(labels[0], labels[3], "linkage {linkage:?}");
+        }
+    }
+
+    #[test]
+    fn merge_count_and_ids() {
+        let tree = agglomerative(&two_blobs(), Linkage::Average, Metric::Euclidean).unwrap();
+        assert_eq!(tree.merges().len(), 5);
+        assert_eq!(tree.merges().last().unwrap().size, 6);
+        for (s, m) in tree.merges().iter().enumerate() {
+            assert_eq!(m.id, 6 + s);
+        }
+    }
+
+    #[test]
+    fn heights_monotone_for_monotone_linkages() {
+        // Single/complete/average/ward are all monotone on these data.
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            let tree = agglomerative(&two_blobs(), linkage, Metric::Euclidean).unwrap();
+            let hs: Vec<f64> = tree.merges().iter().map(|m| m.height).collect();
+            assert!(
+                hs.windows(2).all(|w| w[1] >= w[0] - 1e-9),
+                "{linkage:?} heights {hs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let data = two_blobs();
+        let tree = agglomerative(&data, Linkage::Average, Metric::Euclidean).unwrap();
+        let all_separate = tree.cut(6).unwrap();
+        let distinct: std::collections::HashSet<_> = all_separate.iter().collect();
+        assert_eq!(distinct.len(), 6);
+        let all_together = tree.cut(1).unwrap();
+        assert!(all_together.iter().all(|&l| l == 0));
+        assert!(tree.cut(0).is_err());
+        assert!(tree.cut(7).is_err());
+    }
+
+    #[test]
+    fn clusters_partition_leaves() {
+        let tree = agglomerative(&two_blobs(), Linkage::Ward, Metric::Euclidean).unwrap();
+        for k in 1..=6 {
+            let groups = tree.clusters(k).unwrap();
+            assert_eq!(groups.len(), k);
+            let mut seen: Vec<usize> = groups.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..6).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn single_observation() {
+        let tree = agglomerative(&[vec![1.0]], Linkage::Average, Metric::Euclidean).unwrap();
+        assert_eq!(tree.n_leaves(), 1);
+        assert_eq!(tree.cut(1).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn empty_observations_error() {
+        assert!(agglomerative(&[], Linkage::Average, Metric::Euclidean).is_err());
+    }
+
+    #[test]
+    fn first_merge_is_closest_pair() {
+        let data = vec![vec![0.0], vec![10.0], vec![0.4], vec![20.0]];
+        let tree = agglomerative(&data, Linkage::Single, Metric::Euclidean).unwrap();
+        let first = tree.merges()[0];
+        let mut pair = [first.a, first.b];
+        pair.sort_unstable();
+        assert_eq!(pair, [0, 2]);
+        assert!((first.height - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ward_prefers_balanced_low_variance_merges() {
+        // A tight pair plus one distant point: ward merges the pair first.
+        let data = vec![vec![0.0, 0.0], vec![0.5, 0.0], vec![8.0, 0.0]];
+        let tree = agglomerative(&data, Linkage::Ward, Metric::Euclidean).unwrap();
+        let first = tree.merges()[0];
+        let mut pair = [first.a, first.b];
+        pair.sort_unstable();
+        assert_eq!(pair, [0, 1]);
+    }
+
+    #[test]
+    fn leaf_order_is_permutation() {
+        let tree = agglomerative(&two_blobs(), Linkage::Average, Metric::Euclidean).unwrap();
+        let mut order = tree.leaf_order();
+        order.sort_unstable();
+        assert_eq!(order, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ascii_render_contains_labels() {
+        let tree = agglomerative(&two_blobs(), Linkage::Average, Metric::Euclidean).unwrap();
+        let labels = ["a0", "a1", "a2", "b0", "b1", "b2"];
+        let s = tree.render_ascii(&labels, 60).unwrap();
+        for l in labels {
+            assert!(s.contains(l), "missing {l} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn ascii_render_checks_label_count() {
+        let tree = agglomerative(&two_blobs(), Linkage::Average, Metric::Euclidean).unwrap();
+        assert!(tree.render_ascii(&["only-one"], 60).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Distance metrics between observation vectors.
+
+use crate::StatsError;
+
+/// A distance metric over `f64` vectors.
+///
+/// The paper uses Euclidean distance between principal-component coordinates;
+/// Manhattan and Chebyshev are provided for the clustering ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum Metric {
+    /// Straight-line (L2) distance — the paper's choice.
+    #[default]
+    Euclidean,
+    /// City-block (L1) distance.
+    Manhattan,
+    /// Maximum coordinate difference (L∞).
+    Chebyshev,
+}
+
+impl Metric {
+    /// Computes the distance between two equal-length vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if lengths differ and
+    /// [`StatsError::Empty`] for empty vectors.
+    pub fn distance(self, a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
+        if a.len() != b.len() {
+            return Err(StatsError::DimensionMismatch {
+                op: "distance",
+                left: (1, a.len()),
+                right: (1, b.len()),
+            });
+        }
+        if a.is_empty() {
+            return Err(StatsError::Empty { what: "distance vectors" });
+        }
+        Ok(match self {
+            Metric::Euclidean => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt(),
+            Metric::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+            Metric::Chebyshev => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max),
+        })
+    }
+}
+
+/// Squared Euclidean distance (no square root), used by Ward linkage and SSE.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "squared_euclidean requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// A symmetric pairwise distance table over `n` observations, stored as the
+/// strict lower triangle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceTable {
+    n: usize,
+    // Entry for (i, j) with i > j at index i*(i-1)/2 + j.
+    tri: Vec<f64>,
+}
+
+impl DistanceTable {
+    /// Builds the pairwise table for rows of `data` under `metric`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] when there are no observations.
+    pub fn from_rows(data: &[Vec<f64>], metric: Metric) -> Result<Self, StatsError> {
+        if data.is_empty() {
+            return Err(StatsError::Empty { what: "distance table observations" });
+        }
+        let n = data.len();
+        let mut tri = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 1..n {
+            for j in 0..i {
+                tri.push(metric.distance(&data[i], &data[j])?);
+            }
+        }
+        Ok(DistanceTable { n, tri })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the table covers zero observations (never constructed so).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The distance between observations `i` and `j` (0.0 when `i == j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "distance index out of range");
+        if i == j {
+            return 0.0;
+        }
+        let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+        self.tri[hi * (hi - 1) / 2 + lo]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_345() {
+        let d = Metric::Euclidean.distance(&[0.0, 0.0], &[3.0, 4.0]).unwrap();
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_and_chebyshev() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 0.0, 6.0];
+        assert!((Metric::Manhattan.distance(&a, &b).unwrap() - 6.0).abs() < 1e-12);
+        assert!((Metric::Chebyshev.distance(&a, &b).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        assert!(Metric::Euclidean.distance(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn empty_vectors_error() {
+        assert!(Metric::Euclidean.distance(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn squared_euclidean_matches_euclidean() {
+        let a = [1.0, -2.0];
+        let b = [4.0, 2.0];
+        let d = Metric::Euclidean.distance(&a, &b).unwrap();
+        assert!((squared_euclidean(&a, &b) - d * d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_is_symmetric_with_zero_diagonal() {
+        let rows = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0]];
+        let t = DistanceTable::from_rows(&rows, Metric::Euclidean).unwrap();
+        assert_eq!(t.len(), 3);
+        for i in 0..3 {
+            assert_eq!(t.get(i, i), 0.0);
+            for j in 0..3 {
+                assert_eq!(t.get(i, j), t.get(j, i));
+            }
+        }
+        assert!((t.get(0, 1) - 1.0).abs() < 1e-12);
+        assert!((t.get(0, 2) - 2.0).abs() < 1e-12);
+        assert!((t.get(1, 2) - 5.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_rejects_empty() {
+        assert!(DistanceTable::from_rows(&[], Metric::Euclidean).is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! The Jacobi method repeatedly applies plane rotations that zero one
+//! off-diagonal element at a time. For the small symmetric matrices produced
+//! by the characterization pipeline (covariance/correlation matrices of 20
+//! workload characteristics) it converges in a handful of sweeps and is
+//! numerically very well behaved.
+
+use crate::matrix::Matrix;
+use crate::StatsError;
+
+/// Result of a symmetric eigendecomposition, sorted by descending eigenvalue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Eigenvectors as matrix columns; column `k` pairs with `values[k]`.
+    pub vectors: Matrix,
+}
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 100;
+
+/// Computes the eigendecomposition of a symmetric matrix.
+///
+/// Eigenpairs are returned sorted by descending eigenvalue, with each
+/// eigenvector's sign normalized so its largest-magnitude entry is positive
+/// (eigenvectors are only defined up to sign; fixing it makes results
+/// reproducible).
+///
+/// # Errors
+///
+/// - [`StatsError::InvalidArgument`] if the matrix is not square/symmetric or
+///   contains non-finite values.
+/// - [`StatsError::NoConvergence`] if the off-diagonal mass does not vanish
+///   within the sweep limit (does not happen for well-formed input).
+///
+/// # Example
+///
+/// ```
+/// use stat_analysis::{eigen, matrix::Matrix};
+///
+/// let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]])?;
+/// let e = eigen::decompose_symmetric(&m)?;
+/// assert!((e.values[0] - 3.0).abs() < 1e-10);
+/// assert!((e.values[1] - 1.0).abs() < 1e-10);
+/// # Ok::<(), stat_analysis::StatsError>(())
+/// ```
+pub fn decompose_symmetric(m: &Matrix) -> Result<EigenDecomposition, StatsError> {
+    if m.rows() != m.cols() {
+        return Err(StatsError::InvalidArgument { what: "eigendecomposition requires a square matrix" });
+    }
+    if !m.is_symmetric(1e-8) {
+        return Err(StatsError::InvalidArgument { what: "eigendecomposition requires a symmetric matrix" });
+    }
+    if m.as_slice().iter().any(|v| !v.is_finite()) {
+        return Err(StatsError::InvalidArgument { what: "matrix contains non-finite values" });
+    }
+    let n = m.rows();
+    let mut a = m.clone();
+    let mut v = Matrix::identity(n)?;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let off = off_diagonal_norm(&a);
+        if off < 1e-12 {
+            return Ok(sorted(a, v));
+        }
+        for p in 0..n - 1 {
+            for q in p + 1..n {
+                let apq = a[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                // Compute the Jacobi rotation (c, s) that annihilates a[p][q].
+                let app = a[(p, p)];
+                let aqq = a[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply rotation to A on both sides: A <- J^T A J.
+                for k in 0..n {
+                    let akp = a[(k, p)];
+                    let akq = a[(k, q)];
+                    a[(k, p)] = c * akp - s * akq;
+                    a[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[(p, k)];
+                    let aqk = a[(q, k)];
+                    a[(p, k)] = c * apk - s * aqk;
+                    a[(q, k)] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors: V <- V J.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    if off_diagonal_norm(&a) < 1e-9 {
+        // Converged to slightly looser tolerance; still acceptable.
+        return Ok(sorted(a, v));
+    }
+    Err(StatsError::NoConvergence { routine: "jacobi eigendecomposition", iterations: MAX_SWEEPS })
+}
+
+fn off_diagonal_norm(a: &Matrix) -> f64 {
+    let n = a.rows();
+    let mut acc = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            acc += a[(i, j)] * a[(i, j)];
+        }
+    }
+    acc.sqrt()
+}
+
+fn sorted(a: Matrix, v: Matrix) -> EigenDecomposition {
+    let n = a.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| a[(j, j)].partial_cmp(&a[(i, i)]).expect("eigenvalues are finite"));
+    let values: Vec<f64> = order.iter().map(|&i| a[(i, i)]).collect();
+    let mut vectors = Matrix::zeros(n, n).expect("n > 0");
+    for (new_col, &old_col) in order.iter().enumerate() {
+        // Sign convention: largest-magnitude entry positive.
+        let col: Vec<f64> = (0..n).map(|r| v[(r, old_col)]).collect();
+        let sign = col
+            .iter()
+            .cloned()
+            .max_by(|x, y| x.abs().partial_cmp(&y.abs()).expect("finite"))
+            .map(|x| if x < 0.0 { -1.0 } else { 1.0 })
+            .unwrap_or(1.0);
+        for r in 0..n {
+            vectors[(r, new_col)] = sign * col[r];
+        }
+    }
+    EigenDecomposition { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &EigenDecomposition) -> Matrix {
+        // V * diag(values) * V^T
+        let n = e.values.len();
+        let mut d = Matrix::zeros(n, n).unwrap();
+        for i in 0..n {
+            d[(i, i)] = e.values[i];
+        }
+        e.vectors.matmul(&d).unwrap().matmul(&e.vectors.transpose()).unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_diagonal() {
+        let m = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let e = decompose_symmetric(&m).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let e = decompose_symmetric(&m).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for eigenvalue 3 is (1,1)/sqrt(2).
+        let s = 1.0 / 2.0_f64.sqrt();
+        assert!((e.vectors[(0, 0)] - s).abs() < 1e-10);
+        assert!((e.vectors[(1, 0)] - s).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let m = Matrix::from_rows(&[
+            vec![4.0, 1.0, -2.0],
+            vec![1.0, 2.0, 0.0],
+            vec![-2.0, 0.0, 3.0],
+        ])
+        .unwrap();
+        let e = decompose_symmetric(&m).unwrap();
+        let r = reconstruct(&e);
+        assert!(m.max_abs_diff(&r).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = Matrix::from_rows(&[
+            vec![5.0, 2.0, 1.0, 0.0],
+            vec![2.0, 4.0, 0.5, 0.2],
+            vec![1.0, 0.5, 3.0, 0.1],
+            vec![0.0, 0.2, 0.1, 2.0],
+        ])
+        .unwrap();
+        let e = decompose_symmetric(&m).unwrap();
+        let gram = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        let id = Matrix::identity(4).unwrap();
+        assert!(gram.max_abs_diff(&id).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 0.3, 0.1],
+            vec![0.3, 2.0, -0.4],
+            vec![0.1, -0.4, 1.5],
+        ])
+        .unwrap();
+        let e = decompose_symmetric(&m).unwrap();
+        let trace = 1.0 + 2.0 + 1.5;
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn values_sorted_descending() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 0.2, 0.0],
+            vec![0.2, 9.0, 0.3],
+            vec![0.0, 0.3, 4.0],
+        ])
+        .unwrap();
+        let e = decompose_symmetric(&m).unwrap();
+        assert!(e.values.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(decompose_symmetric(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]).unwrap();
+        assert!(decompose_symmetric(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let m = Matrix::from_rows(&[vec![1.0, f64::NAN], vec![f64::NAN, 1.0]]).unwrap();
+        assert!(decompose_symmetric(&m).is_err());
+    }
+
+    #[test]
+    fn handles_20x20_correlation_like_matrix() {
+        // Synthetic symmetric PSD matrix: A = B^T B for random-ish B.
+        let n = 20;
+        let mut b = Matrix::zeros(n, n).unwrap();
+        let mut x = 0.5_f64;
+        for i in 0..n {
+            for j in 0..n {
+                x = (x * 997.0 + 31.0) % 17.0; // deterministic pseudo-random
+                b[(i, j)] = x / 17.0 - 0.5;
+            }
+        }
+        let a = b.transpose().matmul(&b).unwrap();
+        let e = decompose_symmetric(&a).unwrap();
+        // PSD: all eigenvalues >= -tol.
+        assert!(e.values.iter().all(|&v| v > -1e-9));
+        let r = reconstruct(&e);
+        assert!(a.max_abs_diff(&r).unwrap() < 1e-8);
+    }
+}

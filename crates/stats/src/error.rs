@@ -1,0 +1,52 @@
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// Matrix dimensions were incompatible for the requested operation.
+    DimensionMismatch {
+        /// Description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left/first operand (rows, cols).
+        left: (usize, usize),
+        /// Dimensions of the right/second operand (rows, cols).
+        right: (usize, usize),
+    },
+    /// The input was empty where at least one element is required.
+    Empty {
+        /// Description of what was empty.
+        what: &'static str,
+    },
+    /// A numeric routine failed to converge.
+    NoConvergence {
+        /// Name of the routine.
+        routine: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An argument was outside its valid range.
+    InvalidArgument {
+        /// Description of the violated requirement.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::DimensionMismatch { op, left, right } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            StatsError::Empty { what } => write!(f, "empty input: {what}"),
+            StatsError::NoConvergence { routine, iterations } => {
+                write!(f, "{routine} did not converge after {iterations} iterations")
+            }
+            StatsError::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}

@@ -1,0 +1,217 @@
+//! K-medoids (PAM-style) clustering — an alternative subsetting baseline.
+//!
+//! The paper picks representatives by hierarchical clustering plus a
+//! shortest-runtime rule. K-medoids offers a natural baseline comparison:
+//! its medoids *are* representatives by construction (the member minimizing
+//! the total distance to its cluster). The ablation benches compare subset
+//! quality between the two approaches.
+
+use crate::distance::{DistanceTable, Metric};
+use crate::StatsError;
+
+/// Result of a k-medoids run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMedoids {
+    /// Indices of the chosen medoids (cluster centers), sorted.
+    pub medoids: Vec<usize>,
+    /// Cluster label (index into `medoids`) per observation.
+    pub labels: Vec<usize>,
+    /// Total distance of every observation to its medoid.
+    pub cost: f64,
+    /// Number of swap iterations performed.
+    pub iterations: usize,
+}
+
+/// Maximum PAM swap passes before declaring convergence failure.
+const MAX_ITERATIONS: usize = 200;
+
+/// Runs PAM-style k-medoids with deterministic (greedy) initialization.
+///
+/// Initialization picks the observation with minimal total distance first,
+/// then greedily adds the point that most reduces cost (the BUILD phase of
+/// classic PAM); the swap phase then iterates to a local optimum. The whole
+/// procedure is deterministic.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidArgument`] unless `1 <= k <= n`, and
+/// [`StatsError::Empty`] for no observations.
+pub fn k_medoids(
+    observations: &[Vec<f64>],
+    k: usize,
+    metric: Metric,
+) -> Result<KMedoids, StatsError> {
+    let n = observations.len();
+    if n == 0 {
+        return Err(StatsError::Empty { what: "k-medoids observations" });
+    }
+    if k == 0 || k > n {
+        return Err(StatsError::InvalidArgument { what: "k must be within 1..=n" });
+    }
+    let d = DistanceTable::from_rows(observations, metric)?;
+
+    // BUILD: first medoid minimizes total distance; the rest greedily
+    // maximize cost reduction.
+    let mut medoids: Vec<usize> = Vec::with_capacity(k);
+    let first = (0..n)
+        .min_by(|&a, &b| {
+            let ca: f64 = (0..n).map(|j| d.get(a, j)).sum();
+            let cb: f64 = (0..n).map(|j| d.get(b, j)).sum();
+            ca.partial_cmp(&cb).expect("finite distances")
+        })
+        .expect("n > 0");
+    medoids.push(first);
+    while medoids.len() < k {
+        let best = (0..n)
+            .filter(|i| !medoids.contains(i))
+            .min_by(|&a, &b| {
+                let cost = |cand: usize| -> f64 {
+                    (0..n)
+                        .map(|j| {
+                            medoids
+                                .iter()
+                                .map(|&m| d.get(m, j))
+                                .chain(std::iter::once(d.get(cand, j)))
+                                .fold(f64::INFINITY, f64::min)
+                        })
+                        .sum()
+                };
+                cost(a).partial_cmp(&cost(b)).expect("finite distances")
+            })
+            .expect("candidates remain");
+        medoids.push(best);
+    }
+
+    // SWAP: hill-climb until no single medoid/non-medoid swap improves cost.
+    let assign = |medoids: &[usize]| -> (Vec<usize>, f64) {
+        let mut labels = vec![0usize; n];
+        let mut cost = 0.0;
+        for j in 0..n {
+            let (label, dist) = medoids
+                .iter()
+                .enumerate()
+                .map(|(li, &m)| (li, d.get(m, j)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                .expect("k >= 1");
+            labels[j] = label;
+            cost += dist;
+        }
+        (labels, cost)
+    };
+
+    let (_, mut cost) = assign(&medoids);
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        if iterations > MAX_ITERATIONS {
+            return Err(StatsError::NoConvergence {
+                routine: "k-medoids swap phase",
+                iterations: MAX_ITERATIONS,
+            });
+        }
+        let mut improved = false;
+        for mi in 0..k {
+            for cand in 0..n {
+                if medoids.contains(&cand) {
+                    continue;
+                }
+                let old = medoids[mi];
+                medoids[mi] = cand;
+                let (_, new_cost) = assign(&medoids);
+                if new_cost + 1e-12 < cost {
+                    cost = new_cost;
+                    improved = true;
+                } else {
+                    medoids[mi] = old;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    medoids.sort_unstable();
+    let (labels, cost) = assign(&medoids);
+    Ok(KMedoids { medoids, labels, cost, iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![0.2, 0.1],
+            vec![0.1, 0.2],
+            vec![10.0, 10.0],
+            vec![10.1, 9.9],
+            vec![9.9, 10.2],
+        ]
+    }
+
+    #[test]
+    fn two_blobs_two_medoids() {
+        let r = k_medoids(&blobs(), 2, Metric::Euclidean).unwrap();
+        assert_eq!(r.medoids.len(), 2);
+        // One medoid in each blob.
+        assert!(r.medoids[0] < 3 && r.medoids[1] >= 3);
+        // Labels agree within blobs.
+        assert_eq!(r.labels[0], r.labels[1]);
+        assert_eq!(r.labels[3], r.labels[5]);
+        assert_ne!(r.labels[0], r.labels[3]);
+    }
+
+    #[test]
+    fn k_equals_n_zero_cost() {
+        let obs = blobs();
+        let r = k_medoids(&obs, obs.len(), Metric::Euclidean).unwrap();
+        assert!(r.cost.abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_one_picks_most_central() {
+        let obs = vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0]];
+        let r = k_medoids(&obs, 1, Metric::Euclidean).unwrap();
+        // Point 1.0 or 2.0 minimizes total distance (1: 1+0+1+9=11, 2: 2+1+0+8=11).
+        assert!(r.medoids[0] == 1 || r.medoids[0] == 2);
+    }
+
+    #[test]
+    fn cost_decreases_with_k() {
+        let obs = blobs();
+        let mut last = f64::INFINITY;
+        for k in 1..=4 {
+            let r = k_medoids(&obs, k, Metric::Euclidean).unwrap();
+            assert!(r.cost <= last + 1e-12, "cost rose at k={k}");
+            last = r.cost;
+        }
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(k_medoids(&[], 1, Metric::Euclidean).is_err());
+        assert!(k_medoids(&blobs(), 0, Metric::Euclidean).is_err());
+        assert!(k_medoids(&blobs(), 7, Metric::Euclidean).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = k_medoids(&blobs(), 2, Metric::Euclidean).unwrap();
+        let b = k_medoids(&blobs(), 2, Metric::Euclidean).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labels_point_at_nearest_medoid() {
+        let obs = blobs();
+        let r = k_medoids(&obs, 2, Metric::Euclidean).unwrap();
+        for (j, &label) in r.labels.iter().enumerate() {
+            let own = Metric::Euclidean.distance(&obs[j], &obs[r.medoids[label]]).unwrap();
+            for &m in &r.medoids {
+                let other = Metric::Euclidean.distance(&obs[j], &obs[m]).unwrap();
+                assert!(own <= other + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! From-scratch statistical analysis kernels used by the SPEC CPU2017
+//! workload-characterization reproduction.
+//!
+//! The paper reduces a `[194 × 20]` matrix of microarchitecture-independent
+//! workload characteristics with Principal Component Analysis, clusters the
+//! resulting principal-component scores with agglomerative hierarchical
+//! clustering, and picks the number of clusters at the Pareto knee of the
+//! (sum-of-squared-error, execution-time) trade-off. This crate provides each
+//! of those pieces as an independent, well-tested building block:
+//!
+//! - [`matrix::Matrix`] — a small dense row-major matrix with the handful of
+//!   operations the pipeline needs (products, transpose, column statistics).
+//! - [`eigen`] — cyclic Jacobi eigendecomposition for symmetric matrices.
+//! - [`pca::Pca`] — PCA with explained variance, scores, and factor loadings.
+//! - [`cluster`] — hierarchical clustering with four linkage criteria and an
+//!   inspectable [`cluster::Dendrogram`].
+//! - [`sse`] — sum-of-squared-error cluster quality.
+//! - [`pareto`] — Pareto front extraction and knee-point selection.
+//! - [`kmedoids`], [`silhouette`] — a PAM-style baseline subsetter and a
+//!   second cluster-quality view, used by the ablation benches.
+//! - [`standardize`], [`distance`], [`summary`] — supporting numerics.
+//!
+//! # Example
+//!
+//! ```
+//! use stat_analysis::matrix::Matrix;
+//! use stat_analysis::pca::Pca;
+//!
+//! // Four observations of three correlated variables.
+//! let data = Matrix::from_rows(&[
+//!     vec![1.0, 2.0, 0.5],
+//!     vec![2.0, 4.1, 1.0],
+//!     vec![3.0, 5.9, 1.4],
+//!     vec![4.0, 8.1, 2.1],
+//! ])?;
+//! let pca = Pca::fit(&data)?;
+//! // One direction dominates because the variables move together.
+//! assert!(pca.explained_variance_ratio()[0] > 0.95);
+//! # Ok::<(), stat_analysis::StatsError>(())
+//! ```
+
+pub mod cluster;
+pub mod distance;
+pub mod eigen;
+pub mod kmedoids;
+pub mod matrix;
+pub mod pareto;
+pub mod pca;
+pub mod rotation;
+pub mod silhouette;
+pub mod sse;
+pub mod standardize;
+pub mod summary;
+
+mod error;
+
+pub use error::StatsError;

@@ -1,0 +1,479 @@
+//! A small dense row-major matrix.
+//!
+//! This is deliberately minimal: the characterization pipeline works with
+//! matrices no larger than a few hundred rows by a few dozen columns, so a
+//! simple contiguous `Vec<f64>` representation with straightforward loops is
+//! both fast enough and easy to audit.
+
+use crate::StatsError;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use stat_analysis::matrix::Matrix;
+///
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// assert_eq!(m[(0, 1)], 2.0);
+/// assert_eq!(m.transpose()[(1, 0)], 2.0);
+/// # Ok::<(), stat_analysis::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an all-zero matrix with the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Self, StatsError> {
+        if rows == 0 || cols == 0 {
+            return Err(StatsError::Empty { what: "matrix dimensions" });
+        }
+        Ok(Matrix { rows, cols, data: vec![0.0; rows * cols] })
+    }
+
+    /// Creates an identity matrix of size `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] if `n` is zero.
+    pub fn identity(n: usize) -> Result<Self, StatsError> {
+        let mut m = Matrix::zeros(n, n)?;
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        Ok(m)
+    }
+
+    /// Builds a matrix from a slice of equally-long rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] if there are no rows or the rows are
+    /// empty, and [`StatsError::DimensionMismatch`] if rows have unequal
+    /// lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, StatsError> {
+        let nrows = rows.len();
+        if nrows == 0 {
+            return Err(StatsError::Empty { what: "matrix rows" });
+        }
+        let ncols = rows[0].len();
+        if ncols == 0 {
+            return Err(StatsError::Empty { what: "matrix columns" });
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != ncols {
+                return Err(StatsError::DimensionMismatch {
+                    op: "from_rows",
+                    left: (1, ncols),
+                    right: (i, row.len()),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix { rows: nrows, cols: ncols, data })
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `data.len() != rows * cols`
+    /// and [`StatsError::Empty`] for zero dimensions.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, StatsError> {
+        if rows == 0 || cols == 0 {
+            return Err(StatsError::Empty { what: "matrix dimensions" });
+        }
+        if data.len() != rows * cols {
+            return Err(StatsError::DimensionMismatch {
+                op: "from_vec",
+                left: (rows, cols),
+                right: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// A view of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "column index {c} out of bounds ({} cols)", self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Iterates over the rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// The underlying row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix { rows: self.cols, cols: self.rows, data: vec![0.0; self.data.len()] };
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] unless
+    /// `self.cols() == rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, StatsError> {
+        if self.cols != rhs.rows {
+            return Err(StatsError::DimensionMismatch {
+                op: "matmul",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols)?;
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Per-column arithmetic means.
+    pub fn column_means(&self) -> Vec<f64> {
+        let mut means = vec![0.0; self.cols];
+        for row in self.iter_rows() {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= self.rows as f64;
+        }
+        means
+    }
+
+    /// Per-column sample standard deviations (`n - 1` denominator).
+    ///
+    /// Columns with a single row yield `0.0`.
+    pub fn column_stds(&self) -> Vec<f64> {
+        let means = self.column_means();
+        if self.rows < 2 {
+            return vec![0.0; self.cols];
+        }
+        let mut acc = vec![0.0; self.cols];
+        for row in self.iter_rows() {
+            for ((a, v), m) in acc.iter_mut().zip(row).zip(&means) {
+                let d = v - m;
+                *a += d * d;
+            }
+        }
+        acc.iter().map(|a| (a / (self.rows as f64 - 1.0)).sqrt()).collect()
+    }
+
+    /// Returns a copy with every column mean-centered.
+    pub fn center_columns(&self) -> Matrix {
+        let means = self.column_means();
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(r, c)] -= means[c];
+            }
+        }
+        out
+    }
+
+    /// Sample covariance matrix of the columns (`n - 1` denominator).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] if there are fewer than two
+    /// rows.
+    pub fn covariance(&self) -> Result<Matrix, StatsError> {
+        if self.rows < 2 {
+            return Err(StatsError::InvalidArgument {
+                what: "covariance requires at least two observations",
+            });
+        }
+        let centered = self.center_columns();
+        let mut cov = centered.transpose().matmul(&centered)?;
+        let denom = (self.rows - 1) as f64;
+        for v in &mut cov.data {
+            *v /= denom;
+        }
+        Ok(cov)
+    }
+
+    /// Pearson correlation matrix of the columns.
+    ///
+    /// Columns with zero variance correlate `0.0` with everything and `1.0`
+    /// with themselves, matching the convention used for constant workload
+    /// characteristics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] if there are fewer than two
+    /// rows.
+    pub fn correlation(&self) -> Result<Matrix, StatsError> {
+        let cov = self.covariance()?;
+        let mut out = Matrix::zeros(self.cols, self.cols)?;
+        for i in 0..self.cols {
+            for j in 0..self.cols {
+                let denom = (cov[(i, i)] * cov[(j, j)]).sqrt();
+                out[(i, j)] = if i == j {
+                    1.0
+                } else if denom > 0.0 {
+                    cov[(i, j)] / denom
+                } else {
+                    0.0
+                };
+            }
+        }
+        Ok(out)
+    }
+
+    /// Maximum absolute difference against another matrix of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] for differing shapes.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Result<f64, StatsError> {
+        if self.shape() != other.shape() {
+            return Err(StatsError::DimensionMismatch {
+                op: "max_abs_diff",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max))
+    }
+
+    /// True when the matrix equals its transpose to within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in self.iter_rows() {
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{v:>12.6}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m2x2() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap()
+    }
+
+    #[test]
+    fn zeros_rejects_empty() {
+        assert!(Matrix::zeros(0, 3).is_err());
+        assert!(Matrix::zeros(3, 0).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, StatsError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn from_vec_checks_len() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn indexing_and_rows() {
+        let m = m2x2();
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = m2x2();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = m2x2();
+        let id = Matrix::identity(2).unwrap();
+        assert_eq!(m.matmul(&id).unwrap(), m);
+        assert_eq!(id.matmul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]]).unwrap());
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = m2x2();
+        let b = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(matches!(a.matmul(&b), Err(StatsError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn column_statistics() {
+        let m = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0]]).unwrap();
+        assert_eq!(m.column_means(), vec![2.0, 20.0]);
+        let stds = m.column_stds();
+        assert!((stds[0] - (2.0_f64).sqrt()).abs() < 1e-12);
+        assert!((stds[1] - (200.0_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centering_zeroes_means() {
+        let m = Matrix::from_rows(&[vec![1.0, -5.0], vec![2.0, 7.0], vec![6.0, 1.0]]).unwrap();
+        let c = m.center_columns();
+        for mean in c.column_means() {
+            assert!(mean.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn covariance_known_values() {
+        // Two perfectly correlated columns.
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let cov = m.covariance().unwrap();
+        assert!((cov[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((cov[(0, 1)] - 2.0).abs() < 1e-12);
+        assert!((cov[(1, 1)] - 4.0).abs() < 1e-12);
+        assert!(cov.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn correlation_of_correlated_columns_is_one() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let corr = m.correlation().unwrap();
+        assert!((corr[(0, 1)] - 1.0).abs() < 1e-12);
+        assert_eq!(corr[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn correlation_constant_column_is_zero() {
+        let m = Matrix::from_rows(&[vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0]]).unwrap();
+        let corr = m.correlation().unwrap();
+        assert_eq!(corr[(0, 1)], 0.0);
+        assert_eq!(corr[(1, 1)], 1.0);
+    }
+
+    #[test]
+    fn covariance_needs_two_rows() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(m.covariance().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = m2x2();
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", m2x2()).is_empty());
+    }
+}

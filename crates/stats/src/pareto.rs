@@ -1,0 +1,168 @@
+//! Pareto-front extraction and knee-point selection.
+//!
+//! Section V-C of the paper chooses the number of clusters as "the
+//! Pareto-optimal solution for the SSE and execution time": more clusters
+//! lower the clustering error but raise the subset's total execution time.
+//! This module finds the non-dominated points of such a two-objective
+//! trade-off and selects the knee — the point with the best balanced
+//! improvement — which reproduces the paper's choice of 12 rate / 10 speed
+//! clusters.
+
+use crate::StatsError;
+
+/// One candidate solution with two minimization objectives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// An opaque identifier (e.g. the cluster count `k`).
+    pub id: usize,
+    /// First objective (e.g. clustering SSE) — smaller is better.
+    pub cost_a: f64,
+    /// Second objective (e.g. subset execution time) — smaller is better.
+    pub cost_b: f64,
+}
+
+impl Candidate {
+    /// True when `self` dominates `other`: at least as good in both
+    /// objectives and strictly better in one.
+    pub fn dominates(&self, other: &Candidate) -> bool {
+        (self.cost_a <= other.cost_a && self.cost_b <= other.cost_b)
+            && (self.cost_a < other.cost_a || self.cost_b < other.cost_b)
+    }
+}
+
+/// Returns the non-dominated subset of `candidates`, sorted by ascending
+/// `cost_a`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] when `candidates` is empty and
+/// [`StatsError::InvalidArgument`] when any objective is non-finite.
+pub fn pareto_front(candidates: &[Candidate]) -> Result<Vec<Candidate>, StatsError> {
+    if candidates.is_empty() {
+        return Err(StatsError::Empty { what: "pareto candidates" });
+    }
+    if candidates.iter().any(|c| !c.cost_a.is_finite() || !c.cost_b.is_finite()) {
+        return Err(StatsError::InvalidArgument { what: "pareto objectives must be finite" });
+    }
+    let mut front: Vec<Candidate> = candidates
+        .iter()
+        .filter(|c| !candidates.iter().any(|d| d.dominates(c)))
+        .copied()
+        .collect();
+    front.sort_by(|x, y| {
+        x.cost_a
+            .partial_cmp(&y.cost_a)
+            .expect("finite objectives")
+            .then(x.cost_b.partial_cmp(&y.cost_b).expect("finite objectives"))
+    });
+    front.dedup_by(|a, b| a.cost_a == b.cost_a && a.cost_b == b.cost_b);
+    Ok(front)
+}
+
+/// Selects the knee point of a two-objective front.
+///
+/// Objectives are min–max normalized onto `[0, 1]`, then the candidate with
+/// the smallest Euclidean distance to the ideal point `(0, 0)` is chosen.
+/// This is the standard "closest to utopia" knee criterion and is symmetric
+/// in the two objectives, matching the paper's balanced SSE/time choice.
+///
+/// # Errors
+///
+/// Propagates errors of [`pareto_front`].
+pub fn knee_point(candidates: &[Candidate]) -> Result<Candidate, StatsError> {
+    let front = pareto_front(candidates)?;
+    let (min_a, max_a) = bounds(front.iter().map(|c| c.cost_a));
+    let (min_b, max_b) = bounds(front.iter().map(|c| c.cost_b));
+    let span_a = (max_a - min_a).max(f64::MIN_POSITIVE);
+    let span_b = (max_b - min_b).max(f64::MIN_POSITIVE);
+    let best = front
+        .iter()
+        .min_by(|x, y| {
+            let dx = norm_dist(x, min_a, span_a, min_b, span_b);
+            let dy = norm_dist(y, min_a, span_a, min_b, span_b);
+            dx.partial_cmp(&dy).expect("finite")
+        })
+        .copied()
+        .expect("front is nonempty");
+    Ok(best)
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)))
+}
+
+fn norm_dist(c: &Candidate, min_a: f64, span_a: f64, min_b: f64, span_b: f64) -> f64 {
+    let na = (c.cost_a - min_a) / span_a;
+    let nb = (c.cost_b - min_b) / span_b;
+    (na * na + nb * nb).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(id: usize, a: f64, b: f64) -> Candidate {
+        Candidate { id, cost_a: a, cost_b: b }
+    }
+
+    #[test]
+    fn dominance_relation() {
+        assert!(c(0, 1.0, 1.0).dominates(&c(1, 2.0, 2.0)));
+        assert!(c(0, 1.0, 2.0).dominates(&c(1, 1.0, 3.0)));
+        assert!(!c(0, 1.0, 3.0).dominates(&c(1, 2.0, 1.0)));
+        assert!(!c(0, 1.0, 1.0).dominates(&c(1, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn front_excludes_dominated() {
+        let cands = vec![c(0, 1.0, 5.0), c(1, 2.0, 2.0), c(2, 5.0, 1.0), c(3, 4.0, 4.0)];
+        let front = pareto_front(&cands).unwrap();
+        let ids: Vec<usize> = front.iter().map(|x| x.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn front_sorted_by_cost_a() {
+        let cands = vec![c(2, 5.0, 1.0), c(0, 1.0, 5.0), c(1, 2.0, 2.0)];
+        let front = pareto_front(&cands).unwrap();
+        assert!(front.windows(2).all(|w| w[0].cost_a <= w[1].cost_a));
+    }
+
+    #[test]
+    fn knee_picks_balanced_tradeoff() {
+        // Classic L-shaped front: knee at the corner.
+        let cands = vec![
+            c(1, 10.0, 0.0),
+            c(2, 5.0, 1.0),
+            c(3, 1.0, 2.0), // corner: near-minimal in both
+            c(4, 0.5, 6.0),
+            c(5, 0.0, 10.0),
+        ];
+        let knee = knee_point(&cands).unwrap();
+        assert_eq!(knee.id, 3);
+    }
+
+    #[test]
+    fn empty_errors() {
+        assert!(pareto_front(&[]).is_err());
+        assert!(knee_point(&[]).is_err());
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert!(pareto_front(&[c(0, f64::NAN, 1.0)]).is_err());
+        assert!(pareto_front(&[c(0, 1.0, f64::INFINITY)]).is_err());
+    }
+
+    #[test]
+    fn single_candidate_is_knee() {
+        let knee = knee_point(&[c(7, 3.0, 4.0)]).unwrap();
+        assert_eq!(knee.id, 7);
+    }
+
+    #[test]
+    fn duplicate_points_deduped() {
+        let front = pareto_front(&[c(0, 1.0, 1.0), c(1, 1.0, 1.0)]).unwrap();
+        assert_eq!(front.len(), 1);
+    }
+}

@@ -1,0 +1,341 @@
+//! Principal Component Analysis with explained variance, scores, and factor
+//! loadings.
+//!
+//! The paper standardizes 20 microarchitecture-independent characteristics of
+//! 194 application–input pairs, extracts principal components, keeps the first
+//! four (76.3% of total variance), and inspects factor loadings to explain
+//! what dominates each component (Section V-A, Figs. 7–8).
+
+use crate::eigen;
+use crate::matrix::Matrix;
+use crate::standardize::Standardizer;
+use crate::StatsError;
+
+/// A fitted PCA model.
+///
+/// Fit on raw (unstandardized) data with [`Pca::fit`] — standardization is
+/// applied internally, matching the paper's methodology — or on
+/// already-preprocessed data with [`Pca::fit_centered`].
+///
+/// # Example
+///
+/// ```
+/// use stat_analysis::{matrix::Matrix, pca::Pca};
+///
+/// let data = Matrix::from_rows(&[
+///     vec![1.0, 10.0], vec![2.0, 19.8], vec![3.0, 30.4], vec![4.0, 39.9],
+/// ])?;
+/// let pca = Pca::fit(&data)?;
+/// // Two perfectly correlated variables collapse onto one component.
+/// assert!(pca.explained_variance_ratio()[0] > 0.99);
+/// let scores = pca.scores(&data, 1)?;
+/// assert_eq!(scores.shape(), (4, 1));
+/// # Ok::<(), stat_analysis::StatsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pca {
+    standardizer: Option<Standardizer>,
+    /// Columns are component direction vectors (eigenvectors), descending.
+    components: Matrix,
+    eigenvalues: Vec<f64>,
+    explained_ratio: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits PCA to raw data: standardize columns, then eigendecompose the
+    /// covariance (= correlation) matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `data` has fewer than two rows or the
+    /// decomposition fails.
+    pub fn fit(data: &Matrix) -> Result<Self, StatsError> {
+        let standardizer = Standardizer::fit(data)?;
+        let z = standardizer.transform(data)?;
+        let mut pca = Pca::fit_centered(&z)?;
+        pca.standardizer = Some(standardizer);
+        Ok(pca)
+    }
+
+    /// Fits PCA to data that is already centered/standardized.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `data` has fewer than two rows or the
+    /// decomposition fails.
+    pub fn fit_centered(data: &Matrix) -> Result<Self, StatsError> {
+        let cov = data.covariance()?;
+        let e = eigen::decompose_symmetric(&cov)?;
+        // Numerical noise can push tiny eigenvalues slightly negative.
+        let eigenvalues: Vec<f64> = e.values.iter().map(|&v| v.max(0.0)).collect();
+        let total: f64 = eigenvalues.iter().sum();
+        let explained_ratio = if total > 0.0 {
+            eigenvalues.iter().map(|v| v / total).collect()
+        } else {
+            vec![0.0; eigenvalues.len()]
+        };
+        Ok(Pca {
+            standardizer: None,
+            components: e.vectors,
+            eigenvalues,
+            explained_ratio,
+        })
+    }
+
+    /// Number of variables (and of components).
+    pub fn n_variables(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// Eigenvalues (component variances), descending.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Fraction of total variance explained by each component, descending.
+    pub fn explained_variance_ratio(&self) -> &[f64] {
+        &self.explained_ratio
+    }
+
+    /// Cumulative explained-variance ratio.
+    pub fn cumulative_explained_variance(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.explained_ratio
+            .iter()
+            .map(|v| {
+                acc += v;
+                acc
+            })
+            .collect()
+    }
+
+    /// Smallest number of leading components whose cumulative explained
+    /// variance reaches `fraction` (e.g. `0.75`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] unless `0 < fraction <= 1`.
+    pub fn n_components_for(&self, fraction: f64) -> Result<usize, StatsError> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(StatsError::InvalidArgument { what: "variance fraction must be in (0, 1]" });
+        }
+        let cum = self.cumulative_explained_variance();
+        Ok(cum
+            .iter()
+            .position(|&c| c + 1e-12 >= fraction)
+            .map(|p| p + 1)
+            .unwrap_or(self.n_variables()))
+    }
+
+    /// Number of components selected by the Kaiser criterion: keep every
+    /// component whose eigenvalue exceeds the average eigenvalue (for
+    /// standardized data, eigenvalue > 1) — the common alternative to a
+    /// variance-fraction cutoff, used by the component-selection ablation.
+    pub fn n_components_kaiser(&self) -> usize {
+        let mean = self.eigenvalues.iter().sum::<f64>() / self.eigenvalues.len() as f64;
+        self.eigenvalues.iter().filter(|&&v| v > mean).count().max(1)
+    }
+
+    /// Direction vector (unit eigenvector) of component `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.n_variables()`.
+    pub fn component(&self, k: usize) -> Vec<f64> {
+        self.components.col(k)
+    }
+
+    /// Projects observations onto the first `n_components` components,
+    /// returning an `(observations × n_components)` score matrix.
+    ///
+    /// When the model was fitted with [`Pca::fit`], the same standardization
+    /// is applied to `data` first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] if `n_components` exceeds the
+    /// number of variables, or a dimension error if `data` is incompatible.
+    pub fn scores(&self, data: &Matrix, n_components: usize) -> Result<Matrix, StatsError> {
+        if n_components == 0 || n_components > self.n_variables() {
+            return Err(StatsError::InvalidArgument { what: "n_components out of range" });
+        }
+        let prepared = match &self.standardizer {
+            Some(s) => s.transform(data)?,
+            None => data.clone(),
+        };
+        if prepared.cols() != self.n_variables() {
+            return Err(StatsError::DimensionMismatch {
+                op: "pca scores",
+                left: (1, self.n_variables()),
+                right: prepared.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(prepared.rows(), n_components)?;
+        for r in 0..prepared.rows() {
+            for k in 0..n_components {
+                let mut acc = 0.0;
+                for c in 0..prepared.cols() {
+                    acc += prepared[(r, c)] * self.components[(c, k)];
+                }
+                out[(r, k)] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Factor loadings: correlation of each original variable with each of
+    /// the first `n_components` components, i.e. `eigenvector * sqrt(λ)`.
+    ///
+    /// Row `v`, column `k` gives the loading of variable `v` on component
+    /// `k` — exactly what the paper plots in Fig. 8.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] if `n_components` exceeds the
+    /// number of variables.
+    pub fn loadings(&self, n_components: usize) -> Result<Matrix, StatsError> {
+        if n_components == 0 || n_components > self.n_variables() {
+            return Err(StatsError::InvalidArgument { what: "n_components out of range" });
+        }
+        let p = self.n_variables();
+        let mut out = Matrix::zeros(p, n_components)?;
+        for v in 0..p {
+            for k in 0..n_components {
+                out[(v, k)] = self.components[(v, k)] * self.eigenvalues[k].sqrt();
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn correlated_data() -> Matrix {
+        // x, 2x + noise, -x + noise: effectively rank ~1 dominant direction.
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let x = i as f64 / 4.0;
+                let n1 = ((i * 7919) % 13) as f64 / 130.0;
+                let n2 = ((i * 104729) % 17) as f64 / 170.0;
+                vec![x, 2.0 * x + n1, -x + n2]
+            })
+            .collect();
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn variance_ratios_sum_to_one() {
+        let pca = Pca::fit(&correlated_data()).unwrap();
+        let sum: f64 = pca.explained_variance_ratio().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dominant_direction_found() {
+        let pca = Pca::fit(&correlated_data()).unwrap();
+        assert!(pca.explained_variance_ratio()[0] > 0.9);
+    }
+
+    #[test]
+    fn eigenvalues_descending_nonnegative() {
+        let pca = Pca::fit(&correlated_data()).unwrap();
+        assert!(pca.eigenvalues().windows(2).all(|w| w[0] >= w[1]));
+        assert!(pca.eigenvalues().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn total_variance_preserved_on_standardized_data() {
+        // Standardized p-variable data has total variance p.
+        let data = correlated_data();
+        let pca = Pca::fit(&data).unwrap();
+        let total: f64 = pca.eigenvalues().iter().sum();
+        assert!((total - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scores_are_uncorrelated() {
+        let data = correlated_data();
+        let pca = Pca::fit(&data).unwrap();
+        let scores = pca.scores(&data, 3).unwrap();
+        let cov = scores.covariance().unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    assert!(cov[(i, j)].abs() < 1e-9, "components {i},{j} correlated: {}", cov[(i, j)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_variances_match_eigenvalues() {
+        let data = correlated_data();
+        let pca = Pca::fit(&data).unwrap();
+        let scores = pca.scores(&data, 3).unwrap();
+        let cov = scores.covariance().unwrap();
+        for k in 0..3 {
+            assert!((cov[(k, k)] - pca.eigenvalues()[k]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn n_components_for_fraction() {
+        let pca = Pca::fit(&correlated_data()).unwrap();
+        assert_eq!(pca.n_components_for(1.0).unwrap(), 3);
+        assert_eq!(pca.n_components_for(0.5).unwrap(), 1);
+        assert!(pca.n_components_for(0.0).is_err());
+        assert!(pca.n_components_for(1.5).is_err());
+    }
+
+    #[test]
+    fn loadings_bounded_by_one_for_standardized_fit() {
+        // Loadings are correlations when fitting standardized data.
+        let pca = Pca::fit(&correlated_data()).unwrap();
+        let l = pca.loadings(3).unwrap();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!(l[(r, c)].abs() <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn loadings_squared_row_sums_are_communalities() {
+        // With all components kept, each variable's squared loadings sum to
+        // its variance (1.0 after standardization).
+        let pca = Pca::fit(&correlated_data()).unwrap();
+        let l = pca.loadings(3).unwrap();
+        for r in 0..3 {
+            let s: f64 = (0..3).map(|c| l[(r, c)] * l[(r, c)]).sum();
+            assert!((s - 1.0).abs() < 1e-9, "communality {s}");
+        }
+    }
+
+    #[test]
+    fn scores_rejects_bad_component_count() {
+        let data = correlated_data();
+        let pca = Pca::fit(&data).unwrap();
+        assert!(pca.scores(&data, 0).is_err());
+        assert!(pca.scores(&data, 4).is_err());
+    }
+
+    #[test]
+    fn kaiser_rule_keeps_dominant_components() {
+        let pca = Pca::fit(&correlated_data()).unwrap();
+        let k = pca.n_components_kaiser();
+        assert!(k >= 1 && k <= 3);
+        // The dominant direction exceeds the mean eigenvalue by construction.
+        assert!(pca.eigenvalues()[0] > 1.0);
+        assert!(k <= pca.n_components_for(0.99).unwrap());
+    }
+
+    #[test]
+    fn cumulative_is_monotone() {
+        let pca = Pca::fit(&correlated_data()).unwrap();
+        let cum = pca.cumulative_explained_variance();
+        assert!(cum.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+        assert!((cum.last().unwrap() - 1.0).abs() < 1e-9);
+    }
+}

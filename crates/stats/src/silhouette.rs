@@ -1,0 +1,140 @@
+//! Silhouette coefficient — cluster-quality metric complementary to SSE.
+//!
+//! The ablation benches report silhouettes alongside the paper's SSE-based
+//! Pareto choice to show how the two quality views agree or disagree across
+//! linkage criteria and cluster counts.
+
+use crate::distance::{DistanceTable, Metric};
+use crate::StatsError;
+
+/// Mean silhouette coefficient over all observations, in `[-1, 1]`.
+///
+/// Observations in singleton clusters contribute `0.0` (the standard
+/// convention). Returns an error when there are fewer than two clusters.
+///
+/// # Errors
+///
+/// Returns [`StatsError::DimensionMismatch`] for mismatched lengths,
+/// [`StatsError::Empty`] for no observations, and
+/// [`StatsError::InvalidArgument`] when all observations share one cluster.
+pub fn mean_silhouette(
+    observations: &[Vec<f64>],
+    labels: &[usize],
+    metric: Metric,
+) -> Result<f64, StatsError> {
+    if observations.len() != labels.len() {
+        return Err(StatsError::DimensionMismatch {
+            op: "silhouette",
+            left: (observations.len(), 1),
+            right: (labels.len(), 1),
+        });
+    }
+    if observations.is_empty() {
+        return Err(StatsError::Empty { what: "silhouette observations" });
+    }
+    let k = labels.iter().max().expect("nonempty") + 1;
+    let distinct: std::collections::HashSet<_> = labels.iter().collect();
+    if distinct.len() < 2 {
+        return Err(StatsError::InvalidArgument {
+            what: "silhouette needs at least two clusters",
+        });
+    }
+    let d = DistanceTable::from_rows(observations, metric)?;
+    let n = observations.len();
+
+    let mut sizes = vec![0usize; k];
+    for &l in labels {
+        sizes[l] += 1;
+    }
+
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = labels[i];
+        if sizes[own] <= 1 {
+            continue; // singleton contributes 0
+        }
+        // a(i): mean intra-cluster distance (excluding self).
+        // b(i): minimal mean distance to another cluster.
+        let mut intra = 0.0;
+        let mut inter = vec![0.0f64; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if labels[j] == own {
+                intra += d.get(i, j);
+            } else {
+                inter[labels[j]] += d.get(i, j);
+            }
+        }
+        let a = intra / (sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| inter[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let s = if a.max(b) > 0.0 { (b - a) / a.max(b) } else { 0.0 };
+        total += s;
+    }
+    Ok(total / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        (
+            vec![
+                vec![0.0, 0.0],
+                vec![0.1, 0.1],
+                vec![10.0, 10.0],
+                vec![10.1, 10.1],
+            ],
+            vec![0, 0, 1, 1],
+        )
+    }
+
+    #[test]
+    fn well_separated_blobs_near_one() {
+        let (obs, labels) = blobs();
+        let s = mean_silhouette(&obs, &labels, Metric::Euclidean).unwrap();
+        assert!(s > 0.9, "silhouette {s}");
+    }
+
+    #[test]
+    fn scrambled_labels_poor_score() {
+        let (obs, _) = blobs();
+        let bad = vec![0, 1, 0, 1];
+        let s = mean_silhouette(&obs, &bad, Metric::Euclidean).unwrap();
+        assert!(s < 0.0, "bad clustering should score negative, got {s}");
+    }
+
+    #[test]
+    fn bounded() {
+        let (obs, labels) = blobs();
+        let s = mean_silhouette(&obs, &labels, Metric::Euclidean).unwrap();
+        assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn single_cluster_rejected() {
+        let (obs, _) = blobs();
+        assert!(mean_silhouette(&obs, &[0, 0, 0, 0], Metric::Euclidean).is_err());
+    }
+
+    #[test]
+    fn singletons_contribute_zero() {
+        let obs = vec![vec![0.0], vec![5.0], vec![5.1]];
+        let labels = vec![0, 1, 1];
+        // Observation 0 is a singleton -> contributes 0; the pair scores high.
+        let s = mean_silhouette(&obs, &labels, Metric::Euclidean).unwrap();
+        assert!(s > 0.5);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let (obs, _) = blobs();
+        assert!(mean_silhouette(&obs, &[0, 1], Metric::Euclidean).is_err());
+        assert!(mean_silhouette(&[], &[], Metric::Euclidean).is_err());
+    }
+}

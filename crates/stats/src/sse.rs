@@ -1,0 +1,162 @@
+//! Sum-of-squared-error (SSE) cluster quality.
+//!
+//! The paper measures clustering quality as the sum of squared Euclidean
+//! distances between every point and the centroid of its cluster, and picks
+//! the cluster count at the Pareto-optimal trade-off of SSE versus subset
+//! execution time (Section V-C, Fig. 10).
+
+use crate::distance::squared_euclidean;
+use crate::StatsError;
+
+/// The centroid (component-wise mean) of the given observation rows.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] when `points` is empty and
+/// [`StatsError::DimensionMismatch`] for ragged rows.
+pub fn centroid(points: &[&[f64]]) -> Result<Vec<f64>, StatsError> {
+    let first = points.first().ok_or(StatsError::Empty { what: "centroid points" })?;
+    let dim = first.len();
+    let mut acc = vec![0.0; dim];
+    for p in points {
+        if p.len() != dim {
+            return Err(StatsError::DimensionMismatch {
+                op: "centroid",
+                left: (1, dim),
+                right: (1, p.len()),
+            });
+        }
+        for (a, v) in acc.iter_mut().zip(*p) {
+            *a += v;
+        }
+    }
+    for a in &mut acc {
+        *a /= points.len() as f64;
+    }
+    Ok(acc)
+}
+
+/// SSE of one cluster: squared distances of members to their centroid.
+///
+/// # Errors
+///
+/// Propagates the errors of [`centroid`].
+pub fn cluster_sse(points: &[&[f64]]) -> Result<f64, StatsError> {
+    let c = centroid(points)?;
+    Ok(points.iter().map(|p| squared_euclidean(p, &c)).sum())
+}
+
+/// Total SSE of a labelled clustering of `observations`.
+///
+/// `labels[i]` assigns observation `i` to a cluster; cluster ids need not be
+/// contiguous.
+///
+/// # Errors
+///
+/// Returns [`StatsError::DimensionMismatch`] if `labels` and `observations`
+/// have different lengths, or [`StatsError::Empty`] for no observations.
+pub fn total_sse(observations: &[Vec<f64>], labels: &[usize]) -> Result<f64, StatsError> {
+    if observations.is_empty() {
+        return Err(StatsError::Empty { what: "sse observations" });
+    }
+    if observations.len() != labels.len() {
+        return Err(StatsError::DimensionMismatch {
+            op: "total_sse",
+            left: (observations.len(), 1),
+            right: (labels.len(), 1),
+        });
+    }
+    let max_label = *labels.iter().max().expect("nonempty");
+    let mut groups: Vec<Vec<&[f64]>> = vec![Vec::new(); max_label + 1];
+    for (obs, &label) in observations.iter().zip(labels) {
+        groups[label].push(obs.as_slice());
+    }
+    let mut sse = 0.0;
+    for group in groups.iter().filter(|g| !g.is_empty()) {
+        sse += cluster_sse(group)?;
+    }
+    Ok(sse)
+}
+
+/// SSE for every cut `k = 1..=n` of a dendrogram over `observations`,
+/// returned as `sse[k - 1]`.
+///
+/// # Errors
+///
+/// Propagates errors from cutting and SSE computation.
+pub fn sse_curve(
+    observations: &[Vec<f64>],
+    dendrogram: &crate::cluster::Dendrogram,
+) -> Result<Vec<f64>, StatsError> {
+    let n = dendrogram.n_leaves();
+    let mut curve = Vec::with_capacity(n);
+    for k in 1..=n {
+        let labels = dendrogram.cut(k)?;
+        curve.push(total_sse(observations, &labels)?);
+    }
+    Ok(curve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{agglomerative, Linkage};
+    use crate::distance::Metric;
+
+    #[test]
+    fn centroid_of_symmetric_points_is_origin() {
+        let pts: Vec<&[f64]> = vec![&[1.0, 0.0], &[-1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0]];
+        assert_eq!(centroid(&pts).unwrap(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn centroid_rejects_empty_and_ragged() {
+        assert!(centroid(&[]).is_err());
+        let pts: Vec<&[f64]> = vec![&[1.0], &[1.0, 2.0]];
+        assert!(centroid(&pts).is_err());
+    }
+
+    #[test]
+    fn singleton_cluster_sse_zero() {
+        let pts: Vec<&[f64]> = vec![&[3.0, 4.0]];
+        assert_eq!(cluster_sse(&pts).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn known_sse() {
+        // Points at -1 and 1: centroid 0, SSE = 1 + 1 = 2.
+        let pts: Vec<&[f64]> = vec![&[-1.0], &[1.0]];
+        assert!((cluster_sse(&pts).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_sse_all_singletons_is_zero() {
+        let obs = vec![vec![1.0], vec![5.0], vec![9.0]];
+        let sse = total_sse(&obs, &[0, 1, 2]).unwrap();
+        assert_eq!(sse, 0.0);
+    }
+
+    #[test]
+    fn total_sse_checks_lengths() {
+        let obs = vec![vec![1.0]];
+        assert!(total_sse(&obs, &[0, 1]).is_err());
+        assert!(total_sse(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn sse_curve_monotone_decreasing_in_k() {
+        let obs = vec![
+            vec![0.0, 0.0],
+            vec![0.5, 0.2],
+            vec![5.0, 5.0],
+            vec![5.5, 5.2],
+            vec![10.0, 0.0],
+        ];
+        let tree = agglomerative(&obs, Linkage::Ward, Metric::Euclidean).unwrap();
+        let curve = sse_curve(&obs, &tree).unwrap();
+        assert_eq!(curve.len(), 5);
+        // More clusters cannot increase SSE for Ward-style hierarchies.
+        assert!(curve.windows(2).all(|w| w[1] <= w[0] + 1e-9), "{curve:?}");
+        assert!(curve[4].abs() < 1e-12);
+    }
+}

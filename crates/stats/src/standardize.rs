@@ -1,0 +1,140 @@
+//! Column standardization (z-scores).
+//!
+//! PCA on workload characteristics must not let large-magnitude counters
+//! (instruction counts in the billions) drown out ratios (miss rates in
+//! percent), so the paper standardizes every characteristic to zero mean and
+//! unit variance before analysis.
+
+use crate::matrix::Matrix;
+use crate::StatsError;
+
+/// A fitted standardization: per-column mean and standard deviation.
+///
+/// Zero-variance columns are passed through centered-only (scale 1.0) so that
+/// constant characteristics do not produce NaNs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    scales: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits a standardizer to the columns of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] if `data` has fewer than two
+    /// rows (standard deviation is undefined).
+    pub fn fit(data: &Matrix) -> Result<Self, StatsError> {
+        if data.rows() < 2 {
+            return Err(StatsError::InvalidArgument {
+                what: "standardization requires at least two observations",
+            });
+        }
+        let means = data.column_means();
+        let scales = data
+            .column_stds()
+            .into_iter()
+            .map(|s| if s > 0.0 { s } else { 1.0 })
+            .collect();
+        Ok(Standardizer { means, scales })
+    }
+
+    /// Applies the fitted transform: `(x - mean) / std` per column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if the column count differs
+    /// from the fitted data.
+    pub fn transform(&self, data: &Matrix) -> Result<Matrix, StatsError> {
+        if data.cols() != self.means.len() {
+            return Err(StatsError::DimensionMismatch {
+                op: "standardize transform",
+                left: (1, self.means.len()),
+                right: data.shape(),
+            });
+        }
+        let mut out = data.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                out[(r, c)] = (out[(r, c)] - self.means[c]) / self.scales[c];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Convenience: fit and transform in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`Standardizer::fit`].
+    pub fn fit_transform(data: &Matrix) -> Result<Matrix, StatsError> {
+        Standardizer::fit(data)?.transform(data)
+    }
+
+    /// The fitted per-column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// The fitted per-column scales (standard deviations, 1.0 for constants).
+    pub fn scales(&self) -> &[f64] {
+        &self.scales
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardized_columns_have_zero_mean_unit_std() {
+        let data = Matrix::from_rows(&[
+            vec![1.0, 100.0],
+            vec![2.0, 300.0],
+            vec![3.0, 200.0],
+            vec![4.0, 400.0],
+        ])
+        .unwrap();
+        let z = Standardizer::fit_transform(&data).unwrap();
+        for mean in z.column_means() {
+            assert!(mean.abs() < 1e-12);
+        }
+        for std in z.column_stds() {
+            assert!((std - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_column_centered_not_scaled() {
+        let data = Matrix::from_rows(&[vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]]).unwrap();
+        let z = Standardizer::fit_transform(&data).unwrap();
+        for r in 0..3 {
+            assert_eq!(z[(r, 0)], 0.0);
+        }
+    }
+
+    #[test]
+    fn transform_checks_columns() {
+        let data = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let s = Standardizer::fit(&data).unwrap();
+        let wrong = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert!(s.transform(&wrong).is_err());
+    }
+
+    #[test]
+    fn fit_needs_two_rows() {
+        let data = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(Standardizer::fit(&data).is_err());
+    }
+
+    #[test]
+    fn transform_applies_train_statistics_to_new_data() {
+        let train = Matrix::from_rows(&[vec![0.0], vec![2.0]]).unwrap();
+        let s = Standardizer::fit(&train).unwrap();
+        let test = Matrix::from_rows(&[vec![4.0]]).unwrap();
+        let z = s.transform(&test).unwrap();
+        // mean 1, std sqrt(2): (4-1)/sqrt(2)
+        assert!((z[(0, 0)] - 3.0 / 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+}

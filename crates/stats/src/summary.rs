@@ -1,0 +1,182 @@
+//! Scalar summary statistics: mean, standard deviation, Pearson correlation.
+//!
+//! Every comparison table in the paper (Tables III–VII) reports a mean and a
+//! standard deviation per suite, and Sections IV-C/IV-D report Pearson
+//! correlations of footprint and miss rates against IPC.
+
+use crate::StatsError;
+
+/// Arithmetic mean of a non-empty slice.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] for an empty slice.
+pub fn mean(xs: &[f64]) -> Result<f64, StatsError> {
+    if xs.is_empty() {
+        return Err(StatsError::Empty { what: "mean input" });
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample standard deviation (`n - 1` denominator).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidArgument`] for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> Result<f64, StatsError> {
+    if xs.len() < 2 {
+        return Err(StatsError::InvalidArgument { what: "std_dev requires at least two samples" });
+    }
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Ok((ss / (xs.len() as f64 - 1.0)).sqrt())
+}
+
+/// Population standard deviation (`n` denominator).
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] for an empty slice.
+pub fn std_dev_population(xs: &[f64]) -> Result<f64, StatsError> {
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Ok((ss / xs.len() as f64).sqrt())
+}
+
+/// Pearson correlation coefficient between two paired samples.
+///
+/// Returns `0.0` when either sample has zero variance, mirroring the
+/// convention used for constant workload characteristics.
+///
+/// # Errors
+///
+/// Returns [`StatsError::DimensionMismatch`] for unequal lengths and
+/// [`StatsError::InvalidArgument`] for fewer than two pairs.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::DimensionMismatch {
+            op: "pearson",
+            left: (1, xs.len()),
+            right: (1, ys.len()),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(StatsError::InvalidArgument { what: "pearson requires at least two pairs" });
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Minimum and maximum of a non-empty slice.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] for an empty slice.
+pub fn min_max(xs: &[f64]) -> Result<(f64, f64), StatsError> {
+    if xs.is_empty() {
+        return Err(StatsError::Empty { what: "min_max input" });
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    Ok((lo, hi))
+}
+
+/// Geometric mean of strictly positive samples.
+///
+/// SPEC's own overall metrics are geometric means, so the suite-aggregation
+/// code offers it alongside the arithmetic mean.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] for an empty slice and
+/// [`StatsError::InvalidArgument`] if any sample is not strictly positive.
+pub fn geometric_mean(xs: &[f64]) -> Result<f64, StatsError> {
+    if xs.is_empty() {
+        return Err(StatsError::Empty { what: "geometric_mean input" });
+    }
+    if xs.iter().any(|&x| x <= 0.0) {
+        return Err(StatsError::InvalidArgument { what: "geometric_mean requires positive samples" });
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    Ok((log_sum / xs.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+        assert!(mean(&[]).is_err());
+    }
+
+    #[test]
+    fn std_dev_known() {
+        // Sample std of [2, 4, 4, 4, 5, 5, 7, 9] is ~2.138.
+        let s = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s - 2.13809).abs() < 1e-4);
+        assert!(std_dev(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn population_std_smaller_than_sample() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!(std_dev_population(&xs).unwrap() < std_dev(&xs).unwrap());
+    }
+
+    #[test]
+    fn pearson_perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0];
+        assert!((pearson(&x, &[2.0, 4.0, 6.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &[6.0, 4.0, 2.0]).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pearson_errors() {
+        assert!(pearson(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(pearson(&[1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn min_max_basic() {
+        assert_eq!(min_max(&[3.0, -1.0, 2.0]).unwrap(), (-1.0, 3.0));
+        assert!(min_max(&[]).is_err());
+    }
+
+    #[test]
+    fn geometric_mean_basic() {
+        assert!((geometric_mean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!(geometric_mean(&[1.0, 0.0]).is_err());
+        assert!(geometric_mean(&[]).is_err());
+    }
+
+    #[test]
+    fn geometric_le_arithmetic() {
+        let xs = [1.0, 2.0, 3.0, 10.0];
+        assert!(geometric_mean(&xs).unwrap() <= mean(&xs).unwrap());
+    }
+}

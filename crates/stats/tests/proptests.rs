@@ -1,0 +1,203 @@
+//! Property-based tests of the statistical kernels' mathematical invariants.
+
+use proptest::prelude::*;
+use stat_analysis::cluster::{agglomerative, Linkage};
+use stat_analysis::distance::{squared_euclidean, DistanceTable, Metric};
+use stat_analysis::eigen;
+use stat_analysis::matrix::Matrix;
+use stat_analysis::pareto::{knee_point, pareto_front, Candidate};
+use stat_analysis::pca::Pca;
+use stat_analysis::sse::total_sse;
+use stat_analysis::standardize::Standardizer;
+use stat_analysis::summary;
+
+/// Strategy: an n x m matrix of moderate finite values.
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(-1e3..1e3f64, cols),
+        rows,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(rows in matrix_strategy(5, 3)) {
+        let m = Matrix::from_rows(&rows).unwrap();
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd_diagonal(rows in matrix_strategy(8, 4)) {
+        let m = Matrix::from_rows(&rows).unwrap();
+        let cov = m.covariance().unwrap();
+        prop_assert!(cov.is_symmetric(1e-6));
+        for i in 0..4 {
+            prop_assert!(cov[(i, i)] >= -1e-9, "variance must be non-negative");
+        }
+    }
+
+    #[test]
+    fn correlation_entries_bounded(rows in matrix_strategy(10, 3)) {
+        let m = Matrix::from_rows(&rows).unwrap();
+        let corr = m.correlation().unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!(corr[(i, j)].abs() <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_preserves_trace_and_orthonormality(rows in matrix_strategy(6, 6)) {
+        // Symmetrize: A = (M + M^T) / 2.
+        let m = Matrix::from_rows(&rows).unwrap();
+        let mt = m.transpose();
+        let mut a = Matrix::zeros(6, 6).unwrap();
+        for i in 0..6 {
+            for j in 0..6 {
+                a[(i, j)] = (m[(i, j)] + mt[(i, j)]) / 2.0;
+            }
+        }
+        let e = eigen::decompose_symmetric(&a).unwrap();
+        let trace: f64 = (0..6).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-6 * (1.0 + trace.abs()));
+        let gram = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        let id = Matrix::identity(6).unwrap();
+        prop_assert!(gram.max_abs_diff(&id).unwrap() < 1e-7);
+    }
+
+    #[test]
+    fn standardizer_output_is_zero_mean(rows in matrix_strategy(12, 4)) {
+        let m = Matrix::from_rows(&rows).unwrap();
+        let z = Standardizer::fit_transform(&m).unwrap();
+        for mean in z.column_means() {
+            prop_assert!(mean.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn pca_variance_ratios_sum_to_one_and_descend(rows in matrix_strategy(16, 5)) {
+        let m = Matrix::from_rows(&rows).unwrap();
+        let pca = Pca::fit(&m).unwrap();
+        let ratios = pca.explained_variance_ratio();
+        let sum: f64 = ratios.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6);
+        prop_assert!(pca.eigenvalues().windows(2).all(|w| w[0] >= w[1] - 1e-9));
+    }
+
+    #[test]
+    fn pca_scores_reproduce_eigenvalue_variances(rows in matrix_strategy(20, 4)) {
+        let m = Matrix::from_rows(&rows).unwrap();
+        let pca = Pca::fit(&m).unwrap();
+        let scores = pca.scores(&m, 4).unwrap();
+        let cov = scores.covariance().unwrap();
+        for k in 0..4 {
+            prop_assert!((cov[(k, k)] - pca.eigenvalues()[k]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn distance_table_matches_metric(rows in matrix_strategy(7, 3)) {
+        let table = DistanceTable::from_rows(&rows, Metric::Euclidean).unwrap();
+        for i in 0..rows.len() {
+            for j in 0..rows.len() {
+                let direct = Metric::Euclidean.distance(&rows[i], &rows[j]).unwrap();
+                prop_assert!((table.get(i, j) - direct).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn euclidean_triangle_inequality(
+        a in prop::collection::vec(-100.0..100.0f64, 4),
+        b in prop::collection::vec(-100.0..100.0f64, 4),
+        c in prop::collection::vec(-100.0..100.0f64, 4),
+    ) {
+        let d = |x: &[f64], y: &[f64]| Metric::Euclidean.distance(x, y).unwrap();
+        prop_assert!(d(&a, &c) <= d(&a, &b) + d(&b, &c) + 1e-9);
+    }
+
+    #[test]
+    fn squared_euclidean_consistent(
+        a in prop::collection::vec(-100.0..100.0f64, 5),
+        b in prop::collection::vec(-100.0..100.0f64, 5),
+    ) {
+        let d = Metric::Euclidean.distance(&a, &b).unwrap();
+        prop_assert!((squared_euclidean(&a, &b) - d * d).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clustering_cuts_partition_leaves(rows in matrix_strategy(9, 2)) {
+        let tree = agglomerative(&rows, Linkage::Average, Metric::Euclidean).unwrap();
+        for k in 1..=rows.len() {
+            let labels = tree.cut(k).unwrap();
+            prop_assert_eq!(labels.len(), rows.len());
+            let distinct: std::collections::HashSet<_> = labels.iter().collect();
+            prop_assert_eq!(distinct.len(), k);
+            prop_assert!(labels.iter().all(|&l| l < k));
+        }
+    }
+
+    #[test]
+    fn sse_never_increases_with_more_clusters(rows in matrix_strategy(8, 3)) {
+        let tree = agglomerative(&rows, Linkage::Ward, Metric::Euclidean).unwrap();
+        let mut last = f64::INFINITY;
+        for k in 1..=rows.len() {
+            let labels = tree.cut(k).unwrap();
+            let sse = total_sse(&rows, &labels).unwrap();
+            prop_assert!(sse <= last + 1e-6, "sse rose from {last} to {sse} at k={k}");
+            last = sse;
+        }
+        prop_assert!(last.abs() < 1e-9, "all-singletons SSE must be zero");
+    }
+
+    #[test]
+    fn single_linkage_merge_heights_are_monotone(rows in matrix_strategy(8, 2)) {
+        let tree = agglomerative(&rows, Linkage::Single, Metric::Euclidean).unwrap();
+        let heights: Vec<f64> = tree.merges().iter().map(|m| m.height).collect();
+        prop_assert!(heights.windows(2).all(|w| w[1] >= w[0] - 1e-9));
+    }
+
+    #[test]
+    fn pareto_front_is_mutually_nondominating(
+        costs in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), 1..30)
+    ) {
+        let candidates: Vec<Candidate> = costs
+            .iter()
+            .enumerate()
+            .map(|(id, &(a, b))| Candidate { id, cost_a: a, cost_b: b })
+            .collect();
+        let front = pareto_front(&candidates).unwrap();
+        prop_assert!(!front.is_empty());
+        for x in &front {
+            for y in &front {
+                prop_assert!(!x.dominates(y) || (x.cost_a == y.cost_a && x.cost_b == y.cost_b));
+            }
+        }
+        // The knee is a member of the front.
+        let knee = knee_point(&candidates).unwrap();
+        prop_assert!(front.iter().any(|c| c.id == knee.id));
+    }
+
+    #[test]
+    fn mean_bounded_by_extremes(xs in prop::collection::vec(-1e6..1e6f64, 1..50)) {
+        let m = summary::mean(&xs).unwrap();
+        let (lo, hi) = summary::min_max(&xs).unwrap();
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn pearson_is_symmetric_and_bounded(
+        pairs in prop::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 3..40)
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let a = summary::pearson(&xs, &ys).unwrap();
+        let b = summary::pearson(&ys, &xs).unwrap();
+        prop_assert!((a - b).abs() < 1e-9);
+        prop_assert!(a.abs() <= 1.0 + 1e-9);
+    }
+}

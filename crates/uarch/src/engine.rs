@@ -1,0 +1,469 @@
+//! The simulation engine: executes a micro-op stream through the cache
+//! hierarchy and branch predictor, then prices the run with the pipeline
+//! timing model, producing a perf-counter session.
+//!
+//! This is the stand-in for "run the benchmark under `perf stat` on the
+//! Haswell box" in the paper's methodology.
+
+use crate::branch::{target_is_static, BranchPredictor, PredictorKind};
+use crate::config::SystemConfig;
+use crate::counters::{Event, PerfSession};
+use crate::hierarchy::{Hierarchy, ServedBy};
+use crate::microop::{BranchKind, MicroOp};
+use crate::pipeline::{estimate_cycles, CycleBreakdown, TimingInputs};
+
+/// Workload-level execution hints that are not visible in the micro-op
+/// stream itself.
+///
+/// These correspond to properties the paper's real binaries have implicitly:
+/// how much instruction-level and memory-level parallelism the code exposes,
+/// how large its text segment is, how predictable its indirect-branch
+/// targets are, and (for `speed` runs) how many OpenMP threads it spawns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadHints {
+    /// Inherent ILP (sustainable micro-ops per cycle absent stalls).
+    pub ilp: f64,
+    /// Memory-level parallelism (overlapping outstanding misses).
+    pub mlp: f64,
+    /// Code footprint in bytes (drives L1I behaviour).
+    pub code_footprint_bytes: u64,
+    /// Fraction of indirect-branch executions whose target the BTB misses.
+    pub indirect_target_miss_rate: f64,
+    /// OpenMP thread count (1 for `rate` runs, 4 for the paper's `speed`).
+    pub threads: u32,
+    /// Per-extra-thread synchronization/contention cycle overhead fraction.
+    pub sync_overhead: f64,
+    /// Virtual-address range (base, end) of loads that carry a non-temporal
+    /// L2-bypass hint (the workload model's L3-resident working set).
+    pub l2_bypass_range: Option<(u64, u64)>,
+}
+
+impl Default for WorkloadHints {
+    fn default() -> Self {
+        WorkloadHints {
+            ilp: 2.0,
+            mlp: 2.0,
+            code_footprint_bytes: 64 * 1024,
+            indirect_target_miss_rate: 0.05,
+            threads: 1,
+            sync_overhead: 0.0,
+            l2_bypass_range: None,
+        }
+    }
+}
+
+/// Executes micro-op streams on a fixed system configuration.
+///
+/// See the [crate-level example](crate) for end-to-end usage.
+pub struct Engine {
+    config: SystemConfig,
+    hierarchy: Hierarchy,
+    predictor: Box<dyn BranchPredictor + Send>,
+    predictor_kind: PredictorKind,
+    last_breakdown: Option<CycleBreakdown>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config.name)
+            .field("predictor", &self.predictor_kind)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Creates an engine with cold caches and the default tournament
+    /// predictor.
+    pub fn new(config: &SystemConfig) -> Self {
+        Engine::with_predictor(config, PredictorKind::Tournament)
+    }
+
+    /// Creates an engine with a specific branch predictor (ablation knob).
+    pub fn with_predictor(config: &SystemConfig, kind: PredictorKind) -> Self {
+        Engine {
+            config: config.clone(),
+            hierarchy: Hierarchy::new(config),
+            predictor: kind.build(),
+            predictor_kind: kind,
+            last_breakdown: None,
+        }
+    }
+
+    /// The system configuration this engine simulates.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The predictor variant in use.
+    pub fn predictor_kind(&self) -> PredictorKind {
+        self.predictor_kind
+    }
+
+    /// Resets microarchitectural state (cold caches, fresh predictor).
+    pub fn reset(&mut self) {
+        self.hierarchy = Hierarchy::new(&self.config);
+        self.predictor = self.predictor_kind.build();
+    }
+
+    /// Runs a micro-op stream to completion and returns the counter file.
+    ///
+    /// The returned session contains every [`Event`], including the cycle
+    /// count derived by the interval timing model, so `session.ipc()` is
+    /// meaningful.
+    pub fn run<I>(&mut self, ops: I, hints: &WorkloadHints) -> PerfSession
+    where
+        I: IntoIterator<Item = MicroOp>,
+    {
+        self.run_warmed(ops, hints, 0)
+    }
+
+    /// Like [`Engine::run`], but the first `warmup_ops` micro-ops warm the
+    /// caches and predictor without being counted — standard simulation
+    /// methodology so that compulsory effects, over-represented in scaled
+    /// traces, do not distort the steady-state rates the paper measures
+    /// over minutes-long executions.
+    pub fn run_warmed<I>(&mut self, ops: I, hints: &WorkloadHints, warmup_ops: u64) -> PerfSession
+    where
+        I: IntoIterator<Item = MicroOp>,
+    {
+        let mut s = PerfSession::new();
+        let mut executed: u64 = 0;
+        let mut l1i_misses_at_warmup: u64 = 0;
+        let mut fetch_off: u64 = 0; // offset within the text segment
+        let mut last_fetch_line = u64::MAX;
+        let code_mask = hints.code_footprint_bytes.next_power_of_two().max(64) - 1;
+        // Loops keep most fetches inside a hot code region much smaller than
+        // the L1I; only occasional far jumps (cross-function transfers)
+        // touch the rest of the text segment. Big-code applications pay for
+        // this proportionally through compulsory far-target misses.
+        let hot_code_mask = (8 * 1024u64).min(code_mask + 1) - 1;
+        let mut taken_seen: u64 = 0;
+        let mut indirect_seen: u64 = 0;
+        let mut extra_mispredicts: u64 = 0;
+
+        let mut warm = PerfSession::new();
+        for op in ops {
+            if executed == warmup_ops {
+                l1i_misses_at_warmup = self.hierarchy.l1i_stats().misses;
+            }
+            executed += 1;
+            // During warmup, events land in a discarded session; the
+            // microarchitectural state still updates.
+            let s = if executed <= warmup_ops { &mut warm } else { &mut s };
+            s.incr(Event::InstRetiredAny);
+            s.incr(Event::UopsRetiredAll);
+
+            // Instruction fetch: sequential 4-byte advance within the code
+            // footprint; only line crossings touch the L1I.
+            fetch_off = (fetch_off + 4) & code_mask;
+            let fetch_pc = 0x40_0000 + fetch_off;
+            let line = fetch_pc >> 6;
+            if line != last_fetch_line {
+                self.hierarchy.fetch(fetch_pc);
+                last_fetch_line = line;
+            }
+
+            match op {
+                MicroOp::Alu => {}
+                MicroOp::Load { addr } => {
+                    s.incr(Event::MemUopsRetiredAllLoads);
+                    let bypass = hints
+                        .l2_bypass_range
+                        .is_some_and(|(base, end)| (base..end).contains(&addr));
+                    let served = if bypass {
+                        self.hierarchy.load_bypass_l2(addr)
+                    } else {
+                        self.hierarchy.load(addr)
+                    };
+                    match served {
+                        ServedBy::L1 => s.incr(Event::MemLoadUopsRetiredL1Hit),
+                        ServedBy::L2 => {
+                            s.incr(Event::MemLoadUopsRetiredL1Miss);
+                            s.incr(Event::MemLoadUopsRetiredL2Hit);
+                        }
+                        ServedBy::L3 => {
+                            s.incr(Event::MemLoadUopsRetiredL1Miss);
+                            s.incr(Event::MemLoadUopsRetiredL2Miss);
+                            s.incr(Event::MemLoadUopsRetiredL3Hit);
+                        }
+                        ServedBy::Memory => {
+                            s.incr(Event::MemLoadUopsRetiredL1Miss);
+                            s.incr(Event::MemLoadUopsRetiredL2Miss);
+                            s.incr(Event::MemLoadUopsRetiredL3Miss);
+                        }
+                    }
+                }
+                MicroOp::Store { addr } => {
+                    s.incr(Event::MemUopsRetiredAllStores);
+                    self.hierarchy.store(addr);
+                }
+                MicroOp::Branch { pc, kind, taken } => {
+                    s.incr(Event::BrInstExecAllBranches);
+                    s.incr(branch_kind_event(kind));
+                    if kind.is_conditional() {
+                        if !self.predictor.predict_and_update(pc, taken) {
+                            s.incr(Event::BrMispExecAllBranches);
+                        }
+                    } else if target_is_static(kind) {
+                        // Direct target: predicted perfectly once decoded.
+                    } else if kind == BranchKind::IndirectNearReturn {
+                        // Returns are served by the return-address stack,
+                        // which is essentially perfect for call-balanced code.
+                    } else {
+                        // Indirect jump target: BTB miss modelled by the hint
+                        // rate, realized deterministically by counting.
+                        indirect_seen += 1;
+                        let due = (indirect_seen as f64 * hints.indirect_target_miss_rate)
+                            .floor() as u64;
+                        if due > extra_mispredicts {
+                            extra_mispredicts = due;
+                            s.incr(Event::BrMispExecAllBranches);
+                        }
+                    }
+                    if taken {
+                        // Taken branches redirect fetch: mostly loop-local
+                        // (hot region), occasionally a far cross-function
+                        // transfer through the full text footprint.
+                        taken_seen += 1;
+                        let h = pc
+                            .wrapping_add(taken_seen)
+                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                            >> 17;
+                        let mask =
+                            if taken_seen % 32 == 0 { code_mask } else { hot_code_mask };
+                        fetch_off = h & mask;
+                        last_fetch_line = u64::MAX;
+                    }
+                }
+            }
+        }
+
+        // Price the counted portion of the run.
+        let l1i_total = self.hierarchy.l1i_stats().misses;
+        let l1i_counted = if executed > warmup_ops {
+            l1i_total - l1i_misses_at_warmup
+        } else {
+            0
+        };
+        let inputs = TimingInputs {
+            uops: s.count(Event::UopsRetiredAll),
+            mispredicts: s.count(Event::BrMispExecAllBranches),
+            l2_served: s.count(Event::MemLoadUopsRetiredL2Hit),
+            l3_served: s.count(Event::MemLoadUopsRetiredL3Hit),
+            mem_served: s.count(Event::MemLoadUopsRetiredL3Miss),
+            l1i_misses: l1i_counted,
+            ilp: hints.ilp,
+            mlp: hints.mlp,
+        };
+        let breakdown = estimate_cycles(&self.config, &inputs);
+        let mut cycles = breakdown.total() as f64;
+        self.last_breakdown = Some(breakdown);
+        if hints.threads > 1 {
+            // Multi-threaded `speed` runs burn extra unhalted reference
+            // cycles on synchronization and shared-cache contention; the
+            // paper observes exactly this as the speed-fp IPC collapse.
+            cycles *= 1.0 + hints.sync_overhead * (hints.threads - 1) as f64;
+        }
+        s.set(Event::CpuClkUnhaltedRefTsc, cycles.max(1.0) as u64);
+        s
+    }
+
+    /// The interval-model cycle breakdown of the most recent run — the
+    /// CPI-stack view (base / branch / memory / frontend), before any
+    /// multi-thread overhead scaling.
+    pub fn last_breakdown(&self) -> Option<CycleBreakdown> {
+        self.last_breakdown
+    }
+
+    /// Simulated seconds for a session produced by this engine's config.
+    pub fn seconds(&self, session: &PerfSession) -> f64 {
+        session.count(Event::CpuClkUnhaltedRefTsc) as f64 / (self.config.clock_ghz * 1e9)
+    }
+}
+
+fn branch_kind_event(kind: BranchKind) -> Event {
+    match kind {
+        BranchKind::Conditional => Event::BrInstExecAllConditional,
+        BranchKind::DirectJump => Event::BrInstExecAllDirectJmp,
+        BranchKind::DirectNearCall => Event::BrInstExecAllDirectNearCall,
+        BranchKind::IndirectJumpNonCallRet => Event::BrInstExecAllIndirectJumpNonCallRet,
+        BranchKind::IndirectNearReturn => Event::BrInstExecAllIndirectNearReturn,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new(&SystemConfig::tiny_test())
+    }
+
+    #[test]
+    fn counts_instruction_classes() {
+        let mut e = engine();
+        let ops = vec![
+            MicroOp::Alu,
+            MicroOp::load(0x100),
+            MicroOp::store(0x200),
+            MicroOp::conditional_branch(0x10, true),
+            MicroOp::Branch { pc: 0x20, kind: BranchKind::DirectJump, taken: true },
+        ];
+        let s = e.run(ops, &WorkloadHints::default());
+        assert_eq!(s.count(Event::InstRetiredAny), 5);
+        assert_eq!(s.count(Event::UopsRetiredAll), 5);
+        assert_eq!(s.count(Event::MemUopsRetiredAllLoads), 1);
+        assert_eq!(s.count(Event::MemUopsRetiredAllStores), 1);
+        assert_eq!(s.count(Event::BrInstExecAllBranches), 2);
+        assert_eq!(s.count(Event::BrInstExecAllConditional), 1);
+        assert_eq!(s.count(Event::BrInstExecAllDirectJmp), 1);
+    }
+
+    #[test]
+    fn load_level_counters_partition_loads() {
+        let mut e = engine();
+        let ops: Vec<MicroOp> = (0..10_000u64).map(|i| MicroOp::load((i % 2048) * 64)).collect();
+        let s = e.run(ops, &WorkloadHints::default());
+        let loads = s.count(Event::MemUopsRetiredAllLoads);
+        let l1h = s.count(Event::MemLoadUopsRetiredL1Hit);
+        let l1m = s.count(Event::MemLoadUopsRetiredL1Miss);
+        assert_eq!(loads, l1h + l1m);
+        let l2h = s.count(Event::MemLoadUopsRetiredL2Hit);
+        let l2m = s.count(Event::MemLoadUopsRetiredL2Miss);
+        assert_eq!(l1m, l2h + l2m);
+        let l3h = s.count(Event::MemLoadUopsRetiredL3Hit);
+        let l3m = s.count(Event::MemLoadUopsRetiredL3Miss);
+        assert_eq!(l2m, l3h + l3m);
+    }
+
+    #[test]
+    fn small_working_set_mostly_hits_l1() {
+        let mut e = engine();
+        // 4 lines, touched 10k times: compulsory misses only.
+        let ops: Vec<MicroOp> = (0..10_000u64).map(|i| MicroOp::load((i % 4) * 64)).collect();
+        let s = e.run(ops, &WorkloadHints::default());
+        assert!(s.l1_miss_rate() < 0.01, "l1 miss rate {}", s.l1_miss_rate());
+    }
+
+    #[test]
+    fn streaming_load_misses_all_levels() {
+        let mut e = engine();
+        let ops: Vec<MicroOp> = (0..10_000u64).map(|i| MicroOp::load(i * 64)).collect();
+        let s = e.run(ops, &WorkloadHints::default());
+        assert!(s.l1_miss_rate() > 0.95);
+        assert!(s.l2_miss_rate() > 0.95);
+        assert!(s.l3_miss_rate() > 0.9);
+    }
+
+    #[test]
+    fn predictable_branches_rarely_mispredict() {
+        let mut e = engine();
+        let ops: Vec<MicroOp> =
+            (0..50_000).map(|_| MicroOp::conditional_branch(0x40, true)).collect();
+        let s = e.run(ops, &WorkloadHints::default());
+        assert!(s.mispredict_rate() < 0.001, "rate {}", s.mispredict_rate());
+    }
+
+    #[test]
+    fn random_branches_mispredict_heavily() {
+        let mut e = engine();
+        let mut x = 0xdead_beefu64;
+        let ops: Vec<MicroOp> = (0..50_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                MicroOp::conditional_branch(0x40, x & 1 == 1)
+            })
+            .collect();
+        let s = e.run(ops, &WorkloadHints::default());
+        assert!(s.mispredict_rate() > 0.3, "rate {}", s.mispredict_rate());
+    }
+
+    #[test]
+    fn indirect_branch_miss_rate_follows_hint() {
+        let mut e = engine();
+        let ops: Vec<MicroOp> = (0..10_000)
+            .map(|_| MicroOp::Branch {
+                pc: 0x80,
+                kind: BranchKind::IndirectJumpNonCallRet,
+                taken: true,
+            })
+            .collect();
+        let hints = WorkloadHints { indirect_target_miss_rate: 0.25, ..WorkloadHints::default() };
+        let s = e.run(ops, &hints);
+        let rate = s.mispredict_rate();
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn direct_jumps_never_mispredict() {
+        let mut e = engine();
+        let ops: Vec<MicroOp> = (0..1000)
+            .map(|_| MicroOp::Branch { pc: 0x90, kind: BranchKind::DirectJump, taken: true })
+            .collect();
+        let s = e.run(ops, &WorkloadHints::default());
+        assert_eq!(s.count(Event::BrMispExecAllBranches), 0);
+    }
+
+    #[test]
+    fn higher_ilp_means_higher_ipc() {
+        let ops: Vec<MicroOp> = (0..50_000).map(|_| MicroOp::Alu).collect();
+        let mut e1 = engine();
+        let s1 = e1.run(ops.clone(), &WorkloadHints { ilp: 1.0, ..WorkloadHints::default() });
+        let mut e2 = engine();
+        let s2 = e2.run(ops, &WorkloadHints { ilp: 2.0, ..WorkloadHints::default() });
+        assert!(s2.ipc() > s1.ipc() * 1.5);
+    }
+
+    #[test]
+    fn thread_overhead_lowers_ipc() {
+        let ops: Vec<MicroOp> = (0..50_000).map(|_| MicroOp::Alu).collect();
+        let mut e1 = engine();
+        let s1 = e1.run(ops.clone(), &WorkloadHints::default());
+        let mut e2 = engine();
+        let hints = WorkloadHints { threads: 4, sync_overhead: 0.5, ..WorkloadHints::default() };
+        let s2 = e2.run(ops, &hints);
+        assert!(s2.ipc() < s1.ipc() * 0.5);
+    }
+
+    #[test]
+    fn seconds_follows_clock() {
+        let mut e = engine();
+        let ops: Vec<MicroOp> = (0..1000).map(|_| MicroOp::Alu).collect();
+        let s = e.run(ops, &WorkloadHints::default());
+        let secs = e.seconds(&s);
+        let expected = s.count(Event::CpuClkUnhaltedRefTsc) as f64 / 1e9; // 1 GHz tiny config
+        assert!((secs - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut e = engine();
+        let ops: Vec<MicroOp> = (0..100u64).map(|i| MicroOp::load(i * 64)).collect();
+        let s1 = e.run(ops.clone(), &WorkloadHints::default());
+        e.reset();
+        let s2 = e.run(ops, &WorkloadHints::default());
+        assert_eq!(s1, s2, "cold runs are deterministic and identical");
+    }
+
+    #[test]
+    fn large_code_footprint_costs_icache_misses() {
+        let ops: Vec<MicroOp> = (0..200_000).map(|_| MicroOp::Alu).collect();
+        let mut e_small = engine();
+        let small = e_small.run(
+            ops.clone(),
+            &WorkloadHints { code_footprint_bytes: 512, ..WorkloadHints::default() },
+        );
+        let mut e_big = engine();
+        let big = e_big.run(
+            ops,
+            &WorkloadHints { code_footprint_bytes: 1 << 20, ..WorkloadHints::default() },
+        );
+        assert!(
+            big.count(Event::CpuClkUnhaltedRefTsc) > small.count(Event::CpuClkUnhaltedRefTsc),
+            "code larger than L1I must fetch-stall"
+        );
+    }
+}

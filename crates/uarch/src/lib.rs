@@ -1,0 +1,54 @@
+//! Execution-driven microarchitecture simulator substrate.
+//!
+//! The ISPASS 2018 SPEC CPU2017 characterization measured real hardware
+//! (a dual-socket Haswell Xeon E5-2650L v3, Table I of the paper) through
+//! Linux `perf` hardware counters. This crate stands in for that hardware:
+//! a micro-op stream is executed through
+//!
+//! - a four-cache hierarchy ([`cache`], [`hierarchy`]) with configurable
+//!   geometry and replacement policy,
+//! - a branch predictor ([`branch`]): bimodal, gshare, or a Haswell-like
+//!   tournament predictor,
+//! - an interval-analysis pipeline timing model ([`pipeline`]) that converts
+//!   event counts into cycles,
+//!
+//! while a perf-style counter file ([`counters::PerfSession`]) records events
+//! under the *same names the paper's methodology section lists*
+//! (`inst_retired.any`, `mem_uops_retired.all_loads`,
+//! `mem_load_uops_retired.l2_miss`, …), so the downstream characterization
+//! code reads counters exactly the way the authors read `perf` output.
+//!
+//! # Example
+//!
+//! ```
+//! use uarch_sim::config::SystemConfig;
+//! use uarch_sim::counters::Event;
+//! use uarch_sim::engine::{Engine, WorkloadHints};
+//! use uarch_sim::microop::MicroOp;
+//!
+//! let config = SystemConfig::haswell_e5_2650l_v3();
+//! let mut engine = Engine::new(&config);
+//! // A tiny loop: load, add, conditional branch — repeated over one page.
+//! let ops = (0..10_000u64).flat_map(|i| {
+//!     [
+//!         MicroOp::load(0x1000 + (i % 512) * 8),
+//!         MicroOp::Alu,
+//!         MicroOp::conditional_branch(0x400, i % 16 != 0),
+//!     ]
+//! });
+//! let session = engine.run(ops, &WorkloadHints::default());
+//! assert_eq!(session.count(Event::InstRetiredAny), 30_000);
+//! assert!(session.ipc() > 0.0);
+//! ```
+
+pub mod branch;
+pub mod cache;
+pub mod config;
+pub mod counters;
+pub mod engine;
+pub mod hierarchy;
+pub mod microop;
+pub mod pipeline;
+pub mod prefetch;
+pub mod replacement;
+pub mod tlb;

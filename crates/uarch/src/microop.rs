@@ -1,0 +1,129 @@
+//! The micro-op trace format executed by the simulator.
+//!
+//! The paper's instruction-mix analysis (Section IV-B) distinguishes load and
+//! store micro-operations and five branch classes, matching the Haswell
+//! `br_inst_exec.*` counter family. [`MicroOp`] carries exactly the
+//! information those counters need.
+
+/// Branch classes tracked by the paper's PCA characteristics (Table VIII).
+///
+/// Names map one-to-one onto the `br_inst_exec.*` perf events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum BranchKind {
+    /// Conditional branch (`br_inst_exec.all_conditional`).
+    Conditional,
+    /// Unconditional direct jump (`br_inst_exec.all_direct_jmp`).
+    DirectJump,
+    /// Direct near call (`br_inst_exec.all_direct_near_call`).
+    DirectNearCall,
+    /// Indirect jump that is neither call nor return
+    /// (`br_inst_exec.all_indirect_jump_non_call_ret`).
+    IndirectJumpNonCallRet,
+    /// Indirect near return (`br_inst_exec.all_indirect_near_return`).
+    IndirectNearReturn,
+}
+
+impl BranchKind {
+    /// All branch kinds, in Table VIII order.
+    pub const ALL: [BranchKind; 5] = [
+        BranchKind::Conditional,
+        BranchKind::DirectJump,
+        BranchKind::DirectNearCall,
+        BranchKind::IndirectJumpNonCallRet,
+        BranchKind::IndirectNearReturn,
+    ];
+
+    /// True for kinds whose direction must be predicted (conditional);
+    /// unconditional kinds only need a target prediction.
+    pub fn is_conditional(self) -> bool {
+        matches!(self, BranchKind::Conditional)
+    }
+}
+
+/// One dynamic micro-operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// A non-memory, non-branch micro-op (integer/FP arithmetic, moves…).
+    Alu,
+    /// A load micro-op reading from a virtual address.
+    Load {
+        /// Virtual byte address read.
+        addr: u64,
+    },
+    /// A store micro-op writing to a virtual address.
+    Store {
+        /// Virtual byte address written.
+        addr: u64,
+    },
+    /// A branch micro-op.
+    Branch {
+        /// Address of the branch instruction (used for predictor indexing).
+        pc: u64,
+        /// Static class of the branch.
+        kind: BranchKind,
+        /// Whether this dynamic instance was taken.
+        taken: bool,
+    },
+}
+
+impl MicroOp {
+    /// Convenience constructor for a load.
+    pub fn load(addr: u64) -> Self {
+        MicroOp::Load { addr }
+    }
+
+    /// Convenience constructor for a store.
+    pub fn store(addr: u64) -> Self {
+        MicroOp::Store { addr }
+    }
+
+    /// Convenience constructor for a conditional branch.
+    pub fn conditional_branch(pc: u64, taken: bool) -> Self {
+        MicroOp::Branch { pc, kind: BranchKind::Conditional, taken }
+    }
+
+    /// True for loads and stores.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, MicroOp::Load { .. } | MicroOp::Store { .. })
+    }
+
+    /// True for branches of any kind.
+    pub fn is_branch(&self) -> bool {
+        matches!(self, MicroOp::Branch { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_helpers() {
+        assert!(MicroOp::load(0).is_memory());
+        assert!(MicroOp::store(0).is_memory());
+        assert!(!MicroOp::Alu.is_memory());
+        assert!(MicroOp::conditional_branch(0, true).is_branch());
+        assert!(!MicroOp::load(0).is_branch());
+    }
+
+    #[test]
+    fn branch_kind_conditional_flag() {
+        assert!(BranchKind::Conditional.is_conditional());
+        for k in [
+            BranchKind::DirectJump,
+            BranchKind::DirectNearCall,
+            BranchKind::IndirectJumpNonCallRet,
+            BranchKind::IndirectNearReturn,
+        ] {
+            assert!(!k.is_conditional());
+        }
+    }
+
+    #[test]
+    fn all_lists_five_kinds() {
+        assert_eq!(BranchKind::ALL.len(), 5);
+        let set: std::collections::HashSet<_> = BranchKind::ALL.iter().collect();
+        assert_eq!(set.len(), 5);
+    }
+}

@@ -1,0 +1,97 @@
+//! Hardware prefetcher models (ablation extension).
+//!
+//! The paper's Haswell testbed ran with its hardware prefetchers enabled, so
+//! the per-application miss-rate targets already *include* prefetch effects;
+//! the default simulated hierarchy therefore uses [`Prefetcher::None`]. The
+//! ablation benches turn these models on to show how much of a streaming
+//! workload's miss traffic a next-line or stream prefetcher would absorb.
+
+/// Prefetcher selection for the data-side hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum Prefetcher {
+    /// No prefetching (default; targets already include prefetch effects).
+    #[default]
+    None,
+    /// On every demand miss, prefetch the next sequential line into the L2.
+    NextLine,
+    /// Detect ascending streams of misses and prefetch several lines ahead
+    /// (a simplified L2 stream prefetcher).
+    Stream,
+}
+
+/// Streaming-detector state used by [`Prefetcher::Stream`].
+#[derive(Debug, Clone, Default)]
+pub struct StreamDetector {
+    last_miss_line: u64,
+    run_length: u32,
+}
+
+impl StreamDetector {
+    /// Creates a detector with no history.
+    pub fn new() -> Self {
+        StreamDetector::default()
+    }
+
+    /// Observes a demand-miss line address; returns how many lines ahead to
+    /// prefetch (0 = none).
+    pub fn observe(&mut self, line: u64) -> u32 {
+        let depth = if line == self.last_miss_line + 1 {
+            self.run_length = (self.run_length + 1).min(8);
+            // Confidence ramps: 1 line after 2 sequential misses, up to 4.
+            match self.run_length {
+                0 | 1 => 0,
+                2 | 3 => 1,
+                4..=6 => 2,
+                _ => 4,
+            }
+        } else {
+            self.run_length = 0;
+            0
+        };
+        self.last_miss_line = line;
+        depth
+    }
+}
+
+/// Prefetch statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Prefetch requests issued to the L2.
+    pub issued: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_ramps_on_sequential_misses() {
+        let mut d = StreamDetector::new();
+        assert_eq!(d.observe(100), 0);
+        assert_eq!(d.observe(101), 0, "first sequential pair not yet confident");
+        assert_eq!(d.observe(102), 1);
+        assert_eq!(d.observe(103), 1);
+        assert_eq!(d.observe(104), 2);
+        assert_eq!(d.observe(105), 2);
+        assert_eq!(d.observe(106), 2);
+        assert_eq!(d.observe(107), 4);
+        assert_eq!(d.observe(108), 4, "depth saturates");
+    }
+
+    #[test]
+    fn detector_resets_on_break() {
+        let mut d = StreamDetector::new();
+        for l in 100..105 {
+            d.observe(l);
+        }
+        assert_eq!(d.observe(500), 0);
+        assert_eq!(d.observe(501), 0);
+        assert_eq!(d.observe(502), 1, "re-ramps after reset");
+    }
+
+    #[test]
+    fn default_is_none() {
+        assert_eq!(Prefetcher::default(), Prefetcher::None);
+    }
+}

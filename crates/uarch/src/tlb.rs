@@ -1,0 +1,129 @@
+//! A small two-level TLB model (extension beyond the paper).
+//!
+//! The paper does not report TLB statistics, but the workloads' huge memory
+//! footprints (Table V) make TLB behaviour an interesting ablation axis; the
+//! bench suite sweeps TLB reach against the footprint distribution.
+
+/// A fully-associative LRU TLB.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: usize,
+    page_shift: u32,
+    /// Most-recent-first list of resident page numbers.
+    resident: Vec<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` slots for pages of `page_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `page_bytes` is a power of two and `entries >= 1`.
+    pub fn new(entries: usize, page_bytes: usize) -> Self {
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(entries >= 1, "TLB needs at least one entry");
+        Tlb {
+            entries,
+            page_shift: page_bytes.trailing_zeros(),
+            resident: Vec::with_capacity(entries),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A Haswell-like L1 DTLB: 64 entries of 4 KiB pages.
+    pub fn haswell_dtlb() -> Self {
+        Tlb::new(64, 4096)
+    }
+
+    /// Translates an access; returns `true` on TLB hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let page = addr >> self.page_shift;
+        if let Some(pos) = self.resident.iter().position(|&p| p == page) {
+            self.resident.remove(pos);
+            self.resident.insert(0, page);
+            self.hits += 1;
+            true
+        } else {
+            if self.resident.len() == self.entries {
+                self.resident.pop();
+            }
+            self.resident.insert(0, page);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// TLB hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// TLB misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss rate in `[0, 1]`; `0.0` with no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Bytes of address space covered when fully populated.
+    pub fn reach_bytes(&self) -> usize {
+        self.entries << self.page_shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut t = Tlb::new(4, 4096);
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1fff), "same page");
+        assert!(!t.access(0x2000), "next page");
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Tlb::new(2, 4096);
+        t.access(0x0000); // page 0
+        t.access(0x1000); // page 1
+        t.access(0x2000); // page 2 evicts page 0
+        assert!(!t.access(0x0000), "page 0 was evicted");
+        assert!(t.access(0x2000), "page 2 still resident");
+    }
+
+    #[test]
+    fn reach_and_rate() {
+        let t = Tlb::haswell_dtlb();
+        assert_eq!(t.reach_bytes(), 64 * 4096);
+        assert_eq!(t.miss_rate(), 0.0);
+        let mut t = Tlb::new(1, 4096);
+        t.access(0);
+        t.access(0x1000);
+        assert_eq!(t.miss_rate(), 1.0);
+    }
+
+    #[test]
+    fn touch_refreshes_lru_position() {
+        let mut t = Tlb::new(2, 4096);
+        t.access(0x0000);
+        t.access(0x1000);
+        t.access(0x0000); // refresh page 0
+        t.access(0x2000); // evicts page 1, not page 0
+        assert!(t.access(0x0000));
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests of microarchitectural invariants.
+
+use proptest::prelude::*;
+use uarch_sim::cache::Cache;
+use uarch_sim::config::{CacheConfig, SystemConfig};
+use uarch_sim::counters::Event;
+use uarch_sim::engine::{Engine, WorkloadHints};
+use uarch_sim::hierarchy::{Hierarchy, ServedBy};
+use uarch_sim::microop::{BranchKind, MicroOp};
+use uarch_sim::pipeline::{estimate_cycles, TimingInputs};
+use uarch_sim::replacement::Policy;
+use uarch_sim::tlb::Tlb;
+
+fn any_addr() -> impl Strategy<Value = u64> {
+    0u64..(1 << 22)
+}
+
+fn any_op() -> impl Strategy<Value = MicroOp> {
+    prop_oneof![
+        Just(MicroOp::Alu),
+        any_addr().prop_map(MicroOp::load),
+        any_addr().prop_map(MicroOp::store),
+        (any_addr(), any::<bool>()).prop_map(|(pc, t)| MicroOp::conditional_branch(pc, t)),
+        (any_addr(), any::<bool>()).prop_map(|(pc, t)| MicroOp::Branch {
+            pc,
+            kind: BranchKind::DirectJump,
+            taken: t
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cache_inclusion_of_accesses(addrs in prop::collection::vec(any_addr(), 1..400)) {
+        // Immediately re-accessing the same address always hits (LRU keeps
+        // the just-filled line resident).
+        let mut cache = Cache::new(CacheConfig::new(4096, 4, 64, Policy::Lru));
+        for &a in &addrs {
+            cache.access(a, false);
+            prop_assert!(cache.access(a, false).is_hit());
+        }
+    }
+
+    #[test]
+    fn cache_stats_add_up(addrs in prop::collection::vec(any_addr(), 1..500)) {
+        let mut cache = Cache::new(CacheConfig::new(2048, 2, 64, Policy::Lru));
+        for &a in &addrs {
+            cache.access(a, a % 3 == 0);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, addrs.len() as u64);
+        prop_assert!(s.writebacks <= s.misses, "writebacks only happen on evictions");
+        prop_assert!(cache.resident_lines() <= 2048 / 64);
+    }
+
+    #[test]
+    fn smaller_cache_never_misses_less(addrs in prop::collection::vec(0u64..(1 << 14), 50..400)) {
+        // LRU caches have the inclusion property: a larger cache of the same
+        // associativity-per-set structure (more sets) can't miss more on the
+        // same trace... strictly this needs same set count; we check the
+        // common-sense weaker form with fully-scaled geometry.
+        let mut small = Cache::new(CacheConfig::new(1024, 4, 64, Policy::Lru));
+        let mut large = Cache::new(CacheConfig::new(4096, 16, 64, Policy::Lru));
+        for &a in &addrs {
+            small.access(a, false);
+            large.access(a, false);
+        }
+        prop_assert!(large.stats().misses <= small.stats().misses);
+    }
+
+    #[test]
+    fn hierarchy_serving_levels_consistent(addrs in prop::collection::vec(any_addr(), 1..500)) {
+        let mut h = Hierarchy::new(&SystemConfig::tiny_test());
+        for &a in &addrs {
+            let served = h.load(a);
+            // Immediately after any access, the line is in L1.
+            prop_assert_eq!(h.load(a), ServedBy::L1, "just-filled line must hit L1");
+            let _ = served;
+        }
+        let l1 = h.l1d_stats();
+        let l2 = h.l2_stats();
+        prop_assert_eq!(l1.accesses(), 2 * addrs.len() as u64);
+        prop_assert!(l2.accesses() >= l1.misses, "every L1 miss reaches L2");
+    }
+
+    #[test]
+    fn engine_counter_conservation(ops in prop::collection::vec(any_op(), 1..800)) {
+        let config = SystemConfig::tiny_test();
+        let mut engine = Engine::new(&config);
+        let n = ops.len() as u64;
+        let loads = ops.iter().filter(|o| matches!(o, MicroOp::Load { .. })).count() as u64;
+        let stores = ops.iter().filter(|o| matches!(o, MicroOp::Store { .. })).count() as u64;
+        let branches = ops.iter().filter(|o| o.is_branch()).count() as u64;
+        let s = engine.run(ops, &WorkloadHints::default());
+        prop_assert_eq!(s.count(Event::InstRetiredAny), n);
+        prop_assert_eq!(s.count(Event::MemUopsRetiredAllLoads), loads);
+        prop_assert_eq!(s.count(Event::MemUopsRetiredAllStores), stores);
+        prop_assert_eq!(s.count(Event::BrInstExecAllBranches), branches);
+        // Load level counters partition the loads.
+        let l1h = s.count(Event::MemLoadUopsRetiredL1Hit);
+        let l1m = s.count(Event::MemLoadUopsRetiredL1Miss);
+        prop_assert_eq!(l1h + l1m, loads);
+        let l2h = s.count(Event::MemLoadUopsRetiredL2Hit);
+        let l2m = s.count(Event::MemLoadUopsRetiredL2Miss);
+        prop_assert_eq!(l2h + l2m, l1m);
+        let l3h = s.count(Event::MemLoadUopsRetiredL3Hit);
+        let l3m = s.count(Event::MemLoadUopsRetiredL3Miss);
+        prop_assert_eq!(l3h + l3m, l2m);
+        // Mispredicts cannot exceed branches; cycles are positive.
+        prop_assert!(s.count(Event::BrMispExecAllBranches) <= branches);
+        prop_assert!(s.count(Event::CpuClkUnhaltedRefTsc) >= 1);
+    }
+
+    #[test]
+    fn engine_is_deterministic(ops in prop::collection::vec(any_op(), 1..300)) {
+        let config = SystemConfig::tiny_test();
+        let hints = WorkloadHints::default();
+        let mut e1 = Engine::new(&config);
+        let mut e2 = Engine::new(&config);
+        prop_assert_eq!(e1.run(ops.clone(), &hints), e2.run(ops, &hints));
+    }
+
+    #[test]
+    fn warmup_only_reduces_counts(ops in prop::collection::vec(any_op(), 10..400)) {
+        let config = SystemConfig::tiny_test();
+        let hints = WorkloadHints::default();
+        let mut full = Engine::new(&config);
+        let all = full.run(ops.clone(), &hints);
+        let mut warmed = Engine::new(&config);
+        let counted = warmed.run_warmed(ops.clone(), &hints, ops.len() as u64 / 2);
+        prop_assert!(counted.count(Event::InstRetiredAny) <= all.count(Event::InstRetiredAny));
+        prop_assert_eq!(
+            counted.count(Event::InstRetiredAny),
+            ops.len() as u64 - ops.len() as u64 / 2
+        );
+    }
+
+    #[test]
+    fn timing_monotone_in_stalls(
+        uops in 1_000u64..100_000,
+        misp in 0u64..500,
+        mem in 0u64..500,
+    ) {
+        let config = SystemConfig::haswell_e5_2650l_v3();
+        let base = TimingInputs { uops, ..TimingInputs::default() };
+        let more_misp = TimingInputs { mispredicts: misp, ..base };
+        let more_mem = TimingInputs { mem_served: mem, ..base };
+        let c0 = estimate_cycles(&config, &base).total();
+        prop_assert!(estimate_cycles(&config, &more_misp).total() >= c0);
+        prop_assert!(estimate_cycles(&config, &more_mem).total() >= c0);
+    }
+
+    #[test]
+    fn tlb_hits_plus_misses_conserved(addrs in prop::collection::vec(any_addr(), 1..300)) {
+        let mut tlb = Tlb::new(16, 4096);
+        for &a in &addrs {
+            tlb.access(a);
+        }
+        prop_assert_eq!(tlb.hits() + tlb.misses(), addrs.len() as u64);
+        prop_assert!(tlb.miss_rate() <= 1.0);
+    }
+}

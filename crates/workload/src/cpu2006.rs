@@ -1,0 +1,198 @@
+//! The SPEC CPU2006 roster used for the paper's suite-to-suite comparison
+//! (Tables III–VII).
+//!
+//! The paper reports CPU2006 only at suite-level aggregates (mean and
+//! standard deviation per metric), so these 29 per-application behaviours
+//! are constructed to (a) average to those aggregates and (b) respect the
+//! individually well-documented personalities of the CPU2006 programs
+//! (429.mcf is memory-bound, 456.hmmer has very high IPC, 445.gobmk and
+//! 458.sjeng mispredict heavily, 462.libquantum streams, …). Only the `ref`
+//! inputs exist here — the comparison tables use nothing else.
+
+use crate::profile::{AppProfile, Behavior, InputProfile, Suite};
+
+#[derive(Debug, Clone, Copy)]
+struct Spec06 {
+    name: &'static str,
+    int: bool,
+    inst_b: f64,
+    ipc: f64,
+    loads: f64,
+    stores: f64,
+    branches: f64,
+    misp_pct: f64,
+    m1: f64,
+    m2: f64,
+    m3: f64,
+    rss: f64,
+    vsz: f64,
+    code_kib: f64,
+}
+
+#[rustfmt::skip]
+const SPECS: [Spec06; 29] = [
+    // ---- CINT2006 (12) — avg targets: IPC 1.762, loads 26.2, stores 10.3,
+    // branches 19.1, misp 2.39, L1 4.13, L2 40.9, L3 12.2, RSS 0.391 GiB.
+    Spec06 { name: "400.perlbench", int: true,  inst_b: 1560.0, ipc: 2.20, loads: 27.0, stores: 12.0, branches: 21.0, misp_pct: 2.6, m1: 1.5, m2: 28.0, m3: 5.0,  rss: 0.55,  vsz: 0.58,  code_kib: 1900.0 },
+    Spec06 { name: "401.bzip2",     int: true,  inst_b: 1440.0, ipc: 1.90, loads: 26.0, stores: 10.0, branches: 16.0, misp_pct: 4.5, m1: 2.5, m2: 35.0, m3: 8.0,  rss: 0.85,  vsz: 0.87,  code_kib: 120.0 },
+    Spec06 { name: "403.gcc",       int: true,  inst_b: 1020.0, ipc: 1.30, loads: 26.0, stores: 13.0, branches: 22.0, misp_pct: 2.2, m1: 3.0, m2: 45.0, m3: 15.0, rss: 0.90,  vsz: 0.93,  code_kib: 3600.0 },
+    Spec06 { name: "429.mcf",       int: true,  inst_b: 990.0, ipc: 0.35, loads: 31.0, stores: 9.0,  branches: 24.0, misp_pct: 6.5, m1: 13.0, m2: 70.0, m3: 30.0, rss: 0.84,  vsz: 0.86,  code_kib: 90.0 },
+    Spec06 { name: "445.gobmk",     int: true,  inst_b: 1350.0, ipc: 1.70, loads: 25.0, stores: 11.0, branches: 21.0, misp_pct: 6.8, m1: 1.5, m2: 30.0, m3: 6.0,  rss: 0.03,  vsz: 0.06,  code_kib: 3900.0 },
+    Spec06 { name: "456.hmmer",     int: true,  inst_b: 1950.0, ipc: 3.00, loads: 28.0, stores: 12.0, branches: 8.0,  misp_pct: 0.8, m1: 0.6, m2: 15.0, m3: 4.0,  rss: 0.03,  vsz: 0.05,  code_kib: 320.0 },
+    Spec06 { name: "458.sjeng",     int: true,  inst_b: 1680.0, ipc: 1.90, loads: 22.0, stores: 9.0,  branches: 21.0, misp_pct: 5.7, m1: 1.0, m2: 25.0, m3: 10.0, rss: 0.17,  vsz: 0.19,  code_kib: 150.0 },
+    Spec06 { name: "462.libquantum",int: true,  inst_b: 1860.0, ipc: 1.40, loads: 24.0, stores: 7.0,  branches: 26.0, misp_pct: 0.8, m1: 9.0, m2: 75.0, m3: 25.0, rss: 0.10,  vsz: 0.12,  code_kib: 50.0 },
+    Spec06 { name: "464.h264ref",   int: true,  inst_b: 2100.0, ipc: 2.80, loads: 32.0, stores: 12.0, branches: 8.0,  misp_pct: 1.2, m1: 1.2, m2: 20.0, m3: 5.0,  rss: 0.06,  vsz: 0.09,  code_kib: 600.0 },
+    Spec06 { name: "471.omnetpp",   int: true,  inst_b: 990.0, ipc: 0.90, loads: 28.0, stores: 14.0, branches: 22.0, misp_pct: 2.8, m1: 6.5, m2: 60.0, m3: 20.0, rss: 0.16,  vsz: 0.18,  code_kib: 1400.0 },
+    Spec06 { name: "473.astar",     int: true,  inst_b: 1200.0, ipc: 1.30, loads: 27.0, stores: 7.0,  branches: 18.0, misp_pct: 4.5, m1: 5.0, m2: 50.0, m3: 10.0, rss: 0.33,  vsz: 0.35,  code_kib: 90.0 },
+    Spec06 { name: "483.xalancbmk", int: true,  inst_b: 1140.0, ipc: 1.50, loads: 28.8, stores: 7.7,  branches: 22.0, misp_pct: 1.8, m1: 5.0, m2: 37.0, m3: 8.0,  rss: 0.42,  vsz: 0.45,  code_kib: 2900.0 },
+    // ---- CFP2006 (17) — avg targets: IPC 1.815, loads 23.7, stores 7.2,
+    // branches 10.8, misp 1.97, L1 2.53, L2 31.9, L3 14.0, RSS 0.366 GiB.
+    Spec06 { name: "410.bwaves",    int: false, inst_b: 2340.0, ipc: 1.50, loads: 28.0, stores: 5.0,  branches: 13.0, misp_pct: 0.6, m1: 4.0, m2: 40.0, m3: 28.0, rss: 0.87,  vsz: 0.90,  code_kib: 140.0 },
+    Spec06 { name: "416.gamess",    int: false, inst_b: 2700.0, ipc: 2.60, loads: 26.0, stores: 8.0,  branches: 9.0,  misp_pct: 1.3, m1: 0.6, m2: 12.0, m3: 4.0,  rss: 0.06,  vsz: 0.10,  code_kib: 7200.0 },
+    Spec06 { name: "433.milc",      int: false, inst_b: 1290.0, ipc: 0.90, loads: 25.0, stores: 8.0,  branches: 3.0,  misp_pct: 0.4, m1: 6.5, m2: 65.0, m3: 35.0, rss: 0.68,  vsz: 0.70,  code_kib: 150.0 },
+    Spec06 { name: "434.zeusmp",    int: false, inst_b: 1860.0, ipc: 1.70, loads: 22.0, stores: 7.0,  branches: 5.0,  misp_pct: 1.0, m1: 2.5, m2: 30.0, m3: 20.0, rss: 0.50,  vsz: 0.53,  code_kib: 260.0 },
+    Spec06 { name: "435.gromacs",   int: false, inst_b: 2160.0, ipc: 1.90, loads: 27.0, stores: 9.0,  branches: 6.0,  misp_pct: 1.5, m1: 1.2, m2: 18.0, m3: 7.0,  rss: 0.03,  vsz: 0.05,  code_kib: 1100.0 },
+    Spec06 { name: "436.cactusADM", int: false, inst_b: 2040.0, ipc: 1.50, loads: 36.0, stores: 9.0,  branches: 2.0,  misp_pct: 0.3, m1: 3.5, m2: 35.0, m3: 18.0, rss: 0.65,  vsz: 0.68,  code_kib: 1300.0 },
+    Spec06 { name: "437.leslie3d",  int: false, inst_b: 1770.0, ipc: 1.40, loads: 26.0, stores: 9.0,  branches: 4.0,  misp_pct: 0.6, m1: 4.0, m2: 45.0, m3: 25.0, rss: 0.13,  vsz: 0.15,  code_kib: 180.0 },
+    Spec06 { name: "444.namd",      int: false, inst_b: 2550.0, ipc: 2.30, loads: 26.0, stores: 6.0,  branches: 5.0,  misp_pct: 0.9, m1: 0.8, m2: 14.0, m3: 7.0,  rss: 0.05,  vsz: 0.07,  code_kib: 380.0 },
+    Spec06 { name: "447.dealII",    int: false, inst_b: 2220.0, ipc: 2.00, loads: 29.0, stores: 7.0,  branches: 14.0, misp_pct: 1.5, m1: 1.5, m2: 20.0, m3: 8.0,  rss: 0.79,  vsz: 0.82,  code_kib: 2400.0 },
+    Spec06 { name: "450.soplex",    int: false, inst_b: 1260.0, ipc: 1.00, loads: 25.0, stores: 6.0,  branches: 16.0, misp_pct: 2.2, m1: 4.5, m2: 55.0, m3: 22.0, rss: 0.42,  vsz: 0.45,  code_kib: 900.0 },
+    Spec06 { name: "453.povray",    int: false, inst_b: 1680.0, ipc: 2.20, loads: 28.0, stores: 10.0, branches: 14.0, misp_pct: 2.0, m1: 0.5, m2: 10.0, m3: 4.0,  rss: 0.003, vsz: 0.03,  code_kib: 850.0 },
+    Spec06 { name: "454.calculix",  int: false, inst_b: 2430.0, ipc: 2.30, loads: 25.0, stores: 6.0,  branches: 6.0,  misp_pct: 1.1, m1: 1.0, m2: 18.0, m3: 9.0,  rss: 0.17,  vsz: 0.19,  code_kib: 1700.0 },
+    Spec06 { name: "459.GemsFDTD",  int: false, inst_b: 1440.0, ipc: 1.10, loads: 28.0, stores: 8.0,  branches: 4.0,  misp_pct: 0.5, m1: 4.5, m2: 55.0, m3: 30.0, rss: 0.83,  vsz: 0.86,  code_kib: 400.0 },
+    Spec06 { name: "465.tonto",     int: false, inst_b: 2190.0, ipc: 2.10, loads: 24.0, stores: 8.0,  branches: 12.0, misp_pct: 1.6, m1: 1.0, m2: 16.0, m3: 6.0,  rss: 0.04,  vsz: 0.07,  code_kib: 4700.0 },
+    Spec06 { name: "470.lbm",       int: false, inst_b: 1650.0, ipc: 1.30, loads: 22.0, stores: 12.0, branches: 1.0,  misp_pct: 0.3, m1: 5.5, m2: 55.0, m3: 40.0, rss: 0.41,  vsz: 0.43,  code_kib: 50.0 },
+    Spec06 { name: "481.wrf",       int: false, inst_b: 2070.0, ipc: 1.70, loads: 26.0, stores: 8.0,  branches: 12.0, misp_pct: 1.3, m1: 2.5, m2: 28.0, m3: 14.0, rss: 0.67,  vsz: 0.70,  code_kib: 4900.0 },
+    Spec06 { name: "482.sphinx3",   int: false, inst_b: 1920.0, ipc: 1.80, loads: 30.0, stores: 3.0,  branches: 10.0, misp_pct: 1.9, m1: 2.0, m2: 38.0, m3: 16.0, rss: 0.04,  vsz: 0.06,  code_kib: 550.0 },
+];
+
+fn build(spec: &Spec06) -> AppProfile {
+    // CPU2006 apps were not multithreaded in the paper's runs.
+    let cond = if spec.int { 0.78 } else { 0.84 };
+    let indirect = if spec.int { 0.03 } else { 0.005 };
+    let rem = 1.0 - cond - indirect;
+    let dj = 0.4 * rem;
+    let call = 0.3 * rem;
+    let ret = 1.0 - cond - indirect - dj - call;
+    let behavior = Behavior {
+        instructions_billions: spec.inst_b,
+        ipc_target: spec.ipc,
+        load_pct: spec.loads,
+        store_pct: spec.stores,
+        branch_pct: spec.branches,
+        cond_frac: cond,
+        direct_jump_frac: dj,
+        call_frac: call,
+        indirect_frac: indirect,
+        return_frac: ret,
+        mispredict_target: spec.misp_pct / 100.0,
+        l1_miss_target: spec.m1 / 100.0,
+        l2_miss_target: spec.m2 / 100.0,
+        l3_miss_target: spec.m3 / 100.0,
+        rss_gib: spec.rss,
+        vsz_gib: spec.vsz,
+        code_kib: spec.code_kib,
+        threads: 1,
+    };
+    AppProfile {
+        name: spec.name.to_owned(),
+        suite: if spec.int { Suite::RateInt } else { Suite::RateFp },
+        test: Vec::new(),
+        train: Vec::new(),
+        reference: vec![InputProfile { name: "in1".into(), behavior }],
+    }
+}
+
+/// The full 29-application CPU2006 suite (ref inputs only).
+pub fn suite() -> Vec<AppProfile> {
+    SPECS.iter().map(build).collect()
+}
+
+/// The 12 CINT2006 applications.
+pub fn int_suite() -> Vec<AppProfile> {
+    SPECS.iter().filter(|s| s.int).map(build).collect()
+}
+
+/// The 17 CFP2006 applications.
+pub fn fp_suite() -> Vec<AppProfile> {
+    SPECS.iter().filter(|s| !s.int).map(build).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::InputSize;
+
+    #[test]
+    fn suite_sizes() {
+        assert_eq!(suite().len(), 29);
+        assert_eq!(int_suite().len(), 12);
+        assert_eq!(fp_suite().len(), 17);
+    }
+
+    #[test]
+    fn every_behavior_validates() {
+        for app in suite() {
+            app.validate().unwrap_or_else(|e| panic!("{}: {e}", app.name));
+        }
+    }
+
+    #[test]
+    fn ref_only() {
+        for app in suite() {
+            assert_eq!(app.inputs(InputSize::Ref).len(), 1, "{}", app.name);
+            assert!(app.inputs(InputSize::Test).is_empty());
+            assert!(app.inputs(InputSize::Train).is_empty());
+        }
+    }
+
+    fn mean<F: Fn(&Behavior) -> f64>(apps: &[AppProfile], f: F) -> f64 {
+        apps.iter().map(|a| f(&a.inputs(InputSize::Ref)[0].behavior)).sum::<f64>()
+            / apps.len() as f64
+    }
+
+    #[test]
+    fn int_aggregates_near_table_targets() {
+        let apps = int_suite();
+        // Table III/IV/VI/VII CPU06-int values.
+        assert!((mean(&apps, |b| b.ipc_target) - 1.762).abs() < 0.2);
+        assert!((mean(&apps, |b| b.load_pct) - 26.234).abs() < 1.5);
+        assert!((mean(&apps, |b| b.store_pct) - 10.311).abs() < 1.0);
+        assert!((mean(&apps, |b| b.branch_pct) - 19.055).abs() < 1.5);
+        assert!((mean(&apps, |b| b.mispredict_target * 100.0) - 2.393).abs() < 1.2);
+        assert!((mean(&apps, |b| b.l1_miss_target * 100.0) - 4.129).abs() < 1.0);
+        assert!((mean(&apps, |b| b.l2_miss_target * 100.0) - 40.854).abs() < 4.0);
+    }
+
+    #[test]
+    fn fp_aggregates_near_table_targets() {
+        let apps = fp_suite();
+        assert!((mean(&apps, |b| b.ipc_target) - 1.815).abs() < 0.2);
+        assert!((mean(&apps, |b| b.load_pct) - 23.683).abs() < 3.0);
+        assert!((mean(&apps, |b| b.store_pct) - 7.176).abs() < 1.0);
+        assert!((mean(&apps, |b| b.branch_pct) - 10.805).abs() < 3.0);
+        assert!((mean(&apps, |b| b.mispredict_target * 100.0) - 1.971).abs() < 1.0);
+        assert!((mean(&apps, |b| b.l1_miss_target * 100.0) - 2.533).abs() < 1.0);
+    }
+
+    #[test]
+    fn rss_aggregates_near_table_five() {
+        assert!((mean(&int_suite(), |b| b.rss_gib) - 0.391).abs() < 0.1);
+        assert!((mean(&fp_suite(), |b| b.rss_gib) - 0.366).abs() < 0.1);
+    }
+
+    #[test]
+    fn cpu17_volume_is_roughly_3_8x_cpu06() {
+        // "CPU17 suite's 3.830x increase in the instruction count."
+        let cpu06 = mean(&suite(), |b| b.instructions_billions);
+        let cpu17 = crate::cpu2017::suite();
+        let cpu17_mean = cpu17
+            .iter()
+            .flat_map(|a| a.inputs(InputSize::Ref))
+            .map(|i| i.behavior.instructions_billions)
+            .sum::<f64>()
+            / cpu17.iter().map(|a| a.inputs(InputSize::Ref).len()).sum::<usize>() as f64;
+        let ratio = cpu17_mean / cpu06;
+        assert!((2.0..9.0).contains(&ratio), "volume ratio {ratio}");
+    }
+}

@@ -1,0 +1,256 @@
+//! OS-level memory footprint model: VSZ, RSS, and a `ps`-style sampler.
+//!
+//! The paper has no hardware counter for footprint; it samples
+//! `ps -o vsz,rss` every second and reports the maxima (Section IV-C).
+//! SPEC inputs are proprietary, so the *allocation plan* of each application
+//! is part of its behaviour profile: how much address space it reserves
+//! (VSZ) and how much it ultimately touches (peak RSS), with a growth curve
+//! describing how residency accumulates over the run. The sampler then
+//! observes that plan exactly the way `ps` observes a real process.
+//!
+//! A [`PageTracker`] is also provided to measure the pages actually touched
+//! by a (scaled) generated trace, used by tests to check that the trace's
+//! locality structure is consistent with the declared plan.
+
+use std::collections::HashSet;
+
+use crate::profile::Behavior;
+
+/// Bytes per page, matching the paper's x86-64 Linux system.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// How residency grows as the run progresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum GrowthCurve {
+    /// Everything is touched during initialization (array codes: lbm, bwaves).
+    Immediate,
+    /// Residency grows linearly with progress (streaming over inputs: xz).
+    Linear,
+    /// Fast early growth that saturates (pointer-chasing builds: gcc, mcf).
+    #[default]
+    Saturating,
+}
+
+/// An application's memory allocation plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryMap {
+    reserved_bytes: u64,
+    peak_resident_bytes: u64,
+    growth: GrowthCurve,
+}
+
+impl MemoryMap {
+    /// Builds a plan from explicit sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peak_resident_bytes > reserved_bytes` (RSS cannot exceed
+    /// VSZ).
+    pub fn new(reserved_bytes: u64, peak_resident_bytes: u64, growth: GrowthCurve) -> Self {
+        assert!(
+            peak_resident_bytes <= reserved_bytes,
+            "resident {peak_resident_bytes} exceeds reserved {reserved_bytes}"
+        );
+        MemoryMap { reserved_bytes, peak_resident_bytes, growth }
+    }
+
+    /// Builds the plan declared by a behaviour profile.
+    pub fn from_behavior(behavior: &Behavior, growth: GrowthCurve) -> Self {
+        let gib = |v: f64| (v * (1u64 << 30) as f64) as u64;
+        let rss = gib(behavior.rss_gib);
+        let vsz = gib(behavior.vsz_gib).max(rss);
+        MemoryMap::new(vsz, rss, growth)
+    }
+
+    /// Reserved address space (the `ps -o vsz` value), bytes.
+    pub fn vsz_bytes(&self) -> u64 {
+        self.reserved_bytes
+    }
+
+    /// Peak resident set (maximum `ps -o rss` over the run), bytes.
+    pub fn peak_rss_bytes(&self) -> u64 {
+        self.peak_resident_bytes
+    }
+
+    /// Resident bytes at `progress` through the run (`0.0..=1.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `progress` is outside `[0, 1]`.
+    pub fn rss_at(&self, progress: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&progress), "progress must be in [0, 1]");
+        let peak = self.peak_resident_bytes as f64;
+        let frac = match self.growth {
+            GrowthCurve::Immediate => 1.0,
+            GrowthCurve::Linear => progress,
+            GrowthCurve::Saturating => 1.0 - (-4.0 * progress).exp(),
+        };
+        // Saturating never quite reaches 1.0 analytically; the final sample
+        // observes the fully-touched process.
+        let frac = if progress >= 1.0 { 1.0 } else { frac };
+        (peak * frac) as u64
+    }
+}
+
+/// A `ps -o vsz,rss`-style sampler: records the maxima over periodic samples,
+/// which is exactly what the paper reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PsSampler {
+    max_rss: u64,
+    max_vsz: u64,
+    samples: u32,
+}
+
+impl PsSampler {
+    /// Creates a sampler with nothing observed.
+    pub fn new() -> Self {
+        PsSampler::default()
+    }
+
+    /// Takes one sample of the process at `progress` through its run.
+    pub fn sample(&mut self, map: &MemoryMap, progress: f64) {
+        self.max_rss = self.max_rss.max(map.rss_at(progress));
+        self.max_vsz = self.max_vsz.max(map.vsz_bytes());
+        self.samples += 1;
+    }
+
+    /// Samples the whole run at `n` evenly spaced points (including the end).
+    pub fn sample_run(&mut self, map: &MemoryMap, n: u32) {
+        for i in 1..=n.max(1) {
+            self.sample(map, i as f64 / n.max(1) as f64);
+        }
+    }
+
+    /// Maximum RSS observed, bytes.
+    pub fn max_rss_bytes(&self) -> u64 {
+        self.max_rss
+    }
+
+    /// Maximum VSZ observed, bytes.
+    pub fn max_vsz_bytes(&self) -> u64 {
+        self.max_vsz
+    }
+
+    /// Number of samples taken.
+    pub fn samples(&self) -> u32 {
+        self.samples
+    }
+}
+
+/// Tracks distinct pages touched by a concrete address stream.
+#[derive(Debug, Clone, Default)]
+pub struct PageTracker {
+    pages: HashSet<u64>,
+}
+
+impl PageTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        PageTracker::default()
+    }
+
+    /// Records a byte-address touch.
+    pub fn touch(&mut self, addr: u64) {
+        self.pages.insert(addr / PAGE_BYTES);
+    }
+
+    /// Number of distinct pages touched.
+    pub fn pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Touched bytes (pages × page size).
+    pub fn resident_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(growth: GrowthCurve) -> MemoryMap {
+        MemoryMap::new(2 << 30, 1 << 30, growth)
+    }
+
+    #[test]
+    fn vsz_and_peak() {
+        let m = map(GrowthCurve::Linear);
+        assert_eq!(m.vsz_bytes(), 2 << 30);
+        assert_eq!(m.peak_rss_bytes(), 1 << 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds reserved")]
+    fn rss_cannot_exceed_vsz() {
+        MemoryMap::new(100, 200, GrowthCurve::Linear);
+    }
+
+    #[test]
+    fn growth_curves_reach_peak_at_end() {
+        for g in [GrowthCurve::Immediate, GrowthCurve::Linear, GrowthCurve::Saturating] {
+            assert_eq!(map(g).rss_at(1.0), 1 << 30, "{g:?}");
+        }
+    }
+
+    #[test]
+    fn growth_curves_are_monotone() {
+        for g in [GrowthCurve::Immediate, GrowthCurve::Linear, GrowthCurve::Saturating] {
+            let m = map(g);
+            let mut last = 0;
+            for i in 0..=10 {
+                let v = m.rss_at(i as f64 / 10.0);
+                assert!(v >= last, "{g:?} not monotone at {i}");
+                last = v;
+            }
+        }
+    }
+
+    #[test]
+    fn immediate_touches_everything_early() {
+        assert_eq!(map(GrowthCurve::Immediate).rss_at(0.01), 1 << 30);
+    }
+
+    #[test]
+    fn saturating_grows_fast_early() {
+        let m = map(GrowthCurve::Saturating);
+        assert!(m.rss_at(0.5) > (m.peak_rss_bytes() as f64 * 0.8) as u64);
+        assert!(m.rss_at(0.1) > (m.peak_rss_bytes() as f64 * 0.3) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "progress")]
+    fn rss_at_rejects_bad_progress() {
+        map(GrowthCurve::Linear).rss_at(1.5);
+    }
+
+    #[test]
+    fn sampler_reports_maxima() {
+        let m = map(GrowthCurve::Linear);
+        let mut s = PsSampler::new();
+        s.sample_run(&m, 10);
+        assert_eq!(s.max_rss_bytes(), m.peak_rss_bytes());
+        assert_eq!(s.max_vsz_bytes(), m.vsz_bytes());
+        assert_eq!(s.samples(), 10);
+    }
+
+    #[test]
+    fn from_behavior_scales_gib() {
+        let b = Behavior { rss_gib: 0.5, vsz_gib: 1.0, ..Behavior::default() };
+        let m = MemoryMap::from_behavior(&b, GrowthCurve::default());
+        assert_eq!(m.peak_rss_bytes(), 1 << 29);
+        assert_eq!(m.vsz_bytes(), 1 << 30);
+    }
+
+    #[test]
+    fn page_tracker_counts_distinct_pages() {
+        let mut t = PageTracker::new();
+        t.touch(0);
+        t.touch(100);
+        t.touch(PAGE_BYTES);
+        t.touch(PAGE_BYTES + 5);
+        assert_eq!(t.pages(), 2);
+        assert_eq!(t.resident_bytes(), 2 * PAGE_BYTES);
+    }
+}

@@ -1,0 +1,300 @@
+//! The deterministic micro-op trace generator.
+//!
+//! A [`TraceGenerator`] expands one behaviour profile into a finite stream of
+//! [`MicroOp`]s: per-op class selection follows the profile's instruction-mix
+//! percentages, data addresses come from the [`reuse::LocalityModel`], and
+//! branches from the [`branchmodel::BranchModel`]. Everything is driven by a
+//! single seeded RNG, so a given (application, input, size) pair always
+//! produces the identical trace — the reproduction is bit-deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uarch_sim::config::SystemConfig;
+use uarch_sim::microop::MicroOp;
+
+use crate::branchmodel::BranchModel;
+use crate::profile::{AppInputPair, Behavior};
+use crate::reuse::LocalityModel;
+
+/// Trace-scaling parameters shared by a characterization run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceScale {
+    /// Simulated micro-ops per billion paper-scale instructions.
+    pub ops_per_billion: f64,
+    /// Minimum micro-ops regardless of instruction volume (behavioural
+    /// fidelity floor: caches need enough accesses to warm).
+    pub base_ops: u64,
+    /// Hard cap on micro-ops per pair (bounds the hour-scale `speed fp`
+    /// volumes and the fidelity boosts below).
+    pub max_ops: u64,
+}
+
+impl Default for TraceScale {
+    fn default() -> Self {
+        TraceScale { ops_per_billion: 300.0, base_ops: 200_000, max_ops: 6_000_000 }
+    }
+}
+
+impl TraceScale {
+    /// A much smaller scale for unit tests and quick demos.
+    pub fn quick() -> Self {
+        TraceScale { ops_per_billion: 10.0, base_ops: 30_000, max_ops: 600_000 }
+    }
+
+    /// The volume-proportional micro-op budget, before fidelity adjustment.
+    pub fn budget(&self, behavior: &Behavior) -> u64 {
+        behavior.ops_budget(self.ops_per_billion, self.base_ops).min(self.max_ops)
+    }
+
+    /// The micro-op budget for a behaviour on a given system, raised when
+    /// the behaviour's miss-rate targets need more accesses to be
+    /// expressible: the L2/L3 working sets must be revisited several times
+    /// (see [`crate::reuse`]), which for small miss rates requires a long
+    /// trace. Capped at `max_ops`.
+    pub fn budget_for(&self, behavior: &Behavior, config: &SystemConfig) -> u64 {
+        let base = behavior.ops_budget(self.ops_per_billion, self.base_ops);
+        let [_, f2, f3, f4] = behavior.service_fractions();
+        let l1_lines = (config.l1d.size_bytes / config.l1d.line_bytes) as f64;
+        let l2_lines = (config.l2.size_bytes / config.l2.line_bytes) as f64;
+        let mem_frac = behavior.memory_fraction().max(0.02);
+        // Accesses needed for viable W2/W3 regions (several revisits of the
+        // pollution-assisted minimum size, including a warmup pass); levels
+        // carrying < 0.2% of traffic are folded by the locality model
+        // instead.
+        let miss1 = f2 + f3 + f4;
+        let need2 = if f2 > 0.002 { 9.0 * l1_lines / miss1.max(1e-9) } else { 0.0 };
+        // W3 bypasses the L2, so its minimum size is L1-scaled; the 1152
+        // floor is 4.5 revisits of the 256-line region floor.
+        let need3 = if f3 > 1.5e-4 {
+            (9.0 * l1_lines / miss1.max(1e-9)).max(1152.0 / f3)
+        } else {
+            0.0
+        };
+        let _ = l2_lines;
+        let needed_ops = (need2.max(need3) / mem_frac) as u64;
+        // Fidelity boosts may exceed the volume cap, but only up to 2x it.
+        base.min(self.max_ops).max(needed_ops).min(self.max_ops.saturating_mul(2))
+    }
+
+    /// Converts a simulated micro-op count back to paper-scale billions of
+    /// instructions (inverse of the uncapped [`TraceScale::budget`]).
+    pub fn to_billions(&self, sim_ops: u64) -> f64 {
+        (sim_ops.saturating_sub(self.base_ops)) as f64 / self.ops_per_billion
+    }
+}
+
+/// A finite, deterministic micro-op stream for one application–input pair.
+///
+/// # Example
+///
+/// ```
+/// use uarch_sim::config::SystemConfig;
+/// use workload_synth::generator::TraceGenerator;
+/// use workload_synth::profile::Behavior;
+///
+/// let config = SystemConfig::haswell_e5_2650l_v3();
+/// let gen = TraceGenerator::new(&Behavior::default(), &config, 7, 10_000);
+/// assert_eq!(gen.count(), 10_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    rng: StdRng,
+    locality: LocalityModel,
+    branches: BranchModel,
+    remaining: u64,
+    /// Cumulative class thresholds: load | store | branch (remainder: ALU).
+    cum: [f64; 3],
+}
+
+impl TraceGenerator {
+    /// Builds a generator producing exactly `ops` micro-ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `behavior` fails validation (see
+    /// [`Behavior::validate`]).
+    pub fn new(behavior: &Behavior, config: &SystemConfig, seed: u64, ops: u64) -> Self {
+        behavior
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid behavior for trace generation: {e}"));
+        let load = behavior.load_pct / 100.0;
+        let store = behavior.store_pct / 100.0;
+        let branch = behavior.branch_pct / 100.0;
+        TraceGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            locality: LocalityModel::new(
+                behavior.service_fractions(),
+                config,
+                (ops as f64 * behavior.memory_fraction()).ceil() as u64,
+            ),
+            branches: BranchModel::new(behavior),
+            remaining: ops,
+            cum: [load, load + store, load + store + branch],
+        }
+    }
+
+    /// Builds the canonical generator for an application–input pair: seeded
+    /// from the pair identity and sized by `scale`.
+    pub fn from_pair(pair: &AppInputPair<'_>, config: &SystemConfig, scale: &TraceScale) -> Self {
+        let behavior = &pair.input.behavior;
+        TraceGenerator::new(behavior, config, pair.seed(), scale.budget_for(behavior, config))
+    }
+
+    /// Micro-ops still to be produced.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Address range of the L3-resident working set; pass this as the
+    /// engine's `l2_bypass_range` hint so the scaled-down region behaves
+    /// like the multi-megabyte original (see `crate::reuse`).
+    pub fn l2_bypass_range(&self) -> (u64, u64) {
+        self.locality.l3_set_range()
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = MicroOp;
+
+    fn next(&mut self) -> Option<MicroOp> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let u: f64 = self.rng.gen();
+        Some(if u < self.cum[0] {
+            MicroOp::Load { addr: self.locality.next_addr(&mut self.rng) }
+        } else if u < self.cum[1] {
+            MicroOp::Store { addr: self.locality.next_addr(&mut self.rng) }
+        } else if u < self.cum[2] {
+            self.branches.next(&mut self.rng)
+        } else {
+            MicroOp::Alu
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for TraceGenerator {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch_sim::microop::BranchKind;
+
+    fn config() -> SystemConfig {
+        SystemConfig::haswell_e5_2650l_v3()
+    }
+
+    #[test]
+    fn produces_exact_count() {
+        let g = TraceGenerator::new(&Behavior::default(), &config(), 1, 5000);
+        assert_eq!(g.len(), 5000);
+        assert_eq!(g.count(), 5000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<MicroOp> =
+            TraceGenerator::new(&Behavior::default(), &config(), 9, 2000).collect();
+        let b: Vec<MicroOp> =
+            TraceGenerator::new(&Behavior::default(), &config(), 9, 2000).collect();
+        assert_eq!(a, b);
+        let c: Vec<MicroOp> =
+            TraceGenerator::new(&Behavior::default(), &config(), 10, 2000).collect();
+        assert_ne!(a, c, "different seeds give different traces");
+    }
+
+    #[test]
+    fn instruction_mix_matches_profile() {
+        let behavior = Behavior {
+            load_pct: 30.0,
+            store_pct: 10.0,
+            branch_pct: 20.0,
+            ..Behavior::default()
+        };
+        let n = 200_000u64;
+        let g = TraceGenerator::new(&behavior, &config(), 3, n);
+        let (mut loads, mut stores, mut branches) = (0u64, 0u64, 0u64);
+        for op in g {
+            match op {
+                MicroOp::Load { .. } => loads += 1,
+                MicroOp::Store { .. } => stores += 1,
+                MicroOp::Branch { .. } => branches += 1,
+                MicroOp::Alu => {}
+            }
+        }
+        assert!((loads as f64 / n as f64 - 0.30).abs() < 0.01);
+        assert!((stores as f64 / n as f64 - 0.10).abs() < 0.01);
+        assert!((branches as f64 / n as f64 - 0.20).abs() < 0.01);
+    }
+
+    #[test]
+    fn branch_kind_composition_flows_through() {
+        let behavior = Behavior { branch_pct: 30.0, ..Behavior::default() };
+        let g = TraceGenerator::new(&behavior, &config(), 4, 300_000);
+        let mut cond = 0u64;
+        let mut total = 0u64;
+        for op in g {
+            if let MicroOp::Branch { kind, .. } = op {
+                total += 1;
+                if kind == BranchKind::Conditional {
+                    cond += 1;
+                }
+            }
+        }
+        let frac = cond as f64 / total as f64;
+        assert!((frac - behavior.cond_frac).abs() < 0.02, "conditional fraction {frac}");
+    }
+
+    #[test]
+    fn scale_budget_and_inverse() {
+        let scale = TraceScale::default();
+        let b = Behavior { instructions_billions: 2000.0, ..Behavior::default() };
+        let ops = scale.budget(&b);
+        assert_eq!(ops, 200_000 + 600_000);
+        let back = scale.to_billions(ops);
+        assert!((back - 2000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn budget_for_raises_low_miss_profiles() {
+        // A low-miss-rate profile needs a longer trace for its L2/L3
+        // working sets to be revisited.
+        let scale = TraceScale::default();
+        let config = SystemConfig::haswell_e5_2650l_v3();
+        let low_miss = Behavior {
+            instructions_billions: 100.0,
+            l1_miss_target: 0.01,
+            ..Behavior::default()
+        };
+        assert!(scale.budget_for(&low_miss, &config) > scale.budget(&low_miss));
+        // And the cap is respected.
+        assert!(scale.budget_for(&low_miss, &config) <= scale.max_ops);
+    }
+
+    #[test]
+    fn quick_scale_is_smaller() {
+        let b = Behavior::default();
+        assert!(TraceScale::quick().budget(&b) < TraceScale::default().budget(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid behavior")]
+    fn invalid_behavior_panics() {
+        let bad = Behavior { load_pct: 90.0, store_pct: 20.0, ..Behavior::default() };
+        TraceGenerator::new(&bad, &config(), 0, 10);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut g = TraceGenerator::new(&Behavior::default(), &config(), 2, 100);
+        assert_eq!(g.size_hint(), (100, Some(100)));
+        g.next();
+        assert_eq!(g.size_hint(), (99, Some(99)));
+    }
+}

@@ -1,0 +1,198 @@
+//! Phased workloads — the substrate for the paper's stated future work.
+//!
+//! The paper closes by proposing to "explore the [applications'] phase
+//! behavior in order to identify the applications' simulation phases". Real
+//! programs alternate between initialization, compute, and I/O-ish phases
+//! with distinct counter signatures. A [`PhasedWorkload`] strings together
+//! several [`Behavior`]s with relative durations, and its generator emits
+//! them back-to-back, giving the phase-detection pipeline (see the
+//! `workchar::phase` module) something real to find.
+
+use uarch_sim::config::SystemConfig;
+use uarch_sim::microop::MicroOp;
+
+use crate::generator::TraceGenerator;
+use crate::profile::{Behavior, InvalidBehavior};
+
+/// One phase: a behaviour and its relative duration weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Behaviour during the phase.
+    pub behavior: Behavior,
+    /// Relative duration (weights are normalized over the workload).
+    pub weight: f64,
+}
+
+/// A workload consisting of sequential phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasedWorkload {
+    /// Display name.
+    pub name: String,
+    phases: Vec<Phase>,
+}
+
+impl PhasedWorkload {
+    /// Creates a phased workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidBehavior`] if any phase behaviour is invalid, there
+    /// are no phases, or any weight is non-positive.
+    pub fn new(name: &str, phases: Vec<Phase>) -> Result<Self, InvalidBehavior> {
+        if phases.is_empty() {
+            return Err(InvalidBehavior { what: "a phased workload needs at least one phase" });
+        }
+        for phase in &phases {
+            phase.behavior.validate()?;
+            if !(phase.weight > 0.0) {
+                return Err(InvalidBehavior { what: "phase weights must be positive" });
+            }
+        }
+        Ok(PhasedWorkload { name: name.to_owned(), phases })
+    }
+
+    /// The phases in execution order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Micro-op budget of each phase for a `total_ops` run (weights
+    /// normalized; the final phase absorbs rounding).
+    pub fn phase_budgets(&self, total_ops: u64) -> Vec<u64> {
+        let total_weight: f64 = self.phases.iter().map(|p| p.weight).sum();
+        let mut budgets: Vec<u64> = self
+            .phases
+            .iter()
+            .map(|p| ((p.weight / total_weight) * total_ops as f64) as u64)
+            .collect();
+        let assigned: u64 = budgets.iter().sum();
+        if let Some(last) = budgets.last_mut() {
+            *last += total_ops - assigned;
+        }
+        budgets
+    }
+
+    /// Builds the phase-by-phase trace: a single iterator over `total_ops`
+    /// micro-ops that switches behaviour at phase boundaries.
+    pub fn trace(
+        &self,
+        config: &SystemConfig,
+        seed: u64,
+        total_ops: u64,
+    ) -> impl Iterator<Item = MicroOp> + '_ {
+        let budgets = self.phase_budgets(total_ops);
+        let config = config.clone();
+        self.phases
+            .iter()
+            .zip(budgets)
+            .enumerate()
+            .flat_map(move |(i, (phase, ops))| {
+                TraceGenerator::new(
+                    &phase.behavior,
+                    &config,
+                    seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9),
+                    ops,
+                )
+            })
+    }
+}
+
+/// A canned three-phase demo workload: pointer-chasing initialization,
+/// compute-dense main loop, then a streaming write-out — three clearly
+/// distinct counter signatures.
+pub fn demo_three_phase() -> PhasedWorkload {
+    let init = Behavior {
+        load_pct: 32.0,
+        store_pct: 14.0,
+        branch_pct: 20.0,
+        l1_miss_target: 0.09,
+        l2_miss_target: 0.6,
+        l3_miss_target: 0.3,
+        mispredict_target: 0.04,
+        ipc_target: 0.6,
+        ..Behavior::default()
+    };
+    let compute = Behavior {
+        load_pct: 18.0,
+        store_pct: 4.0,
+        branch_pct: 6.0,
+        l1_miss_target: 0.005,
+        l2_miss_target: 0.1,
+        l3_miss_target: 0.05,
+        mispredict_target: 0.004,
+        ipc_target: 2.8,
+        ..Behavior::default()
+    };
+    let writeout = Behavior {
+        load_pct: 10.0,
+        store_pct: 22.0,
+        branch_pct: 3.0,
+        l1_miss_target: 0.12,
+        l2_miss_target: 0.8,
+        l3_miss_target: 0.8,
+        mispredict_target: 0.002,
+        ipc_target: 0.5,
+        ..Behavior::default()
+    };
+    PhasedWorkload::new(
+        "demo.three_phase",
+        vec![
+            Phase { behavior: init, weight: 1.0 },
+            Phase { behavior: compute, weight: 3.0 },
+            Phase { behavior: writeout, weight: 1.0 },
+        ],
+    )
+    .expect("demo phases are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_respect_weights_and_total() {
+        let w = demo_three_phase();
+        let budgets = w.phase_budgets(10_000);
+        assert_eq!(budgets.iter().sum::<u64>(), 10_000);
+        assert_eq!(budgets.len(), 3);
+        assert!(budgets[1] > budgets[0] * 2, "compute phase dominates");
+    }
+
+    #[test]
+    fn trace_produces_exact_total() {
+        let w = demo_three_phase();
+        let config = SystemConfig::haswell_e5_2650l_v3();
+        let n = w.trace(&config, 1, 30_000).count();
+        assert_eq!(n, 30_000);
+    }
+
+    #[test]
+    fn phase_mix_changes_along_the_trace() {
+        let w = demo_three_phase();
+        let config = SystemConfig::haswell_e5_2650l_v3();
+        let ops: Vec<MicroOp> = w.trace(&config, 2, 50_000).collect();
+        let store_frac = |window: &[MicroOp]| {
+            window.iter().filter(|o| matches!(o, MicroOp::Store { .. })).count() as f64
+                / window.len() as f64
+        };
+        let head = store_frac(&ops[..10_000]);
+        let tail = store_frac(&ops[40_000..]);
+        assert!(tail > head + 0.05, "write-out phase must be store-heavy: {head} vs {tail}");
+    }
+
+    #[test]
+    fn rejects_empty_and_bad_weights() {
+        assert!(PhasedWorkload::new("x", vec![]).is_err());
+        let bad = Phase { behavior: Behavior::default(), weight: 0.0 };
+        assert!(PhasedWorkload::new("x", vec![bad]).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = demo_three_phase();
+        let config = SystemConfig::haswell_e5_2650l_v3();
+        let a: Vec<MicroOp> = w.trace(&config, 9, 5000).collect();
+        let b: Vec<MicroOp> = w.trace(&config, 9, 5000).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,259 @@
+//! Compact binary serialization of micro-op traces.
+//!
+//! The generator is fast enough that the reproduction regenerates traces on
+//! demand, but trace-driven workflows (sharing a workload with another
+//! simulator, regression-pinning an exact instruction stream, or replaying
+//! a trace under many configurations without re-generation) want a durable
+//! on-disk format. [`write_trace`] / [`TraceReader`] implement one:
+//!
+//! ```text
+//! magic "SWTR" | version u16 | op count u64 | ops...
+//! op: tag u8 (0 alu, 1 load, 2 store, 3 branch)
+//!     loads/stores: addr u64 LE
+//!     branches:     pc u64 LE, kind u8, taken u8
+//! ```
+
+use std::io::{self, Read, Write};
+
+use uarch_sim::microop::{BranchKind, MicroOp};
+
+const MAGIC: &[u8; 4] = b"SWTR";
+const VERSION: u16 = 1;
+
+const TAG_ALU: u8 = 0;
+const TAG_LOAD: u8 = 1;
+const TAG_STORE: u8 = 2;
+const TAG_BRANCH: u8 = 3;
+
+fn kind_code(kind: BranchKind) -> u8 {
+    match kind {
+        BranchKind::Conditional => 0,
+        BranchKind::DirectJump => 1,
+        BranchKind::DirectNearCall => 2,
+        BranchKind::IndirectJumpNonCallRet => 3,
+        BranchKind::IndirectNearReturn => 4,
+        // `BranchKind` is non_exhaustive; a new kind needs a format bump.
+        other => unimplemented!("branch kind {other:?} not in trace format v{VERSION}"),
+    }
+}
+
+fn code_kind(code: u8) -> Option<BranchKind> {
+    Some(match code {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::DirectJump,
+        2 => BranchKind::DirectNearCall,
+        3 => BranchKind::IndirectJumpNonCallRet,
+        4 => BranchKind::IndirectNearReturn,
+        _ => return None,
+    })
+}
+
+/// Writes a trace with an exact up-front op count.
+///
+/// The count is written into the header, so the iterator is buffered through
+/// `ExactSizeIterator` semantics: pass any iterator plus its known length.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_trace<W: Write, I>(mut writer: W, ops: I, count: u64) -> io::Result<()>
+where
+    I: IntoIterator<Item = MicroOp>,
+{
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&count.to_le_bytes())?;
+    let mut written = 0u64;
+    for op in ops {
+        match op {
+            MicroOp::Alu => writer.write_all(&[TAG_ALU])?,
+            MicroOp::Load { addr } => {
+                writer.write_all(&[TAG_LOAD])?;
+                writer.write_all(&addr.to_le_bytes())?;
+            }
+            MicroOp::Store { addr } => {
+                writer.write_all(&[TAG_STORE])?;
+                writer.write_all(&addr.to_le_bytes())?;
+            }
+            MicroOp::Branch { pc, kind, taken } => {
+                writer.write_all(&[TAG_BRANCH])?;
+                writer.write_all(&pc.to_le_bytes())?;
+                writer.write_all(&[kind_code(kind), taken as u8])?;
+            }
+        }
+        written += 1;
+    }
+    if written != count {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("trace writer promised {count} ops but produced {written}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Streaming reader over a serialized trace.
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    reader: R,
+    remaining: u64,
+    errored: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a trace, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for a bad magic or unsupported version, and
+    /// propagates I/O errors.
+    pub fn open(mut reader: R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a SWTR trace"));
+        }
+        let mut version = [0u8; 2];
+        reader.read_exact(&mut version)?;
+        if u16::from_le_bytes(version) != VERSION {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported trace version"));
+        }
+        let mut count = [0u8; 8];
+        reader.read_exact(&mut count)?;
+        Ok(TraceReader { reader, remaining: u64::from_le_bytes(count), errored: false })
+    }
+
+    /// Ops left to read.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    fn read_op(&mut self) -> io::Result<MicroOp> {
+        let mut tag = [0u8; 1];
+        self.reader.read_exact(&mut tag)?;
+        match tag[0] {
+            TAG_ALU => Ok(MicroOp::Alu),
+            TAG_LOAD | TAG_STORE => {
+                let mut addr = [0u8; 8];
+                self.reader.read_exact(&mut addr)?;
+                let addr = u64::from_le_bytes(addr);
+                Ok(if tag[0] == TAG_LOAD { MicroOp::Load { addr } } else { MicroOp::Store { addr } })
+            }
+            TAG_BRANCH => {
+                let mut pc = [0u8; 8];
+                self.reader.read_exact(&mut pc)?;
+                let mut rest = [0u8; 2];
+                self.reader.read_exact(&mut rest)?;
+                let kind = code_kind(rest[0]).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad branch kind code")
+                })?;
+                Ok(MicroOp::Branch { pc: u64::from_le_bytes(pc), kind, taken: rest[1] != 0 })
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad micro-op tag {other}"),
+            )),
+        }
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = io::Result<MicroOp>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 || self.errored {
+            return None;
+        }
+        self.remaining -= 1;
+        let result = self.read_op();
+        if result.is_err() {
+            self.errored = true;
+        }
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::profile::Behavior;
+    use uarch_sim::config::SystemConfig;
+
+    fn sample_ops() -> Vec<MicroOp> {
+        vec![
+            MicroOp::Alu,
+            MicroOp::load(0xdead_beef),
+            MicroOp::store(0x1234_5678_9abc),
+            MicroOp::Branch { pc: 0x400, kind: BranchKind::Conditional, taken: true },
+            MicroOp::Branch { pc: 0x800, kind: BranchKind::IndirectNearReturn, taken: false },
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_ops() {
+        let ops = sample_ops();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, ops.iter().copied(), ops.len() as u64).unwrap();
+        let reader = TraceReader::open(buf.as_slice()).unwrap();
+        let back: Vec<MicroOp> = reader.map(|r| r.unwrap()).collect();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn round_trip_generated_trace() {
+        let config = SystemConfig::haswell_e5_2650l_v3();
+        let original: Vec<MicroOp> =
+            TraceGenerator::new(&Behavior::default(), &config, 3, 5000).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, original.iter().copied(), 5000).unwrap();
+        let reader = TraceReader::open(buf.as_slice()).unwrap();
+        assert_eq!(reader.remaining(), 5000);
+        let back: Vec<MicroOp> = reader.map(|r| r.unwrap()).collect();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00".to_vec();
+        assert!(TraceReader::open(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, std::iter::empty(), 0).unwrap();
+        buf[4] = 99; // corrupt version
+        assert!(TraceReader::open(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_yields_error_item() {
+        let ops = sample_ops();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, ops.iter().copied(), ops.len() as u64).unwrap();
+        buf.truncate(buf.len() - 4); // chop the last op
+        let reader = TraceReader::open(buf.as_slice()).unwrap();
+        let results: Vec<io::Result<MicroOp>> = reader.collect();
+        assert!(results.last().unwrap().is_err());
+        // Error is terminal: iterator stopped at it.
+        assert!(results.len() <= ops.len());
+    }
+
+    #[test]
+    fn count_mismatch_detected_on_write() {
+        let err = write_trace(Vec::new(), sample_ops(), 99).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, std::iter::once(MicroOp::Alu), 1).unwrap();
+        let tag_offset = buf.len() - 1;
+        buf[tag_offset] = 42;
+        let reader = TraceReader::open(buf.as_slice()).unwrap();
+        let results: Vec<io::Result<MicroOp>> = reader.collect();
+        assert!(results[0].is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests of the workload substrate: generated traces must
+//! respect their profile across the whole space of valid behaviours.
+
+use proptest::prelude::*;
+use uarch_sim::config::SystemConfig;
+use uarch_sim::microop::{BranchKind, MicroOp};
+use workload_synth::footprint::{GrowthCurve, MemoryMap};
+use workload_synth::generator::{TraceGenerator, TraceScale};
+use workload_synth::profile::Behavior;
+
+/// Strategy over valid behaviours spanning the plausible SPEC-like space.
+fn behavior_strategy() -> impl Strategy<Value = Behavior> {
+    (
+        1.0..5000.0f64,   // instructions_billions
+        0.05..3.2f64,     // ipc target
+        5.0..40.0f64,     // loads
+        1.0..16.0f64,     // stores
+        1.0..33.0f64,     // branches
+        0.0..0.15f64,     // mispredict target
+        (0.001..0.2f64, 0.05..0.9f64, 0.02..0.9f64), // miss targets
+        0.001..12.0f64,   // rss
+        1u32..=4,         // threads
+    )
+        .prop_map(
+            |(inst, ipc, loads, stores, branches, misp, (m1, m2, m3), rss, threads)| Behavior {
+                instructions_billions: inst,
+                ipc_target: ipc,
+                load_pct: loads,
+                store_pct: stores,
+                branch_pct: branches,
+                mispredict_target: misp,
+                l1_miss_target: m1,
+                l2_miss_target: m2,
+                l3_miss_target: m3,
+                rss_gib: rss,
+                vsz_gib: rss * 1.15 + 0.01,
+                threads,
+                ..Behavior::default()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_valid_behavior_generates(behavior in behavior_strategy()) {
+        prop_assert!(behavior.validate().is_ok());
+        let config = SystemConfig::haswell_e5_2650l_v3();
+        let n = 20_000u64;
+        let ops: Vec<MicroOp> = TraceGenerator::new(&behavior, &config, 5, n).collect();
+        prop_assert_eq!(ops.len() as u64, n);
+    }
+
+    #[test]
+    fn mix_fractions_track_profile(behavior in behavior_strategy()) {
+        let config = SystemConfig::haswell_e5_2650l_v3();
+        let n = 60_000u64;
+        let mut loads = 0u64;
+        let mut stores = 0u64;
+        let mut branches = 0u64;
+        for op in TraceGenerator::new(&behavior, &config, 6, n) {
+            match op {
+                MicroOp::Load { .. } => loads += 1,
+                MicroOp::Store { .. } => stores += 1,
+                MicroOp::Branch { .. } => branches += 1,
+                MicroOp::Alu => {}
+            }
+        }
+        let pct = |c: u64| 100.0 * c as f64 / n as f64;
+        // 3-sigma-ish tolerance for 60k Bernoulli samples: ~0.6 points.
+        prop_assert!((pct(loads) - behavior.load_pct).abs() < 1.2);
+        prop_assert!((pct(stores) - behavior.store_pct).abs() < 1.2);
+        prop_assert!((pct(branches) - behavior.branch_pct).abs() < 1.2);
+    }
+
+    #[test]
+    fn branch_kinds_sum_to_branch_total(behavior in behavior_strategy()) {
+        let config = SystemConfig::haswell_e5_2650l_v3();
+        let mut by_kind = std::collections::HashMap::new();
+        let mut total = 0u64;
+        for op in TraceGenerator::new(&behavior, &config, 7, 40_000) {
+            if let MicroOp::Branch { kind, .. } = op {
+                *by_kind.entry(kind).or_insert(0u64) += 1;
+                total += 1;
+            }
+        }
+        let sum: u64 = by_kind.values().sum();
+        prop_assert_eq!(sum, total);
+        // Unconditional kinds are always taken.
+        for op in TraceGenerator::new(&behavior, &config, 7, 5_000) {
+            if let MicroOp::Branch { kind, taken, .. } = op {
+                if kind != BranchKind::Conditional {
+                    prop_assert!(taken);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn service_fractions_always_normalized(behavior in behavior_strategy()) {
+        let f = behavior.service_fractions();
+        prop_assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(f.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn hints_are_always_sane(behavior in behavior_strategy()) {
+        let config = SystemConfig::haswell_e5_2650l_v3();
+        let h = behavior.hints(&config);
+        prop_assert!(h.ilp >= 0.1 && h.ilp <= config.issue_width as f64);
+        prop_assert!((1.0..=16.0).contains(&h.mlp));
+        prop_assert!(h.sync_overhead >= 0.0);
+        prop_assert!((0.0..=0.35).contains(&h.indirect_target_miss_rate));
+    }
+
+    #[test]
+    fn budget_respects_caps(behavior in behavior_strategy()) {
+        let config = SystemConfig::haswell_e5_2650l_v3();
+        for scale in [TraceScale::default(), TraceScale::quick()] {
+            let ops = scale.budget_for(&behavior, &config);
+            prop_assert!(ops >= scale.base_ops.min(scale.max_ops));
+            prop_assert!(ops <= scale.max_ops.saturating_mul(2));
+        }
+    }
+
+    #[test]
+    fn memory_map_monotone_for_any_behavior(
+        behavior in behavior_strategy(),
+        growth in prop_oneof![
+            Just(GrowthCurve::Immediate),
+            Just(GrowthCurve::Linear),
+            Just(GrowthCurve::Saturating)
+        ],
+    ) {
+        let map = MemoryMap::from_behavior(&behavior, growth);
+        prop_assert!(map.peak_rss_bytes() <= map.vsz_bytes());
+        let mut last = 0;
+        for i in 0..=20 {
+            let rss = map.rss_at(i as f64 / 20.0);
+            prop_assert!(rss >= last);
+            last = rss;
+        }
+        prop_assert_eq!(last, map.peak_rss_bytes());
+    }
+
+    #[test]
+    fn traces_replay_identically(behavior in behavior_strategy(), seed in 0u64..1000) {
+        let config = SystemConfig::haswell_e5_2650l_v3();
+        let a: Vec<MicroOp> = TraceGenerator::new(&behavior, &config, seed, 4_000).collect();
+        let b: Vec<MicroOp> = TraceGenerator::new(&behavior, &config, seed, 4_000).collect();
+        prop_assert_eq!(a, b);
+    }
+}

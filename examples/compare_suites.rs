@@ -1,0 +1,29 @@
+//! Regenerate the CPU2006-vs-CPU2017 comparison tables (Tables III–VII) —
+//! the paper's answer to "is the new suite worth buying?".
+//!
+//! ```text
+//! cargo run --release --example compare_suites
+//! ```
+
+use spec2017_workchar::workchar::characterize::RunConfig;
+use spec2017_workchar::workchar::dataset::Dataset;
+use spec2017_workchar::workchar::experiments::{self, ExperimentId};
+
+fn main() {
+    println!("characterizing CPU2017 + CPU2006 (this takes a minute)...\n");
+    let data = Dataset::collect(RunConfig::default());
+    for id in [
+        ExperimentId::Table3,
+        ExperimentId::Table4,
+        ExperimentId::Table5,
+        ExperimentId::Table6,
+        ExperimentId::Table7,
+    ] {
+        println!("{}", experiments::run(id, &data).render());
+    }
+    println!("Headline shape checks against the paper:");
+    println!(" - CPU17 overall IPC below CPU06 (fp applications drive the drop)");
+    println!(" - instruction-mix percentages within a few points across suites");
+    println!(" - CPU17 footprints several times larger than CPU06");
+    println!(" - CPU17 L2 miss rates lower than CPU06; L1/L3 slightly higher");
+}

@@ -1,0 +1,55 @@
+//! The paper's Section V pipeline as a standalone flow: characterize the
+//! `rate` and `speed` ref pairs, PCA-reduce the 20 characteristics, cluster
+//! hierarchically, pick the Pareto-knee cluster count, and print the
+//! suggested representative subset with its time saving (Table X analogue).
+//!
+//! ```text
+//! cargo run --release --example subset_selection
+//! ```
+
+use spec2017_workchar::stat_analysis::cluster::Linkage;
+use spec2017_workchar::workchar::characterize::{characterize_suite, CharRecord, RunConfig};
+use spec2017_workchar::workchar::redundancy::RedundancyAnalysis;
+use spec2017_workchar::workchar::subset::SubsetAnalysis;
+use spec2017_workchar::workload_synth::cpu2017;
+use spec2017_workchar::workload_synth::profile::InputSize;
+
+fn main() {
+    let config = RunConfig::default();
+    println!("characterizing all CPU2017 ref pairs (this takes a minute)...");
+    let records = characterize_suite(&cpu2017::suite(), InputSize::Ref, &config);
+    println!("collected {} ref application-input pairs\n", records.len());
+
+    for (label, keep_speed) in [("rate", false), ("speed", true)] {
+        let group: Vec<&CharRecord> =
+            records.iter().filter(|r| r.suite.is_speed() == keep_speed).collect();
+        let owned: Vec<CharRecord> = group.iter().map(|&r| r.clone()).collect();
+
+        let analysis = RedundancyAnalysis::fit_paper(&owned)
+            .expect("enough pairs for PCA");
+        println!(
+            "[{label}] PCA keeps {} components covering {:.1}% of variance \
+             (paper: 4 components, 76.3%)",
+            analysis.n_components,
+            analysis.explained * 100.0
+        );
+
+        let subset = SubsetAnalysis::fit(&group, &analysis.score_rows(), Linkage::Average)
+            .expect("subset analysis");
+        println!(
+            "[{label}] Pareto-optimal cluster count: k = {} (paper: rate 12, speed 10)",
+            subset.chosen_k
+        );
+        println!("[{label}] suggested subset:");
+        for id in subset.representative_ids() {
+            println!("    {id}");
+        }
+        println!(
+            "[{label}] subset time {:.1}s vs full {:.1}s -> {:.1}% saving \
+             (paper: rate 57.1%, speed 62.1%)\n",
+            subset.subset_seconds,
+            subset.full_seconds,
+            subset.saving_pct()
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the SPEC CPU2017 workload-characterization reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! a single dependency. See the individual crates for the real APIs:
+//!
+//! - [`workload_synth`] — synthetic SPEC-like workload profiles and generators.
+//! - [`uarch_sim`] — cache / branch-predictor / pipeline simulator with perf-style counters.
+//! - [`stat_analysis`] — PCA, hierarchical clustering, Pareto analysis.
+//! - [`workchar`] — the paper's characterization + subsetting pipeline.
+//! - [`simreport`] — table and figure rendering.
+
+pub use simreport;
+pub use stat_analysis;
+pub use uarch_sim;
+pub use workchar;
+pub use workload_synth;

@@ -1,0 +1,99 @@
+//! End-to-end integration: dataset collection → every experiment artifact.
+
+use std::sync::OnceLock;
+
+use spec2017_workchar::workchar::dataset::Dataset;
+use spec2017_workchar::workchar::experiments::{self, correlation_notes, ExperimentId};
+use spec2017_workchar::workload_synth::profile::InputSize;
+
+fn demo() -> &'static Dataset {
+    static DATA: OnceLock<Dataset> = OnceLock::new();
+    DATA.get_or_init(Dataset::demo)
+}
+
+#[test]
+fn all_twenty_experiments_render() {
+    let data = demo();
+    for artifact in experiments::run_all(data) {
+        let text = artifact.render();
+        assert!(text.len() > 40, "{:?} renders trivially:\n{text}", artifact.id);
+        // CSV rendering never panics and is parseable-ish.
+        let csv = artifact.render_csv();
+        for line in csv.lines().take(3) {
+            assert!(!line.contains('\t'), "tabs in CSV: {line}");
+        }
+    }
+}
+
+#[test]
+fn table2_sizes_ordered() {
+    let data = demo();
+    let artifact = experiments::run(ExperimentId::Table2, data);
+    let table = &artifact.tables[0];
+    // Within each suite block, ref rows must report more instructions than
+    // test rows.
+    let value = |row: &Vec<String>, col: usize| -> f64 { row[col].parse().unwrap() };
+    let rows = table.rows();
+    for suite in ["rate int", "rate fp", "speed int", "speed fp"] {
+        let test = rows.iter().find(|r| r[0] == suite && r[1] == "test");
+        let reference = rows.iter().find(|r| r[0] == suite && r[1] == "ref");
+        if let (Some(t), Some(r)) = (test, reference) {
+            assert!(
+                value(r, 3) > value(t, 3),
+                "{suite}: ref instructions must exceed test"
+            );
+        }
+    }
+}
+
+#[test]
+fn comparison_tables_have_six_rows() {
+    let data = demo();
+    for id in [
+        ExperimentId::Table3,
+        ExperimentId::Table4,
+        ExperimentId::Table5,
+        ExperimentId::Table6,
+        ExperimentId::Table7,
+    ] {
+        let artifact = experiments::run(id, data);
+        assert_eq!(artifact.tables[0].n_rows(), 6, "{id}");
+    }
+}
+
+#[test]
+fn figures_contain_every_ref_pair() {
+    let data = demo();
+    let n_ref = data.cpu17_at(InputSize::Ref).len();
+    let artifact = experiments::run(ExperimentId::Fig1, data);
+    let points: usize = artifact
+        .figures
+        .iter()
+        .flat_map(|f| f.series())
+        .map(|s| s.len())
+        .sum();
+    assert_eq!(points, n_ref, "fig1 must plot every ref pair exactly once");
+}
+
+#[test]
+fn correlations_match_paper_signs() {
+    // The paper reports negative correlations of footprint and miss rates
+    // with IPC (Sections IV-C, IV-D).
+    let notes = correlation_notes(demo());
+    for (name, value) in notes {
+        assert!(
+            value < 0.1,
+            "{name} should be non-positive-ish, got {value}"
+        );
+    }
+}
+
+#[test]
+fn subset_analysis_is_actionable() {
+    let data = demo();
+    let artifact = experiments::run(ExperimentId::Table10, data);
+    let text = artifact.render();
+    // Savings rows exist for both groups.
+    assert!(text.contains("rate"));
+    assert!(text.contains("speed"));
+}
