@@ -6,9 +6,7 @@
 //! - trace scale (fidelity vs speed of the scaled-down traces),
 //! - TLB reach (the paper's huge footprints vs translation cost).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bench_suite::harness::{black_box, Runner};
 use stat_analysis::cluster::{agglomerative, Linkage};
 use stat_analysis::distance::Metric;
 use uarch_sim::branch::PredictorKind;
@@ -19,6 +17,7 @@ use uarch_sim::tlb::Tlb;
 use workload_synth::cpu2017;
 use workload_synth::generator::{TraceGenerator, TraceScale};
 use workload_synth::profile::{Behavior, InputSize};
+use workload_synth::rng::Rng64;
 
 fn mcf_like_trace(config: &SystemConfig, ops: u64) -> TraceGenerator {
     let app = cpu2017::app("505.mcf_r").expect("mcf exists");
@@ -26,27 +25,24 @@ fn mcf_like_trace(config: &SystemConfig, ops: u64) -> TraceGenerator {
     TraceGenerator::new(&behavior, config, 11, ops)
 }
 
-fn ablate_replacement(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_replacement_policy");
-    for policy in [Policy::Lru, Policy::Fifo, Policy::Random, Policy::TreePlru, Policy::Srrip] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{policy:?}")),
-            &policy,
-            |b, &policy| {
-                let config = SystemConfig::haswell_e5_2650l_v3().with_policy(policy);
-                b.iter(|| {
-                    let mut engine = Engine::new(&config);
-                    let trace = mcf_like_trace(&config, 50_000);
-                    black_box(engine.run(trace, &WorkloadHints::default()))
-                });
-            },
-        );
+fn ablate_replacement(r: &mut Runner) {
+    for policy in [
+        Policy::Lru,
+        Policy::Fifo,
+        Policy::Random,
+        Policy::TreePlru,
+        Policy::Srrip,
+    ] {
+        let config = SystemConfig::haswell_e5_2650l_v3().with_policy(policy);
+        r.bench(&format!("ablation_replacement_policy/{policy:?}"), || {
+            let mut engine = Engine::new(&config);
+            let trace = mcf_like_trace(&config, 50_000);
+            black_box(engine.run(trace, &WorkloadHints::default()))
+        });
     }
-    group.finish();
 }
 
-fn ablate_predictor(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_branch_predictor");
+fn ablate_predictor(r: &mut Runner) {
     let config = SystemConfig::haswell_e5_2650l_v3();
     for kind in [
         PredictorKind::AlwaysTaken,
@@ -54,92 +50,70 @@ fn ablate_predictor(c: &mut Criterion) {
         PredictorKind::GShare,
         PredictorKind::Tournament,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{kind:?}")),
-            &kind,
-            |b, &kind| {
-                b.iter(|| {
-                    let mut engine = Engine::with_predictor(&config, kind);
-                    let trace = mcf_like_trace(&config, 50_000);
-                    black_box(engine.run(trace, &WorkloadHints::default()))
-                });
-            },
-        );
+        r.bench(&format!("ablation_branch_predictor/{kind:?}"), || {
+            let mut engine = Engine::with_predictor(&config, kind);
+            let trace = mcf_like_trace(&config, 50_000);
+            black_box(engine.run(trace, &WorkloadHints::default()))
+        });
     }
-    group.finish();
 }
 
-fn ablate_linkage(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(21);
-    let rows: Vec<Vec<f64>> =
-        (0..64).map(|_| (0..4).map(|_| rng.gen::<f64>()).collect()).collect();
-    let mut group = c.benchmark_group("ablation_linkage");
-    for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{linkage:?}")),
-            &linkage,
-            |b, &l| {
-                b.iter(|| {
-                    let tree = agglomerative(&rows, l, Metric::Euclidean).unwrap();
-                    black_box(tree.cut(12).unwrap())
-                })
-            },
-        );
+fn ablate_linkage(r: &mut Runner) {
+    let mut rng = Rng64::seed_from(21);
+    let rows: Vec<Vec<f64>> = (0..64)
+        .map(|_| (0..4).map(|_| rng.gen_f64()).collect())
+        .collect();
+    for linkage in [
+        Linkage::Single,
+        Linkage::Complete,
+        Linkage::Average,
+        Linkage::Ward,
+    ] {
+        r.bench(&format!("ablation_linkage/{linkage:?}"), || {
+            let tree = agglomerative(&rows, linkage, Metric::Euclidean).unwrap();
+            black_box(tree.cut(12).unwrap())
+        });
     }
-    group.finish();
 }
 
-fn ablate_trace_scale(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_trace_scale");
-    group.sample_size(10);
+fn ablate_trace_scale(r: &mut Runner) {
     let config = SystemConfig::haswell_e5_2650l_v3();
     for ops_per_billion in [1.0_f64, 4.0, 16.0, 64.0] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{ops_per_billion}")),
-            &ops_per_billion,
-            |b, &opb| {
-                let scale = TraceScale { ops_per_billion: opb, base_ops: 10_000, max_ops: 2_000_000 };
-                let behavior = Behavior::default();
-                let ops = scale.budget(&behavior);
-                b.iter(|| {
-                    let mut engine = Engine::new(&config);
-                    let trace = TraceGenerator::new(&behavior, &config, 13, ops);
-                    black_box(engine.run(trace, &WorkloadHints::default()))
-                });
-            },
-        );
+        let scale = TraceScale {
+            ops_per_billion,
+            base_ops: 10_000,
+            max_ops: 2_000_000,
+        };
+        let behavior = Behavior::default();
+        let ops = scale.budget(&behavior);
+        r.bench(&format!("ablation_trace_scale/{ops_per_billion}"), || {
+            let mut engine = Engine::new(&config);
+            let trace = TraceGenerator::new(&behavior, &config, 13, ops);
+            black_box(engine.run(trace, &WorkloadHints::default()))
+        });
     }
-    group.finish();
 }
 
-fn ablate_tlb_reach(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_tlb_reach");
+fn ablate_tlb_reach(r: &mut Runner) {
     for entries in [16usize, 64, 256, 1024] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(entries.to_string()),
-            &entries,
-            |b, &entries| {
-                let mut rng = StdRng::seed_from_u64(31);
-                b.iter(|| {
-                    let mut tlb = Tlb::new(entries, 4096);
-                    for _ in 0..5_000 {
-                        // Footprint much larger than any configured reach.
-                        tlb.access(rng.gen::<u64>() % (1 << 28));
-                    }
-                    black_box(tlb.miss_rate())
-                });
-            },
-        );
+        let mut rng = Rng64::seed_from(31);
+        r.bench(&format!("ablation_tlb_reach/{entries}"), || {
+            let mut tlb = Tlb::new(entries, 4096);
+            for _ in 0..5_000 {
+                // Footprint much larger than any configured reach.
+                tlb.access(rng.next_u64() % (1 << 28));
+            }
+            black_box(tlb.miss_rate())
+        });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    ablate_replacement,
-    ablate_predictor,
-    ablate_linkage,
-    ablate_trace_scale,
-    ablate_tlb_reach
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_args("ablations");
+    ablate_replacement(&mut r);
+    ablate_predictor(&mut r);
+    ablate_linkage(&mut r);
+    ablate_trace_scale(&mut r);
+    ablate_tlb_reach(&mut r);
+    r.finish();
+}

@@ -1,12 +1,12 @@
 //! One benchmark per paper *figure* regeneration path (Figs. 1–10).
 
 use bench_suite::bench_dataset;
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench_suite::harness::{black_box, Runner};
 use workchar::experiments::{self, ExperimentId};
 
-fn bench_figures(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::from_args("figures");
     let data = bench_dataset();
-    let mut group = c.benchmark_group("figures");
     for id in [
         ExperimentId::Fig1,
         ExperimentId::Fig2,
@@ -19,12 +19,9 @@ fn bench_figures(c: &mut Criterion) {
         ExperimentId::Fig9,
         ExperimentId::Fig10,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(id.slug()), &id, |b, &id| {
-            b.iter(|| black_box(experiments::run(id, &data)))
+        r.bench(&format!("figures/{}", id.slug()), || {
+            black_box(experiments::run(id, &data))
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

@@ -2,179 +2,165 @@
 //! the cache model, the branch predictors, the trace generator, the full
 //! engine, and the statistical kernels (PCA, clustering).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bench_suite::harness::{black_box, Runner};
 use stat_analysis::cluster::{agglomerative, Linkage};
 use stat_analysis::distance::Metric;
+use stat_analysis::kmedoids::k_medoids;
 use stat_analysis::matrix::Matrix;
 use stat_analysis::pca::Pca;
+use stat_analysis::rotation::varimax;
+use stat_analysis::silhouette::mean_silhouette;
 use uarch_sim::branch::PredictorKind;
 use uarch_sim::cache::Cache;
 use uarch_sim::config::{CacheConfig, SystemConfig};
 use uarch_sim::engine::{Engine, WorkloadHints};
 use uarch_sim::replacement::Policy;
+use workchar::phase::analyze_phases;
 use workload_synth::generator::TraceGenerator;
+use workload_synth::phases::demo_three_phase;
 use workload_synth::profile::Behavior;
+use workload_synth::rng::Rng64;
+use workload_synth::trace::{write_trace, TraceReader};
 
-fn bench_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache_access");
-    for (name, ws_lines) in [("l1_resident", 256u64), ("l2_resident", 3000), ("streaming", 1 << 20)] {
-        group.bench_function(name, |b| {
-            let mut cache = Cache::new(CacheConfig::new(32 * 1024, 8, 64, Policy::Lru));
-            let mut i = 0u64;
-            b.iter(|| {
-                i += 1;
-                black_box(cache.access((i % ws_lines) * 64, false))
-            });
-        });
-    }
-    group.finish();
+fn random_rows(seed: u64, rows: usize, cols: usize, offset: f64) -> Vec<Vec<f64>> {
+    let mut rng = Rng64::seed_from(seed);
+    (0..rows)
+        .map(|_| (0..cols).map(|_| rng.gen_f64() + offset).collect())
+        .collect()
 }
 
-fn bench_predictors(c: &mut Criterion) {
-    let mut group = c.benchmark_group("branch_predict");
-    for kind in [PredictorKind::Bimodal, PredictorKind::GShare, PredictorKind::Tournament] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &kind, |b, &kind| {
-            let mut p = kind.build();
-            let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| {
-                let pc = 0x400 + (rng.gen::<u64>() % 64) * 16;
-                black_box(p.predict_and_update(pc, rng.gen::<bool>()))
-            });
+fn bench_cache(r: &mut Runner) {
+    for (name, ws_lines) in [
+        ("l1_resident", 256u64),
+        ("l2_resident", 3000),
+        ("streaming", 1 << 20),
+    ] {
+        let mut cache = Cache::new(CacheConfig::new(32 * 1024, 8, 64, Policy::Lru));
+        let mut i = 0u64;
+        r.bench(&format!("cache_access/{name}"), || {
+            i += 1;
+            black_box(cache.access((i % ws_lines) * 64, false))
         });
     }
-    group.finish();
 }
 
-fn bench_generator(c: &mut Criterion) {
-    c.bench_function("trace_generate_100k", |b| {
-        let config = SystemConfig::haswell_e5_2650l_v3();
-        b.iter(|| {
-            let gen = TraceGenerator::new(&Behavior::default(), &config, 7, 100_000);
-            black_box(gen.count())
+fn bench_predictors(r: &mut Runner) {
+    for kind in [
+        PredictorKind::Bimodal,
+        PredictorKind::GShare,
+        PredictorKind::Tournament,
+    ] {
+        let mut p = kind.build();
+        let mut rng = Rng64::seed_from(1);
+        r.bench(&format!("branch_predict/{kind:?}"), || {
+            let pc = 0x400 + rng.gen_below(64) * 16;
+            black_box(p.predict_and_update(pc, rng.gen_bool()))
         });
+    }
+}
+
+fn bench_generator(r: &mut Runner) {
+    let config = SystemConfig::haswell_e5_2650l_v3();
+    r.bench("trace_generate_100k", || {
+        let gen = TraceGenerator::new(&Behavior::default(), &config, 7, 100_000);
+        black_box(gen.count())
     });
 }
 
-fn bench_engine(c: &mut Criterion) {
-    c.bench_function("engine_run_100k", |b| {
-        let config = SystemConfig::haswell_e5_2650l_v3();
-        b.iter(|| {
-            let gen = TraceGenerator::new(&Behavior::default(), &config, 7, 100_000);
-            let mut engine = Engine::new(&config);
-            black_box(engine.run(gen, &WorkloadHints::default()))
-        });
+fn bench_engine(r: &mut Runner) {
+    let config = SystemConfig::haswell_e5_2650l_v3();
+    r.bench("engine_run_100k", || {
+        let gen = TraceGenerator::new(&Behavior::default(), &config, 7, 100_000);
+        let mut engine = Engine::new(&config);
+        black_box(engine.run(gen, &WorkloadHints::default()))
     });
 }
 
-fn bench_pca(c: &mut Criterion) {
+fn bench_pca(r: &mut Runner) {
     // The paper's exact shape: 194 observations x 20 characteristics.
-    let mut rng = StdRng::seed_from_u64(3);
-    let rows: Vec<Vec<f64>> =
-        (0..194).map(|_| (0..20).map(|_| rng.gen::<f64>()).collect()).collect();
-    let data = Matrix::from_rows(&rows).unwrap();
-    c.bench_function("pca_fit_194x20", |b| b.iter(|| black_box(Pca::fit(&data).unwrap())));
+    let data = Matrix::from_rows(&random_rows(3, 194, 20, 0.0)).unwrap();
+    r.bench("pca_fit_194x20", || black_box(Pca::fit(&data).unwrap()));
 }
 
-fn bench_clustering(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(4);
-    let rows: Vec<Vec<f64>> =
-        (0..64).map(|_| (0..4).map(|_| rng.gen::<f64>()).collect()).collect();
-    let mut group = c.benchmark_group("hierarchical_clustering_64x4");
-    for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{linkage:?}")),
-            &linkage,
-            |b, &l| b.iter(|| black_box(agglomerative(&rows, l, Metric::Euclidean).unwrap())),
-        );
+fn bench_clustering(r: &mut Runner) {
+    let rows = random_rows(4, 64, 4, 0.0);
+    for linkage in [
+        Linkage::Single,
+        Linkage::Complete,
+        Linkage::Average,
+        Linkage::Ward,
+    ] {
+        r.bench(&format!("hierarchical_clustering_64x4/{linkage:?}"), || {
+            black_box(agglomerative(&rows, linkage, Metric::Euclidean).unwrap())
+        });
     }
-    group.finish();
 }
 
-fn bench_kmedoids_and_silhouette(c: &mut Criterion) {
-    use stat_analysis::kmedoids::k_medoids;
-    use stat_analysis::silhouette::mean_silhouette;
-    let mut rng = StdRng::seed_from_u64(8);
-    let rows: Vec<Vec<f64>> =
-        (0..64).map(|_| (0..4).map(|_| rng.gen::<f64>()).collect()).collect();
-    c.bench_function("kmedoids_64x4_k12", |b| {
-        b.iter(|| black_box(k_medoids(&rows, 12, Metric::Euclidean).unwrap()))
+fn bench_kmedoids_and_silhouette(r: &mut Runner) {
+    let rows = random_rows(8, 64, 4, 0.0);
+    r.bench("kmedoids_64x4_k12", || {
+        black_box(k_medoids(&rows, 12, Metric::Euclidean).unwrap())
     });
     let labels = k_medoids(&rows, 12, Metric::Euclidean).unwrap().labels;
-    c.bench_function("silhouette_64x4_k12", |b| {
-        b.iter(|| black_box(mean_silhouette(&rows, &labels, Metric::Euclidean).unwrap()))
+    r.bench("silhouette_64x4_k12", || {
+        black_box(mean_silhouette(&rows, &labels, Metric::Euclidean).unwrap())
     });
 }
 
-fn bench_varimax(c: &mut Criterion) {
-    use stat_analysis::rotation::varimax;
+fn bench_varimax(r: &mut Runner) {
     // The paper's loading shape: 20 characteristics x 4 components.
-    let mut rng = StdRng::seed_from_u64(12);
-    let rows: Vec<Vec<f64>> =
-        (0..20).map(|_| (0..4).map(|_| rng.gen::<f64>() - 0.5).collect()).collect();
-    let loadings = Matrix::from_rows(&rows).unwrap();
-    c.bench_function("varimax_20x4", |b| b.iter(|| black_box(varimax(&loadings).unwrap())));
+    let loadings = Matrix::from_rows(&random_rows(12, 20, 4, -0.5)).unwrap();
+    r.bench("varimax_20x4", || black_box(varimax(&loadings).unwrap()));
 }
 
-fn bench_trace_io(c: &mut Criterion) {
-    use workload_synth::trace::{write_trace, TraceReader};
+fn bench_trace_io(r: &mut Runner) {
     let config = SystemConfig::haswell_e5_2650l_v3();
     let ops: Vec<_> = TraceGenerator::new(&Behavior::default(), &config, 17, 100_000).collect();
-    c.bench_function("trace_serialize_100k", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(1 << 20);
-            write_trace(&mut buf, ops.iter().copied(), ops.len() as u64).unwrap();
-            black_box(buf.len())
-        })
+    r.bench("trace_serialize_100k", || {
+        let mut buf = Vec::with_capacity(1 << 20);
+        write_trace(&mut buf, ops.iter().copied(), ops.len() as u64).unwrap();
+        black_box(buf.len())
     });
     let mut buf = Vec::new();
     write_trace(&mut buf, ops.iter().copied(), ops.len() as u64).unwrap();
-    c.bench_function("trace_deserialize_100k", |b| {
-        b.iter(|| {
-            let reader = TraceReader::open(buf.as_slice()).unwrap();
-            black_box(reader.map(|r| r.unwrap()).count())
-        })
+    r.bench("trace_deserialize_100k", || {
+        let reader = TraceReader::open(buf.as_slice()).unwrap();
+        black_box(reader.fold(0usize, |acc, rec| {
+            rec.unwrap();
+            acc + 1
+        }))
     });
 }
 
-fn bench_phase_detection(c: &mut Criterion) {
-    use uarch_sim::engine::WorkloadHints;
-    use workchar::phase::analyze_phases;
-    use workload_synth::phases::demo_three_phase;
+fn bench_phase_detection(r: &mut Runner) {
     let config = SystemConfig::haswell_e5_2650l_v3();
     let workload = demo_three_phase();
     let trace: Vec<_> = workload.trace(&config, 5, 100_000).collect();
-    let mut group = c.benchmark_group("phase_detection");
-    group.sample_size(10);
-    group.bench_function("100k_ops_20_windows", |b| {
-        b.iter(|| {
-            black_box(
-                analyze_phases(
-                    trace.iter().copied(),
-                    &config,
-                    &WorkloadHints::default(),
-                    20,
-                    5,
-                )
-                .unwrap(),
+    r.bench("phase_detection/100k_ops_20_windows", || {
+        black_box(
+            analyze_phases(
+                trace.iter().copied(),
+                &config,
+                &WorkloadHints::default(),
+                20,
+                5,
             )
-        })
+            .unwrap(),
+        )
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_cache,
-    bench_predictors,
-    bench_generator,
-    bench_engine,
-    bench_pca,
-    bench_clustering,
-    bench_kmedoids_and_silhouette,
-    bench_varimax,
-    bench_trace_io,
-    bench_phase_detection
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_args("substrates");
+    bench_cache(&mut r);
+    bench_predictors(&mut r);
+    bench_generator(&mut r);
+    bench_engine(&mut r);
+    bench_pca(&mut r);
+    bench_clustering(&mut r);
+    bench_kmedoids_and_silhouette(&mut r);
+    bench_varimax(&mut r);
+    bench_trace_io(&mut r);
+    bench_phase_detection(&mut r);
+    r.finish();
+}

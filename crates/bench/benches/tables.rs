@@ -5,17 +5,16 @@
 //! from the perf logs), plus one end-to-end bench that includes
 //! characterization itself.
 
+use bench_suite::harness::{black_box, Runner};
 use bench_suite::{bench_config, bench_dataset};
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use workchar::characterize::characterize_pair;
 use workchar::dataset::Dataset;
 use workchar::experiments::{self, ExperimentId};
 use workload_synth::cpu2017;
 use workload_synth::profile::InputSize;
 
-fn bench_tables(c: &mut Criterion) {
+fn bench_tables(r: &mut Runner) {
     let data = bench_dataset();
-    let mut group = c.benchmark_group("tables");
     for id in [
         ExperimentId::Table1,
         ExperimentId::Table2,
@@ -28,33 +27,32 @@ fn bench_tables(c: &mut Criterion) {
         ExperimentId::Table9,
         ExperimentId::Table10,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(id.slug()), &id, |b, &id| {
-            b.iter(|| black_box(experiments::run(id, &data)))
+        r.bench(&format!("tables/{}", id.slug()), || {
+            black_box(experiments::run(id, &data))
         });
     }
-    group.finish();
 }
 
-fn bench_characterize_one_pair(c: &mut Criterion) {
+fn bench_characterize_one_pair(r: &mut Runner) {
     let config = bench_config();
     let app = cpu2017::app("505.mcf_r").expect("mcf exists");
-    c.bench_function("characterize_505.mcf_r_ref", |b| {
-        b.iter(|| {
-            let pair = &app.pairs(InputSize::Ref)[0];
-            black_box(characterize_pair(pair, &config))
-        })
+    r.bench("characterize_505.mcf_r_ref", || {
+        let pair = &app.pairs(InputSize::Ref)[0];
+        black_box(characterize_pair(pair, &config))
     });
 }
 
-fn bench_collect_dataset(c: &mut Criterion) {
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(10);
-    group.bench_function("collect_bench_dataset", |b| {
-        b.iter(|| black_box(bench_dataset()))
+fn bench_collect_dataset(r: &mut Runner) {
+    r.bench("end_to_end/collect_bench_dataset", || {
+        black_box(bench_dataset())
     });
-    group.finish();
     let _ = Dataset::demo; // referenced to document the demo alternative
 }
 
-criterion_group!(benches, bench_tables, bench_characterize_one_pair, bench_collect_dataset);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_args("tables");
+    bench_tables(&mut r);
+    bench_characterize_one_pair(&mut r);
+    bench_collect_dataset(&mut r);
+    r.finish();
+}

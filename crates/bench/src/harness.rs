@@ -1,0 +1,178 @@
+//! Minimal in-tree benchmark harness.
+//!
+//! The workspace builds with no registry access, so the benches run on this
+//! self-contained timer instead of an external framework. Each `[[bench]]`
+//! target is a plain `main` (Cargo's `harness = false`) that constructs a
+//! [`Runner`] and registers closures; the runner auto-calibrates an
+//! iteration count per benchmark, reports the median of several timed
+//! batches, and honours a substring filter passed on the command line
+//! (`cargo bench --bench substrates -- cache`).
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benched work.
+pub fn black_box<T>(v: T) -> T {
+    std_black_box(v)
+}
+
+/// Per-benchmark timing summary.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name (suite/group prefix included).
+    pub name: String,
+    /// Median per-iteration time across batches.
+    pub median: Duration,
+    /// Iterations per timed batch after calibration.
+    pub iters_per_batch: u64,
+}
+
+/// Collects and runs registered benchmarks.
+pub struct Runner {
+    suite: String,
+    filter: Option<String>,
+    target_batch: Duration,
+    batches: usize,
+    results: Vec<Measurement>,
+}
+
+impl Runner {
+    /// A runner named `suite`, reading an optional substring filter from
+    /// the process arguments (flags such as `--bench` are ignored).
+    pub fn from_args(suite: &str) -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Runner::new(suite, filter)
+    }
+
+    /// A runner with an explicit filter (`None` runs everything).
+    pub fn new(suite: &str, filter: Option<String>) -> Self {
+        Runner {
+            suite: suite.to_string(),
+            filter,
+            target_batch: Duration::from_millis(100),
+            batches: 5,
+            results: Vec::new(),
+        }
+    }
+
+    /// Runs one benchmark: calibrates an iteration count whose batch takes
+    /// roughly the target time, times several batches, and records the
+    /// median per-iteration cost. Skipped (silently) when a filter is set
+    /// and `name` does not contain it.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Calibration: double the batch size until it costs enough to time
+        // reliably, starting from a single (also warmup) iteration.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            let took = start.elapsed();
+            if took >= self.target_batch || iters >= 1 << 24 {
+                break;
+            }
+            iters = if took.is_zero() {
+                iters * 16
+            } else {
+                let scale = self.target_batch.as_secs_f64() / took.as_secs_f64();
+                (iters as f64 * scale.clamp(1.5, 16.0)).ceil() as u64
+            };
+        }
+        let mut per_iter: Vec<Duration> = (0..self.batches)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std_black_box(f());
+                }
+                start.elapsed() / iters as u32
+            })
+            .collect();
+        per_iter.sort();
+        let median = per_iter[per_iter.len() / 2];
+        println!(
+            "{:<52} {:>12} /iter   ({} iters/batch, {} batches)",
+            format!("{}/{}", self.suite, name),
+            format_duration(median),
+            iters,
+            self.batches,
+        );
+        self.results.push(Measurement {
+            name: format!("{}/{}", self.suite, name),
+            median,
+            iters_per_batch: iters,
+        });
+    }
+
+    /// All measurements recorded so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Prints the closing summary line.
+    pub fn finish(self) {
+        println!("{}: {} benchmarks", self.suite, self.results.len());
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_runner(filter: Option<String>) -> Runner {
+        let mut r = Runner::new("test", filter);
+        r.target_batch = Duration::from_micros(200);
+        r.batches = 3;
+        r
+    }
+
+    #[test]
+    fn measures_and_records() {
+        let mut r = quick_runner(None);
+        r.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert_eq!(r.results().len(), 1);
+        assert!(r.results()[0].median > Duration::ZERO);
+        assert!(r.results()[0].iters_per_batch >= 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut r = quick_runner(Some("cache".into()));
+        r.bench("predictor/foo", || 1);
+        assert!(r.results().is_empty());
+        r.bench("cache/l1", || 1);
+        assert_eq!(r.results().len(), 1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(15)), "15 ns");
+        assert_eq!(format_duration(Duration::from_micros(2)), "2.000 µs");
+        assert_eq!(format_duration(Duration::from_millis(3)), "3.000 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

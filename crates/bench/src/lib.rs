@@ -1,8 +1,9 @@
 //! Shared helpers for the benchmark harness.
 //!
-//! The Criterion benches live under `benches/`; this library provides the
-//! small fixtures they share so each bench file stays focused on what it
-//! measures:
+//! The benches live under `benches/` and run on the in-tree [`harness`]
+//! (the workspace builds offline, so no external benchmark framework);
+//! this library provides the small fixtures they share so each bench file
+//! stays focused on what it measures:
 //!
 //! - `substrates` — cache, branch predictor, trace generator, PCA,
 //!   clustering microbenchmarks.
@@ -13,16 +14,22 @@
 //! - `ablations` — design-choice sweeps: replacement policy, branch
 //!   predictor, linkage criterion, trace scale.
 
+pub mod harness;
+
 use workchar::characterize::RunConfig;
 use workchar::dataset::Dataset;
+use workload_synth::cpu2017;
 use workload_synth::generator::TraceScale;
 use workload_synth::profile::AppProfile;
-use workload_synth::cpu2017;
 
 /// A bench-friendly run configuration: small but non-trivial traces.
 pub fn bench_config() -> RunConfig {
     RunConfig {
-        scale: TraceScale { ops_per_billion: 4.0, base_ops: 20_000, max_ops: 400_000 },
+        scale: TraceScale {
+            ops_per_billion: 4.0,
+            base_ops: 20_000,
+            max_ops: 400_000,
+        },
         ..RunConfig::default()
     }
 }

@@ -21,7 +21,8 @@ use workload_synth::cpu2017;
 use workload_synth::generator::{TraceGenerator, TraceScale};
 use workload_synth::profile::InputSize;
 
-use crate::characterize::{prepared_run, CharRecord, RunConfig};
+use crate::cache::{characterize_pair_cached, CacheContext};
+use crate::characterize::{characterize_pair, CharRecord, RunConfig};
 use crate::redundancy::RedundancyAnalysis;
 use crate::subset::SubsetAnalysis;
 
@@ -35,11 +36,21 @@ pub fn linkage_ablation(records: &[&CharRecord]) -> Table {
     table.numeric();
     let owned: Vec<CharRecord> = records.iter().map(|&r| r.clone()).collect();
     let Ok(analysis) = RedundancyAnalysis::fit_paper(&owned) else {
-        table.row(vec!["(too few records)".into(), "-".into(), "-".into(), "-".into()]);
+        table.row(vec![
+            "(too few records)".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
         return table;
     };
     let rows = analysis.score_rows();
-    for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+    for linkage in [
+        Linkage::Single,
+        Linkage::Complete,
+        Linkage::Average,
+        Linkage::Ward,
+    ] {
         match SubsetAnalysis::fit(records, &rows, linkage) {
             Ok(s) => {
                 let labels = s.dendrogram.cut(s.chosen_k).expect("valid k");
@@ -52,7 +63,12 @@ pub fn linkage_ablation(records: &[&CharRecord]) -> Table {
                 ]);
             }
             Err(e) => {
-                table.row(vec![format!("{linkage:?}"), format!("error: {e}"), "-".into(), "-".into()]);
+                table.row(vec![
+                    format!("{linkage:?}"),
+                    format!("error: {e}"),
+                    "-".into(),
+                    "-".into(),
+                ]);
             }
         }
     }
@@ -69,12 +85,22 @@ pub fn subsetter_ablation(records: &[&CharRecord]) -> Table {
     table.numeric();
     let owned: Vec<CharRecord> = records.iter().map(|&r| r.clone()).collect();
     let Ok(analysis) = RedundancyAnalysis::fit_paper(&owned) else {
-        table.row(vec!["(too few records)".into(), "-".into(), "-".into(), "-".into()]);
+        table.row(vec![
+            "(too few records)".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
         return table;
     };
     let rows = analysis.score_rows();
     let Ok(hier) = SubsetAnalysis::fit(records, &rows, Linkage::Average) else {
-        table.row(vec!["(subset failed)".into(), "-".into(), "-".into(), "-".into()]);
+        table.row(vec![
+            "(subset failed)".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
         return table;
     };
     let full: f64 = records.iter().map(|r| r.projected_seconds).sum();
@@ -85,7 +111,11 @@ pub fn subsetter_ablation(records: &[&CharRecord]) -> Table {
         num(hier.saving_pct(), 2),
     ]);
     if let Ok(km) = k_medoids(&rows, hier.chosen_k, Metric::Euclidean) {
-        let time: f64 = km.medoids.iter().map(|&m| records[m].projected_seconds).sum();
+        let time: f64 = km
+            .medoids
+            .iter()
+            .map(|&m| records[m].projected_seconds)
+            .sum();
         table.row(vec![
             "k-medoids (medoids as reps)".into(),
             hier.chosen_k.to_string(),
@@ -132,6 +162,13 @@ pub fn predictor_ablation(config: &SystemConfig, scale: &TraceScale) -> Table {
 
 /// L1 miss rates of an mcf-like access stream under each replacement policy.
 pub fn replacement_ablation(scale: &TraceScale) -> Table {
+    replacement_ablation_with(scale, None)
+}
+
+/// [`replacement_ablation`] with an optional result cache: each policy's run
+/// is a full characterization under a distinct [`SystemConfig`], so every
+/// row is content-addressed and replays from the store on repeated runs.
+pub fn replacement_ablation_with(scale: &TraceScale, cache: Option<&CacheContext>) -> Table {
     let mut table = Table::new(
         "Ablation: cache replacement policy (505.mcf_r trace)",
         &["Policy", "L1 miss %", "L2 local miss %", "L3 local miss %"],
@@ -139,20 +176,26 @@ pub fn replacement_ablation(scale: &TraceScale) -> Table {
     table.numeric();
     let app = cpu2017::app("505.mcf_r").expect("mcf exists");
     let pair = &app.pairs(InputSize::Ref)[0];
-    for policy in [Policy::Lru, Policy::Fifo, Policy::Random, Policy::TreePlru, Policy::Srrip] {
+    for policy in [
+        Policy::Lru,
+        Policy::Fifo,
+        Policy::Random,
+        Policy::TreePlru,
+        Policy::Srrip,
+    ] {
         let run_config = RunConfig {
             system: SystemConfig::haswell_e5_2650l_v3().with_policy(policy),
             scale: *scale,
         };
-        let (trace, hints) = prepared_run(pair, &run_config);
-        let warm = trace.remaining() / 3;
-        let mut engine = Engine::new(&run_config.system);
-        let session = engine.run_warmed(trace, &hints, warm);
+        let record = match cache {
+            Some(ctx) => characterize_pair_cached(pair, &run_config, ctx),
+            None => characterize_pair(pair, &run_config),
+        };
         table.row(vec![
             format!("{policy:?}"),
-            num(session.l1_miss_rate() * 100.0, 3),
-            num(session.l2_miss_rate() * 100.0, 3),
-            num(session.l3_miss_rate() * 100.0, 3),
+            num(record.l1_miss_pct, 3),
+            num(record.l2_miss_pct, 3),
+            num(record.l3_miss_pct, 3),
         ]);
     }
     table
@@ -186,7 +229,9 @@ pub fn prefetcher_ablation() -> Table {
 pub fn cpi_stack_table(records: &[&CharRecord]) -> Table {
     let mut table = Table::new(
         "Extension: CPI stacks (cycles per instruction)",
-        &["Pair", "Base", "Branch", "Memory", "Frontend", "Total", "IPC"],
+        &[
+            "Pair", "Base", "Branch", "Memory", "Frontend", "Total", "IPC",
+        ],
     );
     table.numeric();
     for r in records {
@@ -266,6 +311,28 @@ mod tests {
         let t = replacement_ablation(&TraceScale::quick());
         assert_eq!(t.n_rows(), 5);
         assert!(t.render_ascii().contains("Srrip"));
+    }
+
+    #[test]
+    fn replacement_ablation_cache_round_trip() {
+        let root =
+            std::env::temp_dir().join(format!("workchar-ablation-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = CacheContext::open(&root).unwrap();
+        let scale = TraceScale::quick();
+        let uncached = replacement_ablation(&scale);
+        let cold = replacement_ablation_with(&scale, Some(&cache));
+        let warm = replacement_ablation_with(&scale, Some(&cache));
+        assert_eq!(
+            uncached.rows(),
+            cold.rows(),
+            "cache must not change the table"
+        );
+        assert_eq!(cold.rows(), warm.rows());
+        let snap = cache.stats.snapshot();
+        assert_eq!(snap.misses, 5, "five policies simulated once");
+        assert_eq!(snap.hits, 5, "then all served from the store");
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -2,15 +2,21 @@
 //! the phase-behaviour analysis the paper proposes as future work.
 //!
 //! ```text
-//! extensions [--results DIR]
+//! extensions [--results DIR] [--no-cache] [--cache-dir DIR]
 //! ```
+//!
+//! Characterization-backed tables share the `reproduce` binary's result
+//! cache (default `results/cache`): the rate-suite records feeding the
+//! clustering ablations, the per-policy replacement rows, and the sweeps'
+//! baseline point all replay from the store when present.
 
 use std::io::Write;
 use std::path::PathBuf;
 
 use uarch_sim::engine::WorkloadHints;
 use workchar::ablation;
-use workchar::characterize::{characterize_suite, RunConfig};
+use workchar::cache::CacheContext;
+use workchar::characterize::{characterize_suite_with, RunConfig};
 use workchar::phase::analyze_phases;
 use workload_synth::cpu2017;
 use workload_synth::phases::demo_three_phase;
@@ -18,6 +24,8 @@ use workload_synth::profile::InputSize;
 
 fn main() {
     let mut results_dir = PathBuf::from("results");
+    let mut cache_dir = PathBuf::from("results/cache");
+    let mut no_cache = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -26,6 +34,12 @@ fn main() {
                     results_dir = PathBuf::from(dir);
                 }
             }
+            "--cache-dir" => {
+                if let Some(dir) = args.next() {
+                    cache_dir = PathBuf::from(dir);
+                }
+            }
+            "--no-cache" => no_cache = true,
             other => {
                 eprintln!("unknown argument '{other}'");
                 std::process::exit(2);
@@ -35,20 +49,34 @@ fn main() {
     let _ = std::fs::create_dir_all(&results_dir);
     let mut all = String::new();
     let config = RunConfig::default();
+    let cache = if no_cache {
+        None
+    } else {
+        match CacheContext::open(&cache_dir) {
+            Ok(ctx) => Some(ctx),
+            Err(e) => {
+                eprintln!(
+                    "warning: cannot open cache at {}: {e}; running uncached",
+                    cache_dir.display()
+                );
+                None
+            }
+        }
+    };
 
     eprintln!("characterizing CPU2017 rate ref pairs for clustering ablations...");
     let rate_apps: Vec<_> = cpu2017::suite()
         .into_iter()
         .filter(|a| !a.suite.is_speed())
         .collect();
-    let records = characterize_suite(&rate_apps, InputSize::Ref, &config);
+    let records = characterize_suite_with(&rate_apps, InputSize::Ref, &config, cache.as_ref());
     let refs: Vec<&workchar::characterize::CharRecord> = records.iter().collect();
 
     for table in [
         ablation::linkage_ablation(&refs),
         ablation::subsetter_ablation(&refs),
         ablation::predictor_ablation(&config.system, &config.scale),
-        ablation::replacement_ablation(&config.scale),
+        ablation::replacement_ablation_with(&config.scale, cache.as_ref()),
         ablation::prefetcher_ablation(),
         ablation::cpi_stack_table(&refs),
     ] {
@@ -63,14 +91,29 @@ fn main() {
         .iter()
         .map(|n| cpu2017::app(n).expect("known app"))
         .collect();
+    // The 220-cycle and 4-wide points are the baseline machine: serve them
+    // from the records characterized above instead of replaying.
     for sweep in [
-        workchar::sensitivity::memory_latency_sweep(&sweep_apps, &config, &[120, 220, 320, 500]),
-        workchar::sensitivity::issue_width_sweep(&sweep_apps, &config, &[1, 2, 4, 6]),
+        workchar::sensitivity::memory_latency_sweep_with(
+            &sweep_apps,
+            &config,
+            &[120, 220, 320, 500],
+            Some(&records),
+        ),
+        workchar::sensitivity::issue_width_sweep_with(
+            &sweep_apps,
+            &config,
+            &[1, 2, 4, 6],
+            Some(&records),
+        ),
     ] {
         let text = sweep.table().render_ascii();
         println!("{text}");
         all.push_str(&text);
         all.push('\n');
+    }
+    if let Some(ctx) = &cache {
+        eprintln!("cache: {}", ctx.stats.snapshot());
     }
 
     eprintln!("running phase analysis on the three-phase demo workload...");

@@ -1,17 +1,22 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! reproduce [--quick] [--markdown] [--results DIR] [table1 .. fig10]
+//! reproduce [--quick] [--markdown] [--results DIR]
+//!           [--no-cache] [--cache-dir DIR] [table1 .. fig10]
 //! ```
 //!
 //! With no experiment arguments, all twenty artifacts are produced. Each is
 //! printed to stdout and written as `<slug>.txt` / `<slug>.csv` under the
-//! results directory (default `results/`).
+//! results directory (default `results/`). Characterization results are
+//! memoized content-addressed under the cache directory (default
+//! `results/cache`), so repeated runs replay from disk; `--no-cache` forces
+//! full re-simulation and writes nothing.
 
 use std::io::Write;
 use std::path::PathBuf;
 use std::time::Instant;
 
+use workchar::cache::CacheContext;
 use workchar::characterize::RunConfig;
 use workchar::dataset::Dataset;
 use workchar::experiments::{self, correlation_notes, ExperimentId};
@@ -19,16 +24,26 @@ use workchar::experiments::{self, correlation_notes, ExperimentId};
 fn main() {
     let mut quick = false;
     let mut markdown = false;
+    let mut no_cache = false;
     let mut results_dir = PathBuf::from("results");
+    let mut cache_dir = PathBuf::from("results/cache");
     let mut selected: Vec<ExperimentId> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--markdown" => markdown = true,
+            "--no-cache" => no_cache = true,
             "--results" => {
                 results_dir = PathBuf::from(
-                    args.next().unwrap_or_else(|| usage("--results needs a directory")),
+                    args.next()
+                        .unwrap_or_else(|| usage("--results needs a directory")),
+                );
+            }
+            "--cache-dir" => {
+                cache_dir = PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--cache-dir needs a directory")),
                 );
             }
             "--help" | "-h" => {
@@ -45,20 +60,53 @@ fn main() {
         selected = ExperimentId::ALL.to_vec();
     }
 
-    let config = if quick { RunConfig::quick() } else { RunConfig::default() };
+    let cache = if no_cache {
+        None
+    } else {
+        match CacheContext::open(&cache_dir) {
+            Ok(ctx) => {
+                if let Some(store) = ctx.store() {
+                    if !store.is_empty() {
+                        eprintln!(
+                            "result cache at {}: {} records on hand",
+                            cache_dir.display(),
+                            store.len()
+                        );
+                    }
+                }
+                Some(ctx)
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: cannot open cache at {}: {e}; running uncached",
+                    cache_dir.display()
+                );
+                None
+            }
+        }
+    };
+
+    let config = if quick {
+        RunConfig::quick()
+    } else {
+        RunConfig::default()
+    };
     eprintln!(
         "characterizing SPEC CPU2017 (194 pairs, 3 input sizes) and CPU2006 (29 apps) \
          on {} ...",
         config.system.name
     );
     let t0 = Instant::now();
-    let data = Dataset::collect(config);
+    let data = Dataset::collect_with(config, cache.as_ref());
     eprintln!(
         "collected {} CPU2017 and {} CPU2006 records in {:.1}s",
         data.cpu17.len(),
         data.cpu06.len(),
         t0.elapsed().as_secs_f64()
     );
+    if let Some(ctx) = &cache {
+        eprintln!("cache: {}", ctx.stats.snapshot());
+    }
 
     if let Err(e) = std::fs::create_dir_all(&results_dir) {
         eprintln!("warning: cannot create {}: {e}", results_dir.display());
@@ -71,7 +119,11 @@ fn main() {
         let text = artifact.render();
         println!("{text}");
         write_file(&results_dir, &format!("{}.txt", id.slug()), &text);
-        write_file(&results_dir, &format!("{}.csv", id.slug()), &artifact.render_csv());
+        write_file(
+            &results_dir,
+            &format!("{}.csv", id.slug()),
+            &artifact.render_csv(),
+        );
         report.push_str(&format!("## {id}\n\n"));
         for table in &artifact.tables {
             report.push_str(&table.render_markdown());
@@ -122,7 +174,12 @@ fn write_file(dir: &std::path::Path, name: &str, contents: &str) {
 }
 
 fn print_usage() {
-    println!("usage: reproduce [--quick] [--results DIR] [table1..table10 fig1..fig10]");
+    println!(
+        "usage: reproduce [--quick] [--markdown] [--results DIR] \
+         [--no-cache] [--cache-dir DIR] [table1..table10 fig1..fig10]"
+    );
+    println!("  --no-cache    re-simulate everything; do not read or write the result cache");
+    println!("  --cache-dir   result-cache directory (default results/cache)");
     println!("experiments:");
     for id in ExperimentId::ALL {
         println!("  {id}");

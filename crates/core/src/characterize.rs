@@ -1,12 +1,15 @@
 //! Per-pair characterization: run one application–input pair on the
 //! simulated system and collect every metric the paper reports.
 
+use simstore::{Progress, RunReport, Scheduler};
 use uarch_sim::config::SystemConfig;
 use uarch_sim::counters::{Event, PerfSession};
 use uarch_sim::engine::Engine;
 use workload_synth::footprint::{GrowthCurve, MemoryMap, PsSampler};
 use workload_synth::generator::{TraceGenerator, TraceScale};
 use workload_synth::profile::{AppInputPair, AppProfile, InputSize, Suite};
+
+use crate::cache::{characterize_pair_cached, CacheContext};
 
 /// Configuration of a characterization campaign: which system to simulate
 /// and how aggressively to scale traces down.
@@ -20,14 +23,20 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { system: SystemConfig::haswell_e5_2650l_v3(), scale: TraceScale::default() }
+        RunConfig {
+            system: SystemConfig::haswell_e5_2650l_v3(),
+            scale: TraceScale::default(),
+        }
     }
 }
 
 impl RunConfig {
     /// A reduced-fidelity configuration for tests and demos.
     pub fn quick() -> Self {
-        RunConfig { system: SystemConfig::haswell_e5_2650l_v3(), scale: TraceScale::quick() }
+        RunConfig {
+            system: SystemConfig::haswell_e5_2650l_v3(),
+            scale: TraceScale::quick(),
+        }
     }
 }
 
@@ -116,9 +125,23 @@ impl CharRecord {
 impl CharRecord {
     /// Column names for [`CharRecord::csv_row`].
     pub const CSV_HEADER: [&'static str; 18] = [
-        "id", "app", "input", "suite", "size", "sim_ops", "instructions_b",
-        "ipc", "load_pct", "store_pct", "branch_pct", "l1_miss_pct",
-        "l2_miss_pct", "l3_miss_pct", "mispredict_pct", "rss_gib", "vsz_gib",
+        "id",
+        "app",
+        "input",
+        "suite",
+        "size",
+        "sim_ops",
+        "instructions_b",
+        "ipc",
+        "load_pct",
+        "store_pct",
+        "branch_pct",
+        "l1_miss_pct",
+        "l2_miss_pct",
+        "l3_miss_pct",
+        "mispredict_pct",
+        "rss_gib",
+        "vsz_gib",
         "projected_seconds",
     ];
 
@@ -206,8 +229,7 @@ pub fn characterize_pair(pair: &AppInputPair<'_>, config: &RunConfig) -> CharRec
     // threads the unhalted reference cycles accumulate N-fold per second of
     // wall time, so wall-clock time divides by the thread count.
     let projected_seconds = if ipc > 0.0 {
-        behavior.instructions_billions * 1e9
-            / (ipc * clock_hz * behavior.threads.max(1) as f64)
+        behavior.instructions_billions * 1e9 / (ipc * clock_hz * behavior.threads.max(1) as f64)
     } else {
         0.0
     };
@@ -246,33 +268,74 @@ pub fn characterize_suite(
     size: InputSize,
     config: &RunConfig,
 ) -> Vec<CharRecord> {
-    let pairs: Vec<AppInputPair<'_>> =
-        apps.iter().flat_map(|app| app.pairs(size)).collect();
-    characterize_pairs(&pairs, config)
+    characterize_suite_with(apps, size, config, None)
+}
+
+/// [`characterize_suite`] with an optional result cache.
+pub fn characterize_suite_with(
+    apps: &[AppProfile],
+    size: InputSize,
+    config: &RunConfig,
+    cache: Option<&CacheContext>,
+) -> Vec<CharRecord> {
+    let pairs: Vec<AppInputPair<'_>> = apps.iter().flat_map(|app| app.pairs(size)).collect();
+    characterize_pairs_with(&pairs, config, cache)
 }
 
 /// Characterizes an explicit pair list in parallel, preserving order.
+///
+/// # Panics
+///
+/// Panics if any pair still fails after the scheduler's retry, listing every
+/// failed pair. Callers that want partial results instead use
+/// [`characterize_pairs_report`].
 pub fn characterize_pairs(pairs: &[AppInputPair<'_>], config: &RunConfig) -> Vec<CharRecord> {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<CharRecord>>> =
-        (0..pairs.len()).map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers.min(pairs.len().max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= pairs.len() {
-                    break;
-                }
-                let record = characterize_pair(&pairs[i], config);
-                *slots[i].lock().expect("slot lock") = Some(record);
-            });
+    characterize_pairs_with(pairs, config, None)
+}
+
+/// [`characterize_pairs`] with an optional result cache.
+///
+/// # Panics
+///
+/// Panics if any pair still fails after the scheduler's retry.
+pub fn characterize_pairs_with(
+    pairs: &[AppInputPair<'_>],
+    config: &RunConfig,
+    cache: Option<&CacheContext>,
+) -> Vec<CharRecord> {
+    match characterize_pairs_report(pairs, config, cache, |_| {}).into_results() {
+        Ok(records) => records,
+        Err(failures) => {
+            let list: Vec<String> = failures.iter().map(|f| f.to_string()).collect();
+            panic!(
+                "characterization failed for {} of {} pair(s): {}",
+                list.len(),
+                pairs.len(),
+                list.join("; "),
+            );
         }
-    });
-    slots
-        .into_iter()
-        .map(|m| m.into_inner().expect("slot lock").expect("every pair characterized"))
-        .collect()
+    }
+}
+
+/// Fault-tolerant parallel characterization: every pair runs on the
+/// [`Scheduler`] (panic-isolated, retried once), optionally cache-first, and
+/// the full [`RunReport`] comes back — partial results survive individual
+/// failures. `progress` fires after each pair settles (from worker threads).
+pub fn characterize_pairs_report<P: Fn(Progress) + Sync>(
+    pairs: &[AppInputPair<'_>],
+    config: &RunConfig,
+    cache: Option<&CacheContext>,
+    progress: P,
+) -> RunReport<CharRecord> {
+    Scheduler::available().run(
+        pairs.len(),
+        |i| pairs[i].id(),
+        |i| match cache {
+            Some(ctx) => characterize_pair_cached(&pairs[i], config, ctx),
+            None => characterize_pair(&pairs[i], config),
+        },
+        progress,
+    )
 }
 
 #[cfg(test)]
@@ -297,7 +360,12 @@ mod tests {
         assert!(r.projected_seconds > 0.0);
         // Mix percentages should be near the profile.
         let b = &pair.input.behavior;
-        assert!((r.load_pct - b.load_pct).abs() < 2.0, "loads {} vs {}", r.load_pct, b.load_pct);
+        assert!(
+            (r.load_pct - b.load_pct).abs() < 2.0,
+            "loads {} vs {}",
+            r.load_pct,
+            b.load_pct
+        );
         assert!((r.branch_pct - b.branch_pct).abs() < 2.0);
     }
 
@@ -331,6 +399,79 @@ mod tests {
             let serial = characterize_pair(pair, &config);
             assert_eq!(&serial, record);
         }
+    }
+
+    /// A roster with one deliberately broken profile: the micro-op mix sums
+    /// past 100%, which `TraceGenerator::new` rejects with a panic.
+    fn poisoned_apps() -> Vec<workload_synth::profile::AppProfile> {
+        use workload_synth::profile::{AppProfile, Behavior, InputProfile};
+        let bad_behavior = Behavior {
+            load_pct: 90.0,
+            store_pct: 20.0,
+            ..Default::default()
+        };
+        let bad_input = InputProfile {
+            name: "impossible".into(),
+            behavior: bad_behavior,
+        };
+        let bad = AppProfile {
+            name: "999.broken_r".into(),
+            suite: Suite::RateInt,
+            test: vec![bad_input.clone()],
+            train: vec![bad_input.clone()],
+            reference: vec![bad_input],
+        };
+        vec![
+            cpu2017::app("505.mcf_r").unwrap(),
+            bad,
+            cpu2017::app("541.leela_r").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn panicking_pair_is_reported_and_rest_complete() {
+        let apps = poisoned_apps();
+        let pairs: Vec<AppInputPair<'_>> =
+            apps.iter().flat_map(|a| a.pairs(InputSize::Ref)).collect();
+        assert_eq!(pairs.len(), 3);
+        let report = characterize_pairs_report(&pairs, &quick(), None, |_| {});
+        assert_eq!(report.failures.len(), 1, "exactly the broken pair fails");
+        assert_eq!(report.failures[0].index, 1);
+        assert_eq!(report.failures[0].label, "999.broken_r");
+        assert!(report.results[1].is_none());
+        let survivors: Vec<&CharRecord> = report.results.iter().flatten().collect();
+        assert_eq!(survivors.len(), 2, "healthy pairs still produce records");
+        assert_eq!(survivors[0].id, "505.mcf_r");
+        assert_eq!(survivors[1].id, "541.leela_r");
+    }
+
+    #[test]
+    #[should_panic(expected = "characterization failed for 1 of 3 pair(s)")]
+    fn strict_api_panics_with_failure_list() {
+        let apps = poisoned_apps();
+        let pairs: Vec<AppInputPair<'_>> =
+            apps.iter().flat_map(|a| a.pairs(InputSize::Ref)).collect();
+        characterize_pairs(&pairs, &quick());
+    }
+
+    #[test]
+    fn cached_pairs_match_uncached_pairs() {
+        let root =
+            std::env::temp_dir().join(format!("workchar-pairs-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = crate::cache::CacheContext::open(&root).unwrap();
+        let app = cpu2017::app("525.x264_r").unwrap();
+        let pairs = app.pairs(InputSize::Ref);
+        let config = quick();
+        let uncached = characterize_pairs(&pairs, &config);
+        let cold = characterize_pairs_with(&pairs, &config, Some(&cache));
+        let warm = characterize_pairs_with(&pairs, &config, Some(&cache));
+        assert_eq!(uncached, cold, "caching must not change results");
+        assert_eq!(cold, warm);
+        let snap = cache.stats.snapshot();
+        assert_eq!(snap.misses, pairs.len() as u64);
+        assert_eq!(snap.hits, pairs.len() as u64);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

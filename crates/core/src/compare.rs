@@ -94,9 +94,7 @@ pub fn compare_rows(
 ) -> Vec<CompareRow> {
     let mut rows = Vec::new();
     for class in Class::ALL {
-        for (generation, records) in
-            [(Generation::Cpu2006, cpu06), (Generation::Cpu2017, cpu17)]
-        {
+        for (generation, records) in [(Generation::Cpu2006, cpu06), (Generation::Cpu2017, cpu17)] {
             let per_app = app_averages(records, class);
             let refs: Vec<&CharRecord> = per_app.iter().collect();
             let cells = metrics
@@ -106,7 +104,11 @@ pub fn compare_rows(
                     Cell { mean, std }
                 })
                 .collect();
-            rows.push(CompareRow { generation, class, cells });
+            rows.push(CompareRow {
+                generation,
+                class,
+                cells,
+            });
         }
     }
     rows
@@ -153,8 +155,14 @@ mod tests {
     fn records() -> (Vec<CharRecord>, Vec<CharRecord>) {
         let config = RunConfig::quick();
         let cpu06 = vec![
-            cpu2006::suite().into_iter().find(|a| a.name == "429.mcf").unwrap(),
-            cpu2006::suite().into_iter().find(|a| a.name == "470.lbm").unwrap(),
+            cpu2006::suite()
+                .into_iter()
+                .find(|a| a.name == "429.mcf")
+                .unwrap(),
+            cpu2006::suite()
+                .into_iter()
+                .find(|a| a.name == "470.lbm")
+                .unwrap(),
         ];
         let cpu17 = vec![
             cpu2017::app("505.mcf_r").unwrap(),
@@ -174,7 +182,14 @@ mod tests {
         let labels: Vec<String> = rows.iter().map(|r| r.label()).collect();
         assert_eq!(
             labels,
-            vec!["CPU06 int", "CPU17 int", "CPU06 fp", "CPU17 fp", "CPU06 all", "CPU17 all"]
+            vec![
+                "CPU06 int",
+                "CPU17 int",
+                "CPU06 fp",
+                "CPU17 fp",
+                "CPU06 all",
+                "CPU17 all"
+            ]
         );
     }
 
@@ -183,9 +198,7 @@ mod tests {
         let (c06, c17) = records();
         let ipc: Metric<'_> = ("IPC", &|r: &CharRecord| r.ipc);
         let rows = compare_rows(&c06, &c17, &[ipc]);
-        let get = |label: &str| {
-            rows.iter().find(|r| r.label() == label).unwrap().cells[0].mean
-        };
+        let get = |label: &str| rows.iter().find(|r| r.label() == label).unwrap().cells[0].mean;
         let int17 = get("CPU17 int");
         let fp17 = get("CPU17 fp");
         let all17 = get("CPU17 all");

@@ -3,7 +3,8 @@
 use workload_synth::profile::{AppProfile, InputSize, Suite};
 use workload_synth::{cpu2006, cpu2017};
 
-use crate::characterize::{characterize_suite, CharRecord, RunConfig};
+use crate::cache::CacheContext;
+use crate::characterize::{characterize_suite, characterize_suite_with, CharRecord, RunConfig};
 
 /// All records of one characterization campaign.
 ///
@@ -26,6 +27,12 @@ impl Dataset {
         Dataset::collect_apps(config, &cpu2017::suite(), &cpu2006::suite())
     }
 
+    /// [`Dataset::collect`] with an optional result cache: pairs already in
+    /// the store are replayed instead of re-simulated.
+    pub fn collect_with(config: RunConfig, cache: Option<&CacheContext>) -> Self {
+        Dataset::collect_apps_with(config, &cpu2017::suite(), &cpu2006::suite(), cache)
+    }
+
     /// Characterizes explicit app lists (used by tests and scaled-down
     /// demos); CPU2017 apps run at every size they define, CPU2006 at `ref`.
     pub fn collect_apps(
@@ -38,7 +45,30 @@ impl Dataset {
             cpu17.extend(characterize_suite(cpu17_apps, size, &config));
         }
         let cpu06 = characterize_suite(cpu06_apps, InputSize::Ref, &config);
-        Dataset { config, cpu17, cpu06 }
+        Dataset {
+            config,
+            cpu17,
+            cpu06,
+        }
+    }
+
+    /// [`Dataset::collect_apps`] with an optional result cache.
+    pub fn collect_apps_with(
+        config: RunConfig,
+        cpu17_apps: &[AppProfile],
+        cpu06_apps: &[AppProfile],
+        cache: Option<&CacheContext>,
+    ) -> Self {
+        let mut cpu17 = Vec::new();
+        for size in InputSize::ALL {
+            cpu17.extend(characterize_suite_with(cpu17_apps, size, &config, cache));
+        }
+        let cpu06 = characterize_suite_with(cpu06_apps, InputSize::Ref, &config, cache);
+        Dataset {
+            config,
+            cpu17,
+            cpu06,
+        }
     }
 
     /// A small fast dataset for tests: eight representative CPU2017
@@ -54,13 +84,13 @@ impl Dataset {
             "607.cactuBSSN_s",
             "657.xz_s",
         ];
-        let cpu17: Vec<AppProfile> =
-            names17.iter().map(|n| cpu2017::app(n).expect("demo app exists")).collect();
+        let cpu17: Vec<AppProfile> = names17
+            .iter()
+            .map(|n| cpu2017::app(n).expect("demo app exists"))
+            .collect();
         let cpu06: Vec<AppProfile> = cpu2006::suite()
             .into_iter()
-            .filter(|a| {
-                ["429.mcf", "470.lbm", "456.hmmer", "433.milc"].contains(&a.name.as_str())
-            })
+            .filter(|a| ["429.mcf", "470.lbm", "456.hmmer", "433.milc"].contains(&a.name.as_str()))
             .collect();
         Dataset::collect_apps(RunConfig::quick(), &cpu17, &cpu06)
     }

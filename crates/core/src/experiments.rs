@@ -100,14 +100,19 @@ impl ExperimentId {
 
     /// Parses a slug back to an id.
     pub fn from_slug(slug: &str) -> Option<ExperimentId> {
-        ExperimentId::ALL.iter().copied().find(|id| id.slug() == slug)
+        ExperimentId::ALL
+            .iter()
+            .copied()
+            .find(|id| id.slug() == slug)
     }
 
     /// Human-readable description of the paper artifact.
     pub fn description(self) -> &'static str {
         match self {
             ExperimentId::Table1 => "Experimental system configuration",
-            ExperimentId::Table2 => "Average performance characteristics per mini-suite and input size",
+            ExperimentId::Table2 => {
+                "Average performance characteristics per mini-suite and input size"
+            }
             ExperimentId::Table3 => "IPC comparison of CPU2017 and CPU2006",
             ExperimentId::Table4 => "Instruction-mix comparison of CPU2017 and CPU2006",
             ExperimentId::Table5 => "RSS and VSZ comparison of CPU2017 and CPU2006",
@@ -151,7 +156,12 @@ pub struct Artifact {
 
 impl Artifact {
     fn new(id: ExperimentId) -> Self {
-        Artifact { id, tables: Vec::new(), figures: Vec::new(), texts: Vec::new() }
+        Artifact {
+            id,
+            tables: Vec::new(),
+            figures: Vec::new(),
+            texts: Vec::new(),
+        }
     }
 
     /// Renders everything as terminal-ready text.
@@ -240,9 +250,9 @@ pub fn run(id: ExperimentId, data: &Dataset) -> Artifact {
         ExperimentId::Fig3 => fig3(data),
         ExperimentId::Fig4 => fig4(data),
         ExperimentId::Fig5 => fig5(data),
-        ExperimentId::Fig6 => {
-            per_app_figure(data, id, "Branch mispredict rate (%)", &|r| r.mispredict_pct)
-        }
+        ExperimentId::Fig6 => per_app_figure(data, id, "Branch mispredict rate (%)", &|r| {
+            r.mispredict_pct
+        }),
         ExperimentId::Fig7 => fig7(data),
         ExperimentId::Fig8 => fig8(data),
         ExperimentId::Fig9 => fig9(data),
@@ -258,10 +268,16 @@ pub fn run_all(data: &Dataset) -> Vec<Artifact> {
 fn table1(data: &Dataset) -> Artifact {
     let mut a = Artifact::new(ExperimentId::Table1);
     let c = &data.config.system;
-    let mut t = Table::new("Table I analogue: simulated system configuration", &["Component", "Configuration"]);
+    let mut t = Table::new(
+        "Table I analogue: simulated system configuration",
+        &["Component", "Configuration"],
+    );
     let kib = |b: usize| format!("{} KiB", b / 1024);
     t.row(vec!["Processor model".into(), c.name.clone()])
-        .row(vec!["Clock".into(), format!("{:.1} GHz (Turbo disabled)", c.clock_ghz)])
+        .row(vec![
+            "Clock".into(),
+            format!("{:.1} GHz (Turbo disabled)", c.clock_ghz),
+        ])
         .row(vec![
             "L1 I-cache".into(),
             format!("{}-way {} (per core)", c.l1i.ways, kib(c.l1i.size_bytes)),
@@ -279,11 +295,20 @@ fn table1(data: &Dataset) -> Artifact {
             format!("{} MiB shared", c.l3.size_bytes / (1024 * 1024)),
         ])
         .row(vec!["Line size".into(), format!("{} B", c.l1d.line_bytes)])
-        .row(vec!["Issue width".into(), format!("{} micro-ops/cycle", c.issue_width)])
-        .row(vec!["Mispredict penalty".into(), format!("{} cycles", c.mispredict_penalty)])
+        .row(vec![
+            "Issue width".into(),
+            format!("{} micro-ops/cycle", c.issue_width),
+        ])
+        .row(vec![
+            "Mispredict penalty".into(),
+            format!("{} cycles", c.mispredict_penalty),
+        ])
         .row(vec![
             "Load-to-use latencies".into(),
-            format!("L2 {} / L3 {} / DRAM {} cycles", c.l2_latency, c.l3_latency, c.memory_latency),
+            format!(
+                "L2 {} / L3 {} / DRAM {} cycles",
+                c.l2_latency, c.l3_latency, c.memory_latency
+            ),
         ])
         .row(vec!["Cores".into(), format!("{}", c.cores)]);
     a.tables.push(t);
@@ -294,7 +319,14 @@ fn table2(data: &Dataset) -> Artifact {
     let mut a = Artifact::new(ExperimentId::Table2);
     let mut t = Table::new(
         "Table II analogue: average performance characteristics",
-        &["Suite", "Input", "Pairs", "Instr (B, paper scale)", "IPC", "Exec time (s, projected)"],
+        &[
+            "Suite",
+            "Input",
+            "Pairs",
+            "Instr (B, paper scale)",
+            "IPC",
+            "Exec time (s, projected)",
+        ],
     );
     t.numeric();
     for row in table_two_rows(&data.cpu17) {
@@ -318,8 +350,7 @@ fn comparison_table(
     metrics: &[Metric<'_>],
 ) -> Artifact {
     let mut a = Artifact::new(id);
-    let cpu17_ref: Vec<CharRecord> =
-        data.cpu17_at(InputSize::Ref).into_iter().cloned().collect();
+    let cpu17_ref: Vec<CharRecord> = data.cpu17_at(InputSize::Ref).into_iter().cloned().collect();
     let mut headers: Vec<String> = vec!["Suite".into()];
     for (name, _) in metrics {
         headers.push(format!("{name} Avg"));
@@ -369,7 +400,12 @@ fn table9(data: &Dataset) -> Artifact {
             .iter()
             .map(|r| r.map(|r| num(f(r), prec)).unwrap_or_else(|| "n/a".into()))
             .collect();
-        t.row(vec![name.to_string(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+        t.row(vec![
+            name.to_string(),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
     };
     push_row("Instruction count (B)", &|r| r.instructions_billions, 3);
     push_row("% Loads", &|r| r.load_pct, 3);
@@ -394,12 +430,20 @@ fn table10(data: &Dataset) -> Artifact {
     let mut a = Artifact::new(ExperimentId::Table10);
     let mut t = Table::new(
         "Table X analogue: suggested representative subsets",
-        &["Group", "k", "Benchmarks", "Subset time (s)", "Full time (s)", "% Saving"],
+        &[
+            "Group",
+            "k",
+            "Benchmarks",
+            "Subset time (s)",
+            "Full time (s)",
+            "% Saving",
+        ],
     );
     // Alongside our Pareto-knee choice, also report the subset at the
     // paper's own cluster counts (rate 12, speed 10) for direct comparison.
-    for ((label, records), paper_k) in
-        [("rate", data.rate_ref()), ("speed", data.speed_ref())].into_iter().zip([12, 10])
+    for ((label, records), paper_k) in [("rate", data.rate_ref()), ("speed", data.speed_ref())]
+        .into_iter()
+        .zip([12, 10])
     {
         match subset_for(&records) {
             Some(s) => {
@@ -425,7 +469,14 @@ fn table10(data: &Dataset) -> Artifact {
                 }
             }
             None => {
-                t.row(vec![label.into(), "-".into(), "(too few pairs)".into(), "-".into(), "-".into(), "-".into()]);
+                t.row(vec![
+                    label.into(),
+                    "-".into(),
+                    "(too few pairs)".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
             }
         }
     }
@@ -494,8 +545,10 @@ fn fig3(data: &Dataset) -> Artifact {
         ("rate", [Suite::RateInt, Suite::RateFp]),
         ("speed", [Suite::SpeedInt, Suite::SpeedFp]),
     ] {
-        let mut fig =
-            Figure::new(&format!("Branch characteristics (%) — {label} mini-suites"), Kind::Bar);
+        let mut fig = Figure::new(
+            &format!("Branch characteristics (%) — {label} mini-suites"),
+            Kind::Bar,
+        );
         let mut labels: Vec<String> = Vec::new();
         let mut total = Vec::new();
         let mut conditional = Vec::new();
@@ -521,8 +574,10 @@ fn fig4(data: &Dataset) -> Artifact {
         ("rate", [Suite::RateInt, Suite::RateFp]),
         ("speed", [Suite::SpeedInt, Suite::SpeedFp]),
     ] {
-        let mut fig =
-            Figure::new(&format!("Memory footprint (GiB) — {label} mini-suites"), Kind::Bar);
+        let mut fig = Figure::new(
+            &format!("Memory footprint (GiB) — {label} mini-suites"),
+            Kind::Bar,
+        );
         let mut labels: Vec<String> = Vec::new();
         let mut rss = Vec::new();
         let mut vsz = Vec::new();
@@ -547,8 +602,10 @@ fn fig5(data: &Dataset) -> Artifact {
         ("rate", [Suite::RateInt, Suite::RateFp]),
         ("speed", [Suite::SpeedInt, Suite::SpeedFp]),
     ] {
-        let mut fig =
-            Figure::new(&format!("Cache miss rates (%) — {label} mini-suites"), Kind::Bar);
+        let mut fig = Figure::new(
+            &format!("Cache miss rates (%) — {label} mini-suites"),
+            Kind::Bar,
+        );
         let mut labels: Vec<String> = Vec::new();
         let (mut m1, mut m2, mut m3) = (Vec::new(), Vec::new(), Vec::new());
         for suite in suites {
@@ -573,7 +630,8 @@ fn fig7(data: &Dataset) -> Artifact {
     let refs = data.cpu17_at(InputSize::Ref);
     let owned: Vec<CharRecord> = refs.iter().map(|&r| r.clone()).collect();
     let Ok(analysis) = RedundancyAnalysis::fit_paper(&owned) else {
-        a.texts.push(("note".into(), "too few records for PCA".into()));
+        a.texts
+            .push(("note".into(), "too few records for PCA".into()));
         return a;
     };
     let labels: Vec<&str> = analysis.ids.iter().map(String::as_str).collect();
@@ -582,8 +640,12 @@ fn fig7(data: &Dataset) -> Artifact {
         panels.push((2, 3));
     }
     for (cx, cy) in panels {
-        let x: Vec<f64> = (0..labels.len()).map(|i| analysis.scores[(i, cx)]).collect();
-        let y: Vec<f64> = (0..labels.len()).map(|i| analysis.scores[(i, cy)]).collect();
+        let x: Vec<f64> = (0..labels.len())
+            .map(|i| analysis.scores[(i, cx)])
+            .collect();
+        let y: Vec<f64> = (0..labels.len())
+            .map(|i| analysis.scores[(i, cy)])
+            .collect();
         let mut fig = Figure::new(
             &format!("PC{} vs PC{} scores (ref pairs)", cx + 1, cy + 1),
             Kind::Scatter,
@@ -607,13 +669,16 @@ fn fig8(data: &Dataset) -> Artifact {
     let refs = data.cpu17_at(InputSize::Ref);
     let owned: Vec<CharRecord> = refs.iter().map(|&r| r.clone()).collect();
     let Ok(analysis) = RedundancyAnalysis::fit_paper(&owned) else {
-        a.texts.push(("note".into(), "too few records for PCA".into()));
+        a.texts
+            .push(("note".into(), "too few records for PCA".into()));
         return a;
     };
     let labels: Vec<&str> = CHARACTERISTICS.iter().map(|c| c.name).collect();
     let mut fig = Figure::new("Factor loadings per characteristic", Kind::Bar);
     for k in 0..analysis.n_components {
-        let values: Vec<f64> = (0..labels.len()).map(|v| analysis.loadings[(v, k)]).collect();
+        let values: Vec<f64> = (0..labels.len())
+            .map(|v| analysis.loadings[(v, k)])
+            .collect();
         // Bars render magnitudes; signs are preserved in the CSV.
         let magnitudes: Vec<f64> = values.iter().map(|v| v.abs()).collect();
         fig.push(Series::points(
@@ -665,9 +730,16 @@ fn fig10(data: &Dataset) -> Artifact {
         let k_labels: Vec<String> = s.curve.iter().map(|p| p.k.to_string()).collect();
         let k_refs: Vec<&str> = k_labels.iter().map(String::as_str).collect();
         // Normalize both objectives to [0,1] so one chart shows the trade-off.
-        let max_sse = s.curve.iter().map(|p| p.sse).fold(f64::MIN_POSITIVE, f64::max);
-        let max_t =
-            s.curve.iter().map(|p| p.subset_seconds).fold(f64::MIN_POSITIVE, f64::max);
+        let max_sse = s
+            .curve
+            .iter()
+            .map(|p| p.sse)
+            .fold(f64::MIN_POSITIVE, f64::max);
+        let max_t = s
+            .curve
+            .iter()
+            .map(|p| p.subset_seconds)
+            .fold(f64::MIN_POSITIVE, f64::max);
         let sse: Vec<f64> = s.curve.iter().map(|p| p.sse / max_sse).collect();
         let time: Vec<f64> = s.curve.iter().map(|p| p.subset_seconds / max_t).collect();
         let mut fig = Figure::new(
@@ -675,7 +747,12 @@ fn fig10(data: &Dataset) -> Artifact {
             Kind::Line,
         );
         fig.push(Series::points("normalized SSE", &k_refs, &ks, &sse));
-        fig.push(Series::points("normalized subset time", &k_refs, &ks, &time));
+        fig.push(Series::points(
+            "normalized subset time",
+            &k_refs,
+            &ks,
+            &time,
+        ));
         a.figures.push(fig);
         a.texts.push((
             format!("{label} Pareto-optimal k"),

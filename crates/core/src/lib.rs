@@ -21,6 +21,10 @@
 //!    detection and SimPoint-style simulation-point selection.
 //! 9. [`ablation`] quantifies the reproduction's own design choices
 //!    (linkage, subsetter, predictor, replacement policy, prefetcher).
+//! 10. [`cache`] memoizes characterization results in a content-addressed
+//!     `simstore` store, so repeated campaigns replay from disk; the
+//!     parallel runners in [`characterize`] are cache-first and
+//!     panic-isolated (one broken profile no longer aborts a campaign).
 //!
 //! # Example
 //!
@@ -37,6 +41,7 @@
 //! ```
 
 pub mod ablation;
+pub mod cache;
 pub mod characterize;
 pub mod compare;
 pub mod dataset;

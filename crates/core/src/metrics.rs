@@ -27,7 +27,9 @@ impl Characteristic {
 
 impl std::fmt::Debug for Characteristic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Characteristic").field("name", &self.name).finish()
+        f.debug_struct("Characteristic")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -45,8 +47,14 @@ pub const CHARACTERISTICS: [Characteristic; 20] = [
         name: "mem_uops_retired.all_stores",
         extract: |r| r.projected_billions(Event::MemUopsRetiredAllStores),
     },
-    Characteristic { name: "load_uops(%)", extract: |r| r.load_pct },
-    Characteristic { name: "store_uops(%)", extract: |r| r.store_pct },
+    Characteristic {
+        name: "load_uops(%)",
+        extract: |r| r.load_pct,
+    },
+    Characteristic {
+        name: "store_uops(%)",
+        extract: |r| r.store_pct,
+    },
     Characteristic {
         name: "total_mem_uops(%)",
         extract: |r| r.load_pct + r.store_pct,
@@ -55,7 +63,10 @@ pub const CHARACTERISTICS: [Characteristic; 20] = [
         name: "br_inst_exec.all_branches",
         extract: |r| r.projected_billions(Event::BrInstExecAllBranches),
     },
-    Characteristic { name: "branch_inst(%)", extract: |r| r.branch_pct },
+    Characteristic {
+        name: "branch_inst(%)",
+        extract: |r| r.branch_pct,
+    },
     Characteristic {
         name: "br_inst_exec.all_conditional",
         extract: |r| r.projected_billions(Event::BrInstExecAllConditional),
@@ -96,8 +107,14 @@ pub const CHARACTERISTICS: [Characteristic; 20] = [
         name: "branch_indirect_near_return(%)",
         extract: |r| r.branch_kind_frac(Event::BrInstExecAllIndirectNearReturn) * 100.0,
     },
-    Characteristic { name: "rss", extract: |r| r.rss_gib },
-    Characteristic { name: "vsz", extract: |r| r.vsz_gib },
+    Characteristic {
+        name: "rss",
+        extract: |r| r.rss_gib,
+    },
+    Characteristic {
+        name: "vsz",
+        extract: |r| r.vsz_gib,
+    },
 ];
 
 /// Extracts the full `[records × 20]` characteristic matrix rows.
@@ -118,8 +135,7 @@ mod tests {
     #[test]
     fn exactly_twenty_characteristics() {
         assert_eq!(CHARACTERISTICS.len(), 20);
-        let names: std::collections::HashSet<_> =
-            CHARACTERISTICS.iter().map(|c| c.name).collect();
+        let names: std::collections::HashSet<_> = CHARACTERISTICS.iter().map(|c| c.name).collect();
         assert_eq!(names.len(), 20, "names must be unique");
     }
 

@@ -56,9 +56,16 @@ pub struct PhaseAnalysis {
 impl PhaseAnalysis {
     /// Whole-run IPC measured over every window (ground truth).
     pub fn full_ipc(&self) -> f64 {
-        let inst: u64 = self.windows.iter().map(|w| w.count(Event::InstRetiredAny)).sum();
-        let cycles: u64 =
-            self.windows.iter().map(|w| w.count(Event::CpuClkUnhaltedRefTsc)).sum();
+        let inst: u64 = self
+            .windows
+            .iter()
+            .map(|w| w.count(Event::InstRetiredAny))
+            .sum();
+        let cycles: u64 = self
+            .windows
+            .iter()
+            .map(|w| w.count(Event::CpuClkUnhaltedRefTsc))
+            .sum();
         if cycles == 0 {
             0.0
         } else {
@@ -123,11 +130,15 @@ where
     I: IntoIterator<Item = MicroOp>,
 {
     if n_windows < 2 {
-        return Err(StatsError::InvalidArgument { what: "need at least two windows" });
+        return Err(StatsError::InvalidArgument {
+            what: "need at least two windows",
+        });
     }
     let all: Vec<MicroOp> = ops.into_iter().collect();
     if all.len() < n_windows {
-        return Err(StatsError::InvalidArgument { what: "trace shorter than window count" });
+        return Err(StatsError::InvalidArgument {
+            what: "trace shorter than window count",
+        });
     }
     // One window of silent warmup removes the cold-start transient, which
     // would otherwise register as a spurious "initialization phase" even in
@@ -161,7 +172,11 @@ where
 
     // Weak separation means the run is effectively single-phase.
     if silhouette < 0.4 {
-        let points = vec![SimulationPoint { window: 0, weight: 1.0, phase: 0 }];
+        let points = vec![SimulationPoint {
+            window: 0,
+            weight: 1.0,
+            phase: 0,
+        }];
         return Ok(PhaseAnalysis {
             windows,
             labels: vec![0; n_windows],
@@ -184,7 +199,13 @@ where
         })
         .collect();
 
-    Ok(PhaseAnalysis { windows, labels, n_phases, silhouette, points })
+    Ok(PhaseAnalysis {
+        windows,
+        labels,
+        n_phases,
+        silhouette,
+        points,
+    })
 }
 
 #[cfg(test)]
@@ -203,8 +224,7 @@ mod tests {
         let w = demo_three_phase();
         let config = config();
         let trace: Vec<_> = w.trace(&config, 3, 150_000).collect();
-        let analysis =
-            analyze_phases(trace, &config, &WorkloadHints::default(), 30, 5).unwrap();
+        let analysis = analyze_phases(trace, &config, &WorkloadHints::default(), 30, 5).unwrap();
         // Three true phases plus up to two transition-window clusters.
         assert!(
             (2..=5).contains(&analysis.n_phases),
@@ -222,8 +242,7 @@ mod tests {
     fn stationary_workload_is_single_phase() {
         let config = config();
         let trace = TraceGenerator::new(&Behavior::default(), &config, 5, 100_000);
-        let analysis =
-            analyze_phases(trace, &config, &WorkloadHints::default(), 20, 5).unwrap();
+        let analysis = analyze_phases(trace, &config, &WorkloadHints::default(), 20, 5).unwrap();
         assert_eq!(analysis.n_phases, 1, "silhouette {}", analysis.silhouette);
         assert_eq!(analysis.points.len(), 1);
         assert!((analysis.points[0].weight - 1.0).abs() < 1e-9);
@@ -234,8 +253,7 @@ mod tests {
         let w = demo_three_phase();
         let config = config();
         let trace: Vec<_> = w.trace(&config, 7, 150_000).collect();
-        let analysis =
-            analyze_phases(trace, &config, &WorkloadHints::default(), 30, 5).unwrap();
+        let analysis = analyze_phases(trace, &config, &WorkloadHints::default(), 30, 5).unwrap();
         let full = analysis.full_ipc();
         let est = analysis.estimated_ipc();
         let rel = (est - full).abs() / full;
@@ -246,16 +264,8 @@ mod tests {
     #[test]
     fn rejects_degenerate_inputs() {
         let config = config();
-        let trace: Vec<_> =
-            TraceGenerator::new(&Behavior::default(), &config, 1, 10).collect();
-        assert!(analyze_phases(
-            trace.clone(),
-            &config,
-            &WorkloadHints::default(),
-            1,
-            3
-        )
-        .is_err());
+        let trace: Vec<_> = TraceGenerator::new(&Behavior::default(), &config, 1, 10).collect();
+        assert!(analyze_phases(trace.clone(), &config, &WorkloadHints::default(), 1, 3).is_err());
         assert!(analyze_phases(trace, &config, &WorkloadHints::default(), 50, 3).is_err());
     }
 }

@@ -110,7 +110,11 @@ impl RedundancyAnalysis {
     /// Panics if either index is out of range.
     pub fn pc_distance(&self, i: usize, j: usize) -> f64 {
         let (a, b) = (self.scores.row(i), self.scores.row(j));
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
     }
 }
 
@@ -188,7 +192,9 @@ mod tests {
         let rotated = a.rotated_loadings().unwrap();
         assert_eq!(rotated.shape(), a.loadings.shape());
         for v in 0..20 {
-            let h0: f64 = (0..a.n_components).map(|k| a.loadings[(v, k)].powi(2)).sum();
+            let h0: f64 = (0..a.n_components)
+                .map(|k| a.loadings[(v, k)].powi(2))
+                .sum();
             let h1: f64 = (0..a.n_components).map(|k| rotated[(v, k)].powi(2)).sum();
             assert!((h0 - h1).abs() < 1e-9, "variable {v}");
         }

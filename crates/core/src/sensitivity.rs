@@ -16,7 +16,7 @@ use workload_synth::profile::{AppProfile, InputSize};
 
 use uarch_sim::engine::Engine;
 
-use crate::characterize::{prepared_run, RunConfig};
+use crate::characterize::{prepared_run, CharRecord, RunConfig};
 
 /// One swept configuration point with its suite-average outcomes.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,7 +47,13 @@ impl Sweep {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             &format!("Sensitivity: suite response to {}", self.parameter),
-            &[self.parameter, "Mean IPC", "L2 miss %", "L3 miss %", "Mean time (s)"],
+            &[
+                self.parameter,
+                "Mean IPC",
+                "L2 miss %",
+                "L3 miss %",
+                "Mean time (s)",
+            ],
         );
         t.numeric();
         for p in &self.points {
@@ -64,10 +70,7 @@ impl Sweep {
 
     /// Renders the sweep's IPC response as a line figure.
     pub fn figure(&self) -> Figure {
-        let mut f = Figure::new(
-            &format!("Suite mean IPC vs {}", self.parameter),
-            Kind::Line,
-        );
+        let mut f = Figure::new(&format!("Suite mean IPC vs {}", self.parameter), Kind::Line);
         let labels: Vec<&str> = self.points.iter().map(|p| p.label.as_str()).collect();
         let x: Vec<f64> = (0..self.points.len()).map(|i| i as f64).collect();
         let y: Vec<f64> = self.points.iter().map(|p| p.mean_ipc).collect();
@@ -76,11 +79,48 @@ impl Sweep {
     }
 }
 
+/// Rebuilds a sweep point from already-characterized baseline records
+/// instead of replaying traces. Only valid for a point whose system *is*
+/// the baseline system: [`crate::characterize::characterize_pair`] and the
+/// replay loop below run the identical trace, warmup, and engine, so their
+/// sessions — and therefore these means — coincide exactly. Returns `None`
+/// unless every swept pair has a `ref` record in `records`.
+fn baseline_point(
+    label: String,
+    apps: &[AppProfile],
+    records: &[CharRecord],
+) -> Option<SweepPoint> {
+    let (mut ipc, mut m2, mut m3, mut secs) = (0.0, 0.0, 0.0, 0.0);
+    let mut n = 0usize;
+    for app in apps {
+        for pair in app.pairs(InputSize::Ref) {
+            let id = pair.id();
+            let r = records
+                .iter()
+                .find(|r| r.size == InputSize::Ref && r.id == id)?;
+            ipc += r.ipc;
+            m2 += r.l2_miss_pct;
+            m3 += r.l3_miss_pct;
+            secs += r.projected_seconds;
+            n += 1;
+        }
+    }
+    let n = n.max(1) as f64;
+    Some(SweepPoint {
+        label,
+        mean_ipc: ipc / n,
+        mean_l2_miss_pct: m2 / n,
+        mean_l3_miss_pct: m3 / n,
+        mean_seconds: secs / n,
+    })
+}
+
 fn sweep_over(
     parameter: &'static str,
     apps: &[AppProfile],
     base: &RunConfig,
     configs: Vec<(String, SystemConfig)>,
+    baseline: Option<&[CharRecord]>,
 ) -> Sweep {
     // Trace-driven methodology: the workload adapts its working sets to
     // whatever machine it is generated for (that is how miss-rate targets
@@ -107,6 +147,16 @@ fn sweep_over(
 
     let mut points = Vec::with_capacity(configs.len());
     for (label, system) in configs {
+        if system == base.system {
+            // The unmodified point: a characterization campaign (possibly
+            // cache-served) already measured it; reuse those records.
+            if let Some(point) =
+                baseline.and_then(|records| baseline_point(label.clone(), apps, records))
+            {
+                points.push(point);
+                continue;
+            }
+        }
         let (mut ipc, mut m2, mut m3, mut secs) = (0.0, 0.0, 0.0, 0.0);
         for t in &traces {
             let mut engine = Engine::new(&system);
@@ -116,8 +166,12 @@ fn sweep_over(
             m2 += session.l2_miss_rate() * 100.0;
             m3 += session.l3_miss_rate() * 100.0;
             if session.ipc() > 0.0 {
+                // Same operation order as `characterize_pair`'s
+                // projected-seconds formula, so a baseline point served from
+                // records is bit-identical to one replayed here.
+                let clock_hz = system.clock_ghz * 1e9;
                 secs += t.instructions_billions * 1e9
-                    / (session.ipc() * system.clock_ghz * 1e9 * t.threads.max(1) as f64);
+                    / (session.ipc() * clock_hz * t.threads.max(1) as f64);
             }
         }
         let n = traces.len().max(1) as f64;
@@ -135,6 +189,17 @@ fn sweep_over(
 /// Sweeps main-memory latency over `cycle_points` — the strongest lever on
 /// the memory-bound applications the paper highlights.
 pub fn memory_latency_sweep(apps: &[AppProfile], base: &RunConfig, cycle_points: &[u64]) -> Sweep {
+    memory_latency_sweep_with(apps, base, cycle_points, None)
+}
+
+/// [`memory_latency_sweep`] reusing `baseline` records for any point whose
+/// system equals the baseline system.
+pub fn memory_latency_sweep_with(
+    apps: &[AppProfile],
+    base: &RunConfig,
+    cycle_points: &[u64],
+    baseline: Option<&[CharRecord]>,
+) -> Sweep {
     let configs = cycle_points
         .iter()
         .map(|&cycles| {
@@ -143,13 +208,23 @@ pub fn memory_latency_sweep(apps: &[AppProfile], base: &RunConfig, cycle_points:
             (format!("{cycles} cyc"), system)
         })
         .collect();
-    sweep_over("DRAM latency", apps, base, configs)
+    sweep_over("DRAM latency", apps, base, configs, baseline)
 }
 
 /// Sweeps the core issue width over `width_points` — compute-bound
 /// applications respond, memory-bound ones barely move (the classic
 /// balance-of-machine picture).
 pub fn issue_width_sweep(apps: &[AppProfile], base: &RunConfig, width_points: &[usize]) -> Sweep {
+    issue_width_sweep_with(apps, base, width_points, None)
+}
+
+/// [`issue_width_sweep`] reusing `baseline` records for the base point.
+pub fn issue_width_sweep_with(
+    apps: &[AppProfile],
+    base: &RunConfig,
+    width_points: &[usize],
+    baseline: Option<&[CharRecord]>,
+) -> Sweep {
     let configs = width_points
         .iter()
         .map(|&width| {
@@ -158,7 +233,7 @@ pub fn issue_width_sweep(apps: &[AppProfile], base: &RunConfig, width_points: &[
             (format!("{width}-wide"), system)
         })
         .collect();
-    sweep_over("issue width", apps, base, configs)
+    sweep_over("issue width", apps, base, configs, baseline)
 }
 
 /// Sweeps the shared L3 capacity over `mib_points`.
@@ -168,22 +243,50 @@ pub fn issue_width_sweep(apps: &[AppProfile], base: &RunConfig, width_points: &[
 /// `base.scale` is raised substantially — it exists for full-fidelity runs
 /// and is not featured in the `extensions` binary's default report.
 pub fn l3_capacity_sweep(apps: &[AppProfile], base: &RunConfig, mib_points: &[usize]) -> Sweep {
+    l3_capacity_sweep_with(apps, base, mib_points, None)
+}
+
+/// [`l3_capacity_sweep`] reusing `baseline` records for the base point.
+pub fn l3_capacity_sweep_with(
+    apps: &[AppProfile],
+    base: &RunConfig,
+    mib_points: &[usize],
+    baseline: Option<&[CharRecord]>,
+) -> Sweep {
     let configs = mib_points
         .iter()
         .map(|&mib| {
-            (format!("{mib} MiB"), base.system.clone().with_l3_size(mib * 1024 * 1024))
+            (
+                format!("{mib} MiB"),
+                base.system.clone().with_l3_size(mib * 1024 * 1024),
+            )
         })
         .collect();
-    sweep_over("L3 capacity", apps, base, configs)
+    sweep_over("L3 capacity", apps, base, configs, baseline)
 }
 
 /// Sweeps the per-core L2 capacity over `kib_points`.
 pub fn l2_capacity_sweep(apps: &[AppProfile], base: &RunConfig, kib_points: &[usize]) -> Sweep {
+    l2_capacity_sweep_with(apps, base, kib_points, None)
+}
+
+/// [`l2_capacity_sweep`] reusing `baseline` records for the base point.
+pub fn l2_capacity_sweep_with(
+    apps: &[AppProfile],
+    base: &RunConfig,
+    kib_points: &[usize],
+    baseline: Option<&[CharRecord]>,
+) -> Sweep {
     let configs = kib_points
         .iter()
-        .map(|&kib| (format!("{kib} KiB"), base.system.clone().with_l2_size(kib * 1024)))
+        .map(|&kib| {
+            (
+                format!("{kib} KiB"),
+                base.system.clone().with_l2_size(kib * 1024),
+            )
+        })
         .collect();
-    sweep_over("L2 capacity", apps, base, configs)
+    sweep_over("L2 capacity", apps, base, configs, baseline)
 }
 
 #[cfg(test)]
@@ -200,8 +303,7 @@ mod tests {
 
     #[test]
     fn larger_l3_never_hurts_ipc() {
-        let sweep =
-            l3_capacity_sweep(&memory_bound_apps(), &RunConfig::quick(), &[4, 30, 120]);
+        let sweep = l3_capacity_sweep(&memory_bound_apps(), &RunConfig::quick(), &[4, 30, 120]);
         assert_eq!(sweep.points.len(), 3);
         let ipc: Vec<f64> = sweep.points.iter().map(|p| p.mean_ipc).collect();
         assert!(
@@ -232,13 +334,38 @@ mod tests {
 
     #[test]
     fn larger_l2_reduces_l2_miss_rate() {
-        let sweep =
-            l2_capacity_sweep(&memory_bound_apps(), &RunConfig::quick(), &[128, 256, 1024]);
+        let sweep = l2_capacity_sweep(&memory_bound_apps(), &RunConfig::quick(), &[128, 256, 1024]);
         let m2: Vec<f64> = sweep.points.iter().map(|p| p.mean_l2_miss_pct).collect();
         assert!(
             m2.first().unwrap() >= m2.last().unwrap(),
             "bigger L2 must lower the local L2 miss rate: {m2:?}"
         );
+    }
+
+    #[test]
+    fn baseline_records_reproduce_the_base_point_exactly() {
+        let apps = memory_bound_apps();
+        let base = RunConfig::quick();
+        let latency = base.system.memory_latency;
+        let replayed = memory_latency_sweep(&apps, &base, &[latency, 500]);
+        let records = crate::characterize::characterize_suite(&apps, InputSize::Ref, &base);
+        let served = memory_latency_sweep_with(&apps, &base, &[latency, 500], Some(&records));
+        assert_eq!(
+            replayed, served,
+            "record-served base point must match a replay"
+        );
+    }
+
+    #[test]
+    fn incomplete_baseline_falls_back_to_replay() {
+        let apps = memory_bound_apps();
+        let base = RunConfig::quick();
+        let latency = base.system.memory_latency;
+        // Records covering only one of the two apps cannot serve the point.
+        let partial = crate::characterize::characterize_suite(&apps[..1], InputSize::Ref, &base);
+        let replayed = memory_latency_sweep(&apps, &base, &[latency]);
+        let served = memory_latency_sweep_with(&apps, &base, &[latency], Some(&partial));
+        assert_eq!(replayed, served);
     }
 
     #[test]

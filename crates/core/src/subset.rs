@@ -65,7 +65,9 @@ impl SubsetAnalysis {
             });
         }
         if records.is_empty() {
-            return Err(StatsError::Empty { what: "subset records" });
+            return Err(StatsError::Empty {
+                what: "subset records",
+            });
         }
         let dendrogram = agglomerative(score_rows, linkage, Metric::Euclidean)?;
         let n = records.len();
@@ -76,22 +78,31 @@ impl SubsetAnalysis {
             let labels = dendrogram.cut(k)?;
             let sse = total_sse(score_rows, &labels)?;
             let reps = representatives_for(records, &labels, k);
-            let subset_seconds: f64 =
-                reps.iter().map(|&i| records[i].projected_seconds).sum();
-            curve.push(TradeoffPoint { k, sse, subset_seconds });
+            let subset_seconds: f64 = reps.iter().map(|&i| records[i].projected_seconds).sum();
+            curve.push(TradeoffPoint {
+                k,
+                sse,
+                subset_seconds,
+            });
         }
 
         // The degenerate endpoints (k = 1: useless subset; k = n: no saving)
         // stay in the candidate set — dominance removes them naturally.
         let candidates: Vec<Candidate> = curve
             .iter()
-            .map(|p| Candidate { id: p.k, cost_a: p.sse, cost_b: p.subset_seconds })
+            .map(|p| Candidate {
+                id: p.k,
+                cost_a: p.sse,
+                cost_b: p.subset_seconds,
+            })
             .collect();
         let chosen_k = knee_point(&candidates)?.id;
         let labels = dendrogram.cut(chosen_k)?;
         let representatives = representatives_for(records, &labels, chosen_k);
-        let subset_seconds: f64 =
-            representatives.iter().map(|&i| records[i].projected_seconds).sum();
+        let subset_seconds: f64 = representatives
+            .iter()
+            .map(|&i| records[i].projected_seconds)
+            .sum();
 
         Ok(SubsetAnalysis {
             ids: records.iter().map(|r| r.id.clone()).collect(),
@@ -116,8 +127,11 @@ impl SubsetAnalysis {
     /// Ids of the chosen representatives, sorted alphabetically (the
     /// paper's Table X listing order).
     pub fn representative_ids(&self) -> Vec<String> {
-        let mut ids: Vec<String> =
-            self.representatives.iter().map(|&i| self.ids[i].clone()).collect();
+        let mut ids: Vec<String> = self
+            .representatives
+            .iter()
+            .map(|&i| self.ids[i].clone())
+            .collect();
         ids.sort();
         ids
     }

@@ -1,9 +1,10 @@
 //! Suite-level aggregation — the paper's Table II overview.
 
 use stat_analysis::summary;
-use workload_synth::profile::{InputSize, Suite};
+use workload_synth::profile::{AppProfile, InputSize, Suite};
 
-use crate::characterize::CharRecord;
+use crate::cache::CacheContext;
+use crate::characterize::{characterize_suite_with, CharRecord, RunConfig};
 
 /// Average execution characteristics of one mini-suite at one input size
 /// (one row of Table II).
@@ -64,12 +65,31 @@ pub fn table_two_rows(records: &[CharRecord]) -> Vec<SuiteRow> {
     rows
 }
 
+/// Characterizes `apps` at every input size (cache-first when a context is
+/// given) and aggregates the records into Table II rows — the one-call path
+/// from a roster to the suite overview.
+pub fn table_two_rows_cached(
+    apps: &[AppProfile],
+    config: &RunConfig,
+    cache: Option<&CacheContext>,
+) -> Vec<SuiteRow> {
+    let mut records = Vec::new();
+    for size in InputSize::ALL {
+        records.extend(characterize_suite_with(apps, size, config, cache));
+    }
+    table_two_rows(&records)
+}
+
 /// Mean and standard deviation of a per-record metric over a record subset —
 /// the building block of the Tables III–VII comparison rows.
 pub fn mean_std<F: Fn(&CharRecord) -> f64>(records: &[&CharRecord], f: F) -> (f64, f64) {
     let values: Vec<f64> = records.iter().map(|r| f(r)).collect();
     let mean = summary::mean(&values).unwrap_or(0.0);
-    let std = if values.len() >= 2 { summary::std_dev(&values).unwrap_or(0.0) } else { 0.0 };
+    let std = if values.len() >= 2 {
+        summary::std_dev(&values).unwrap_or(0.0)
+    } else {
+        0.0
+    };
     (mean, std)
 }
 
@@ -91,8 +111,12 @@ mod tests {
         let rows = table_two_rows(&records);
         // 2 suites x 2 sizes.
         assert_eq!(rows.len(), 4);
-        assert!(rows.iter().any(|r| r.suite == Suite::RateInt && r.size == InputSize::Test));
-        assert!(rows.iter().any(|r| r.suite == Suite::SpeedFp && r.size == InputSize::Ref));
+        assert!(rows
+            .iter()
+            .any(|r| r.suite == Suite::RateInt && r.size == InputSize::Test));
+        assert!(rows
+            .iter()
+            .any(|r| r.suite == Suite::SpeedFp && r.size == InputSize::Ref));
     }
 
     #[test]
@@ -135,6 +159,27 @@ mod tests {
             .instructions_billions;
         let expected = (gcc_mean + mcf) / 2.0;
         assert!((rows[0].instructions_billions - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cached_table_two_matches_direct_aggregation() {
+        let root =
+            std::env::temp_dir().join(format!("workchar-suitestats-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = crate::cache::CacheContext::open(&root).unwrap();
+        let apps = vec![cpu2017::app("505.mcf_r").unwrap()];
+        let config = RunConfig::quick();
+        let mut records = Vec::new();
+        for size in InputSize::ALL {
+            records.extend(characterize_suite(&apps, size, &config));
+        }
+        let direct = table_two_rows(&records);
+        let cold = table_two_rows_cached(&apps, &config, Some(&cache));
+        let warm = table_two_rows_cached(&apps, &config, Some(&cache));
+        assert_eq!(direct, cold);
+        assert_eq!(cold, warm);
+        assert_eq!(cache.stats.snapshot().hits, 3, "three sizes replayed");
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -12,7 +12,11 @@ pub fn field(s: &str) -> String {
 
 /// Renders one CSV record (with trailing newline).
 pub fn line<S: AsRef<str>>(cells: &[S]) -> String {
-    let mut out = cells.iter().map(|c| field(c.as_ref())).collect::<Vec<_>>().join(",");
+    let mut out = cells
+        .iter()
+        .map(|c| field(c.as_ref()))
+        .collect::<Vec<_>>()
+        .join(",");
     out.push('\n');
     out
 }

@@ -86,7 +86,11 @@ pub struct Figure {
 impl Figure {
     /// Creates an empty figure.
     pub fn new(title: &str, kind: Kind) -> Self {
-        Figure { title: title.to_owned(), kind, series: Vec::new() }
+        Figure {
+            title: title.to_owned(),
+            kind,
+            series: Vec::new(),
+        }
     }
 
     /// Adds a series.
@@ -180,8 +184,12 @@ impl Figure {
             out.push_str("(no data)\n");
             return out;
         }
-        let (mut x0, mut x1, mut y0, mut y1) =
-            (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+        let (mut x0, mut x1, mut y0, mut y1) = (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        );
         for &(x, y) in &pts {
             x0 = x0.min(x);
             x1 = x1.max(x);
@@ -255,7 +263,12 @@ mod tests {
     #[test]
     fn scatter_grid_renders() {
         let mut f = Figure::new("PC scatter", Kind::Scatter);
-        f.push(Series::points("apps", &["a", "b", "c"], &[0.0, 1.0, 2.0], &[0.0, 4.0, 1.0]));
+        f.push(Series::points(
+            "apps",
+            &["a", "b", "c"],
+            &[0.0, 1.0, 2.0],
+            &[0.0, 4.0, 1.0],
+        ));
         let s = f.render_ascii(60);
         assert!(s.contains('*'));
         assert!(s.contains("x: [0.000, 2.000]"));

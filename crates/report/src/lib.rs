@@ -18,6 +18,6 @@
 //! ```
 
 pub mod csv;
-pub mod svg;
 pub mod figure;
+pub mod svg;
 pub mod table;

@@ -10,10 +10,15 @@ use crate::figure::{Figure, Kind};
 
 /// Escapes text for SVG/XML content.
 pub fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
-const COLORS: [&str; 6] = ["#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b"];
+const COLORS: [&str; 6] = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b",
+];
 const MARGIN: f64 = 46.0;
 
 impl Figure {
@@ -35,7 +40,12 @@ impl Figure {
             escape(self.title())
         ));
 
-        let plot = PlotArea { x0: MARGIN, y0: 24.0, x1: w - 12.0, y1: h - MARGIN };
+        let plot = PlotArea {
+            x0: MARGIN,
+            y0: 24.0,
+            x1: w - 12.0,
+            y1: h - MARGIN,
+        };
         out.push_str(&format!(
             "  <rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"none\" stroke=\"#999\"/>\n",
             plot.x0,
@@ -118,8 +128,12 @@ impl Figure {
         if pts.is_empty() {
             return;
         }
-        let (mut x0, mut x1, mut y0, mut y1) =
-            (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+        let (mut x0, mut x1, mut y0, mut y1) = (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        );
         for &(x, y) in &pts {
             x0 = x0.min(x);
             x1 = x1.max(x);
@@ -204,7 +218,11 @@ mod tests {
         let svg = bar_fig().render_svg(400, 300);
         assert!(svg.starts_with("<svg"));
         assert!(svg.trim_end().ends_with("</svg>"));
-        assert_eq!(svg.matches("<rect").count(), 4, "frame + two bars + legend swatch");
+        assert_eq!(
+            svg.matches("<rect").count(),
+            4,
+            "frame + two bars + legend swatch"
+        );
     }
 
     #[test]
@@ -217,7 +235,12 @@ mod tests {
     #[test]
     fn scatter_renders_circles() {
         let mut f = Figure::new("scatter", Kind::Scatter);
-        f.push(Series::points("s", &["a", "b", "c"], &[0.0, 1.0, 2.0], &[5.0, 3.0, 9.0]));
+        f.push(Series::points(
+            "s",
+            &["a", "b", "c"],
+            &[0.0, 1.0, 2.0],
+            &[5.0, 3.0, 9.0],
+        ));
         let svg = f.render_svg(400, 300);
         assert_eq!(svg.matches("<circle").count(), 3);
         assert!(!svg.contains("<polyline"));

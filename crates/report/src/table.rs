@@ -102,8 +102,11 @@ impl Table {
         let mut out = String::new();
         out.push_str(&self.title);
         out.push('\n');
-        let rule: String =
-            w.iter().map(|wi| "-".repeat(wi + 2)).collect::<Vec<_>>().join("+");
+        let rule: String = w
+            .iter()
+            .map(|wi| "-".repeat(wi + 2))
+            .collect::<Vec<_>>()
+            .join("+");
         out.push_str(&rule);
         out.push('\n');
         out.push_str(&self.format_row(&self.headers, &w));

@@ -75,7 +75,9 @@ impl Dendrogram {
     /// Returns [`StatsError::InvalidArgument`] unless `1 <= k <= n_leaves`.
     pub fn cut(&self, k: usize) -> Result<Vec<usize>, StatsError> {
         if k == 0 || k > self.n_leaves {
-            return Err(StatsError::InvalidArgument { what: "cluster count k out of range" });
+            return Err(StatsError::InvalidArgument {
+                what: "cluster count k out of range",
+            });
         }
         // Apply the first n_leaves - k merges with a union-find.
         let total = self.n_leaves + self.merges.len();
@@ -139,7 +141,12 @@ impl Dendrogram {
                 right: (labels.len(), 1),
             });
         }
-        let max_h = self.merges.iter().map(|m| m.height).fold(0.0, f64::max).max(1e-12);
+        let max_h = self
+            .merges
+            .iter()
+            .map(|m| m.height)
+            .fold(0.0, f64::max)
+            .max(1e-12);
         // Order leaves by recursive tree traversal so related leaves adjoin.
         let order = self.leaf_order();
         let label_w = labels.iter().map(|l| l.len()).max().unwrap_or(0);
@@ -155,7 +162,11 @@ impl Dendrogram {
             let h = self.leaf_join_height(leaf).unwrap_or(max_h);
             let bar = ((h / max_h) * chart_w as f64).round() as usize;
             let bar = bar.clamp(1, chart_w);
-            out.push_str(&format!("{:label_w$} | {}\n", labels[leaf], "=".repeat(bar)));
+            out.push_str(&format!(
+                "{:label_w$} | {}\n",
+                labels[leaf],
+                "=".repeat(bar)
+            ));
         }
         Ok(out)
     }
@@ -222,10 +233,15 @@ pub fn agglomerative(
 ) -> Result<Dendrogram, StatsError> {
     let n = observations.len();
     if n == 0 {
-        return Err(StatsError::Empty { what: "clustering observations" });
+        return Err(StatsError::Empty {
+            what: "clustering observations",
+        });
     }
     if n == 1 {
-        return Ok(Dendrogram { n_leaves: 1, merges: Vec::new() });
+        return Ok(Dendrogram {
+            n_leaves: 1,
+            merges: Vec::new(),
+        });
     }
     let table = DistanceTable::from_rows(observations, metric)?;
 
@@ -234,11 +250,15 @@ pub fn agglomerative(
     let mut ids: Vec<usize> = (0..n).collect();
     let mut sizes: Vec<usize> = vec![1; n];
     let mut dist: Vec<Vec<f64>> = vec![vec![0.0; n]; n];
-    for i in 0..n {
-        for j in 0..n {
+    for (i, row) in dist.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
             let base = table.get(i, j);
             // Ward works on squared distances internally.
-            dist[i][j] = if linkage == Linkage::Ward { base * base } else { base };
+            *cell = if linkage == Linkage::Ward {
+                base * base
+            } else {
+                base
+            };
         }
     }
 
@@ -259,7 +279,11 @@ pub fn agglomerative(
         let (i, j, dij) = best;
         let new_id = n + step;
         let (si, sj) = (sizes[i] as f64, sizes[j] as f64);
-        let height = if linkage == Linkage::Ward { dij.max(0.0).sqrt() } else { dij };
+        let height = if linkage == Linkage::Ward {
+            dij.max(0.0).sqrt()
+        } else {
+            dij
+        };
         merges.push(Merge {
             a: ids[i],
             b: ids[j],
@@ -281,9 +305,7 @@ pub fn agglomerative(
                 Linkage::Single => dik.min(djk),
                 Linkage::Complete => dik.max(djk),
                 Linkage::Average => (si * dik + sj * djk) / (si + sj),
-                Linkage::Ward => {
-                    ((si + sk) * dik + (sj + sk) * djk - sk * dij) / (si + sj + sk)
-                }
+                Linkage::Ward => ((si + sk) * dik + (sj + sk) * djk - sk * dij) / (si + sj + sk),
             };
             dist[i][k] = updated;
             dist[k][i] = updated;
@@ -292,7 +314,10 @@ pub fn agglomerative(
         sizes[i] += sizes[j];
         active.retain(|&s| s != j);
     }
-    Ok(Dendrogram { n_leaves: n, merges })
+    Ok(Dendrogram {
+        n_leaves: n,
+        merges,
+    })
 }
 
 #[cfg(test)]
@@ -312,7 +337,12 @@ mod tests {
 
     #[test]
     fn all_linkages_separate_two_blobs() {
-        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
             let tree = agglomerative(&two_blobs(), linkage, Metric::Euclidean).unwrap();
             let labels = tree.cut(2).unwrap();
             assert_eq!(labels[0], labels[1]);
@@ -336,7 +366,12 @@ mod tests {
     #[test]
     fn heights_monotone_for_monotone_linkages() {
         // Single/complete/average/ward are all monotone on these data.
-        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
             let tree = agglomerative(&two_blobs(), linkage, Metric::Euclidean).unwrap();
             let hs: Vec<f64> = tree.merges().iter().map(|m| m.height).collect();
             assert!(

@@ -34,7 +34,9 @@ impl Metric {
             });
         }
         if a.is_empty() {
-            return Err(StatsError::Empty { what: "distance vectors" });
+            return Err(StatsError::Empty {
+                what: "distance vectors",
+            });
         }
         Ok(match self {
             Metric::Euclidean => a
@@ -80,7 +82,9 @@ impl DistanceTable {
     /// Returns [`StatsError::Empty`] when there are no observations.
     pub fn from_rows(data: &[Vec<f64>], metric: Metric) -> Result<Self, StatsError> {
         if data.is_empty() {
-            return Err(StatsError::Empty { what: "distance table observations" });
+            return Err(StatsError::Empty {
+                what: "distance table observations",
+            });
         }
         let n = data.len();
         let mut tri = Vec::with_capacity(n * (n - 1) / 2);
@@ -123,7 +127,9 @@ mod tests {
 
     #[test]
     fn euclidean_345() {
-        let d = Metric::Euclidean.distance(&[0.0, 0.0], &[3.0, 4.0]).unwrap();
+        let d = Metric::Euclidean
+            .distance(&[0.0, 0.0], &[3.0, 4.0])
+            .unwrap();
         assert!((d - 5.0).abs() < 1e-12);
     }
 

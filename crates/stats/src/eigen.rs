@@ -48,13 +48,19 @@ const MAX_SWEEPS: usize = 100;
 /// ```
 pub fn decompose_symmetric(m: &Matrix) -> Result<EigenDecomposition, StatsError> {
     if m.rows() != m.cols() {
-        return Err(StatsError::InvalidArgument { what: "eigendecomposition requires a square matrix" });
+        return Err(StatsError::InvalidArgument {
+            what: "eigendecomposition requires a square matrix",
+        });
     }
     if !m.is_symmetric(1e-8) {
-        return Err(StatsError::InvalidArgument { what: "eigendecomposition requires a symmetric matrix" });
+        return Err(StatsError::InvalidArgument {
+            what: "eigendecomposition requires a symmetric matrix",
+        });
     }
     if m.as_slice().iter().any(|v| !v.is_finite()) {
-        return Err(StatsError::InvalidArgument { what: "matrix contains non-finite values" });
+        return Err(StatsError::InvalidArgument {
+            what: "matrix contains non-finite values",
+        });
     }
     let n = m.rows();
     let mut a = m.clone();
@@ -110,7 +116,10 @@ pub fn decompose_symmetric(m: &Matrix) -> Result<EigenDecomposition, StatsError>
         // Converged to slightly looser tolerance; still acceptable.
         return Ok(sorted(a, v));
     }
-    Err(StatsError::NoConvergence { routine: "jacobi eigendecomposition", iterations: MAX_SWEEPS })
+    Err(StatsError::NoConvergence {
+        routine: "jacobi eigendecomposition",
+        iterations: MAX_SWEEPS,
+    })
 }
 
 fn off_diagonal_norm(a: &Matrix) -> f64 {
@@ -127,7 +136,11 @@ fn off_diagonal_norm(a: &Matrix) -> f64 {
 fn sorted(a: Matrix, v: Matrix) -> EigenDecomposition {
     let n = a.rows();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| a[(j, j)].partial_cmp(&a[(i, i)]).expect("eigenvalues are finite"));
+    order.sort_by(|&i, &j| {
+        a[(j, j)]
+            .partial_cmp(&a[(i, i)])
+            .expect("eigenvalues are finite")
+    });
     let values: Vec<f64> = order.iter().map(|&i| a[(i, i)]).collect();
     let mut vectors = Matrix::zeros(n, n).expect("n > 0");
     for (new_col, &old_col) in order.iter().enumerate() {
@@ -157,7 +170,11 @@ mod tests {
         for i in 0..n {
             d[(i, i)] = e.values[i];
         }
-        e.vectors.matmul(&d).unwrap().matmul(&e.vectors.transpose()).unwrap()
+        e.vectors
+            .matmul(&d)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap()
     }
 
     #[test]

@@ -41,8 +41,14 @@ impl fmt::Display for StatsError {
                 left.0, left.1, right.0, right.1
             ),
             StatsError::Empty { what } => write!(f, "empty input: {what}"),
-            StatsError::NoConvergence { routine, iterations } => {
-                write!(f, "{routine} did not converge after {iterations} iterations")
+            StatsError::NoConvergence {
+                routine,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{routine} did not converge after {iterations} iterations"
+                )
             }
             StatsError::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
         }

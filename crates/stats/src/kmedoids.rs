@@ -43,10 +43,14 @@ pub fn k_medoids(
 ) -> Result<KMedoids, StatsError> {
     let n = observations.len();
     if n == 0 {
-        return Err(StatsError::Empty { what: "k-medoids observations" });
+        return Err(StatsError::Empty {
+            what: "k-medoids observations",
+        });
     }
     if k == 0 || k > n {
-        return Err(StatsError::InvalidArgument { what: "k must be within 1..=n" });
+        return Err(StatsError::InvalidArgument {
+            what: "k must be within 1..=n",
+        });
     }
     let d = DistanceTable::from_rows(observations, metric)?;
 
@@ -86,14 +90,14 @@ pub fn k_medoids(
     let assign = |medoids: &[usize]| -> (Vec<usize>, f64) {
         let mut labels = vec![0usize; n];
         let mut cost = 0.0;
-        for j in 0..n {
+        for (j, slot) in labels.iter_mut().enumerate() {
             let (label, dist) = medoids
                 .iter()
                 .enumerate()
                 .map(|(li, &m)| (li, d.get(m, j)))
                 .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
                 .expect("k >= 1");
-            labels[j] = label;
+            *slot = label;
             cost += dist;
         }
         (labels, cost)
@@ -132,7 +136,12 @@ pub fn k_medoids(
     }
     medoids.sort_unstable();
     let (labels, cost) = assign(&medoids);
-    Ok(KMedoids { medoids, labels, cost, iterations })
+    Ok(KMedoids {
+        medoids,
+        labels,
+        cost,
+        iterations,
+    })
 }
 
 #[cfg(test)]
@@ -207,7 +216,9 @@ mod tests {
         let obs = blobs();
         let r = k_medoids(&obs, 2, Metric::Euclidean).unwrap();
         for (j, &label) in r.labels.iter().enumerate() {
-            let own = Metric::Euclidean.distance(&obs[j], &obs[r.medoids[label]]).unwrap();
+            let own = Metric::Euclidean
+                .distance(&obs[j], &obs[r.medoids[label]])
+                .unwrap();
             for &m in &r.medoids {
                 let other = Metric::Euclidean.distance(&obs[j], &obs[m]).unwrap();
                 assert!(own <= other + 1e-12);

@@ -22,7 +22,6 @@ use std::ops::{Index, IndexMut};
 /// # Ok::<(), stat_analysis::StatsError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -37,9 +36,15 @@ impl Matrix {
     /// Returns [`StatsError::Empty`] if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Result<Self, StatsError> {
         if rows == 0 || cols == 0 {
-            return Err(StatsError::Empty { what: "matrix dimensions" });
+            return Err(StatsError::Empty {
+                what: "matrix dimensions",
+            });
         }
-        Ok(Matrix { rows, cols, data: vec![0.0; rows * cols] })
+        Ok(Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        })
     }
 
     /// Creates an identity matrix of size `n`.
@@ -65,11 +70,15 @@ impl Matrix {
     pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, StatsError> {
         let nrows = rows.len();
         if nrows == 0 {
-            return Err(StatsError::Empty { what: "matrix rows" });
+            return Err(StatsError::Empty {
+                what: "matrix rows",
+            });
         }
         let ncols = rows[0].len();
         if ncols == 0 {
-            return Err(StatsError::Empty { what: "matrix columns" });
+            return Err(StatsError::Empty {
+                what: "matrix columns",
+            });
         }
         let mut data = Vec::with_capacity(nrows * ncols);
         for (i, row) in rows.iter().enumerate() {
@@ -82,7 +91,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: nrows, cols: ncols, data })
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
     }
 
     /// Builds a matrix from a flat row-major vector.
@@ -93,7 +106,9 @@ impl Matrix {
     /// and [`StatsError::Empty`] for zero dimensions.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, StatsError> {
         if rows == 0 || cols == 0 {
-            return Err(StatsError::Empty { what: "matrix dimensions" });
+            return Err(StatsError::Empty {
+                what: "matrix dimensions",
+            });
         }
         if data.len() != rows * cols {
             return Err(StatsError::DimensionMismatch {
@@ -126,7 +141,11 @@ impl Matrix {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row(&self, r: usize) -> &[f64] {
-        assert!(r < self.rows, "row index {r} out of bounds ({} rows)", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds ({} rows)",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -136,7 +155,11 @@ impl Matrix {
     ///
     /// Panics if `c >= self.cols()`.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "column index {c} out of bounds ({} cols)", self.cols);
+        assert!(
+            c < self.cols,
+            "column index {c} out of bounds ({} cols)",
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
@@ -152,7 +175,11 @@ impl Matrix {
 
     /// Returns the transpose.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix { rows: self.cols, cols: self.rows, data: vec![0.0; self.data.len()] };
+        let mut out = Matrix {
+            rows: self.cols,
+            cols: self.rows,
+            data: vec![0.0; self.data.len()],
+        };
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out[(c, r)] = self[(r, c)];
@@ -219,7 +246,9 @@ impl Matrix {
                 *a += d * d;
             }
         }
-        acc.iter().map(|a| (a / (self.rows as f64 - 1.0)).sqrt()).collect()
+        acc.iter()
+            .map(|a| (a / (self.rows as f64 - 1.0)).sqrt())
+            .collect()
     }
 
     /// Returns a copy with every column mean-centered.
@@ -324,14 +353,24 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -404,14 +443,20 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
         let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]]).unwrap()
+        );
     }
 
     #[test]
     fn matmul_dimension_mismatch() {
         let a = m2x2();
         let b = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
-        assert!(matches!(a.matmul(&b), Err(StatsError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -39,10 +39,17 @@ impl Candidate {
 /// [`StatsError::InvalidArgument`] when any objective is non-finite.
 pub fn pareto_front(candidates: &[Candidate]) -> Result<Vec<Candidate>, StatsError> {
     if candidates.is_empty() {
-        return Err(StatsError::Empty { what: "pareto candidates" });
+        return Err(StatsError::Empty {
+            what: "pareto candidates",
+        });
     }
-    if candidates.iter().any(|c| !c.cost_a.is_finite() || !c.cost_b.is_finite()) {
-        return Err(StatsError::InvalidArgument { what: "pareto objectives must be finite" });
+    if candidates
+        .iter()
+        .any(|c| !c.cost_a.is_finite() || !c.cost_b.is_finite())
+    {
+        return Err(StatsError::InvalidArgument {
+            what: "pareto objectives must be finite",
+        });
     }
     let mut front: Vec<Candidate> = candidates
         .iter()
@@ -88,7 +95,9 @@ pub fn knee_point(candidates: &[Candidate]) -> Result<Candidate, StatsError> {
 }
 
 fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
-    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)))
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
 }
 
 fn norm_dist(c: &Candidate, min_a: f64, span_a: f64, min_b: f64, span_b: f64) -> f64 {
@@ -102,7 +111,11 @@ mod tests {
     use super::*;
 
     fn c(id: usize, a: f64, b: f64) -> Candidate {
-        Candidate { id, cost_a: a, cost_b: b }
+        Candidate {
+            id,
+            cost_a: a,
+            cost_b: b,
+        }
     }
 
     #[test]
@@ -115,7 +128,12 @@ mod tests {
 
     #[test]
     fn front_excludes_dominated() {
-        let cands = vec![c(0, 1.0, 5.0), c(1, 2.0, 2.0), c(2, 5.0, 1.0), c(3, 4.0, 4.0)];
+        let cands = vec![
+            c(0, 1.0, 5.0),
+            c(1, 2.0, 2.0),
+            c(2, 5.0, 1.0),
+            c(3, 4.0, 4.0),
+        ];
         let front = pareto_front(&cands).unwrap();
         let ids: Vec<usize> = front.iter().map(|x| x.id).collect();
         assert_eq!(ids, vec![0, 1, 2]);

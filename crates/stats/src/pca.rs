@@ -117,7 +117,9 @@ impl Pca {
     /// Returns [`StatsError::InvalidArgument`] unless `0 < fraction <= 1`.
     pub fn n_components_for(&self, fraction: f64) -> Result<usize, StatsError> {
         if !(fraction > 0.0 && fraction <= 1.0) {
-            return Err(StatsError::InvalidArgument { what: "variance fraction must be in (0, 1]" });
+            return Err(StatsError::InvalidArgument {
+                what: "variance fraction must be in (0, 1]",
+            });
         }
         let cum = self.cumulative_explained_variance();
         Ok(cum
@@ -133,7 +135,11 @@ impl Pca {
     /// variance-fraction cutoff, used by the component-selection ablation.
     pub fn n_components_kaiser(&self) -> usize {
         let mean = self.eigenvalues.iter().sum::<f64>() / self.eigenvalues.len() as f64;
-        self.eigenvalues.iter().filter(|&&v| v > mean).count().max(1)
+        self.eigenvalues
+            .iter()
+            .filter(|&&v| v > mean)
+            .count()
+            .max(1)
     }
 
     /// Direction vector (unit eigenvector) of component `k`.
@@ -157,7 +163,9 @@ impl Pca {
     /// number of variables, or a dimension error if `data` is incompatible.
     pub fn scores(&self, data: &Matrix, n_components: usize) -> Result<Matrix, StatsError> {
         if n_components == 0 || n_components > self.n_variables() {
-            return Err(StatsError::InvalidArgument { what: "n_components out of range" });
+            return Err(StatsError::InvalidArgument {
+                what: "n_components out of range",
+            });
         }
         let prepared = match &self.standardizer {
             Some(s) => s.transform(data)?,
@@ -195,7 +203,9 @@ impl Pca {
     /// number of variables.
     pub fn loadings(&self, n_components: usize) -> Result<Matrix, StatsError> {
         if n_components == 0 || n_components > self.n_variables() {
-            return Err(StatsError::InvalidArgument { what: "n_components out of range" });
+            return Err(StatsError::InvalidArgument {
+                what: "n_components out of range",
+            });
         }
         let p = self.n_variables();
         let mut out = Matrix::zeros(p, n_components)?;
@@ -263,7 +273,11 @@ mod tests {
         for i in 0..3 {
             for j in 0..3 {
                 if i != j {
-                    assert!(cov[(i, j)].abs() < 1e-9, "components {i},{j} correlated: {}", cov[(i, j)]);
+                    assert!(
+                        cov[(i, j)].abs() < 1e-9,
+                        "components {i},{j} correlated: {}",
+                        cov[(i, j)]
+                    );
                 }
             }
         }
@@ -325,7 +339,7 @@ mod tests {
     fn kaiser_rule_keeps_dominant_components() {
         let pca = Pca::fit(&correlated_data()).unwrap();
         let k = pca.n_components_kaiser();
-        assert!(k >= 1 && k <= 3);
+        assert!((1..=3).contains(&k));
         // The dominant direction exceeds the mean eigenvalue by construction.
         assert!(pca.eigenvalues()[0] > 1.0);
         assert!(k <= pca.n_components_for(0.99).unwrap());

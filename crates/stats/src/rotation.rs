@@ -49,10 +49,14 @@ const MAX_SWEEPS: usize = 100;
 pub fn varimax(loadings: &Matrix) -> Result<Varimax, StatsError> {
     let (p, k) = loadings.shape();
     if k < 2 {
-        return Err(StatsError::InvalidArgument { what: "varimax needs at least two factors" });
+        return Err(StatsError::InvalidArgument {
+            what: "varimax needs at least two factors",
+        });
     }
     if loadings.as_slice().iter().any(|v| !v.is_finite()) {
-        return Err(StatsError::InvalidArgument { what: "loadings must be finite" });
+        return Err(StatsError::InvalidArgument {
+            what: "loadings must be finite",
+        });
     }
     let mut l = loadings.clone();
     let mut rot = Matrix::identity(k)?;
@@ -94,10 +98,17 @@ pub fn varimax(loadings: &Matrix) -> Result<Varimax, StatsError> {
             }
         }
         if max_angle < 1e-7 {
-            return Ok(Varimax { loadings: l, rotation: rot, iterations: sweep });
+            return Ok(Varimax {
+                loadings: l,
+                rotation: rot,
+                iterations: sweep,
+            });
         }
     }
-    Err(StatsError::NoConvergence { routine: "varimax", iterations: MAX_SWEEPS })
+    Err(StatsError::NoConvergence {
+        routine: "varimax",
+        iterations: MAX_SWEEPS,
+    })
 }
 
 #[cfg(test)]
@@ -133,7 +144,11 @@ mod tests {
     #[test]
     fn rotation_matrix_is_orthogonal() {
         let result = varimax(&mixed_loadings()).unwrap();
-        let gram = result.rotation.transpose().matmul(&result.rotation).unwrap();
+        let gram = result
+            .rotation
+            .transpose()
+            .matmul(&result.rotation)
+            .unwrap();
         let id = Matrix::identity(2).unwrap();
         assert!(gram.max_abs_diff(&id).unwrap() < 1e-9);
     }

@@ -30,7 +30,9 @@ pub fn mean_silhouette(
         });
     }
     if observations.is_empty() {
-        return Err(StatsError::Empty { what: "silhouette observations" });
+        return Err(StatsError::Empty {
+            what: "silhouette observations",
+        });
     }
     let k = labels.iter().max().expect("nonempty") + 1;
     let distinct: std::collections::HashSet<_> = labels.iter().collect();
@@ -72,7 +74,11 @@ pub fn mean_silhouette(
             .filter(|&c| c != own && sizes[c] > 0)
             .map(|c| inter[c] / sizes[c] as f64)
             .fold(f64::INFINITY, f64::min);
-        let s = if a.max(b) > 0.0 { (b - a) / a.max(b) } else { 0.0 };
+        let s = if a.max(b) > 0.0 {
+            (b - a) / a.max(b)
+        } else {
+            0.0
+        };
         total += s;
     }
     Ok(total / n as f64)

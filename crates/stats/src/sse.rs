@@ -15,7 +15,9 @@ use crate::StatsError;
 /// Returns [`StatsError::Empty`] when `points` is empty and
 /// [`StatsError::DimensionMismatch`] for ragged rows.
 pub fn centroid(points: &[&[f64]]) -> Result<Vec<f64>, StatsError> {
-    let first = points.first().ok_or(StatsError::Empty { what: "centroid points" })?;
+    let first = points.first().ok_or(StatsError::Empty {
+        what: "centroid points",
+    })?;
     let dim = first.len();
     let mut acc = vec![0.0; dim];
     for p in points {
@@ -57,7 +59,9 @@ pub fn cluster_sse(points: &[&[f64]]) -> Result<f64, StatsError> {
 /// have different lengths, or [`StatsError::Empty`] for no observations.
 pub fn total_sse(observations: &[Vec<f64>], labels: &[usize]) -> Result<f64, StatsError> {
     if observations.is_empty() {
-        return Err(StatsError::Empty { what: "sse observations" });
+        return Err(StatsError::Empty {
+            what: "sse observations",
+        });
     }
     if observations.len() != labels.len() {
         return Err(StatsError::DimensionMismatch {

@@ -25,7 +25,9 @@ pub fn mean(xs: &[f64]) -> Result<f64, StatsError> {
 /// Returns [`StatsError::InvalidArgument`] for fewer than two samples.
 pub fn std_dev(xs: &[f64]) -> Result<f64, StatsError> {
     if xs.len() < 2 {
-        return Err(StatsError::InvalidArgument { what: "std_dev requires at least two samples" });
+        return Err(StatsError::InvalidArgument {
+            what: "std_dev requires at least two samples",
+        });
     }
     let m = mean(xs)?;
     let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
@@ -61,7 +63,9 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
         });
     }
     if xs.len() < 2 {
-        return Err(StatsError::InvalidArgument { what: "pearson requires at least two pairs" });
+        return Err(StatsError::InvalidArgument {
+            what: "pearson requires at least two pairs",
+        });
     }
     let mx = mean(xs)?;
     let my = mean(ys)?;
@@ -88,7 +92,9 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
 /// Returns [`StatsError::Empty`] for an empty slice.
 pub fn min_max(xs: &[f64]) -> Result<(f64, f64), StatsError> {
     if xs.is_empty() {
-        return Err(StatsError::Empty { what: "min_max input" });
+        return Err(StatsError::Empty {
+            what: "min_max input",
+        });
     }
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
@@ -110,10 +116,14 @@ pub fn min_max(xs: &[f64]) -> Result<(f64, f64), StatsError> {
 /// [`StatsError::InvalidArgument`] if any sample is not strictly positive.
 pub fn geometric_mean(xs: &[f64]) -> Result<f64, StatsError> {
     if xs.is_empty() {
-        return Err(StatsError::Empty { what: "geometric_mean input" });
+        return Err(StatsError::Empty {
+            what: "geometric_mean input",
+        });
     }
     if xs.iter().any(|&x| x <= 0.0) {
-        return Err(StatsError::InvalidArgument { what: "geometric_mean requires positive samples" });
+        return Err(StatsError::InvalidArgument {
+            what: "geometric_mean requires positive samples",
+        });
     }
     let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
     Ok((log_sum / xs.len() as f64).exp())

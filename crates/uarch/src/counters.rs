@@ -152,17 +152,26 @@ impl PerfSession {
 
     /// Load micro-ops as a fraction of all retired micro-ops.
     pub fn load_fraction(&self) -> f64 {
-        ratio(self.count(Event::MemUopsRetiredAllLoads), self.count(Event::UopsRetiredAll))
+        ratio(
+            self.count(Event::MemUopsRetiredAllLoads),
+            self.count(Event::UopsRetiredAll),
+        )
     }
 
     /// Store micro-ops as a fraction of all retired micro-ops.
     pub fn store_fraction(&self) -> f64 {
-        ratio(self.count(Event::MemUopsRetiredAllStores), self.count(Event::UopsRetiredAll))
+        ratio(
+            self.count(Event::MemUopsRetiredAllStores),
+            self.count(Event::UopsRetiredAll),
+        )
     }
 
     /// Branch instructions as a fraction of retired instructions.
     pub fn branch_fraction(&self) -> f64 {
-        ratio(self.count(Event::BrInstExecAllBranches), self.count(Event::InstRetiredAny))
+        ratio(
+            self.count(Event::BrInstExecAllBranches),
+            self.count(Event::InstRetiredAny),
+        )
     }
 
     /// L1 data-load miss rate (`l1_miss / (l1_hit + l1_miss)`).
@@ -190,7 +199,10 @@ impl PerfSession {
 
     /// Branch mispredict rate (`br_misp_exec / br_inst_exec`).
     pub fn mispredict_rate(&self) -> f64 {
-        ratio(self.count(Event::BrMispExecAllBranches), self.count(Event::BrInstExecAllBranches))
+        ratio(
+            self.count(Event::BrMispExecAllBranches),
+            self.count(Event::BrInstExecAllBranches),
+        )
     }
 
     /// Merges another session's counts into this one (multi-thread runs).
@@ -229,7 +241,10 @@ mod tests {
             Event::BrInstExecAllIndirectJumpNonCallRet.perf_flag(),
             "br_inst_exec.all_indirect_jump_non_call_ret"
         );
-        assert_eq!(Event::MemLoadUopsRetiredL3Miss.perf_flag(), "mem_load_uops_retired.l3_miss");
+        assert_eq!(
+            Event::MemLoadUopsRetiredL3Miss.perf_flag(),
+            "mem_load_uops_retired.l3_miss"
+        );
     }
 
     #[test]

@@ -150,7 +150,11 @@ impl Engine {
             executed += 1;
             // During warmup, events land in a discarded session; the
             // microarchitectural state still updates.
-            let s = if executed <= warmup_ops { &mut warm } else { &mut s };
+            let s = if executed <= warmup_ops {
+                &mut warm
+            } else {
+                &mut s
+            };
             s.incr(Event::InstRetiredAny);
             s.incr(Event::UopsRetiredAll);
 
@@ -214,8 +218,8 @@ impl Engine {
                         // Indirect jump target: BTB miss modelled by the hint
                         // rate, realized deterministically by counting.
                         indirect_seen += 1;
-                        let due = (indirect_seen as f64 * hints.indirect_target_miss_rate)
-                            .floor() as u64;
+                        let due =
+                            (indirect_seen as f64 * hints.indirect_target_miss_rate).floor() as u64;
                         if due > extra_mispredicts {
                             extra_mispredicts = due;
                             s.incr(Event::BrMispExecAllBranches);
@@ -230,8 +234,11 @@ impl Engine {
                             .wrapping_add(taken_seen)
                             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                             >> 17;
-                        let mask =
-                            if taken_seen % 32 == 0 { code_mask } else { hot_code_mask };
+                        let mask = if taken_seen.is_multiple_of(32) {
+                            code_mask
+                        } else {
+                            hot_code_mask
+                        };
                         fetch_off = h & mask;
                         last_fetch_line = u64::MAX;
                     }
@@ -308,7 +315,11 @@ mod tests {
             MicroOp::load(0x100),
             MicroOp::store(0x200),
             MicroOp::conditional_branch(0x10, true),
-            MicroOp::Branch { pc: 0x20, kind: BranchKind::DirectJump, taken: true },
+            MicroOp::Branch {
+                pc: 0x20,
+                kind: BranchKind::DirectJump,
+                taken: true,
+            },
         ];
         let s = e.run(ops, &WorkloadHints::default());
         assert_eq!(s.count(Event::InstRetiredAny), 5);
@@ -323,7 +334,9 @@ mod tests {
     #[test]
     fn load_level_counters_partition_loads() {
         let mut e = engine();
-        let ops: Vec<MicroOp> = (0..10_000u64).map(|i| MicroOp::load((i % 2048) * 64)).collect();
+        let ops: Vec<MicroOp> = (0..10_000u64)
+            .map(|i| MicroOp::load((i % 2048) * 64))
+            .collect();
         let s = e.run(ops, &WorkloadHints::default());
         let loads = s.count(Event::MemUopsRetiredAllLoads);
         let l1h = s.count(Event::MemLoadUopsRetiredL1Hit);
@@ -341,7 +354,9 @@ mod tests {
     fn small_working_set_mostly_hits_l1() {
         let mut e = engine();
         // 4 lines, touched 10k times: compulsory misses only.
-        let ops: Vec<MicroOp> = (0..10_000u64).map(|i| MicroOp::load((i % 4) * 64)).collect();
+        let ops: Vec<MicroOp> = (0..10_000u64)
+            .map(|i| MicroOp::load((i % 4) * 64))
+            .collect();
         let s = e.run(ops, &WorkloadHints::default());
         assert!(s.l1_miss_rate() < 0.01, "l1 miss rate {}", s.l1_miss_rate());
     }
@@ -359,8 +374,9 @@ mod tests {
     #[test]
     fn predictable_branches_rarely_mispredict() {
         let mut e = engine();
-        let ops: Vec<MicroOp> =
-            (0..50_000).map(|_| MicroOp::conditional_branch(0x40, true)).collect();
+        let ops: Vec<MicroOp> = (0..50_000)
+            .map(|_| MicroOp::conditional_branch(0x40, true))
+            .collect();
         let s = e.run(ops, &WorkloadHints::default());
         assert!(s.mispredict_rate() < 0.001, "rate {}", s.mispredict_rate());
     }
@@ -391,7 +407,10 @@ mod tests {
                 taken: true,
             })
             .collect();
-        let hints = WorkloadHints { indirect_target_miss_rate: 0.25, ..WorkloadHints::default() };
+        let hints = WorkloadHints {
+            indirect_target_miss_rate: 0.25,
+            ..WorkloadHints::default()
+        };
         let s = e.run(ops, &hints);
         let rate = s.mispredict_rate();
         assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
@@ -401,7 +420,11 @@ mod tests {
     fn direct_jumps_never_mispredict() {
         let mut e = engine();
         let ops: Vec<MicroOp> = (0..1000)
-            .map(|_| MicroOp::Branch { pc: 0x90, kind: BranchKind::DirectJump, taken: true })
+            .map(|_| MicroOp::Branch {
+                pc: 0x90,
+                kind: BranchKind::DirectJump,
+                taken: true,
+            })
             .collect();
         let s = e.run(ops, &WorkloadHints::default());
         assert_eq!(s.count(Event::BrMispExecAllBranches), 0);
@@ -411,9 +434,21 @@ mod tests {
     fn higher_ilp_means_higher_ipc() {
         let ops: Vec<MicroOp> = (0..50_000).map(|_| MicroOp::Alu).collect();
         let mut e1 = engine();
-        let s1 = e1.run(ops.clone(), &WorkloadHints { ilp: 1.0, ..WorkloadHints::default() });
+        let s1 = e1.run(
+            ops.clone(),
+            &WorkloadHints {
+                ilp: 1.0,
+                ..WorkloadHints::default()
+            },
+        );
         let mut e2 = engine();
-        let s2 = e2.run(ops, &WorkloadHints { ilp: 2.0, ..WorkloadHints::default() });
+        let s2 = e2.run(
+            ops,
+            &WorkloadHints {
+                ilp: 2.0,
+                ..WorkloadHints::default()
+            },
+        );
         assert!(s2.ipc() > s1.ipc() * 1.5);
     }
 
@@ -423,7 +458,11 @@ mod tests {
         let mut e1 = engine();
         let s1 = e1.run(ops.clone(), &WorkloadHints::default());
         let mut e2 = engine();
-        let hints = WorkloadHints { threads: 4, sync_overhead: 0.5, ..WorkloadHints::default() };
+        let hints = WorkloadHints {
+            threads: 4,
+            sync_overhead: 0.5,
+            ..WorkloadHints::default()
+        };
         let s2 = e2.run(ops, &hints);
         assert!(s2.ipc() < s1.ipc() * 0.5);
     }
@@ -454,12 +493,18 @@ mod tests {
         let mut e_small = engine();
         let small = e_small.run(
             ops.clone(),
-            &WorkloadHints { code_footprint_bytes: 512, ..WorkloadHints::default() },
+            &WorkloadHints {
+                code_footprint_bytes: 512,
+                ..WorkloadHints::default()
+            },
         );
         let mut e_big = engine();
         let big = e_big.run(
             ops,
-            &WorkloadHints { code_footprint_bytes: 1 << 20, ..WorkloadHints::default() },
+            &WorkloadHints {
+                code_footprint_bytes: 1 << 20,
+                ..WorkloadHints::default()
+            },
         );
         assert!(
             big.count(Event::CpuClkUnhaltedRefTsc) > small.count(Event::CpuClkUnhaltedRefTsc),

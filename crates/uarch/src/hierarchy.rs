@@ -221,7 +221,7 @@ mod tests {
         h.load(0x0000);
         h.load(0x0200);
         h.load(0x0400); // evicts 0x0000 from L1
-        // L2 (4 KiB) still holds 0x0000.
+                        // L2 (4 KiB) still holds 0x0000.
         assert_eq!(h.load(0x0000), ServedBy::L2);
     }
 

@@ -80,7 +80,11 @@ impl MicroOp {
 
     /// Convenience constructor for a conditional branch.
     pub fn conditional_branch(pc: u64, taken: bool) -> Self {
-        MicroOp::Branch { pc, kind: BranchKind::Conditional, taken }
+        MicroOp::Branch {
+            pc,
+            kind: BranchKind::Conditional,
+            taken,
+        }
     }
 
     /// True for loads and stores.

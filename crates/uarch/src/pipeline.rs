@@ -64,7 +64,9 @@ pub struct CycleBreakdown {
 impl CycleBreakdown {
     /// Total cycles, at least 1.
     pub fn total(&self) -> u64 {
-        (self.base + self.branch + self.memory + self.frontend).max(1.0).round() as u64
+        (self.base + self.branch + self.memory + self.frontend)
+            .max(1.0)
+            .round() as u64
     }
 }
 
@@ -96,7 +98,12 @@ pub fn estimate_cycles(config: &SystemConfig, inputs: &TimingInputs) -> CycleBre
     // misses are already folded into the L2/L3 served counts.
     let frontend = inputs.l1i_misses as f64 * config.l2_latency as f64 * 0.5;
 
-    CycleBreakdown { base, branch, memory, frontend }
+    CycleBreakdown {
+        base,
+        branch,
+        memory,
+        frontend,
+    }
 }
 
 #[cfg(test)]
@@ -109,7 +116,11 @@ mod tests {
 
     #[test]
     fn ideal_ipc_equals_ilp() {
-        let inputs = TimingInputs { uops: 40_000, ilp: 2.5, ..TimingInputs::default() };
+        let inputs = TimingInputs {
+            uops: 40_000,
+            ilp: 2.5,
+            ..TimingInputs::default()
+        };
         let cycles = estimate_cycles(&cfg(), &inputs).total();
         let ipc = inputs.uops as f64 / cycles as f64;
         assert!((ipc - 2.5).abs() < 0.01, "ipc {ipc}");
@@ -117,7 +128,11 @@ mod tests {
 
     #[test]
     fn ilp_clamped_to_issue_width() {
-        let inputs = TimingInputs { uops: 40_000, ilp: 100.0, ..TimingInputs::default() };
+        let inputs = TimingInputs {
+            uops: 40_000,
+            ilp: 100.0,
+            ..TimingInputs::default()
+        };
         let cycles = estimate_cycles(&cfg(), &inputs).total();
         let ipc = inputs.uops as f64 / cycles as f64;
         assert!(ipc <= cfg().issue_width as f64 + 1e-9);
@@ -125,8 +140,15 @@ mod tests {
 
     #[test]
     fn mispredicts_add_fixed_penalty() {
-        let base = TimingInputs { uops: 10_000, ilp: 2.0, ..TimingInputs::default() };
-        let with_misp = TimingInputs { mispredicts: 100, ..base };
+        let base = TimingInputs {
+            uops: 10_000,
+            ilp: 2.0,
+            ..TimingInputs::default()
+        };
+        let with_misp = TimingInputs {
+            mispredicts: 100,
+            ..base
+        };
         let c0 = estimate_cycles(&cfg(), &base).total();
         let c1 = estimate_cycles(&cfg(), &with_misp).total();
         assert_eq!(c1 - c0, 100 * cfg().mispredict_penalty);
@@ -134,9 +156,20 @@ mod tests {
 
     #[test]
     fn memory_misses_slow_execution_by_level() {
-        let base = TimingInputs { uops: 10_000, ilp: 2.0, mlp: 1.0, ..TimingInputs::default() };
-        let l2 = TimingInputs { l2_served: 100, ..base };
-        let mem = TimingInputs { mem_served: 100, ..base };
+        let base = TimingInputs {
+            uops: 10_000,
+            ilp: 2.0,
+            mlp: 1.0,
+            ..TimingInputs::default()
+        };
+        let l2 = TimingInputs {
+            l2_served: 100,
+            ..base
+        };
+        let mem = TimingInputs {
+            mem_served: 100,
+            ..base
+        };
         let c_base = estimate_cycles(&cfg(), &base).total();
         let c_l2 = estimate_cycles(&cfg(), &l2).total();
         let c_mem = estimate_cycles(&cfg(), &mem).total();
@@ -166,8 +199,15 @@ mod tests {
 
     #[test]
     fn frontend_misses_cost_cycles() {
-        let base = TimingInputs { uops: 10_000, ilp: 2.0, ..TimingInputs::default() };
-        let icache = TimingInputs { l1i_misses: 200, ..base };
+        let base = TimingInputs {
+            uops: 10_000,
+            ilp: 2.0,
+            ..TimingInputs::default()
+        };
+        let icache = TimingInputs {
+            l1i_misses: 200,
+            ..base
+        };
         assert!(estimate_cycles(&cfg(), &icache).total() > estimate_cycles(&cfg(), &base).total());
     }
 
@@ -195,7 +235,11 @@ mod tests {
 
     #[test]
     fn extreme_ilp_clamps_low() {
-        let inputs = TimingInputs { uops: 1000, ilp: 0.0, ..TimingInputs::default() };
+        let inputs = TimingInputs {
+            uops: 1000,
+            ilp: 0.0,
+            ..TimingInputs::default()
+        };
         let b = estimate_cycles(&cfg(), &inputs);
         assert!(b.base <= 1000.0 / 0.1 + 1.0);
     }

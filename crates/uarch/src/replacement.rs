@@ -42,12 +42,16 @@ pub(crate) enum SetState {
 impl SetState {
     pub(crate) fn new(policy: Policy, ways: usize, seed: u32) -> Self {
         match policy {
-            Policy::Lru => SetState::Lru { order: (0..ways as u8).collect() },
+            Policy::Lru => SetState::Lru {
+                order: (0..ways as u8).collect(),
+            },
             Policy::Fifo => SetState::Fifo { next: 0 },
             Policy::Random => SetState::Random { state: seed | 1 },
             Policy::TreePlru => SetState::TreePlru { bits: 0 },
             // New sets start with every way predicted "distant".
-            Policy::Srrip => SetState::Srrip { rrpv: vec![3; ways] },
+            Policy::Srrip => SetState::Srrip {
+                rrpv: vec![3; ways],
+            },
         }
     }
 

@@ -22,7 +22,10 @@ impl Tlb {
     ///
     /// Panics unless `page_bytes` is a power of two and `entries >= 1`.
     pub fn new(entries: usize, page_bytes: usize) -> Self {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         assert!(entries >= 1, "TLB needs at least one entry");
         Tlb {
             entries,

@@ -16,10 +16,10 @@
 //! indirect-jump target misses are modelled by the engine's BTB hint (see
 //! [`indirect_rate_for`]), and returns are RAS-predicted.
 
-use rand::Rng;
 use uarch_sim::microop::{BranchKind, MicroOp};
 
 use crate::profile::Behavior;
+use crate::rng::Rng64;
 
 /// Empirical mispredict rate of a biased site under a warm bimodal counter.
 const BIASED_MISPREDICT: f64 = 0.002;
@@ -66,7 +66,12 @@ impl ConditionalMix {
         let noise = (target * 0.5).clamp(0.0002, 0.004);
         let base = (noise + BIASED_MISPREDICT).min(target.max(0.001));
         if target <= base {
-            return ConditionalMix { biased: 1.0, looped: 0.0, random: 0.0, biased_noise: noise };
+            return ConditionalMix {
+                biased: 1.0,
+                looped: 0.0,
+                random: 0.0,
+                biased_noise: noise,
+            };
         }
         // Loops first.
         let looped = ((target - base) / (LOOP_MISPREDICT - base)).min(MAX_LOOP_FRAC);
@@ -80,10 +85,9 @@ impl ConditionalMix {
             };
         }
         // Remainder to random sites.
-        let random =
-            ((target - MAX_LOOP_FRAC * LOOP_MISPREDICT - (1.0 - MAX_LOOP_FRAC) * base)
-                / (0.5 - base))
-                .clamp(0.0, 1.0 - MAX_LOOP_FRAC);
+        let random = ((target - MAX_LOOP_FRAC * LOOP_MISPREDICT - (1.0 - MAX_LOOP_FRAC) * base)
+            / (0.5 - base))
+            .clamp(0.0, 1.0 - MAX_LOOP_FRAC);
         ConditionalMix {
             biased: (1.0 - MAX_LOOP_FRAC - random).max(0.0),
             looped: MAX_LOOP_FRAC,
@@ -119,8 +123,7 @@ impl BranchModel {
     pub fn new(behavior: &Behavior) -> Self {
         let ind_rate = indirect_rate_for(behavior);
         let cond_budget = if behavior.cond_frac > 1e-9 {
-            ((behavior.mispredict_target - behavior.indirect_frac * ind_rate)
-                / behavior.cond_frac)
+            ((behavior.mispredict_target - behavior.indirect_frac * ind_rate) / behavior.cond_frac)
                 .max(0.0)
         } else {
             0.0
@@ -143,23 +146,27 @@ impl BranchModel {
     }
 
     /// Emits the next dynamic branch micro-op.
-    pub fn next<R: Rng>(&mut self, rng: &mut R) -> MicroOp {
-        let u: f64 = rng.gen();
+    pub fn next(&mut self, rng: &mut Rng64) -> MicroOp {
+        let u = rng.gen_f64();
         if u < self.kind_cum[0] {
             self.next_conditional(rng)
         } else if u < self.kind_cum[1] {
-            let site = rng.gen_range(0..SITES_PER_CLASS);
-            MicroOp::Branch { pc: 0x10_0000 + site * 64, kind: BranchKind::DirectJump, taken: true }
+            let site = rng.gen_below(SITES_PER_CLASS);
+            MicroOp::Branch {
+                pc: 0x10_0000 + site * 64,
+                kind: BranchKind::DirectJump,
+                taken: true,
+            }
         } else if u < self.kind_cum[2] {
             self.call_depth += 1;
-            let site = rng.gen_range(0..SITES_PER_CLASS);
+            let site = rng.gen_below(SITES_PER_CLASS);
             MicroOp::Branch {
                 pc: 0x11_0000 + site * 64,
                 kind: BranchKind::DirectNearCall,
                 taken: true,
             }
         } else if u < self.kind_cum[3] {
-            let site = rng.gen_range(0..SITES_PER_CLASS);
+            let site = rng.gen_below(SITES_PER_CLASS);
             MicroOp::Branch {
                 pc: 0x12_0000 + site * 64,
                 kind: BranchKind::IndirectJumpNonCallRet,
@@ -167,7 +174,7 @@ impl BranchModel {
             }
         } else {
             self.call_depth = self.call_depth.saturating_sub(1);
-            let site = rng.gen_range(0..SITES_PER_CLASS);
+            let site = rng.gen_below(SITES_PER_CLASS);
             MicroOp::Branch {
                 pc: 0x13_0000 + site * 64,
                 kind: BranchKind::IndirectNearReturn,
@@ -176,16 +183,20 @@ impl BranchModel {
         }
     }
 
-    fn next_conditional<R: Rng>(&mut self, rng: &mut R) -> MicroOp {
-        let u: f64 = rng.gen();
-        let site = rng.gen_range(0..SITES_PER_CLASS);
+    fn next_conditional(&mut self, rng: &mut Rng64) -> MicroOp {
+        let u = rng.gen_f64();
+        let site = rng.gen_below(SITES_PER_CLASS);
         let (class_base, taken) = if u < self.mix.biased {
             // Alternate site polarity: half the biased sites are
             // almost-always-taken, half almost-never-taken — real code has
             // both, which is what separates a trained predictor from a
             // static always-taken guess.
-            let follows_bias = rng.gen::<f64>() >= self.mix.biased_noise;
-            let taken = if site % 2 == 0 { follows_bias } else { !follows_bias };
+            let follows_bias = rng.gen_f64() >= self.mix.biased_noise;
+            let taken = if site.is_multiple_of(2) {
+                follows_bias
+            } else {
+                !follows_bias
+            };
             (0x20_0000u64, taken)
         } else if u < self.mix.biased + self.mix.looped {
             let phase = self.loop_phase[site as usize];
@@ -194,7 +205,7 @@ impl BranchModel {
             // classes in a 16K-entry predictor table.
             (0x20_2000, phase != LOOP_PERIOD - 1)
         } else {
-            (0x20_4000, rng.gen::<bool>())
+            (0x20_4000, rng.gen_bool())
         };
         MicroOp::Branch {
             pc: class_base + site * 64,
@@ -207,8 +218,6 @@ impl BranchModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use uarch_sim::branch::{BranchPredictor, Tournament};
 
     /// Measured conditional mispredict rate of a mix under a real predictor.
@@ -224,7 +233,7 @@ mod tests {
         };
         let mut model = BranchModel::new(&behavior);
         let mut predictor = Tournament::haswell_class();
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Rng64::seed_from(99);
         let n = 400_000;
         let warm = n / 4;
         let mut executed = 0u64;
@@ -284,7 +293,7 @@ mod tests {
     fn kind_mix_respected() {
         let behavior = Behavior::default();
         let mut model = BranchModel::new(&behavior);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng64::seed_from(5);
         let mut counts = std::collections::HashMap::new();
         let n = 200_000;
         for _ in 0..n {
@@ -296,9 +305,7 @@ mod tests {
         assert!((frac(BranchKind::Conditional) - behavior.cond_frac).abs() < 0.01);
         assert!((frac(BranchKind::DirectJump) - behavior.direct_jump_frac).abs() < 0.01);
         assert!((frac(BranchKind::DirectNearCall) - behavior.call_frac).abs() < 0.01);
-        assert!(
-            (frac(BranchKind::IndirectJumpNonCallRet) - behavior.indirect_frac).abs() < 0.01
-        );
+        assert!((frac(BranchKind::IndirectJumpNonCallRet) - behavior.indirect_frac).abs() < 0.01);
         assert!((frac(BranchKind::IndirectNearReturn) - behavior.return_frac).abs() < 0.01);
     }
 
@@ -314,7 +321,11 @@ mod tests {
 
     #[test]
     fn indirect_rate_bounded() {
-        let b = Behavior { mispredict_target: 0.5, indirect_frac: 0.01, ..Behavior::default() };
+        let b = Behavior {
+            mispredict_target: 0.5,
+            indirect_frac: 0.01,
+            ..Behavior::default()
+        };
         assert!(indirect_rate_for(&b) <= 0.35);
     }
 
@@ -329,7 +340,7 @@ mod tests {
             ..Behavior::default()
         };
         let mut model = BranchModel::new(&behavior);
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng64::seed_from(11);
         for _ in 0..10_000 {
             if let MicroOp::Branch { taken, kind, .. } = model.next(&mut rng) {
                 assert!(taken, "unconditional {kind:?} must be taken");

@@ -96,10 +96,17 @@ fn build(spec: &Spec06) -> AppProfile {
     };
     AppProfile {
         name: spec.name.to_owned(),
-        suite: if spec.int { Suite::RateInt } else { Suite::RateFp },
+        suite: if spec.int {
+            Suite::RateInt
+        } else {
+            Suite::RateFp
+        },
         test: Vec::new(),
         train: Vec::new(),
-        reference: vec![InputProfile { name: "in1".into(), behavior }],
+        reference: vec![InputProfile {
+            name: "in1".into(),
+            behavior,
+        }],
     }
 }
 
@@ -133,7 +140,8 @@ mod tests {
     #[test]
     fn every_behavior_validates() {
         for app in suite() {
-            app.validate().unwrap_or_else(|e| panic!("{}: {e}", app.name));
+            app.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", app.name));
         }
     }
 
@@ -147,7 +155,9 @@ mod tests {
     }
 
     fn mean<F: Fn(&Behavior) -> f64>(apps: &[AppProfile], f: F) -> f64 {
-        apps.iter().map(|a| f(&a.inputs(InputSize::Ref)[0].behavior)).sum::<f64>()
+        apps.iter()
+            .map(|a| f(&a.inputs(InputSize::Ref)[0].behavior))
+            .sum::<f64>()
             / apps.len() as f64
     }
 
@@ -191,7 +201,10 @@ mod tests {
             .flat_map(|a| a.inputs(InputSize::Ref))
             .map(|i| i.behavior.instructions_billions)
             .sum::<f64>()
-            / cpu17.iter().map(|a| a.inputs(InputSize::Ref).len()).sum::<usize>() as f64;
+            / cpu17
+                .iter()
+                .map(|a| a.inputs(InputSize::Ref).len())
+                .sum::<usize>() as f64;
         let ratio = cpu17_mean / cpu06;
         assert!((2.0..9.0).contains(&ratio), "volume ratio {ratio}");
     }

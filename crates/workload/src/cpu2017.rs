@@ -352,7 +352,11 @@ pub fn app(name: &str) -> Option<AppProfile> {
 
 /// All applications belonging to one mini-suite.
 pub fn mini_suite(which: Suite) -> Vec<AppProfile> {
-    SPECS.iter().filter(|s| s.suite == which).map(build).collect()
+    SPECS
+        .iter()
+        .filter(|s| s.suite == which)
+        .map(build)
+        .collect()
 }
 
 #[cfg(test)]
@@ -384,7 +388,8 @@ mod tests {
     #[test]
     fn every_behavior_validates() {
         for app in suite() {
-            app.validate().unwrap_or_else(|e| panic!("{}: {e}", app.name));
+            app.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", app.name));
         }
     }
 
@@ -410,7 +415,10 @@ mod tests {
                 .iter()
                 .map(|a| {
                     let inputs = a.inputs(InputSize::Ref);
-                    inputs.iter().map(|i| i.behavior.instructions_billions).sum::<f64>()
+                    inputs
+                        .iter()
+                        .map(|i| i.behavior.instructions_billions)
+                        .sum::<f64>()
                         / inputs.len() as f64
                 })
                 .sum::<f64>()
@@ -454,8 +462,8 @@ mod tests {
             let x = &pair[0].behavior;
             let y = &pair[1].behavior;
             assert!(x != y, "inputs should differ");
-            let rel = (x.instructions_billions - y.instructions_billions).abs()
-                / x.instructions_billions;
+            let rel =
+                (x.instructions_billions - y.instructions_billions).abs() / x.instructions_billions;
             assert!(rel < 0.1, "inputs should be near-duplicates, got {rel}");
         }
     }
@@ -463,10 +471,25 @@ mod tests {
     #[test]
     fn speed_fp_and_xz_s_are_multithreaded() {
         for a in mini_suite(Suite::SpeedFp) {
-            assert_eq!(a.inputs(InputSize::Ref)[0].behavior.threads, 4, "{}", a.name);
+            assert_eq!(
+                a.inputs(InputSize::Ref)[0].behavior.threads,
+                4,
+                "{}",
+                a.name
+            );
         }
-        assert_eq!(app("657.xz_s").unwrap().inputs(InputSize::Ref)[0].behavior.threads, 4);
-        assert_eq!(app("605.mcf_s").unwrap().inputs(InputSize::Ref)[0].behavior.threads, 1);
+        assert_eq!(
+            app("657.xz_s").unwrap().inputs(InputSize::Ref)[0]
+                .behavior
+                .threads,
+            4
+        );
+        assert_eq!(
+            app("605.mcf_s").unwrap().inputs(InputSize::Ref)[0]
+                .behavior
+                .threads,
+            1
+        );
     }
 
     #[test]
@@ -483,7 +506,11 @@ mod tests {
 
     #[test]
     fn paper_extremes_present() {
-        let b = |name: &str| app(name).unwrap().inputs(InputSize::Ref)[0].behavior.clone();
+        let b = |name: &str| {
+            app(name).unwrap().inputs(InputSize::Ref)[0]
+                .behavior
+                .clone()
+        };
         assert!((b("541.leela_r").mispredict_target - 0.08656).abs() < 0.003); // modulo jitter
         assert!((b("505.mcf_r").branch_pct - 31.277).abs() < 0.7); // modulo jitter
         assert!(b("519.lbm_r").branch_pct < 1.5);
@@ -588,7 +615,10 @@ mod tests {
             + suite_mean(Suite::SpeedFp, |b| b.rss_gib) * 10.0)
             / 20.0;
         let ratio = speed / rate;
-        assert!((4.0..=14.0).contains(&ratio), "speed/rate RSS ratio {ratio}");
+        assert!(
+            (4.0..=14.0).contains(&ratio),
+            "speed/rate RSS ratio {ratio}"
+        );
     }
 
     #[test]

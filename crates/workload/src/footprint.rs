@@ -52,7 +52,11 @@ impl MemoryMap {
             peak_resident_bytes <= reserved_bytes,
             "resident {peak_resident_bytes} exceeds reserved {reserved_bytes}"
         );
-        MemoryMap { reserved_bytes, peak_resident_bytes, growth }
+        MemoryMap {
+            reserved_bytes,
+            peak_resident_bytes,
+            growth,
+        }
     }
 
     /// Builds the plan declared by a behaviour profile.
@@ -79,7 +83,10 @@ impl MemoryMap {
     ///
     /// Panics if `progress` is outside `[0, 1]`.
     pub fn rss_at(&self, progress: f64) -> u64 {
-        assert!((0.0..=1.0).contains(&progress), "progress must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&progress),
+            "progress must be in [0, 1]"
+        );
         let peak = self.peak_resident_bytes as f64;
         let frac = match self.growth {
             GrowthCurve::Immediate => 1.0,
@@ -189,14 +196,22 @@ mod tests {
 
     #[test]
     fn growth_curves_reach_peak_at_end() {
-        for g in [GrowthCurve::Immediate, GrowthCurve::Linear, GrowthCurve::Saturating] {
+        for g in [
+            GrowthCurve::Immediate,
+            GrowthCurve::Linear,
+            GrowthCurve::Saturating,
+        ] {
             assert_eq!(map(g).rss_at(1.0), 1 << 30, "{g:?}");
         }
     }
 
     #[test]
     fn growth_curves_are_monotone() {
-        for g in [GrowthCurve::Immediate, GrowthCurve::Linear, GrowthCurve::Saturating] {
+        for g in [
+            GrowthCurve::Immediate,
+            GrowthCurve::Linear,
+            GrowthCurve::Saturating,
+        ] {
             let m = map(g);
             let mut last = 0;
             for i in 0..=10 {
@@ -237,7 +252,11 @@ mod tests {
 
     #[test]
     fn from_behavior_scales_gib() {
-        let b = Behavior { rss_gib: 0.5, vsz_gib: 1.0, ..Behavior::default() };
+        let b = Behavior {
+            rss_gib: 0.5,
+            vsz_gib: 1.0,
+            ..Behavior::default()
+        };
         let m = MemoryMap::from_behavior(&b, GrowthCurve::default());
         assert_eq!(m.peak_rss_bytes(), 1 << 29);
         assert_eq!(m.vsz_bytes(), 1 << 30);

@@ -4,17 +4,17 @@
 //! [`MicroOp`]s: per-op class selection follows the profile's instruction-mix
 //! percentages, data addresses come from the [`reuse::LocalityModel`], and
 //! branches from the [`branchmodel::BranchModel`]. Everything is driven by a
-//! single seeded RNG, so a given (application, input, size) pair always
-//! produces the identical trace — the reproduction is bit-deterministic.
+//! single seeded RNG (the in-tree [`crate::rng::Rng64`]), so a given
+//! (application, input, size) pair always produces the identical trace — the
+//! reproduction is bit-deterministic.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use uarch_sim::config::SystemConfig;
 use uarch_sim::microop::MicroOp;
 
 use crate::branchmodel::BranchModel;
 use crate::profile::{AppInputPair, Behavior};
 use crate::reuse::LocalityModel;
+use crate::rng::Rng64;
 
 /// Trace-scaling parameters shared by a characterization run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,19 +31,29 @@ pub struct TraceScale {
 
 impl Default for TraceScale {
     fn default() -> Self {
-        TraceScale { ops_per_billion: 300.0, base_ops: 200_000, max_ops: 6_000_000 }
+        TraceScale {
+            ops_per_billion: 300.0,
+            base_ops: 200_000,
+            max_ops: 6_000_000,
+        }
     }
 }
 
 impl TraceScale {
     /// A much smaller scale for unit tests and quick demos.
     pub fn quick() -> Self {
-        TraceScale { ops_per_billion: 10.0, base_ops: 30_000, max_ops: 600_000 }
+        TraceScale {
+            ops_per_billion: 10.0,
+            base_ops: 30_000,
+            max_ops: 600_000,
+        }
     }
 
     /// The volume-proportional micro-op budget, before fidelity adjustment.
     pub fn budget(&self, behavior: &Behavior) -> u64 {
-        behavior.ops_budget(self.ops_per_billion, self.base_ops).min(self.max_ops)
+        behavior
+            .ops_budget(self.ops_per_billion, self.base_ops)
+            .min(self.max_ops)
     }
 
     /// The micro-op budget for a behaviour on a given system, raised when
@@ -62,7 +72,11 @@ impl TraceScale {
         // carrying < 0.2% of traffic are folded by the locality model
         // instead.
         let miss1 = f2 + f3 + f4;
-        let need2 = if f2 > 0.002 { 9.0 * l1_lines / miss1.max(1e-9) } else { 0.0 };
+        let need2 = if f2 > 0.002 {
+            9.0 * l1_lines / miss1.max(1e-9)
+        } else {
+            0.0
+        };
         // W3 bypasses the L2, so its minimum size is L1-scaled; the 1152
         // floor is 4.5 revisits of the 256-line region floor.
         let need3 = if f3 > 1.5e-4 {
@@ -73,7 +87,9 @@ impl TraceScale {
         let _ = l2_lines;
         let needed_ops = (need2.max(need3) / mem_frac) as u64;
         // Fidelity boosts may exceed the volume cap, but only up to 2x it.
-        base.min(self.max_ops).max(needed_ops).min(self.max_ops.saturating_mul(2))
+        base.min(self.max_ops)
+            .max(needed_ops)
+            .min(self.max_ops.saturating_mul(2))
     }
 
     /// Converts a simulated micro-op count back to paper-scale billions of
@@ -98,7 +114,7 @@ impl TraceScale {
 /// ```
 #[derive(Debug, Clone)]
 pub struct TraceGenerator {
-    rng: StdRng,
+    rng: Rng64,
     locality: LocalityModel,
     branches: BranchModel,
     remaining: u64,
@@ -121,7 +137,7 @@ impl TraceGenerator {
         let store = behavior.store_pct / 100.0;
         let branch = behavior.branch_pct / 100.0;
         TraceGenerator {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng64::seed_from(seed),
             locality: LocalityModel::new(
                 behavior.service_fractions(),
                 config,
@@ -137,7 +153,12 @@ impl TraceGenerator {
     /// from the pair identity and sized by `scale`.
     pub fn from_pair(pair: &AppInputPair<'_>, config: &SystemConfig, scale: &TraceScale) -> Self {
         let behavior = &pair.input.behavior;
-        TraceGenerator::new(behavior, config, pair.seed(), scale.budget_for(behavior, config))
+        TraceGenerator::new(
+            behavior,
+            config,
+            pair.seed(),
+            scale.budget_for(behavior, config),
+        )
     }
 
     /// Micro-ops still to be produced.
@@ -161,11 +182,15 @@ impl Iterator for TraceGenerator {
             return None;
         }
         self.remaining -= 1;
-        let u: f64 = self.rng.gen();
+        let u = self.rng.gen_f64();
         Some(if u < self.cum[0] {
-            MicroOp::Load { addr: self.locality.next_addr(&mut self.rng) }
+            MicroOp::Load {
+                addr: self.locality.next_addr(&mut self.rng),
+            }
         } else if u < self.cum[1] {
-            MicroOp::Store { addr: self.locality.next_addr(&mut self.rng) }
+            MicroOp::Store {
+                addr: self.locality.next_addr(&mut self.rng),
+            }
         } else if u < self.cum[2] {
             self.branches.next(&mut self.rng)
         } else {
@@ -235,7 +260,10 @@ mod tests {
 
     #[test]
     fn branch_kind_composition_flows_through() {
-        let behavior = Behavior { branch_pct: 30.0, ..Behavior::default() };
+        let behavior = Behavior {
+            branch_pct: 30.0,
+            ..Behavior::default()
+        };
         let g = TraceGenerator::new(&behavior, &config(), 4, 300_000);
         let mut cond = 0u64;
         let mut total = 0u64;
@@ -248,13 +276,19 @@ mod tests {
             }
         }
         let frac = cond as f64 / total as f64;
-        assert!((frac - behavior.cond_frac).abs() < 0.02, "conditional fraction {frac}");
+        assert!(
+            (frac - behavior.cond_frac).abs() < 0.02,
+            "conditional fraction {frac}"
+        );
     }
 
     #[test]
     fn scale_budget_and_inverse() {
         let scale = TraceScale::default();
-        let b = Behavior { instructions_billions: 2000.0, ..Behavior::default() };
+        let b = Behavior {
+            instructions_billions: 2000.0,
+            ..Behavior::default()
+        };
         let ops = scale.budget(&b);
         assert_eq!(ops, 200_000 + 600_000);
         let back = scale.to_billions(ops);
@@ -286,7 +320,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid behavior")]
     fn invalid_behavior_panics() {
-        let bad = Behavior { load_pct: 90.0, store_pct: 20.0, ..Behavior::default() };
+        let bad = Behavior {
+            load_pct: 90.0,
+            store_pct: 20.0,
+            ..Behavior::default()
+        };
         TraceGenerator::new(&bad, &config(), 0, 10);
     }
 

@@ -25,6 +25,10 @@
 //! - [`cpu2006`] — the CPU2006 roster used for the comparison tables.
 //! - [`phases`] — multi-phase workloads for the phase-behaviour extension.
 //! - [`trace`] — compact binary (de)serialization of micro-op traces.
+//! - [`rng`] — the in-tree seeded PRNG (SplitMix64 + xoshiro256**) every
+//!   stochastic model draws from.
+//! - [`stablehash`] — process-stable content hashing of profiles and trace
+//!   scales, feeding the `simstore` result cache's keys.
 //!
 //! # Example
 //!
@@ -46,4 +50,6 @@ pub mod generator;
 pub mod phases;
 pub mod profile;
 pub mod reuse;
+pub mod rng;
+pub mod stablehash;
 pub mod trace;

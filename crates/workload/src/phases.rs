@@ -40,15 +40,22 @@ impl PhasedWorkload {
     /// are no phases, or any weight is non-positive.
     pub fn new(name: &str, phases: Vec<Phase>) -> Result<Self, InvalidBehavior> {
         if phases.is_empty() {
-            return Err(InvalidBehavior { what: "a phased workload needs at least one phase" });
+            return Err(InvalidBehavior {
+                what: "a phased workload needs at least one phase",
+            });
         }
         for phase in &phases {
             phase.behavior.validate()?;
-            if !(phase.weight > 0.0) {
-                return Err(InvalidBehavior { what: "phase weights must be positive" });
+            if phase.weight.is_nan() || phase.weight <= 0.0 {
+                return Err(InvalidBehavior {
+                    what: "phase weights must be positive",
+                });
             }
         }
-        Ok(PhasedWorkload { name: name.to_owned(), phases })
+        Ok(PhasedWorkload {
+            name: name.to_owned(),
+            phases,
+        })
     }
 
     /// The phases in execution order.
@@ -137,9 +144,18 @@ pub fn demo_three_phase() -> PhasedWorkload {
     PhasedWorkload::new(
         "demo.three_phase",
         vec![
-            Phase { behavior: init, weight: 1.0 },
-            Phase { behavior: compute, weight: 3.0 },
-            Phase { behavior: writeout, weight: 1.0 },
+            Phase {
+                behavior: init,
+                weight: 1.0,
+            },
+            Phase {
+                behavior: compute,
+                weight: 3.0,
+            },
+            Phase {
+                behavior: writeout,
+                weight: 1.0,
+            },
         ],
     )
     .expect("demo phases are valid")
@@ -172,18 +188,27 @@ mod tests {
         let config = SystemConfig::haswell_e5_2650l_v3();
         let ops: Vec<MicroOp> = w.trace(&config, 2, 50_000).collect();
         let store_frac = |window: &[MicroOp]| {
-            window.iter().filter(|o| matches!(o, MicroOp::Store { .. })).count() as f64
+            window
+                .iter()
+                .filter(|o| matches!(o, MicroOp::Store { .. }))
+                .count() as f64
                 / window.len() as f64
         };
         let head = store_frac(&ops[..10_000]);
         let tail = store_frac(&ops[40_000..]);
-        assert!(tail > head + 0.05, "write-out phase must be store-heavy: {head} vs {tail}");
+        assert!(
+            tail > head + 0.05,
+            "write-out phase must be store-heavy: {head} vs {tail}"
+        );
     }
 
     #[test]
     fn rejects_empty_and_bad_weights() {
         assert!(PhasedWorkload::new("x", vec![]).is_err());
-        let bad = Phase { behavior: Behavior::default(), weight: 0.0 };
+        let bad = Phase {
+            behavior: Behavior::default(),
+            weight: 0.0,
+        };
         assert!(PhasedWorkload::new("x", vec![bad]).is_err());
     }
 

@@ -29,7 +29,12 @@ pub enum Suite {
 
 impl Suite {
     /// All mini-suites in the paper's reporting order.
-    pub const ALL: [Suite; 4] = [Suite::RateInt, Suite::RateFp, Suite::SpeedInt, Suite::SpeedFp];
+    pub const ALL: [Suite; 4] = [
+        Suite::RateInt,
+        Suite::RateFp,
+        Suite::SpeedInt,
+        Suite::SpeedFp,
+    ];
 
     /// True for the two integer mini-suites.
     pub fn is_int(self) -> bool {
@@ -184,17 +189,25 @@ impl Behavior {
     pub fn validate(&self) -> Result<(), InvalidBehavior> {
         let pct = |v: f64| (0.0..=100.0).contains(&v);
         let frac = |v: f64| (0.0..=1.0).contains(&v);
-        if !(self.instructions_billions > 0.0) {
-            return Err(InvalidBehavior { what: "instructions_billions must be positive" });
+        if self.instructions_billions.is_nan() || self.instructions_billions <= 0.0 {
+            return Err(InvalidBehavior {
+                what: "instructions_billions must be positive",
+            });
         }
-        if !(self.ipc_target > 0.0) {
-            return Err(InvalidBehavior { what: "ipc_target must be positive" });
+        if self.ipc_target.is_nan() || self.ipc_target <= 0.0 {
+            return Err(InvalidBehavior {
+                what: "ipc_target must be positive",
+            });
         }
         if !pct(self.load_pct) || !pct(self.store_pct) || !pct(self.branch_pct) {
-            return Err(InvalidBehavior { what: "mix percentages must be within [0, 100]" });
+            return Err(InvalidBehavior {
+                what: "mix percentages must be within [0, 100]",
+            });
         }
         if self.load_pct + self.store_pct + self.branch_pct > 100.0 {
-            return Err(InvalidBehavior { what: "loads + stores + branches exceed 100%" });
+            return Err(InvalidBehavior {
+                what: "loads + stores + branches exceed 100%",
+            });
         }
         let kinds = self.cond_frac
             + self.direct_jump_frac
@@ -202,7 +215,9 @@ impl Behavior {
             + self.indirect_frac
             + self.return_frac;
         if (kinds - 1.0).abs() > 1e-6 {
-            return Err(InvalidBehavior { what: "branch kind fractions must sum to 1" });
+            return Err(InvalidBehavior {
+                what: "branch kind fractions must sum to 1",
+            });
         }
         for v in [
             self.cond_frac,
@@ -216,17 +231,25 @@ impl Behavior {
             self.l3_miss_target,
         ] {
             if !frac(v) {
-                return Err(InvalidBehavior { what: "fractions and rates must be within [0, 1]" });
+                return Err(InvalidBehavior {
+                    what: "fractions and rates must be within [0, 1]",
+                });
             }
         }
         if self.rss_gib < 0.0 || self.vsz_gib < self.rss_gib * 0.5 {
-            return Err(InvalidBehavior { what: "vsz must be non-trivially sized vs rss" });
+            return Err(InvalidBehavior {
+                what: "vsz must be non-trivially sized vs rss",
+            });
         }
         if self.code_kib <= 0.0 {
-            return Err(InvalidBehavior { what: "code footprint must be positive" });
+            return Err(InvalidBehavior {
+                what: "code footprint must be positive",
+            });
         }
         if self.threads == 0 {
-            return Err(InvalidBehavior { what: "threads must be at least 1" });
+            return Err(InvalidBehavior {
+                what: "threads must be at least 1",
+            });
         }
         Ok(())
     }
@@ -379,7 +402,11 @@ impl AppProfile {
     pub fn pairs(&self, size: InputSize) -> Vec<AppInputPair<'_>> {
         self.inputs(size)
             .iter()
-            .map(|input| AppInputPair { app: self, input, size })
+            .map(|input| AppInputPair {
+                app: self,
+                input,
+                size,
+            })
             .collect()
     }
 
@@ -443,21 +470,35 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_mix() {
-        let b = Behavior { load_pct: 70.0, store_pct: 25.0, branch_pct: 20.0, ..Behavior::default() };
+        let b = Behavior {
+            load_pct: 70.0,
+            store_pct: 25.0,
+            branch_pct: 20.0,
+            ..Behavior::default()
+        };
         assert!(b.validate().is_err());
     }
 
     #[test]
     fn validation_catches_bad_kind_sum() {
-        let b = Behavior { cond_frac: 0.5, ..Behavior::default() };
+        let b = Behavior {
+            cond_frac: 0.5,
+            ..Behavior::default()
+        };
         assert!(b.validate().is_err());
     }
 
     #[test]
     fn validation_catches_nonpositive_ipc() {
-        let b = Behavior { ipc_target: 0.0, ..Behavior::default() };
+        let b = Behavior {
+            ipc_target: 0.0,
+            ..Behavior::default()
+        };
         assert!(b.validate().is_err());
-        let b = Behavior { instructions_billions: 0.0, ..Behavior::default() };
+        let b = Behavior {
+            instructions_billions: 0.0,
+            ..Behavior::default()
+        };
         assert!(b.validate().is_err());
     }
 
@@ -487,14 +528,20 @@ mod tests {
 
     #[test]
     fn ops_budget_scales() {
-        let b = Behavior { instructions_billions: 2000.0, ..Behavior::default() };
+        let b = Behavior {
+            instructions_billions: 2000.0,
+            ..Behavior::default()
+        };
         assert_eq!(b.ops_budget(100.0, 50_000), 250_000);
     }
 
     #[test]
     fn hints_hit_reachable_ipc_analytically() {
         let config = SystemConfig::haswell_e5_2650l_v3();
-        let b = Behavior { ipc_target: 2.0, ..Behavior::default() };
+        let b = Behavior {
+            ipc_target: 2.0,
+            ..Behavior::default()
+        };
         let h = b.hints(&config);
         // Rebuild the analytic estimate (mispredict + frontend + memory
         // stalls) and check closeness to target.
@@ -514,15 +561,25 @@ mod tests {
     #[test]
     fn hints_use_sync_overhead_for_unreachably_low_ipc() {
         let config = SystemConfig::haswell_e5_2650l_v3();
-        let b = Behavior { ipc_target: 0.06, threads: 4, ..Behavior::default() };
+        let b = Behavior {
+            ipc_target: 0.06,
+            threads: 4,
+            ..Behavior::default()
+        };
         let h = b.hints(&config);
-        assert!(h.sync_overhead > 0.0, "very low IPC must charge sync overhead");
+        assert!(
+            h.sync_overhead > 0.0,
+            "very low IPC must charge sync overhead"
+        );
     }
 
     #[test]
     fn hints_ilp_bounded_by_width() {
         let config = SystemConfig::haswell_e5_2650l_v3();
-        let b = Behavior { ipc_target: 10.0, ..Behavior::default() };
+        let b = Behavior {
+            ipc_target: 10.0,
+            ..Behavior::default()
+        };
         let h = b.hints(&config);
         assert!(h.ilp <= config.issue_width as f64);
     }
@@ -535,15 +592,25 @@ mod tests {
             test: vec![],
             train: vec![],
             reference: vec![
-                InputProfile { name: "in1".into(), behavior: Behavior::default() },
-                InputProfile { name: "in2".into(), behavior: Behavior::default() },
+                InputProfile {
+                    name: "in1".into(),
+                    behavior: Behavior::default(),
+                },
+                InputProfile {
+                    name: "in2".into(),
+                    behavior: Behavior::default(),
+                },
             ],
         };
         let pairs = app.pairs(InputSize::Ref);
         assert_eq!(pairs.len(), 2);
         assert_eq!(pairs[0].id(), "503.bwaves_r-in1");
         assert_ne!(pairs[0].seed(), pairs[1].seed());
-        assert_eq!(pairs[0].seed(), app.pairs(InputSize::Ref)[0].seed(), "seeds stable");
+        assert_eq!(
+            pairs[0].seed(),
+            app.pairs(InputSize::Ref)[0].seed(),
+            "seeds stable"
+        );
         assert_eq!(format!("{}", pairs[1]), "503.bwaves_r-in2 (ref)");
     }
 
@@ -552,7 +619,10 @@ mod tests {
         let app = AppProfile {
             name: "519.lbm_r".into(),
             suite: Suite::RateFp,
-            test: vec![InputProfile { name: "only".into(), behavior: Behavior::default() }],
+            test: vec![InputProfile {
+                name: "only".into(),
+                behavior: Behavior::default(),
+            }],
             train: vec![],
             reference: vec![],
         };

@@ -20,8 +20,9 @@
 //! pollution ratio so residency assumptions hold across the whole range of
 //! CPU2017 behaviours (see `DESIGN.md`).
 
-use rand::Rng;
 use uarch_sim::config::SystemConfig;
+
+use crate::rng::Rng64;
 
 const LINE: u64 = 64;
 
@@ -126,12 +127,12 @@ impl LocalityModel {
     }
 
     /// Draws the next data address.
-    pub fn next_addr<R: Rng>(&mut self, rng: &mut R) -> u64 {
-        let u: f64 = rng.gen();
+    pub fn next_addr(&mut self, rng: &mut Rng64) -> u64 {
+        let u = rng.gen_f64();
         if u < self.cum[0] {
             // Hot set: uniform line, uniform offset within the line.
-            let line = rng.gen_range(0..self.hot_lines);
-            HOT_BASE + line * LINE + rng.gen_range(0..LINE / 8) * 8
+            let line = rng.gen_below(self.hot_lines);
+            HOT_BASE + line * LINE + rng.gen_below(LINE / 8) * 8
         } else if u < self.cum[1] {
             let line = self.w2_cursor % self.w2_lines;
             self.w2_cursor += 1;
@@ -167,8 +168,6 @@ impl LocalityModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use uarch_sim::hierarchy::{Hierarchy, ServedBy};
 
     fn haswell() -> SystemConfig {
@@ -181,7 +180,7 @@ mod tests {
         let config = haswell();
         let mut model = LocalityModel::new(fractions, &config, n);
         let mut h = Hierarchy::new(&config);
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng64::seed_from(42);
         let (mut l1h, mut l1m, mut l2h, mut l2m, mut l3h, mut l3m) =
             (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
         // Warmup third, measure the rest.
@@ -210,8 +209,16 @@ mod tests {
             }
         }
         let m1 = l1m as f64 / (l1h + l1m) as f64;
-        let m2 = if l2h + l2m == 0 { 0.0 } else { l2m as f64 / (l2h + l2m) as f64 };
-        let m3 = if l3h + l3m == 0 { 0.0 } else { l3m as f64 / (l3h + l3m) as f64 };
+        let m2 = if l2h + l2m == 0 {
+            0.0
+        } else {
+            l2m as f64 / (l2h + l2m) as f64
+        };
+        let m3 = if l3h + l3m == 0 {
+            0.0
+        } else {
+            l3m as f64 / (l3h + l3m) as f64
+        };
         (m1, m2, m3)
     }
 
@@ -284,8 +291,8 @@ mod tests {
         let config = haswell();
         let mut a = LocalityModel::new([0.7, 0.1, 0.1, 0.1], &config, 100_000);
         let mut b = LocalityModel::new([0.7, 0.1, 0.1, 0.1], &config, 100_000);
-        let mut ra = StdRng::seed_from_u64(7);
-        let mut rb = StdRng::seed_from_u64(7);
+        let mut ra = Rng64::seed_from(7);
+        let mut rb = Rng64::seed_from(7);
         for _ in 0..1000 {
             assert_eq!(a.next_addr(&mut ra), b.next_addr(&mut rb));
         }
@@ -295,7 +302,7 @@ mod tests {
     fn addresses_stay_in_declared_regions() {
         let config = haswell();
         let mut m = LocalityModel::new([0.25, 0.25, 0.25, 0.25], &config, 100_000);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::seed_from(1);
         let (hot, w2, w3, stream) = m.region_bytes();
         for _ in 0..10_000 {
             let a = m.next_addr(&mut rng);

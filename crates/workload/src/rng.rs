@@ -1,0 +1,167 @@
+//! Self-contained deterministic pseudo-random number generation.
+//!
+//! The reproduction must build with no network or registry access, so the
+//! seeded generator the trace substrate relies on is inlined here instead of
+//! pulled from crates.io: a [`Rng64`] is an xoshiro256** generator whose
+//! 256-bit state is expanded from a 64-bit seed with SplitMix64, the
+//! initialization the xoshiro authors recommend. Both algorithms are public
+//! domain (Blackman & Vigna, <https://prng.di.unimi.it/>); the Rust here is
+//! a from-scratch transcription of the reference C.
+//!
+//! Everything downstream — micro-op class selection, locality draws, branch
+//! sites — consumes this one generator, so a given seed always reproduces
+//! the identical trace on every platform and in every process: the output is
+//! pure 64-bit integer arithmetic with no platform-dependent state.
+
+/// SplitMix64 step: advances `state` and returns the next output.
+///
+/// Used to expand a 64-bit seed into xoshiro's 256-bit state, and handy on
+/// its own for cheap hash-like mixing in tests.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded xoshiro256** pseudo-random number generator.
+///
+/// # Example
+///
+/// ```
+/// use workload_synth::rng::Rng64;
+///
+/// let mut a = Rng64::seed_from(7);
+/// let mut b = Rng64::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Builds a generator whose state is expanded from `seed` by SplitMix64.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng64 {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` built from the top 53 bits.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform boolean (the output's top bit).
+    #[inline]
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() >> 63 != 0
+    }
+
+    /// A uniform integer in `[0, n)` via the widening-multiply reduction
+    /// (Lemire). The at-most `n / 2^64` selection bias is far below anything
+    /// the statistical models here could resolve, and skipping the rejection
+    /// loop keeps draws-per-op constant — important for trace determinism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[inline]
+    pub fn gen_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_below needs a non-empty range");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng64::seed_from(42);
+        let mut b = Rng64::seed_from(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::seed_from(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn matches_reference_vectors() {
+        // xoshiro256** seeded via SplitMix64(0): the first outputs of the
+        // reference C implementation pair (golden values pin the stream so a
+        // refactor cannot silently change every trace in the repo).
+        let mut sm = 0u64;
+        assert_eq!(splitmix64(&mut sm), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(splitmix64(&mut sm), 0x6e78_9e6a_a1b9_65f4);
+        let mut r = Rng64::seed_from(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(first[0], 0x99ec_5f36_cb75_f2b4);
+        assert_eq!(first[1], 0xbf6e_1f78_4956_452a);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_uniform_ish() {
+        let mut r = Rng64::seed_from(9);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = r.gen_f64();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_below_in_range_and_covers() {
+        let mut r = Rng64::seed_from(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.gen_below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn gen_bool_balanced() {
+        let mut r = Rng64::seed_from(5);
+        let trues = (0..100_000).filter(|_| r.gen_bool()).count();
+        assert!((trues as f64 / 100_000.0 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty range")]
+    fn gen_below_zero_panics() {
+        Rng64::seed_from(0).gen_below(0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Stable content hashing of workload identities.
+//!
+//! The `simstore` result cache addresses records by a content hash of
+//! everything that determines a characterization result. On the workload
+//! side that is: which application–input pair ran (names seed the trace
+//! generator), its full behaviour parameterization (every field shapes the
+//! micro-op stream), and the [`TraceScale`] (budget → stream length). These
+//! impls define the canonical feed order; changing a feed here *is* a cache
+//! invalidation, which is exactly right — a profile tweak must never be
+//! served a stale record.
+
+use simstore::{StableHash, StableHasher};
+
+use crate::generator::TraceScale;
+use crate::profile::{AppInputPair, AppProfile, Behavior, InputProfile, InputSize, Suite};
+
+impl StableHash for Suite {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u8(match self {
+            Suite::RateInt => 0,
+            Suite::RateFp => 1,
+            Suite::SpeedInt => 2,
+            Suite::SpeedFp => 3,
+        });
+    }
+}
+
+impl StableHash for InputSize {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u8(match self {
+            InputSize::Test => 0,
+            InputSize::Train => 1,
+            InputSize::Ref => 2,
+        });
+    }
+}
+
+impl StableHash for Behavior {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_f64(self.instructions_billions);
+        h.write_f64(self.ipc_target);
+        h.write_f64(self.load_pct);
+        h.write_f64(self.store_pct);
+        h.write_f64(self.branch_pct);
+        h.write_f64(self.cond_frac);
+        h.write_f64(self.direct_jump_frac);
+        h.write_f64(self.call_frac);
+        h.write_f64(self.indirect_frac);
+        h.write_f64(self.return_frac);
+        h.write_f64(self.mispredict_target);
+        h.write_f64(self.l1_miss_target);
+        h.write_f64(self.l2_miss_target);
+        h.write_f64(self.l3_miss_target);
+        h.write_f64(self.rss_gib);
+        h.write_f64(self.vsz_gib);
+        h.write_f64(self.code_kib);
+        h.write_u32(self.threads);
+    }
+}
+
+impl StableHash for InputProfile {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(&self.name);
+        self.behavior.stable_hash(h);
+    }
+}
+
+impl StableHash for AppProfile {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(&self.name);
+        self.suite.stable_hash(h);
+        self.test.stable_hash(h);
+        self.train.stable_hash(h);
+        self.reference.stable_hash(h);
+    }
+}
+
+impl StableHash for AppInputPair<'_> {
+    // Deliberately narrower than hashing the whole AppProfile: a pair's key
+    // covers only what its own trace depends on (identity seeds the RNG,
+    // behaviour shapes the stream), so editing a sibling input does not
+    // invalidate this pair's record.
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(&self.app.name);
+        self.app.suite.stable_hash(h);
+        h.write_str(&self.input.name);
+        self.input.behavior.stable_hash(h);
+        self.size.stable_hash(h);
+    }
+}
+
+impl StableHash for TraceScale {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_f64(self.ops_per_billion);
+        h.write_u64(self.base_ops);
+        h.write_u64(self.max_ops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simstore::key_of;
+
+    fn app() -> AppProfile {
+        AppProfile {
+            name: "505.mcf_r".into(),
+            suite: Suite::RateInt,
+            test: vec![InputProfile {
+                name: "inp".into(),
+                behavior: Behavior::default(),
+            }],
+            train: vec![InputProfile {
+                name: "inp".into(),
+                behavior: Behavior::default(),
+            }],
+            reference: vec![InputProfile {
+                name: "inp".into(),
+                behavior: Behavior::default(),
+            }],
+        }
+    }
+
+    #[test]
+    fn pair_key_is_stable() {
+        let a = app();
+        let pair = a.pairs(InputSize::Ref)[0];
+        assert_eq!(key_of(&pair), key_of(&a.pairs(InputSize::Ref)[0]));
+    }
+
+    #[test]
+    fn size_changes_key() {
+        let a = app();
+        assert_ne!(
+            key_of(&a.pairs(InputSize::Ref)[0]),
+            key_of(&a.pairs(InputSize::Train)[0])
+        );
+    }
+
+    #[test]
+    fn behavior_field_changes_key() {
+        let a = app();
+        let mut b = app();
+        b.reference[0].behavior.l1_miss_target += 0.001;
+        assert_ne!(
+            key_of(&a.pairs(InputSize::Ref)[0]),
+            key_of(&b.pairs(InputSize::Ref)[0])
+        );
+    }
+
+    #[test]
+    fn sibling_input_edit_does_not_invalidate_pair() {
+        let a = app();
+        let mut b = app();
+        b.train[0].behavior.ipc_target = 9.9; // unrelated size edited
+        assert_eq!(
+            key_of(&a.pairs(InputSize::Ref)[0]),
+            key_of(&b.pairs(InputSize::Ref)[0])
+        );
+    }
+
+    #[test]
+    fn scale_changes_key() {
+        assert_ne!(key_of(&TraceScale::default()), key_of(&TraceScale::quick()));
+        assert_eq!(
+            key_of(&TraceScale::default()),
+            key_of(&TraceScale::default())
+        );
+    }
+
+    #[test]
+    fn suite_and_size_discriminants_distinct() {
+        let suites: Vec<_> = Suite::ALL.iter().map(key_of).collect();
+        let sizes: Vec<_> = InputSize::ALL.iter().map(key_of).collect();
+        for (i, a) in suites.iter().enumerate() {
+            for b in &suites[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        for (i, a) in sizes.iter().enumerate() {
+            for b in &sizes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -111,16 +111,26 @@ impl<R: Read> TraceReader<R> {
         let mut magic = [0u8; 4];
         reader.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a SWTR trace"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a SWTR trace",
+            ));
         }
         let mut version = [0u8; 2];
         reader.read_exact(&mut version)?;
         if u16::from_le_bytes(version) != VERSION {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported trace version"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unsupported trace version",
+            ));
         }
         let mut count = [0u8; 8];
         reader.read_exact(&mut count)?;
-        Ok(TraceReader { reader, remaining: u64::from_le_bytes(count), errored: false })
+        Ok(TraceReader {
+            reader,
+            remaining: u64::from_le_bytes(count),
+            errored: false,
+        })
     }
 
     /// Ops left to read.
@@ -137,7 +147,11 @@ impl<R: Read> TraceReader<R> {
                 let mut addr = [0u8; 8];
                 self.reader.read_exact(&mut addr)?;
                 let addr = u64::from_le_bytes(addr);
-                Ok(if tag[0] == TAG_LOAD { MicroOp::Load { addr } } else { MicroOp::Store { addr } })
+                Ok(if tag[0] == TAG_LOAD {
+                    MicroOp::Load { addr }
+                } else {
+                    MicroOp::Store { addr }
+                })
             }
             TAG_BRANCH => {
                 let mut pc = [0u8; 8];
@@ -147,7 +161,11 @@ impl<R: Read> TraceReader<R> {
                 let kind = code_kind(rest[0]).ok_or_else(|| {
                     io::Error::new(io::ErrorKind::InvalidData, "bad branch kind code")
                 })?;
-                Ok(MicroOp::Branch { pc: u64::from_le_bytes(pc), kind, taken: rest[1] != 0 })
+                Ok(MicroOp::Branch {
+                    pc: u64::from_le_bytes(pc),
+                    kind,
+                    taken: rest[1] != 0,
+                })
             }
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -185,8 +203,16 @@ mod tests {
             MicroOp::Alu,
             MicroOp::load(0xdead_beef),
             MicroOp::store(0x1234_5678_9abc),
-            MicroOp::Branch { pc: 0x400, kind: BranchKind::Conditional, taken: true },
-            MicroOp::Branch { pc: 0x800, kind: BranchKind::IndirectNearReturn, taken: false },
+            MicroOp::Branch {
+                pc: 0x400,
+                kind: BranchKind::Conditional,
+                taken: true,
+            },
+            MicroOp::Branch {
+                pc: 0x800,
+                kind: BranchKind::IndirectNearReturn,
+                taken: false,
+            },
         ]
     }
 

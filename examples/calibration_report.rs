@@ -18,14 +18,24 @@ fn main() {
 
     let mut table = Table::new(
         "Calibration: measured / target at ref",
-        &["Pair", "IPC", "L1 miss %", "L2 miss %", "L3 miss %", "Mispred %"],
+        &[
+            "Pair",
+            "IPC",
+            "L1 miss %",
+            "L2 miss %",
+            "L3 miss %",
+            "Mispred %",
+        ],
     );
     table.numeric();
     let mut ipc_err = Vec::new();
     for app in &apps {
         for pair in app.pairs(InputSize::Ref) {
             let b = &pair.input.behavior;
-            let r = records.iter().find(|r| r.id == pair.id()).expect("record exists");
+            let r = records
+                .iter()
+                .find(|r| r.id == pair.id())
+                .expect("record exists");
             ipc_err.push(((r.ipc - b.ipc_target) / b.ipc_target).abs());
             let cell = |measured: f64, target: f64, prec: usize| {
                 format!("{} / {}", num(measured, prec), num(target, prec))
@@ -43,5 +53,9 @@ fn main() {
     println!("{table}");
     let mean_err = ipc_err.iter().sum::<f64>() / ipc_err.len() as f64;
     let max_err = ipc_err.iter().cloned().fold(0.0, f64::max);
-    println!("IPC relative error: mean {:.1}%, max {:.1}%", mean_err * 100.0, max_err * 100.0);
+    println!(
+        "IPC relative error: mean {:.1}%, max {:.1}%",
+        mean_err * 100.0,
+        max_err * 100.0
+    );
 }

@@ -38,7 +38,10 @@ fn main() {
         suite: Suite::RateInt,
         test: Vec::new(),
         train: Vec::new(),
-        reference: vec![InputProfile { name: "in1".to_owned(), behavior: custom }],
+        reference: vec![InputProfile {
+            name: "in1".to_owned(),
+            behavior: custom,
+        }],
     };
     app.validate().expect("custom behaviour is well-formed");
 
@@ -47,7 +50,8 @@ fn main() {
     let pair: &AppInputPair<'_> = &pair_list[0];
     let custom_record = characterize_pair(pair, &config);
     println!("custom workload '{}' characterized:", custom_record.id);
-    println!("  IPC {:.3}   L1 {:.2}%  L2 {:.2}%  L3 {:.2}%  mispredict {:.2}%\n",
+    println!(
+        "  IPC {:.3}   L1 {:.2}%  L2 {:.2}%  L3 {:.2}%  mispredict {:.2}%\n",
         custom_record.ipc,
         custom_record.l1_miss_pct,
         custom_record.l2_miss_pct,
@@ -62,9 +66,12 @@ fn main() {
     let analysis = RedundancyAnalysis::fit_paper(&records).expect("PCA fits");
     records.push(custom_record);
     let rows = characteristic_rows(&records);
-    let data = spec2017_workchar::stat_analysis::matrix::Matrix::from_rows(&rows)
-        .expect("matrix builds");
-    let scores = analysis.pca.scores(&data, analysis.n_components).expect("projection");
+    let data =
+        spec2017_workchar::stat_analysis::matrix::Matrix::from_rows(&rows).expect("matrix builds");
+    let scores = analysis
+        .pca
+        .scores(&data, analysis.n_components)
+        .expect("projection");
 
     let custom_row = scores.row(scores.rows() - 1).to_vec();
     let mut neighbours: Vec<(String, f64)> = (0..scores.rows() - 1)

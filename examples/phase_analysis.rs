@@ -22,7 +22,10 @@ fn main() {
     let analysis = analyze_phases(trace, &config, &WorkloadHints::default(), 40, 6)
         .expect("phase analysis succeeds");
 
-    println!("detected {} phases (silhouette {:.3})", analysis.n_phases, analysis.silhouette);
+    println!(
+        "detected {} phases (silhouette {:.3})",
+        analysis.n_phases, analysis.silhouette
+    );
     println!("\nper-window phase labels (execution order):");
     print!("  ");
     for &label in &analysis.labels {

@@ -21,12 +21,13 @@ fn main() {
     println!("collected {} ref application-input pairs\n", records.len());
 
     for (label, keep_speed) in [("rate", false), ("speed", true)] {
-        let group: Vec<&CharRecord> =
-            records.iter().filter(|r| r.suite.is_speed() == keep_speed).collect();
+        let group: Vec<&CharRecord> = records
+            .iter()
+            .filter(|r| r.suite.is_speed() == keep_speed)
+            .collect();
         let owned: Vec<CharRecord> = group.iter().map(|&r| r.clone()).collect();
 
-        let analysis = RedundancyAnalysis::fit_paper(&owned)
-            .expect("enough pairs for PCA");
+        let analysis = RedundancyAnalysis::fit_paper(&owned).expect("enough pairs for PCA");
         println!(
             "[{label}] PCA keeps {} components covering {:.1}% of variance \
              (paper: 4 components, 76.3%)",

@@ -6,10 +6,12 @@
 //! - [`workload_synth`] — synthetic SPEC-like workload profiles and generators.
 //! - [`uarch_sim`] — cache / branch-predictor / pipeline simulator with perf-style counters.
 //! - [`stat_analysis`] — PCA, hierarchical clustering, Pareto analysis.
+//! - [`simstore`] — content-addressed result store + fault-tolerant scheduler.
 //! - [`workchar`] — the paper's characterization + subsetting pipeline.
 //! - [`simreport`] — table and figure rendering.
 
 pub use simreport;
+pub use simstore;
 pub use stat_analysis;
 pub use uarch_sim;
 pub use workchar;

@@ -31,13 +31,19 @@ fn records() -> &'static Vec<CharRecord> {
             "657.xz_s",
             "628.pop2_s",
         ];
-        let apps: Vec<_> = names.iter().map(|n| cpu2017::app(n).expect("known app")).collect();
+        let apps: Vec<_> = names
+            .iter()
+            .map(|n| cpu2017::app(n).expect("known app"))
+            .collect();
         characterize_suite(&apps, InputSize::Ref, &RunConfig::quick())
     })
 }
 
 fn record(id: &str) -> &'static CharRecord {
-    records().iter().find(|r| r.id == id).unwrap_or_else(|| panic!("record {id}"))
+    records()
+        .iter()
+        .find(|r| r.id == id)
+        .unwrap_or_else(|| panic!("record {id}"))
 }
 
 #[test]
@@ -53,7 +59,10 @@ fn speed_fp_ipc_collapses() {
     // Table II: speed-fp IPC is less than half of rate-fp IPC.
     let rate_fp = record("549.fotonik3d_r").ipc.max(record("508.namd_r").ipc);
     let lbm_s = record("619.lbm_s").ipc;
-    assert!(lbm_s < 0.2, "619.lbm_s must be the extreme low IPC, got {lbm_s}");
+    assert!(
+        lbm_s < 0.2,
+        "619.lbm_s must be the extreme low IPC, got {lbm_s}"
+    );
     assert!(rate_fp > 1.0, "rate fp stays above 1.0");
 }
 
@@ -64,7 +73,11 @@ fn lbm_has_fewest_branches_and_most_stores() {
     assert!(lbm.branch_pct < 2.0, "lbm branches {}", lbm.branch_pct);
     assert!(lbm.store_pct > 11.0, "lbm stores {}", lbm.store_pct);
     for r in records().iter().filter(|r| r.id != "519.lbm_r") {
-        assert!(lbm.branch_pct <= r.branch_pct + 1e-9, "{} branchier than lbm", r.id);
+        assert!(
+            lbm.branch_pct <= r.branch_pct + 1e-9,
+            "{} branchier than lbm",
+            r.id
+        );
     }
 }
 
@@ -93,8 +106,16 @@ fn leela_has_highest_mispredict_rate() {
 fn fotonik_has_highest_l2_miss_rate() {
     // Fig. 5: 549.fotonik3d_r highest rate-fp L2 local miss rate.
     let fotonik = record("549.fotonik3d_r");
-    assert!(fotonik.l2_miss_pct > 55.0, "fotonik L2 {}", fotonik.l2_miss_pct);
-    assert!(fotonik.l3_miss_pct > 35.0, "fotonik L3 {}", fotonik.l3_miss_pct);
+    assert!(
+        fotonik.l2_miss_pct > 55.0,
+        "fotonik L2 {}",
+        fotonik.l2_miss_pct
+    );
+    assert!(
+        fotonik.l3_miss_pct > 35.0,
+        "fotonik L3 {}",
+        fotonik.l3_miss_pct
+    );
 }
 
 #[test]
@@ -152,5 +173,9 @@ fn four_ish_components_explain_most_variance() {
     // Paper: 4 PCs cover 76.3%.
     let analysis = RedundancyAnalysis::fit_paper(records()).expect("pca fits");
     assert!((2..=6).contains(&analysis.n_components));
-    assert!(analysis.explained >= 0.70, "explained {}", analysis.explained);
+    assert!(
+        analysis.explained >= 0.70,
+        "explained {}",
+        analysis.explained
+    );
 }

@@ -16,7 +16,11 @@ fn all_twenty_experiments_render() {
     let data = demo();
     for artifact in experiments::run_all(data) {
         let text = artifact.render();
-        assert!(text.len() > 40, "{:?} renders trivially:\n{text}", artifact.id);
+        assert!(
+            text.len() > 40,
+            "{:?} renders trivially:\n{text}",
+            artifact.id
+        );
         // CSV rendering never panics and is parseable-ish.
         let csv = artifact.render_csv();
         for line in csv.lines().take(3) {
