@@ -11,7 +11,7 @@ use stat_analysis::cluster::{agglomerative, Linkage};
 use stat_analysis::distance::Metric;
 use uarch_sim::branch::PredictorKind;
 use uarch_sim::config::SystemConfig;
-use uarch_sim::engine::{Engine, WorkloadHints};
+use uarch_sim::engine::{Engine, RunOptions, WorkloadHints};
 use uarch_sim::replacement::Policy;
 use uarch_sim::tlb::Tlb;
 use workload_synth::cpu2017;
@@ -22,7 +22,7 @@ use workload_synth::rng::Rng64;
 fn mcf_like_trace(config: &SystemConfig, ops: u64) -> TraceGenerator {
     let app = cpu2017::app("505.mcf_r").expect("mcf exists");
     let behavior = app.inputs(InputSize::Ref)[0].behavior.clone();
-    TraceGenerator::new(&behavior, config, 11, ops)
+    TraceGenerator::new(&behavior, config, 11, ops).expect("valid behavior")
 }
 
 fn ablate_replacement(r: &mut Runner) {
@@ -37,7 +37,7 @@ fn ablate_replacement(r: &mut Runner) {
         r.bench(&format!("ablation_replacement_policy/{policy:?}"), || {
             let mut engine = Engine::new(&config);
             let trace = mcf_like_trace(&config, 50_000);
-            black_box(engine.run(trace, &WorkloadHints::default()))
+            black_box(engine.run_with(trace, &WorkloadHints::default(), &RunOptions::new()))
         });
     }
 }
@@ -53,7 +53,7 @@ fn ablate_predictor(r: &mut Runner) {
         r.bench(&format!("ablation_branch_predictor/{kind:?}"), || {
             let mut engine = Engine::with_predictor(&config, kind);
             let trace = mcf_like_trace(&config, 50_000);
-            black_box(engine.run(trace, &WorkloadHints::default()))
+            black_box(engine.run_with(trace, &WorkloadHints::default(), &RunOptions::new()))
         });
     }
 }
@@ -88,8 +88,8 @@ fn ablate_trace_scale(r: &mut Runner) {
         let ops = scale.budget(&behavior);
         r.bench(&format!("ablation_trace_scale/{ops_per_billion}"), || {
             let mut engine = Engine::new(&config);
-            let trace = TraceGenerator::new(&behavior, &config, 13, ops);
-            black_box(engine.run(trace, &WorkloadHints::default()))
+            let trace = TraceGenerator::new(&behavior, &config, 13, ops).expect("valid behavior");
+            black_box(engine.run_with(trace, &WorkloadHints::default(), &RunOptions::new()))
         });
     }
 }

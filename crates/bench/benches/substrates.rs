@@ -13,8 +13,9 @@ use stat_analysis::silhouette::mean_silhouette;
 use uarch_sim::branch::PredictorKind;
 use uarch_sim::cache::Cache;
 use uarch_sim::config::{CacheConfig, SystemConfig};
-use uarch_sim::engine::{Engine, WorkloadHints};
+use uarch_sim::engine::{Engine, RunOptions, WorkloadHints};
 use uarch_sim::replacement::Policy;
+use uarch_sim::timeline::SamplerConfig;
 use workchar::phase::analyze_phases;
 use workload_synth::generator::TraceGenerator;
 use workload_synth::phases::demo_three_phase;
@@ -62,7 +63,8 @@ fn bench_predictors(r: &mut Runner) {
 fn bench_generator(r: &mut Runner) {
     let config = SystemConfig::haswell_e5_2650l_v3();
     r.bench("trace_generate_100k", || {
-        let gen = TraceGenerator::new(&Behavior::default(), &config, 7, 100_000);
+        let gen =
+            TraceGenerator::new(&Behavior::default(), &config, 7, 100_000).expect("valid behavior");
         black_box(gen.count())
     });
 }
@@ -70,9 +72,19 @@ fn bench_generator(r: &mut Runner) {
 fn bench_engine(r: &mut Runner) {
     let config = SystemConfig::haswell_e5_2650l_v3();
     r.bench("engine_run_100k", || {
-        let gen = TraceGenerator::new(&Behavior::default(), &config, 7, 100_000);
+        let gen =
+            TraceGenerator::new(&Behavior::default(), &config, 7, 100_000).expect("valid behavior");
         let mut engine = Engine::new(&config);
-        black_box(engine.run(gen, &WorkloadHints::default()))
+        black_box(engine.run_with(gen, &WorkloadHints::default(), &RunOptions::new()))
+    });
+    // Paired with engine_run_100k above: the ratio of the two medians is the
+    // interval-sampling overhead the perfmon design budgets at <5%.
+    let sampled = RunOptions::new().sampler(SamplerConfig::every(10_000));
+    r.bench("engine_run_100k_sampled_10k", || {
+        let gen =
+            TraceGenerator::new(&Behavior::default(), &config, 7, 100_000).expect("valid behavior");
+        let mut engine = Engine::new(&config);
+        black_box(engine.run_with(gen, &WorkloadHints::default(), &sampled))
     });
 }
 
@@ -115,7 +127,9 @@ fn bench_varimax(r: &mut Runner) {
 
 fn bench_trace_io(r: &mut Runner) {
     let config = SystemConfig::haswell_e5_2650l_v3();
-    let ops: Vec<_> = TraceGenerator::new(&Behavior::default(), &config, 17, 100_000).collect();
+    let ops: Vec<_> = TraceGenerator::new(&Behavior::default(), &config, 17, 100_000)
+        .expect("valid behavior")
+        .collect();
     r.bench("trace_serialize_100k", || {
         let mut buf = Vec::with_capacity(1 << 20);
         write_trace(&mut buf, ops.iter().copied(), ops.len() as u64).unwrap();

@@ -9,7 +9,10 @@
 //! (`cargo bench --bench substrates -- cache`).
 
 use std::hint::black_box as std_black_box;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
+
+use perfmon::json::{self, Value};
 
 /// Opaque value sink preventing the optimizer from deleting benched work.
 pub fn black_box<T>(v: T) -> T {
@@ -114,10 +117,66 @@ impl Runner {
         &self.results
     }
 
-    /// Prints the closing summary line.
+    /// Prints the closing summary line and merges this suite's medians into
+    /// `BENCH_results.json` at the workspace root, so successive
+    /// `cargo bench` runs accumulate one machine-readable record
+    /// (`{"schema":1,"benchmarks":{name:{"median_ns":..,"iters_per_batch":..}}}`).
     pub fn finish(self) {
         println!("{}: {} benchmarks", self.suite, self.results.len());
+        if self.results.is_empty() {
+            return;
+        }
+        let path = results_path();
+        match merge_results(&path, &self.results) {
+            Ok(()) => println!("updated {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
     }
+}
+
+/// `BENCH_results.json` at the workspace root (two levels above this crate).
+fn results_path() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.join("BENCH_results.json")
+}
+
+/// Rewrites `path` with `results` merged over whatever it already holds:
+/// entries from other suites survive, re-measured ones are replaced in
+/// place, and the output stays one benchmark per line for clean diffs.
+fn merge_results(path: &Path, results: &[Measurement]) -> std::io::Result<()> {
+    let mut entries: Vec<(String, u64, u64)> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        if let Ok(value) = json::parse(&existing) {
+            if let Some(benchmarks) = value.get("benchmarks").and_then(Value::as_object) {
+                for (name, m) in benchmarks {
+                    let median = m.get("median_ns").and_then(Value::as_u64);
+                    let iters = m.get("iters_per_batch").and_then(Value::as_u64);
+                    if let (Some(median), Some(iters)) = (median, iters) {
+                        entries.push((name.clone(), median, iters));
+                    }
+                }
+            }
+        }
+    }
+    for m in results {
+        let median = m.median.as_nanos() as u64;
+        match entries.iter_mut().find(|(n, _, _)| *n == m.name) {
+            Some(slot) => (slot.1, slot.2) = (median, m.iters_per_batch),
+            None => entries.push((m.name.clone(), median, m.iters_per_batch)),
+        }
+    }
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"benchmarks\": {\n");
+    for (i, (name, median, iters)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    \"{}\": {{\"median_ns\": {median}, \"iters_per_batch\": {iters}}}{comma}\n",
+            json::escape(name)
+        ));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(path, out)
 }
 
 fn format_duration(d: Duration) -> String {
@@ -166,6 +225,35 @@ mod tests {
         assert!(r.results().is_empty());
         r.bench("cache/l1", || 1);
         assert_eq!(r.results().len(), 1);
+    }
+
+    #[test]
+    fn merge_keeps_other_suites_and_replaces_remeasured() {
+        let path = std::env::temp_dir().join(format!("bench-results-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let m = |name: &str, ns: u64| Measurement {
+            name: name.to_string(),
+            median: Duration::from_nanos(ns),
+            iters_per_batch: 100,
+        };
+        merge_results(&path, &[m("substrates/a", 10), m("substrates/b", 20)]).unwrap();
+        merge_results(&path, &[m("tables/t1", 30), m("substrates/a", 15)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value = json::parse(&text).unwrap();
+        assert_eq!(value.get("schema").and_then(Value::as_u64), Some(1));
+        let benchmarks = value.get("benchmarks").and_then(Value::as_object).unwrap();
+        assert_eq!(benchmarks.len(), 3);
+        let median = |name: &str| {
+            benchmarks
+                .iter()
+                .find(|(n, _)| n == name)
+                .and_then(|(_, m)| m.get("median_ns"))
+                .and_then(Value::as_u64)
+        };
+        assert_eq!(median("substrates/a"), Some(15), "re-measured in place");
+        assert_eq!(median("substrates/b"), Some(20), "untouched entry kept");
+        assert_eq!(median("tables/t1"), Some(30));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub fn bench_dataset() -> Dataset {
         .filter(|a| ["429.mcf", "470.lbm", "456.hmmer", "453.povray"].contains(&a.name.as_str()))
         .collect();
     Dataset::collect_apps(bench_config(), &bench_apps(), &cpu06)
+        .expect("bench roster characterizes cleanly")
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@ use stat_analysis::kmedoids::k_medoids;
 use stat_analysis::silhouette::mean_silhouette;
 use uarch_sim::branch::PredictorKind;
 use uarch_sim::config::SystemConfig;
-use uarch_sim::engine::Engine;
+use uarch_sim::engine::{Engine, RunOptions};
 use uarch_sim::hierarchy::Hierarchy;
 use uarch_sim::prefetch::Prefetcher;
 use uarch_sim::replacement::Policy;
@@ -150,9 +150,10 @@ pub fn predictor_ablation(config: &SystemConfig, scale: &TraceScale) -> Table {
                 config,
                 pair.seed(),
                 scale.budget(&pair.input.behavior).min(300_000),
-            );
+            )
+            .expect("curated profiles are valid");
             let mut engine = Engine::with_predictor(config, kind);
-            let session = engine.run(trace, &hints);
+            let session = engine.run_with(trace, &hints, &RunOptions::new());
             cells.push(num(session.mispredict_rate() * 100.0, 3));
         }
         table.row(cells);
@@ -186,11 +187,13 @@ pub fn replacement_ablation_with(scale: &TraceScale, cache: Option<&CacheContext
         let run_config = RunConfig {
             system: SystemConfig::haswell_e5_2650l_v3().with_policy(policy),
             scale: *scale,
+            sampler: None,
         };
         let record = match cache {
             Some(ctx) => characterize_pair_cached(pair, &run_config, ctx),
             None => characterize_pair(pair, &run_config),
-        };
+        }
+        .expect("curated mcf profile characterizes cleanly");
         table.row(vec![
             format!("{policy:?}"),
             num(record.l1_miss_pct, 3),
@@ -262,7 +265,7 @@ mod tests {
             cpu2017::app("541.leela_r").unwrap(),
             cpu2017::app("548.exchange2_r").unwrap(),
         ];
-        characterize_suite(&apps, InputSize::Ref, &RunConfig::quick())
+        characterize_suite(&apps, InputSize::Ref, &RunConfig::quick()).unwrap()
     }
 
     #[test]

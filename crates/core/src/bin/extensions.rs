@@ -3,61 +3,121 @@
 //!
 //! ```text
 //! extensions [--results DIR] [--no-cache] [--cache-dir DIR]
+//!            [--timeline] [--events FILE]
 //! ```
 //!
 //! Characterization-backed tables share the `reproduce` binary's result
 //! cache (default `results/cache`): the rate-suite records feeding the
 //! clustering ablations, the per-policy replacement rows, and the sweeps'
 //! baseline point all replay from the store when present.
+//!
+//! Observability mirrors `reproduce`: `--timeline` samples per-pair counter
+//! timelines for the rate-suite characterization (artifacts under
+//! `<results>/timelines/`), `--events FILE` streams perfmon JSONL, and a
+//! per-stage summary table prints to stderr on exit. Errors render on
+//! stderr and exit nonzero.
 
 use std::io::Write;
 use std::path::PathBuf;
+use std::process::ExitCode;
 
+use perfmon::Recorder;
 use uarch_sim::engine::WorkloadHints;
+use uarch_sim::timeline::SamplerConfig;
 use workchar::ablation;
 use workchar::cache::CacheContext;
 use workchar::characterize::{characterize_suite_with, RunConfig};
+use workchar::error::{Error, Result};
+use workchar::observe::write_timeline_artifacts;
 use workchar::phase::analyze_phases;
 use workload_synth::cpu2017;
 use workload_synth::phases::demo_three_phase;
 use workload_synth::profile::InputSize;
 
-fn main() {
-    let mut results_dir = PathBuf::from("results");
-    let mut cache_dir = PathBuf::from("results/cache");
-    let mut no_cache = false;
+struct Options {
+    results_dir: PathBuf,
+    cache_dir: PathBuf,
+    no_cache: bool,
+    timeline: bool,
+    events: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options> {
+    let mut opts = Options {
+        results_dir: PathBuf::from("results"),
+        cache_dir: PathBuf::from("results/cache"),
+        no_cache: false,
+        timeline: false,
+        events: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--results" => {
-                if let Some(dir) = args.next() {
-                    results_dir = PathBuf::from(dir);
-                }
+                opts.results_dir = PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| Error::Usage("--results needs a directory".to_string()))?,
+                );
             }
             "--cache-dir" => {
-                if let Some(dir) = args.next() {
-                    cache_dir = PathBuf::from(dir);
-                }
+                opts.cache_dir =
+                    PathBuf::from(args.next().ok_or_else(|| {
+                        Error::Usage("--cache-dir needs a directory".to_string())
+                    })?);
             }
-            "--no-cache" => no_cache = true,
+            "--no-cache" => opts.no_cache = true,
+            "--timeline" => opts.timeline = true,
+            "--events" => {
+                opts.events =
+                    Some(PathBuf::from(args.next().ok_or_else(|| {
+                        Error::Usage("--events needs a file path".to_string())
+                    })?));
+            }
             other => {
-                eprintln!("unknown argument '{other}'");
-                std::process::exit(2);
+                return Err(Error::Usage(format!("unknown argument '{other}'")));
             }
         }
     }
-    let _ = std::fs::create_dir_all(&results_dir);
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match real_main(opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main(opts: Options) -> Result<()> {
+    let recorder = match &opts.events {
+        Some(path) => Recorder::to_path(path)?,
+        None => Recorder::in_memory(),
+    };
+    std::fs::create_dir_all(&opts.results_dir)?;
     let mut all = String::new();
-    let config = RunConfig::default();
-    let cache = if no_cache {
+    let mut config = RunConfig::default();
+    if opts.timeline {
+        config = config.with_sampler(SamplerConfig::default());
+    }
+    let cache = if opts.no_cache {
         None
     } else {
-        match CacheContext::open(&cache_dir) {
+        match CacheContext::open(&opts.cache_dir) {
             Ok(ctx) => Some(ctx),
             Err(e) => {
                 eprintln!(
                     "warning: cannot open cache at {}: {e}; running uncached",
-                    cache_dir.display()
+                    opts.cache_dir.display()
                 );
                 None
             }
@@ -69,9 +129,18 @@ fn main() {
         .into_iter()
         .filter(|a| !a.suite.is_speed())
         .collect();
-    let records = characterize_suite_with(&rate_apps, InputSize::Ref, &config, cache.as_ref());
+    let mut span = recorder.span("characterize-rate-ref");
+    let records = characterize_suite_with(&rate_apps, InputSize::Ref, &config, cache.as_ref())?;
+    span.record("records", records.len());
+    if let Some(ctx) = &cache {
+        let snap = ctx.stats.snapshot();
+        span.record("cache_hits", snap.hits);
+        span.record("cache_misses", snap.misses);
+    }
+    span.finish();
     let refs: Vec<&workchar::characterize::CharRecord> = records.iter().collect();
 
+    let mut span = recorder.span("ablations");
     for table in [
         ablation::linkage_ablation(&refs),
         ablation::subsetter_ablation(&refs),
@@ -85,6 +154,8 @@ fn main() {
         all.push_str(&text);
         all.push('\n');
     }
+    span.record("tables", 6u64);
+    span.finish();
 
     eprintln!("sweeping DRAM latency and issue width...");
     let sweep_apps: Vec<_> = ["505.mcf_r", "549.fotonik3d_r", "525.x264_r", "557.xz_r"]
@@ -93,6 +164,7 @@ fn main() {
         .collect();
     // The 220-cycle and 4-wide points are the baseline machine: serve them
     // from the records characterized above instead of replaying.
+    let span = recorder.span("sensitivity-sweeps");
     for sweep in [
         workchar::sensitivity::memory_latency_sweep_with(
             &sweep_apps,
@@ -112,15 +184,28 @@ fn main() {
         all.push_str(&text);
         all.push('\n');
     }
+    span.finish();
     if let Some(ctx) = &cache {
         eprintln!("cache: {}", ctx.stats.snapshot());
+    }
+
+    if opts.timeline {
+        let dir = opts.results_dir.join("timelines");
+        let written = write_timeline_artifacts(&records, &dir)?;
+        recorder.event(
+            "timeline-artifacts",
+            &[("pairs", perfmon::FieldValue::U64(written as u64))],
+        );
+        eprintln!("wrote {written} pair timelines under {}", dir.display());
     }
 
     eprintln!("running phase analysis on the three-phase demo workload...");
     let workload = demo_three_phase();
     let trace: Vec<_> = workload.trace(&config.system, 42, 600_000).collect();
+    let mut span = recorder.span("phase-analysis");
     match analyze_phases(trace, &config.system, &WorkloadHints::default(), 40, 6) {
         Ok(analysis) => {
+            span.record("phases", analysis.n_phases);
             let mut text = format!(
                 "Phase analysis of '{}': {} phases (silhouette {:.3})\n",
                 workload.name, analysis.n_phases, analysis.silhouette
@@ -143,10 +228,13 @@ fn main() {
         }
         Err(e) => eprintln!("phase analysis failed: {e}"),
     }
+    span.finish();
 
-    let path = results_dir.join("extensions.txt");
+    let path = opts.results_dir.join("extensions.txt");
     match std::fs::File::create(&path).and_then(|mut f| f.write_all(all.as_bytes())) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
+    eprint!("{}", recorder.render_summary());
+    Ok(())
 }

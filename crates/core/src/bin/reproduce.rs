@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! reproduce [--quick] [--markdown] [--results DIR]
-//!           [--no-cache] [--cache-dir DIR] [table1 .. fig10]
+//!           [--no-cache] [--cache-dir DIR]
+//!           [--timeline] [--events FILE] [table1 .. fig10]
 //! ```
 //!
 //! With no experiment arguments, all twenty artifacts are produced. Each is
@@ -11,65 +12,128 @@
 //! memoized content-addressed under the cache directory (default
 //! `results/cache`), so repeated runs replay from disk; `--no-cache` forces
 //! full re-simulation and writes nothing.
+//!
+//! Observability: `--timeline` records an interval-sampled counter timeline
+//! per pair (written as CSV + SVG sparkline under `<results>/timelines/`;
+//! sampled runs bypass the result cache), and `--events FILE` streams
+//! structured perfmon span/event records as JSONL. A per-stage summary table
+//! (wall time, peak RSS, throughput) prints to stderr at the end of every
+//! run. Any pipeline error renders on stderr and exits nonzero.
 
 use std::io::Write;
 use std::path::PathBuf;
+use std::process::ExitCode;
 use std::time::Instant;
 
+use perfmon::Recorder;
+use uarch_sim::timeline::SamplerConfig;
 use workchar::cache::CacheContext;
 use workchar::characterize::RunConfig;
 use workchar::dataset::Dataset;
+use workchar::error::{Error, Result};
 use workchar::experiments::{self, correlation_notes, ExperimentId};
+use workchar::observe::write_timeline_artifacts;
 
-fn main() {
-    let mut quick = false;
-    let mut markdown = false;
-    let mut no_cache = false;
-    let mut results_dir = PathBuf::from("results");
-    let mut cache_dir = PathBuf::from("results/cache");
-    let mut selected: Vec<ExperimentId> = Vec::new();
+struct Options {
+    quick: bool,
+    markdown: bool,
+    no_cache: bool,
+    timeline: bool,
+    events: Option<PathBuf>,
+    results_dir: PathBuf,
+    cache_dir: PathBuf,
+    selected: Vec<ExperimentId>,
+}
+
+fn parse_args() -> Result<Option<Options>> {
+    let mut opts = Options {
+        quick: false,
+        markdown: false,
+        no_cache: false,
+        timeline: false,
+        events: None,
+        results_dir: PathBuf::from("results"),
+        cache_dir: PathBuf::from("results/cache"),
+        selected: Vec::new(),
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--quick" => quick = true,
-            "--markdown" => markdown = true,
-            "--no-cache" => no_cache = true,
+            "--quick" => opts.quick = true,
+            "--markdown" => opts.markdown = true,
+            "--no-cache" => opts.no_cache = true,
+            "--timeline" => opts.timeline = true,
+            "--events" => {
+                opts.events =
+                    Some(PathBuf::from(args.next().ok_or_else(|| {
+                        Error::Usage("--events needs a file path".to_string())
+                    })?));
+            }
             "--results" => {
-                results_dir = PathBuf::from(
+                opts.results_dir = PathBuf::from(
                     args.next()
-                        .unwrap_or_else(|| usage("--results needs a directory")),
+                        .ok_or_else(|| Error::Usage("--results needs a directory".to_string()))?,
                 );
             }
             "--cache-dir" => {
-                cache_dir = PathBuf::from(
-                    args.next()
-                        .unwrap_or_else(|| usage("--cache-dir needs a directory")),
-                );
+                opts.cache_dir =
+                    PathBuf::from(args.next().ok_or_else(|| {
+                        Error::Usage("--cache-dir needs a directory".to_string())
+                    })?);
             }
             "--help" | "-h" => {
                 print_usage();
-                return;
+                return Ok(None);
             }
             slug => match ExperimentId::from_slug(slug) {
-                Some(id) => selected.push(id),
-                None => usage(&format!("unknown experiment '{slug}'")),
+                Some(id) => opts.selected.push(id),
+                None => {
+                    return Err(Error::Usage(format!("unknown experiment '{slug}'")));
+                }
             },
         }
     }
-    if selected.is_empty() {
-        selected = ExperimentId::ALL.to_vec();
+    if opts.selected.is_empty() {
+        opts.selected = ExperimentId::ALL.to_vec();
     }
+    Ok(Some(opts))
+}
 
-    let cache = if no_cache {
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run with --help for usage");
+            return ExitCode::from(2);
+        }
+    };
+    match real_main(opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main(opts: Options) -> Result<()> {
+    let recorder = match &opts.events {
+        Some(path) => Recorder::to_path(path)?,
+        None => Recorder::in_memory(),
+    };
+
+    let cache = if opts.no_cache {
         None
     } else {
-        match CacheContext::open(&cache_dir) {
+        match CacheContext::open(&opts.cache_dir) {
             Ok(ctx) => {
                 if let Some(store) = ctx.store() {
                     if !store.is_empty() {
                         eprintln!(
                             "result cache at {}: {} records on hand",
-                            cache_dir.display(),
+                            opts.cache_dir.display(),
                             store.len()
                         );
                     }
@@ -79,48 +143,75 @@ fn main() {
             Err(e) => {
                 eprintln!(
                     "warning: cannot open cache at {}: {e}; running uncached",
-                    cache_dir.display()
+                    opts.cache_dir.display()
                 );
                 None
             }
         }
     };
 
-    let config = if quick {
+    let mut config = if opts.quick {
         RunConfig::quick()
     } else {
         RunConfig::default()
     };
+    if opts.timeline {
+        config = config.with_sampler(SamplerConfig::default());
+        if cache.is_some() {
+            eprintln!("timeline sampling on: runs bypass the result cache");
+        }
+    }
     eprintln!(
         "characterizing SPEC CPU2017 (194 pairs, 3 input sizes) and CPU2006 (29 apps) \
          on {} ...",
         config.system.name
     );
     let t0 = Instant::now();
-    let data = Dataset::collect_with(config, cache.as_ref());
+    let mut span = recorder.span("collect-dataset");
+    let data = Dataset::collect_with(config, cache.as_ref())?;
+    let wall = t0.elapsed().as_secs_f64();
+    let sim_ops: u64 = data
+        .cpu17
+        .iter()
+        .chain(&data.cpu06)
+        .map(|r| r.sim_ops)
+        .sum();
+    span.record("records_cpu17", data.cpu17.len());
+    span.record("records_cpu06", data.cpu06.len());
+    span.record("sim_ops", sim_ops);
+    if wall > 0.0 {
+        span.record("sim_ops_per_sec", sim_ops as f64 / wall);
+    }
+    if let Some(ctx) = &cache {
+        let snap = ctx.stats.snapshot();
+        span.record("cache_hits", snap.hits);
+        span.record("cache_misses", snap.misses);
+    }
+    span.finish();
     eprintln!(
-        "collected {} CPU2017 and {} CPU2006 records in {:.1}s",
+        "collected {} CPU2017 and {} CPU2006 records in {wall:.1}s",
         data.cpu17.len(),
         data.cpu06.len(),
-        t0.elapsed().as_secs_f64()
     );
     if let Some(ctx) = &cache {
         eprintln!("cache: {}", ctx.stats.snapshot());
     }
 
-    if let Err(e) = std::fs::create_dir_all(&results_dir) {
-        eprintln!("warning: cannot create {}: {e}", results_dir.display());
-    }
+    std::fs::create_dir_all(&opts.results_dir)?;
     let mut report = String::from(
         "# SPEC CPU2017 characterization — regenerated artifacts\n\n         Produced by the `reproduce` binary; see EXPERIMENTS.md for the\n         paper-vs-measured discussion.\n\n",
     );
-    for id in selected {
-        let artifact = experiments::run(id, &data);
+    for id in opts.selected {
+        let mut span = recorder.span("experiment");
+        span.record("id", id.slug());
+        let artifact = experiments::run(id, &data)?;
+        span.record("tables", artifact.tables.len());
+        span.record("figures", artifact.figures.len());
         let text = artifact.render();
         println!("{text}");
-        write_file(&results_dir, &format!("{}.txt", id.slug()), &text);
+        write_file(&opts.results_dir, &format!("{}.txt", id.slug()), &text);
         write_file(
-            &results_dir,
+            &opts.results_dir,
             &format!("{}.csv", id.slug()),
             &artifact.render_csv(),
         );
@@ -135,26 +226,38 @@ fn main() {
             } else {
                 format!("{}_{}.svg", id.slug(), i + 1)
             };
-            write_file(&results_dir, &name, &figure.render_svg(900, 420));
+            write_file(&opts.results_dir, &name, &figure.render_svg(900, 420));
             report.push_str(&format!("![{}]({name})\n\n", figure.title()));
         }
         for (title, body) in &artifact.texts {
             report.push_str(&format!("**{title}**\n\n```text\n{body}```\n\n"));
         }
+        span.finish();
     }
-    if markdown {
-        write_file(&results_dir, "REPORT.md", &report);
+    if opts.markdown {
+        write_file(&opts.results_dir, "REPORT.md", &report);
+    }
+
+    if opts.timeline {
+        let mut span = recorder.span("timeline-artifacts");
+        let dir = opts.results_dir.join("timelines");
+        let mut records = data.cpu17.clone();
+        records.extend(data.cpu06.iter().cloned());
+        let written = write_timeline_artifacts(&records, &dir)?;
+        span.record("pairs", written);
+        span.finish();
+        eprintln!("wrote {written} pair timelines under {}", dir.display());
     }
 
     // Full per-pair record dump — the machine-readable artifact downstream
     // analyses start from.
     write_file(
-        &results_dir,
+        &opts.results_dir,
         "records_cpu2017.csv",
         &workchar::characterize::records_csv(&data.cpu17),
     );
     write_file(
-        &results_dir,
+        &opts.results_dir,
         "records_cpu2006.csv",
         &workchar::characterize::records_csv(&data.cpu06),
     );
@@ -163,6 +266,9 @@ fn main() {
     for (name, c) in correlation_notes(&data) {
         println!("{name}: {c:+.3}");
     }
+
+    eprint!("{}", recorder.render_summary());
+    Ok(())
 }
 
 fn write_file(dir: &std::path::Path, name: &str, contents: &str) {
@@ -176,18 +282,17 @@ fn write_file(dir: &std::path::Path, name: &str, contents: &str) {
 fn print_usage() {
     println!(
         "usage: reproduce [--quick] [--markdown] [--results DIR] \
-         [--no-cache] [--cache-dir DIR] [table1..table10 fig1..fig10]"
+         [--no-cache] [--cache-dir DIR] [--timeline] [--events FILE] \
+         [table1..table10 fig1..fig10]"
     );
     println!("  --no-cache    re-simulate everything; do not read or write the result cache");
     println!("  --cache-dir   result-cache directory (default results/cache)");
+    println!(
+        "  --timeline    sample a per-pair counter timeline (CSV + SVG under results/timelines)"
+    );
+    println!("  --events      write perfmon span/event records as JSONL to FILE");
     println!("experiments:");
     for id in ExperimentId::ALL {
         println!("  {id}");
     }
-}
-
-fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    eprintln!("run with --help for usage");
-    std::process::exit(2);
 }

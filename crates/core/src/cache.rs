@@ -270,20 +270,32 @@ impl CacheContext {
 
 /// Cache-first characterization of one pair: serve the stored record when
 /// present, otherwise simulate, persist, and account the miss cost.
+///
+/// Runs with interval sampling enabled bypass the cache entirely: the
+/// on-disk codec persists counter totals only, so a cached record could not
+/// carry the requested timeline (and a timeline-bearing record must not
+/// poison the unsampled cache).
+///
+/// # Errors
+///
+/// Propagates [`crate::error::Error`] from the underlying characterization.
 pub fn characterize_pair_cached(
     pair: &AppInputPair<'_>,
     config: &RunConfig,
     cache: &CacheContext,
-) -> CharRecord {
+) -> crate::error::Result<CharRecord> {
+    if config.sampler.is_some() {
+        return characterize_pair(pair, config);
+    }
     let key = pair_key(pair, config);
     if let Some(record) = cache.lookup(key) {
-        return record;
+        return Ok(record);
     }
     let started = Instant::now();
-    let record = characterize_pair(pair, config);
+    let record = characterize_pair(pair, config)?;
     cache.stats.record_miss(started.elapsed());
     cache.insert(key, &record);
-    record
+    Ok(record)
 }
 
 #[cfg(test)]
@@ -301,7 +313,7 @@ mod tests {
     fn sample_record() -> CharRecord {
         let app = cpu2017::app("505.mcf_r").unwrap();
         let pair = &app.pairs(InputSize::Ref)[0];
-        characterize_pair(pair, &RunConfig::quick())
+        characterize_pair(pair, &RunConfig::quick()).unwrap()
     }
 
     #[test]
@@ -369,13 +381,13 @@ mod tests {
         let pair = &app.pairs(InputSize::Ref)[0];
         let config = RunConfig::quick();
 
-        let cold = characterize_pair_cached(pair, &config, &cache);
+        let cold = characterize_pair_cached(pair, &config, &cache).unwrap();
         assert_eq!(
             cold,
-            characterize_pair(pair, &config),
+            characterize_pair(pair, &config).unwrap(),
             "cache must not alter results"
         );
-        let warm = characterize_pair_cached(pair, &config, &cache);
+        let warm = characterize_pair_cached(pair, &config, &cache).unwrap();
         assert_eq!(cold, warm);
         let snap = cache.stats.snapshot();
         assert_eq!((snap.misses, snap.hits, snap.stores), (1, 1, 1));
@@ -390,10 +402,10 @@ mod tests {
         let config = RunConfig::quick();
         let cold = {
             let cache = CacheContext::open(&root).unwrap();
-            characterize_pair_cached(pair, &config, &cache)
+            characterize_pair_cached(pair, &config, &cache).unwrap()
         };
         let cache = CacheContext::open(&root).unwrap();
-        let warm = characterize_pair_cached(pair, &config, &cache);
+        let warm = characterize_pair_cached(pair, &config, &cache).unwrap();
         assert_eq!(cold, warm);
         assert_eq!(
             cache.stats.snapshot().hits,
@@ -410,8 +422,8 @@ mod tests {
         let app = cpu2017::app("505.mcf_r").unwrap();
         let pair = &app.pairs(InputSize::Ref)[0];
         let config = RunConfig::quick();
-        let a = characterize_pair_cached(pair, &config, &cache);
-        let b = characterize_pair_cached(pair, &config, &cache);
+        let a = characterize_pair_cached(pair, &config, &cache).unwrap();
+        let b = characterize_pair_cached(pair, &config, &cache).unwrap();
         assert_eq!(a, b);
         let snap = cache.stats.snapshot();
         assert_eq!((snap.hits, snap.misses, snap.stores), (0, 2, 0));

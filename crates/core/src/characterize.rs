@@ -4,12 +4,14 @@
 use simstore::{Progress, RunReport, Scheduler};
 use uarch_sim::config::SystemConfig;
 use uarch_sim::counters::{Event, PerfSession};
-use uarch_sim::engine::Engine;
+use uarch_sim::engine::{Engine, RunOptions};
+use uarch_sim::timeline::SamplerConfig;
 use workload_synth::footprint::{GrowthCurve, MemoryMap, PsSampler};
 use workload_synth::generator::{TraceGenerator, TraceScale};
 use workload_synth::profile::{AppInputPair, AppProfile, InputSize, Suite};
 
 use crate::cache::{characterize_pair_cached, CacheContext};
+use crate::error::{Error, Result};
 
 /// Configuration of a characterization campaign: which system to simulate
 /// and how aggressively to scale traces down.
@@ -19,6 +21,11 @@ pub struct RunConfig {
     pub system: SystemConfig,
     /// Trace scaling (micro-ops per paper-scale billion instructions).
     pub scale: TraceScale,
+    /// When set, every run also records an interval-sampled
+    /// [`uarch_sim::timeline::CounterTimeline`] on its session
+    /// (`--timeline` in the binaries). `None` — the default — keeps runs
+    /// sampling-free and byte-identical to the unsampled pipeline.
+    pub sampler: Option<SamplerConfig>,
 }
 
 impl Default for RunConfig {
@@ -26,6 +33,7 @@ impl Default for RunConfig {
         RunConfig {
             system: SystemConfig::haswell_e5_2650l_v3(),
             scale: TraceScale::default(),
+            sampler: None,
         }
     }
 }
@@ -36,7 +44,14 @@ impl RunConfig {
         RunConfig {
             system: SystemConfig::haswell_e5_2650l_v3(),
             scale: TraceScale::quick(),
+            sampler: None,
         }
+    }
+
+    /// The same configuration with interval sampling enabled.
+    pub fn with_sampler(mut self, sampler: SamplerConfig) -> Self {
+        self.sampler = Some(sampler);
+        self
     }
 }
 
@@ -185,27 +200,37 @@ pub fn records_csv(records: &[CharRecord]) -> String {
 /// the generator's L2-bypass range. Every consumer of the simulator —
 /// characterization, ablations, phase analysis — should start here so runs
 /// are comparable.
+///
+/// # Errors
+///
+/// [`Error::Behavior`] when the pair's profile fails validation.
 pub fn prepared_run(
     pair: &AppInputPair<'_>,
     config: &RunConfig,
-) -> (TraceGenerator, uarch_sim::engine::WorkloadHints) {
-    let trace = TraceGenerator::from_pair(pair, &config.system, &config.scale);
+) -> Result<(TraceGenerator, uarch_sim::engine::WorkloadHints)> {
+    let trace = TraceGenerator::from_pair(pair, &config.system, &config.scale)?;
     let mut hints = pair.input.behavior.hints(&config.system);
     hints.l2_bypass_range = Some(trace.l2_bypass_range());
-    (trace, hints)
+    Ok((trace, hints))
 }
 
 /// Runs one pair through a fresh engine and derives every reported metric.
-pub fn characterize_pair(pair: &AppInputPair<'_>, config: &RunConfig) -> CharRecord {
+///
+/// # Errors
+///
+/// [`Error::Behavior`] when the pair's profile fails validation.
+pub fn characterize_pair(pair: &AppInputPair<'_>, config: &RunConfig) -> Result<CharRecord> {
     let behavior = &pair.input.behavior;
-    let (trace, hints) = prepared_run(pair, config);
+    let (trace, hints) = prepared_run(pair, config)?;
     let sim_ops = trace.remaining();
 
     // A third of the trace warms caches and predictor so steady-state
     // rates are measured, mirroring the paper's minutes-long executions.
     let warmup = sim_ops / 3;
+    let mut opts = RunOptions::new().warmup(warmup);
+    opts.sampler = config.sampler;
     let mut engine = Engine::new(&config.system);
-    let session = engine.run_warmed(trace, &hints, warmup);
+    let session = engine.run_with(trace, &hints, &opts);
     let sim_seconds = engine.seconds(&session);
     let counted = session.count(Event::InstRetiredAny).max(1) as f64;
     let breakdown = engine.last_breakdown().expect("run just completed");
@@ -234,7 +259,7 @@ pub fn characterize_pair(pair: &AppInputPair<'_>, config: &RunConfig) -> CharRec
         0.0
     };
 
-    CharRecord {
+    Ok(CharRecord {
         id: pair.id(),
         app: pair.app.name.clone(),
         input: pair.input.name.clone(),
@@ -259,68 +284,80 @@ pub fn characterize_pair(pair: &AppInputPair<'_>, config: &RunConfig) -> CharRec
         sim_seconds,
         projected_seconds,
         session,
-    }
+    })
 }
 
 /// Characterizes every input of every application at `size`, in parallel.
+///
+/// # Errors
+///
+/// [`Error::Characterization`] listing every pair that still failed after
+/// the scheduler's retry.
 pub fn characterize_suite(
     apps: &[AppProfile],
     size: InputSize,
     config: &RunConfig,
-) -> Vec<CharRecord> {
+) -> Result<Vec<CharRecord>> {
     characterize_suite_with(apps, size, config, None)
 }
 
 /// [`characterize_suite`] with an optional result cache.
+///
+/// # Errors
+///
+/// [`Error::Characterization`] listing every pair that still failed after
+/// the scheduler's retry.
 pub fn characterize_suite_with(
     apps: &[AppProfile],
     size: InputSize,
     config: &RunConfig,
     cache: Option<&CacheContext>,
-) -> Vec<CharRecord> {
+) -> Result<Vec<CharRecord>> {
     let pairs: Vec<AppInputPair<'_>> = apps.iter().flat_map(|app| app.pairs(size)).collect();
     characterize_pairs_with(&pairs, config, cache)
 }
 
 /// Characterizes an explicit pair list in parallel, preserving order.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any pair still fails after the scheduler's retry, listing every
-/// failed pair. Callers that want partial results instead use
-/// [`characterize_pairs_report`].
-pub fn characterize_pairs(pairs: &[AppInputPair<'_>], config: &RunConfig) -> Vec<CharRecord> {
+/// [`Error::Characterization`] if any pair still fails after the
+/// scheduler's retry, listing every failed pair. Callers that want partial
+/// results instead use [`characterize_pairs_report`].
+pub fn characterize_pairs(
+    pairs: &[AppInputPair<'_>],
+    config: &RunConfig,
+) -> Result<Vec<CharRecord>> {
     characterize_pairs_with(pairs, config, None)
 }
 
 /// [`characterize_pairs`] with an optional result cache.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any pair still fails after the scheduler's retry.
+/// [`Error::Characterization`] if any pair still fails after the
+/// scheduler's retry.
 pub fn characterize_pairs_with(
     pairs: &[AppInputPair<'_>],
     config: &RunConfig,
     cache: Option<&CacheContext>,
-) -> Vec<CharRecord> {
-    match characterize_pairs_report(pairs, config, cache, |_| {}).into_results() {
-        Ok(records) => records,
-        Err(failures) => {
-            let list: Vec<String> = failures.iter().map(|f| f.to_string()).collect();
-            panic!(
-                "characterization failed for {} of {} pair(s): {}",
-                list.len(),
-                pairs.len(),
-                list.join("; "),
-            );
-        }
-    }
+) -> Result<Vec<CharRecord>> {
+    characterize_pairs_report(pairs, config, cache, |_| {})
+        .into_results()
+        .map_err(|failures| Error::Characterization {
+            failures,
+            total: pairs.len(),
+        })
 }
 
 /// Fault-tolerant parallel characterization: every pair runs on the
 /// [`Scheduler`] (panic-isolated, retried once), optionally cache-first, and
 /// the full [`RunReport`] comes back — partial results survive individual
 /// failures. `progress` fires after each pair settles (from worker threads).
+///
+/// Per-pair errors are re-raised as panics inside the scheduler's workers so
+/// its isolation and retry machinery applies uniformly; they come back as
+/// [`simstore::JobFailure`] entries, not unwinds.
 pub fn characterize_pairs_report<P: Fn(Progress) + Sync>(
     pairs: &[AppInputPair<'_>],
     config: &RunConfig,
@@ -330,9 +367,12 @@ pub fn characterize_pairs_report<P: Fn(Progress) + Sync>(
     Scheduler::available().run(
         pairs.len(),
         |i| pairs[i].id(),
-        |i| match cache {
-            Some(ctx) => characterize_pair_cached(&pairs[i], config, ctx),
-            None => characterize_pair(&pairs[i], config),
+        |i| {
+            let run = match cache {
+                Some(ctx) => characterize_pair_cached(&pairs[i], config, ctx),
+                None => characterize_pair(&pairs[i], config),
+            };
+            run.unwrap_or_else(|e| panic!("{e}"))
         },
         progress,
     )
@@ -351,7 +391,7 @@ mod tests {
     fn record_fields_are_consistent() {
         let app = cpu2017::app("505.mcf_r").unwrap();
         let pair = &app.pairs(InputSize::Ref)[0];
-        let r = characterize_pair(pair, &quick());
+        let r = characterize_pair(pair, &quick()).unwrap();
         assert_eq!(r.id, "505.mcf_r");
         assert_eq!(r.suite, Suite::RateInt);
         assert!(r.ipc > 0.0);
@@ -373,8 +413,8 @@ mod tests {
     fn deterministic_across_runs() {
         let app = cpu2017::app("541.leela_r").unwrap();
         let pair = &app.pairs(InputSize::Ref)[0];
-        let a = characterize_pair(pair, &quick());
-        let b = characterize_pair(pair, &quick());
+        let a = characterize_pair(pair, &quick()).unwrap();
+        let b = characterize_pair(pair, &quick()).unwrap();
         assert_eq!(a, b);
     }
 
@@ -382,7 +422,7 @@ mod tests {
     fn footprint_matches_profile_declaration() {
         let app = cpu2017::app("657.xz_s").unwrap();
         let pair = &app.pairs(InputSize::Ref)[0];
-        let r = characterize_pair(pair, &quick());
+        let r = characterize_pair(pair, &quick()).unwrap();
         let b = &pair.input.behavior;
         assert!((r.rss_gib - b.rss_gib).abs() / b.rss_gib < 0.02);
         assert!((r.vsz_gib - b.vsz_gib).abs() / b.vsz_gib < 0.02);
@@ -393,16 +433,16 @@ mod tests {
         let app = cpu2017::app("502.gcc_r").unwrap();
         let pairs = app.pairs(InputSize::Ref);
         let config = quick();
-        let parallel = characterize_pairs(&pairs, &config);
+        let parallel = characterize_pairs(&pairs, &config).unwrap();
         assert_eq!(parallel.len(), 5);
         for (pair, record) in pairs.iter().zip(&parallel) {
-            let serial = characterize_pair(pair, &config);
+            let serial = characterize_pair(pair, &config).unwrap();
             assert_eq!(&serial, record);
         }
     }
 
     /// A roster with one deliberately broken profile: the micro-op mix sums
-    /// past 100%, which `TraceGenerator::new` rejects with a panic.
+    /// past 100%, which `TraceGenerator::new` rejects.
     fn poisoned_apps() -> Vec<workload_synth::profile::AppProfile> {
         use workload_synth::profile::{AppProfile, Behavior, InputProfile};
         let bad_behavior = Behavior {
@@ -446,12 +486,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "characterization failed for 1 of 3 pair(s)")]
-    fn strict_api_panics_with_failure_list() {
+    fn strict_api_returns_failure_list() {
         let apps = poisoned_apps();
         let pairs: Vec<AppInputPair<'_>> =
             apps.iter().flat_map(|a| a.pairs(InputSize::Ref)).collect();
-        characterize_pairs(&pairs, &quick());
+        let err = characterize_pairs(&pairs, &quick()).unwrap_err();
+        match &err {
+            Error::Characterization { failures, total } => {
+                assert_eq!(*total, 3);
+                assert_eq!(failures.len(), 1);
+                assert_eq!(failures[0].label, "999.broken_r");
+            }
+            other => panic!("expected Characterization, got {other:?}"),
+        }
+        let text = err.to_string();
+        assert!(text.contains("1 of 3 pair(s)"), "{text}");
+        assert!(text.contains("999.broken_r"), "{text}");
+    }
+
+    #[test]
+    fn sampler_attaches_timeline_without_changing_counts() {
+        let app = cpu2017::app("505.mcf_r").unwrap();
+        let pair = &app.pairs(InputSize::Ref)[0];
+        let plain = characterize_pair(pair, &quick()).unwrap();
+        let sampled_config = quick().with_sampler(SamplerConfig::every(10_000));
+        let mut sampled = characterize_pair(pair, &sampled_config).unwrap();
+        let timeline = sampled.session.take_timeline().expect("timeline recorded");
+        assert_eq!(timeline.total(), {
+            let mut t = plain.session.clone();
+            let _ = t.take_timeline();
+            t
+        });
+        assert_eq!(plain, sampled, "sampling must not perturb the counters");
     }
 
     #[test]
@@ -463,9 +529,9 @@ mod tests {
         let app = cpu2017::app("525.x264_r").unwrap();
         let pairs = app.pairs(InputSize::Ref);
         let config = quick();
-        let uncached = characterize_pairs(&pairs, &config);
-        let cold = characterize_pairs_with(&pairs, &config, Some(&cache));
-        let warm = characterize_pairs_with(&pairs, &config, Some(&cache));
+        let uncached = characterize_pairs(&pairs, &config).unwrap();
+        let cold = characterize_pairs_with(&pairs, &config, Some(&cache)).unwrap();
+        let warm = characterize_pairs_with(&pairs, &config, Some(&cache)).unwrap();
         assert_eq!(uncached, cold, "caching must not change results");
         assert_eq!(cold, warm);
         let snap = cache.stats.snapshot();
@@ -480,7 +546,7 @@ mod tests {
             cpu2017::app("505.mcf_r").unwrap(),
             cpu2017::app("525.x264_r").unwrap(),
         ];
-        let records = characterize_suite(&apps, InputSize::Ref, &quick());
+        let records = characterize_suite(&apps, InputSize::Ref, &quick()).unwrap();
         assert_eq!(records.len(), 1 + 3);
     }
 
@@ -490,8 +556,8 @@ mod tests {
         let config = quick();
         let mcf = cpu2017::app("505.mcf_r").unwrap();
         let x264 = cpu2017::app("525.x264_r").unwrap();
-        let r_mcf = characterize_pair(&mcf.pairs(InputSize::Ref)[0], &config);
-        let r_x264 = characterize_pair(&x264.pairs(InputSize::Ref)[0], &config);
+        let r_mcf = characterize_pair(&mcf.pairs(InputSize::Ref)[0], &config).unwrap();
+        let r_x264 = characterize_pair(&x264.pairs(InputSize::Ref)[0], &config).unwrap();
         assert!(
             r_x264.ipc > 2.0 * r_mcf.ipc,
             "x264 {} vs mcf {}",
@@ -503,7 +569,7 @@ mod tests {
     #[test]
     fn branch_kind_fracs_sum_to_one() {
         let app = cpu2017::app("500.perlbench_r").unwrap();
-        let r = characterize_pair(&app.pairs(InputSize::Ref)[0], &quick());
+        let r = characterize_pair(&app.pairs(InputSize::Ref)[0], &quick()).unwrap();
         let sum: f64 = [
             Event::BrInstExecAllConditional,
             Event::BrInstExecAllDirectJmp,
@@ -520,7 +586,7 @@ mod tests {
     #[test]
     fn csv_export_is_rectangular() {
         let app = cpu2017::app("541.leela_r").unwrap();
-        let r = characterize_pair(&app.pairs(InputSize::Ref)[0], &quick());
+        let r = characterize_pair(&app.pairs(InputSize::Ref)[0], &quick()).unwrap();
         assert_eq!(r.csv_row().len(), CharRecord::CSV_HEADER.len());
         let csv = records_csv(&[r]);
         let lines: Vec<&str> = csv.lines().collect();
@@ -536,7 +602,7 @@ mod tests {
     #[test]
     fn projected_billions_tracks_mix() {
         let app = cpu2017::app("519.lbm_r").unwrap();
-        let r = characterize_pair(&app.pairs(InputSize::Ref)[0], &quick());
+        let r = characterize_pair(&app.pairs(InputSize::Ref)[0], &quick()).unwrap();
         let loads_b = r.projected_billions(Event::MemUopsRetiredAllLoads);
         let expected = r.instructions_billions * r.load_pct / 100.0;
         assert!((loads_b - expected).abs() / expected < 0.05);

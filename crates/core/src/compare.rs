@@ -169,8 +169,8 @@ mod tests {
             cpu2017::app("519.lbm_r").unwrap(),
         ];
         (
-            characterize_suite(&cpu06, InputSize::Ref, &config),
-            characterize_suite(&cpu17, InputSize::Ref, &config),
+            characterize_suite(&cpu06, InputSize::Ref, &config).unwrap(),
+            characterize_suite(&cpu17, InputSize::Ref, &config).unwrap(),
         )
     }
 
@@ -221,7 +221,7 @@ mod tests {
             cpu2017::app("502.gcc_r").unwrap(), // 5 inputs
             cpu2017::app("505.mcf_r").unwrap(), // 1 input
         ];
-        let records = characterize_suite(&apps, InputSize::Ref, &config);
+        let records = characterize_suite(&apps, InputSize::Ref, &config).unwrap();
         let ipc: Metric<'_> = ("IPC", &|r: &CharRecord| r.ipc);
         let rows = compare_rows(&[], &records, &[ipc]);
         let int_row = rows.iter().find(|r| r.label() == "CPU17 int").unwrap();

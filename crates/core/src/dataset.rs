@@ -4,7 +4,8 @@ use workload_synth::profile::{AppProfile, InputSize, Suite};
 use workload_synth::{cpu2006, cpu2017};
 
 use crate::cache::CacheContext;
-use crate::characterize::{characterize_suite, characterize_suite_with, CharRecord, RunConfig};
+use crate::characterize::{characterize_suite_with, CharRecord, RunConfig};
+use crate::error::Result;
 
 /// All records of one characterization campaign.
 ///
@@ -23,52 +24,59 @@ pub struct Dataset {
 impl Dataset {
     /// Characterizes the full CPU2017 (all sizes) and CPU2006 (`ref`)
     /// rosters.
-    pub fn collect(config: RunConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::Error::Characterization`] when any pair fails.
+    pub fn collect(config: RunConfig) -> Result<Self> {
         Dataset::collect_apps(config, &cpu2017::suite(), &cpu2006::suite())
     }
 
     /// [`Dataset::collect`] with an optional result cache: pairs already in
     /// the store are replayed instead of re-simulated.
-    pub fn collect_with(config: RunConfig, cache: Option<&CacheContext>) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::Error::Characterization`] when any pair fails.
+    pub fn collect_with(config: RunConfig, cache: Option<&CacheContext>) -> Result<Self> {
         Dataset::collect_apps_with(config, &cpu2017::suite(), &cpu2006::suite(), cache)
     }
 
     /// Characterizes explicit app lists (used by tests and scaled-down
     /// demos); CPU2017 apps run at every size they define, CPU2006 at `ref`.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::Error::Characterization`] when any pair fails.
     pub fn collect_apps(
         config: RunConfig,
         cpu17_apps: &[AppProfile],
         cpu06_apps: &[AppProfile],
-    ) -> Self {
-        let mut cpu17 = Vec::new();
-        for size in InputSize::ALL {
-            cpu17.extend(characterize_suite(cpu17_apps, size, &config));
-        }
-        let cpu06 = characterize_suite(cpu06_apps, InputSize::Ref, &config);
-        Dataset {
-            config,
-            cpu17,
-            cpu06,
-        }
+    ) -> Result<Self> {
+        Dataset::collect_apps_with(config, cpu17_apps, cpu06_apps, None)
     }
 
     /// [`Dataset::collect_apps`] with an optional result cache.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::Error::Characterization`] when any pair fails.
     pub fn collect_apps_with(
         config: RunConfig,
         cpu17_apps: &[AppProfile],
         cpu06_apps: &[AppProfile],
         cache: Option<&CacheContext>,
-    ) -> Self {
+    ) -> Result<Self> {
         let mut cpu17 = Vec::new();
         for size in InputSize::ALL {
-            cpu17.extend(characterize_suite_with(cpu17_apps, size, &config, cache));
+            cpu17.extend(characterize_suite_with(cpu17_apps, size, &config, cache)?);
         }
-        let cpu06 = characterize_suite_with(cpu06_apps, InputSize::Ref, &config, cache);
-        Dataset {
+        let cpu06 = characterize_suite_with(cpu06_apps, InputSize::Ref, &config, cache)?;
+        Ok(Dataset {
             config,
             cpu17,
             cpu06,
-        }
+        })
     }
 
     /// A small fast dataset for tests: eight representative CPU2017
@@ -93,6 +101,7 @@ impl Dataset {
             .filter(|a| ["429.mcf", "470.lbm", "456.hmmer", "433.milc"].contains(&a.name.as_str()))
             .collect();
         Dataset::collect_apps(RunConfig::quick(), &cpu17, &cpu06)
+            .expect("demo roster characterizes cleanly")
     }
 
     /// CPU2017 records at one input size.

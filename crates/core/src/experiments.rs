@@ -16,6 +16,7 @@ use workload_synth::profile::{InputSize, Suite};
 use crate::characterize::CharRecord;
 use crate::compare::{compare_rows, Metric};
 use crate::dataset::Dataset;
+use crate::error::Result;
 use crate::metrics::CHARACTERISTICS;
 use crate::redundancy::RedundancyAnalysis;
 use crate::subset::SubsetAnalysis;
@@ -197,8 +198,14 @@ impl Artifact {
 }
 
 /// Runs one experiment against a dataset.
-pub fn run(id: ExperimentId, data: &Dataset) -> Artifact {
-    match id {
+///
+/// # Errors
+///
+/// Propagates [`crate::error::Error`] from the underlying analyses. (The
+/// current experiments degrade to explanatory text on small datasets rather
+/// than failing, but the contract allows future experiments to fail.)
+pub fn run(id: ExperimentId, data: &Dataset) -> Result<Artifact> {
+    Ok(match id {
         ExperimentId::Table1 => table1(data),
         ExperimentId::Table2 => table2(data),
         ExperimentId::Table3 => comparison_table(
@@ -257,11 +264,15 @@ pub fn run(id: ExperimentId, data: &Dataset) -> Artifact {
         ExperimentId::Fig8 => fig8(data),
         ExperimentId::Fig9 => fig9(data),
         ExperimentId::Fig10 => fig10(data),
-    }
+    })
 }
 
 /// Runs every experiment.
-pub fn run_all(data: &Dataset) -> Vec<Artifact> {
+///
+/// # Errors
+///
+/// Propagates the first per-experiment [`crate::error::Error`].
+pub fn run_all(data: &Dataset) -> Result<Vec<Artifact>> {
     ExperimentId::ALL.iter().map(|&id| run(id, data)).collect()
 }
 
@@ -811,7 +822,7 @@ mod tests {
     fn every_experiment_produces_output_on_demo_data() {
         let data = demo();
         for id in ExperimentId::ALL {
-            let artifact = run(id, data);
+            let artifact = run(id, data).unwrap();
             let text = artifact.render();
             assert!(
                 !artifact.tables.is_empty()
@@ -825,7 +836,7 @@ mod tests {
 
     #[test]
     fn table1_reflects_haswell() {
-        let a = run(ExperimentId::Table1, demo());
+        let a = run(ExperimentId::Table1, demo()).unwrap();
         let text = a.render();
         assert!(text.contains("Haswell"));
         assert!(text.contains("30 MiB shared"));
@@ -833,7 +844,7 @@ mod tests {
 
     #[test]
     fn table9_has_bwaves_columns() {
-        let a = run(ExperimentId::Table9, demo());
+        let a = run(ExperimentId::Table9, demo()).unwrap();
         let text = a.render();
         assert!(text.contains("603.bwaves_s-in1"));
         assert!(text.contains("607.cactuBSSN_s"));
@@ -841,7 +852,7 @@ mod tests {
 
     #[test]
     fn table10_reports_savings() {
-        let a = run(ExperimentId::Table10, demo());
+        let a = run(ExperimentId::Table10, demo()).unwrap();
         let text = a.render();
         assert!(text.contains("rate"));
         assert!(text.contains("speed"));
@@ -849,7 +860,7 @@ mod tests {
 
     #[test]
     fn fig10_reports_chosen_k() {
-        let a = run(ExperimentId::Fig10, demo());
+        let a = run(ExperimentId::Fig10, demo()).unwrap();
         let text = a.render();
         assert!(text.contains("Pareto-optimal k"), "{text}");
     }
@@ -858,7 +869,7 @@ mod tests {
     fn csv_rendering_nonempty_for_tables_and_figures() {
         let data = demo();
         for id in [ExperimentId::Table2, ExperimentId::Fig1, ExperimentId::Fig7] {
-            let a = run(id, data);
+            let a = run(id, data).unwrap();
             assert!(!a.render_csv().trim().is_empty(), "{id}");
         }
     }

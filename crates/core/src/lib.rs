@@ -36,8 +36,9 @@
 //! let config = RunConfig::default();
 //! let app = cpu2017::app("505.mcf_r").expect("known app");
 //! let pair = &app.pairs(InputSize::Ref)[0];
-//! let record = characterize_pair(pair, &config);
+//! let record = characterize_pair(pair, &config)?;
 //! println!("{} IPC = {:.3}", record.id, record.ipc);
+//! # Ok::<(), workchar::error::Error>(())
 //! ```
 
 pub mod ablation;
@@ -45,8 +46,10 @@ pub mod cache;
 pub mod characterize;
 pub mod compare;
 pub mod dataset;
+pub mod error;
 pub mod experiments;
 pub mod metrics;
+pub mod observe;
 pub mod phase;
 pub mod redundancy;
 pub mod sensitivity;

@@ -171,7 +171,7 @@ mod tests {
     #[test]
     fn extraction_produces_finite_rows() {
         let app = cpu2017::app("520.omnetpp_r").unwrap();
-        let record = characterize_pair(&app.pairs(InputSize::Ref)[0], &RunConfig::quick());
+        let record = characterize_pair(&app.pairs(InputSize::Ref)[0], &RunConfig::quick()).unwrap();
         let rows = characteristic_rows(&[record]);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].len(), 20);

@@ -1,0 +1,116 @@
+//! Binary-side observability helpers: timeline artifacts and run summaries.
+//!
+//! When a campaign runs with interval sampling (`--timeline`), every
+//! [`CharRecord`]'s session carries a
+//! [`uarch_sim::timeline::CounterTimeline`]. This module turns those
+//! timelines into on-disk artifacts — one CSV and one SVG sparkline per
+//! pair under `<results>/timelines/` — and is shared by the `reproduce` and
+//! `extensions` binaries.
+
+use std::path::Path;
+
+use simreport::sparkline::sparkline_svg;
+use uarch_sim::timeline::IntervalSample;
+
+use crate::characterize::CharRecord;
+use crate::error::Result;
+
+/// Pair ids as written turn into file names; everything outside
+/// `[A-Za-z0-9._-]` is mapped to `_` so ids like `505.mcf_r/ref` stay
+/// filesystem-safe.
+fn artifact_stem(id: &str) -> String {
+    id.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Writes `<stem>.csv` and `<stem>.svg` under `dir` for every record whose
+/// session carries a timeline; records without one are skipped. Returns the
+/// number of pairs written.
+///
+/// # Errors
+///
+/// [`crate::error::Error::Io`] when the directory cannot be created or a
+/// file cannot be written.
+pub fn write_timeline_artifacts(records: &[CharRecord], dir: &Path) -> Result<usize> {
+    let with_timelines: Vec<&CharRecord> = records
+        .iter()
+        .filter(|r| r.session.timeline().is_some())
+        .collect();
+    if with_timelines.is_empty() {
+        return Ok(0);
+    }
+    std::fs::create_dir_all(dir)?;
+    for record in &with_timelines {
+        let timeline = record.session.timeline().expect("filtered above");
+        let stem = artifact_stem(&record.id);
+        std::fs::write(dir.join(format!("{stem}.csv")), timeline.csv())?;
+        let series: Vec<(&str, Vec<f64>)> = vec![
+            ("ipc", timeline.series(IntervalSample::ipc)),
+            ("l1 mpki", timeline.series(IntervalSample::l1_mpki)),
+            ("l2 mpki", timeline.series(IntervalSample::l2_mpki)),
+            ("l3 mpki", timeline.series(IntervalSample::l3_mpki)),
+            (
+                "misp rate",
+                timeline.series(IntervalSample::mispredict_rate),
+            ),
+        ];
+        let svg = sparkline_svg(&record.id, &series, 460, 96);
+        std::fs::write(dir.join(format!("{stem}.svg")), svg)?;
+    }
+    Ok(with_timelines.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::{characterize_pair, RunConfig};
+    use uarch_sim::timeline::SamplerConfig;
+    use workload_synth::cpu2017;
+    use workload_synth::profile::InputSize;
+
+    #[test]
+    fn stems_are_filesystem_safe() {
+        assert_eq!(artifact_stem("505.mcf_r"), "505.mcf_r");
+        assert_eq!(artifact_stem("a/b c:d"), "a_b_c_d");
+    }
+
+    #[test]
+    fn writes_csv_and_svg_per_sampled_record() {
+        let dir = std::env::temp_dir().join(format!("workchar-timelines-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let app = cpu2017::app("505.mcf_r").unwrap();
+        let pair = &app.pairs(InputSize::Ref)[0];
+        let config = RunConfig::quick().with_sampler(SamplerConfig::every(10_000));
+        let sampled = characterize_pair(pair, &config).unwrap();
+        let plain = characterize_pair(pair, &RunConfig::quick()).unwrap();
+
+        let n = write_timeline_artifacts(&[sampled, plain], &dir).unwrap();
+        assert_eq!(n, 1, "only the sampled record has a timeline");
+        let csv = std::fs::read_to_string(dir.join("505.mcf_r.csv")).unwrap();
+        assert!(csv.starts_with("interval,start_op,end_op"));
+        assert!(csv.lines().count() > 2);
+        let svg = std::fs::read_to_string(dir.join("505.mcf_r.svg")).unwrap();
+        assert!(svg.contains("<polyline"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_timelines_writes_nothing() {
+        let dir =
+            std::env::temp_dir().join(format!("workchar-timelines-empty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let app = cpu2017::app("541.leela_r").unwrap();
+        let pair = &app.pairs(InputSize::Ref)[0];
+        let plain = characterize_pair(pair, &RunConfig::quick()).unwrap();
+        let n = write_timeline_artifacts(&[plain], &dir).unwrap();
+        assert_eq!(n, 0);
+        assert!(!dir.exists(), "directory must not be created for nothing");
+    }
+}

@@ -24,7 +24,7 @@ use stat_analysis::standardize::Standardizer;
 use stat_analysis::StatsError;
 use uarch_sim::config::SystemConfig;
 use uarch_sim::counters::{Event, PerfSession};
-use uarch_sim::engine::{Engine, WorkloadHints};
+use uarch_sim::engine::{Engine, RunOptions, WorkloadHints};
 use uarch_sim::microop::MicroOp;
 
 /// One selected simulation point.
@@ -147,11 +147,11 @@ where
     let mut engine = Engine::new(config);
     let mut chunks = all.chunks(window_len);
     if let Some(warm) = chunks.next() {
-        let _ = engine.run(warm.iter().copied(), hints);
+        let _ = engine.run_with(warm.iter().copied(), hints, &RunOptions::new());
     }
     let mut windows = Vec::with_capacity(n_windows);
     for chunk in chunks.take(n_windows) {
-        windows.push(engine.run(chunk.iter().copied(), hints));
+        windows.push(engine.run_with(chunk.iter().copied(), hints, &RunOptions::new()));
     }
 
     let vectors: Vec<Vec<f64>> = windows.iter().map(window_vector).collect();
@@ -241,7 +241,8 @@ mod tests {
     #[test]
     fn stationary_workload_is_single_phase() {
         let config = config();
-        let trace = TraceGenerator::new(&Behavior::default(), &config, 5, 100_000);
+        let trace =
+            TraceGenerator::new(&Behavior::default(), &config, 5, 100_000).expect("valid behavior");
         let analysis = analyze_phases(trace, &config, &WorkloadHints::default(), 20, 5).unwrap();
         assert_eq!(analysis.n_phases, 1, "silhouette {}", analysis.silhouette);
         assert_eq!(analysis.points.len(), 1);
@@ -264,7 +265,9 @@ mod tests {
     #[test]
     fn rejects_degenerate_inputs() {
         let config = config();
-        let trace: Vec<_> = TraceGenerator::new(&Behavior::default(), &config, 1, 10).collect();
+        let trace: Vec<_> = TraceGenerator::new(&Behavior::default(), &config, 1, 10)
+            .expect("valid behavior")
+            .collect();
         assert!(analyze_phases(trace.clone(), &config, &WorkloadHints::default(), 1, 3).is_err());
         assert!(analyze_phases(trace, &config, &WorkloadHints::default(), 50, 3).is_err());
     }

@@ -134,7 +134,7 @@ mod tests {
             cpu2017::app("603.bwaves_s").unwrap(),
             cpu2017::app("607.cactuBSSN_s").unwrap(),
         ];
-        characterize_suite(&apps, InputSize::Ref, &RunConfig::quick())
+        characterize_suite(&apps, InputSize::Ref, &RunConfig::quick()).unwrap()
     }
 
     #[test]

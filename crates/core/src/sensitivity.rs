@@ -14,7 +14,7 @@ use simreport::table::{num, Table};
 use uarch_sim::config::SystemConfig;
 use workload_synth::profile::{AppProfile, InputSize};
 
-use uarch_sim::engine::Engine;
+use uarch_sim::engine::{Engine, RunOptions};
 
 use crate::characterize::{prepared_run, CharRecord, RunConfig};
 
@@ -135,7 +135,7 @@ fn sweep_over(
     let mut traces = Vec::new();
     for app in apps {
         for pair in app.pairs(InputSize::Ref) {
-            let (generator, hints) = prepared_run(&pair, base);
+            let (generator, hints) = prepared_run(&pair, base).expect("curated profiles are valid");
             traces.push(PreparedTrace {
                 ops: generator.collect(),
                 hints,
@@ -161,7 +161,11 @@ fn sweep_over(
         for t in &traces {
             let mut engine = Engine::new(&system);
             let warm = t.ops.len() as u64 / 3;
-            let session = engine.run_warmed(t.ops.iter().copied(), &t.hints, warm);
+            let session = engine.run_with(
+                t.ops.iter().copied(),
+                &t.hints,
+                &RunOptions::new().warmup(warm),
+            );
             ipc += session.ipc();
             m2 += session.l2_miss_rate() * 100.0;
             m3 += session.l3_miss_rate() * 100.0;
@@ -348,7 +352,8 @@ mod tests {
         let base = RunConfig::quick();
         let latency = base.system.memory_latency;
         let replayed = memory_latency_sweep(&apps, &base, &[latency, 500]);
-        let records = crate::characterize::characterize_suite(&apps, InputSize::Ref, &base);
+        let records =
+            crate::characterize::characterize_suite(&apps, InputSize::Ref, &base).unwrap();
         let served = memory_latency_sweep_with(&apps, &base, &[latency, 500], Some(&records));
         assert_eq!(
             replayed, served,
@@ -362,7 +367,8 @@ mod tests {
         let base = RunConfig::quick();
         let latency = base.system.memory_latency;
         // Records covering only one of the two apps cannot serve the point.
-        let partial = crate::characterize::characterize_suite(&apps[..1], InputSize::Ref, &base);
+        let partial =
+            crate::characterize::characterize_suite(&apps[..1], InputSize::Ref, &base).unwrap();
         let replayed = memory_latency_sweep(&apps, &base, &[latency]);
         let served = memory_latency_sweep_with(&apps, &base, &[latency], Some(&partial));
         assert_eq!(replayed, served);

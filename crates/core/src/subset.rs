@@ -167,7 +167,7 @@ mod tests {
             cpu2017::app("548.exchange2_r").unwrap(),
             cpu2017::app("549.fotonik3d_r").unwrap(),
         ];
-        let records = characterize_suite(&apps, InputSize::Ref, &RunConfig::quick());
+        let records = characterize_suite(&apps, InputSize::Ref, &RunConfig::quick()).unwrap();
         let analysis = RedundancyAnalysis::fit_paper(&records).unwrap();
         let rows = analysis.score_rows();
         (records, rows)

@@ -5,6 +5,7 @@ use workload_synth::profile::{AppProfile, InputSize, Suite};
 
 use crate::cache::CacheContext;
 use crate::characterize::{characterize_suite_with, CharRecord, RunConfig};
+use crate::error::Result;
 
 /// Average execution characteristics of one mini-suite at one input size
 /// (one row of Table II).
@@ -72,12 +73,12 @@ pub fn table_two_rows_cached(
     apps: &[AppProfile],
     config: &RunConfig,
     cache: Option<&CacheContext>,
-) -> Vec<SuiteRow> {
+) -> Result<Vec<SuiteRow>> {
     let mut records = Vec::new();
     for size in InputSize::ALL {
-        records.extend(characterize_suite_with(apps, size, config, cache));
+        records.extend(characterize_suite_with(apps, size, config, cache)?);
     }
-    table_two_rows(&records)
+    Ok(table_two_rows(&records))
 }
 
 /// Mean and standard deviation of a per-record metric over a record subset —
@@ -106,8 +107,8 @@ mod tests {
             cpu2017::app("619.lbm_s").unwrap(),
         ];
         let config = RunConfig::quick();
-        let mut records = characterize_suite(&apps, InputSize::Test, &config);
-        records.extend(characterize_suite(&apps, InputSize::Ref, &config));
+        let mut records = characterize_suite(&apps, InputSize::Test, &config).unwrap();
+        records.extend(characterize_suite(&apps, InputSize::Ref, &config).unwrap());
         let rows = table_two_rows(&records);
         // 2 suites x 2 sizes.
         assert_eq!(rows.len(), 4);
@@ -123,8 +124,8 @@ mod tests {
     fn ref_rows_have_more_instructions_than_test() {
         let apps = vec![cpu2017::app("505.mcf_r").unwrap()];
         let config = RunConfig::quick();
-        let mut records = characterize_suite(&apps, InputSize::Test, &config);
-        records.extend(characterize_suite(&apps, InputSize::Ref, &config));
+        let mut records = characterize_suite(&apps, InputSize::Test, &config).unwrap();
+        records.extend(characterize_suite(&apps, InputSize::Ref, &config).unwrap());
         let rows = table_two_rows(&records);
         let test_row = rows.iter().find(|r| r.size == InputSize::Test).unwrap();
         let ref_row = rows.iter().find(|r| r.size == InputSize::Ref).unwrap();
@@ -141,7 +142,7 @@ mod tests {
             cpu2017::app("505.mcf_r").unwrap(),
         ];
         let config = RunConfig::quick();
-        let records = characterize_suite(&apps, InputSize::Ref, &config);
+        let records = characterize_suite(&apps, InputSize::Ref, &config).unwrap();
         let rows = table_two_rows(&records);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].pairs, 6);
@@ -171,11 +172,11 @@ mod tests {
         let config = RunConfig::quick();
         let mut records = Vec::new();
         for size in InputSize::ALL {
-            records.extend(characterize_suite(&apps, size, &config));
+            records.extend(characterize_suite(&apps, size, &config).unwrap());
         }
         let direct = table_two_rows(&records);
-        let cold = table_two_rows_cached(&apps, &config, Some(&cache));
-        let warm = table_two_rows_cached(&apps, &config, Some(&cache));
+        let cold = table_two_rows_cached(&apps, &config, Some(&cache)).unwrap();
+        let warm = table_two_rows_cached(&apps, &config, Some(&cache)).unwrap();
         assert_eq!(direct, cold);
         assert_eq!(cold, warm);
         assert_eq!(cache.stats.snapshot().hits, 3, "three sizes replayed");
@@ -185,7 +186,7 @@ mod tests {
     #[test]
     fn mean_std_basics() {
         let apps = vec![cpu2017::app("541.leela_r").unwrap()];
-        let records = characterize_suite(&apps, InputSize::Ref, &RunConfig::quick());
+        let records = characterize_suite(&apps, InputSize::Ref, &RunConfig::quick()).unwrap();
         let refs: Vec<&CharRecord> = records.iter().collect();
         let (mean, std) = mean_std(&refs, |r| r.ipc);
         assert!(mean > 0.0);

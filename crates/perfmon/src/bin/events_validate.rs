@@ -1,0 +1,39 @@
+//! Validates a perfmon JSONL events file against the versioned schema.
+//!
+//! Usage: `events-validate <events.jsonl>...`
+//!
+//! Exits 0 and prints per-kind record counts when every file validates;
+//! exits nonzero with the first offending file/line otherwise. CI's smoke
+//! job runs this over the events emitted by a quick `reproduce` run.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: events-validate <events.jsonl>...");
+        return ExitCode::from(2);
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match perfmon::validate_events(&text) {
+            Ok(summary) => println!(
+                "{path}: ok — {} spans, {} events (schema {})",
+                summary.spans,
+                summary.events,
+                perfmon::SCHEMA
+            ),
+            Err(msg) => {
+                eprintln!("error: {path}: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -19,5 +19,6 @@
 
 pub mod csv;
 pub mod figure;
+pub mod sparkline;
 pub mod svg;
 pub mod table;

@@ -16,7 +16,7 @@ pub fn escape(s: &str) -> String {
         .replace('"', "&quot;")
 }
 
-const COLORS: [&str; 6] = [
+pub(crate) const COLORS: [&str; 6] = [
     "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b",
 ];
 const MARGIN: f64 = 46.0;

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use crate::timeline::CounterTimeline;
+
 /// A hardware event, named after the Haswell `perf` flag the paper used.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(usize)]
@@ -108,9 +110,15 @@ impl fmt::Display for Event {
 }
 
 /// One run's collected counters — the analogue of a `perf stat` output file.
+///
+/// When the producing engine ran with a sampler (see
+/// [`crate::engine::RunOptions::sampler`]), the session additionally carries
+/// the per-interval [`CounterTimeline`]; unsampled runs leave it `None` and
+/// are indistinguishable from pre-timeline sessions.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PerfSession {
     counts: [u64; Event::ALL.len()],
+    timeline: Option<Box<CounterTimeline>>,
 }
 
 impl PerfSession {
@@ -205,7 +213,38 @@ impl PerfSession {
         )
     }
 
+    /// Counter-wise difference `self - earlier` (saturating), e.g. the
+    /// events accumulated between two snapshots of a running session. The
+    /// result carries no timeline.
+    pub fn delta(&self, earlier: &PerfSession) -> PerfSession {
+        let mut out = PerfSession::new();
+        for (o, (a, b)) in out
+            .counts
+            .iter_mut()
+            .zip(self.counts.iter().zip(&earlier.counts))
+        {
+            *o = a.saturating_sub(*b);
+        }
+        out
+    }
+
+    /// The interval timeline recorded for this run, if sampling was enabled.
+    pub fn timeline(&self) -> Option<&CounterTimeline> {
+        self.timeline.as_deref()
+    }
+
+    /// Attaches an interval timeline (set by the engine after pricing).
+    pub fn set_timeline(&mut self, timeline: CounterTimeline) {
+        self.timeline = Some(Box::new(timeline));
+    }
+
+    /// Removes and returns the timeline, leaving the counts untouched.
+    pub fn take_timeline(&mut self) -> Option<CounterTimeline> {
+        self.timeline.take().map(|b| *b)
+    }
+
     /// Merges another session's counts into this one (multi-thread runs).
+    /// Timelines are per-run artifacts and are not merged.
     pub fn merge(&mut self, other: &PerfSession) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
@@ -326,6 +365,36 @@ mod tests {
         for e in Event::ALL {
             assert!(text.contains(e.perf_flag()));
         }
+    }
+
+    #[test]
+    fn delta_subtracts_counterwise() {
+        let mut a = PerfSession::new();
+        let mut b = PerfSession::new();
+        a.set(Event::InstRetiredAny, 3);
+        b.set(Event::InstRetiredAny, 10);
+        b.set(Event::UopsRetiredAll, 4);
+        let d = b.delta(&a);
+        assert_eq!(d.count(Event::InstRetiredAny), 7);
+        assert_eq!(d.count(Event::UopsRetiredAll), 4);
+        // Saturating: a - b does not underflow.
+        assert_eq!(a.delta(&b).count(Event::InstRetiredAny), 0);
+    }
+
+    #[test]
+    fn timeline_attach_take_roundtrip() {
+        let mut s = PerfSession::new();
+        assert!(s.timeline().is_none());
+        s.set_timeline(CounterTimeline {
+            interval_ops: 42,
+            intervals: Vec::new(),
+        });
+        assert_eq!(s.timeline().unwrap().interval_ops, 42);
+        let plain = PerfSession::new();
+        assert_ne!(s, plain, "timeline participates in equality");
+        let taken = s.take_timeline().unwrap();
+        assert_eq!(taken.interval_ops, 42);
+        assert_eq!(s, plain);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::counters::{Event, PerfSession};
 use crate::hierarchy::{Hierarchy, ServedBy};
 use crate::microop::{BranchKind, MicroOp};
 use crate::pipeline::{estimate_cycles, CycleBreakdown, TimingInputs};
+use crate::timeline::{CounterTimeline, IntervalSample, SamplerConfig};
 
 /// Workload-level execution hints that are not visible in the micro-op
 /// stream itself.
@@ -49,6 +50,64 @@ impl Default for WorkloadHints {
             sync_overhead: 0.0,
             l2_bypass_range: None,
         }
+    }
+}
+
+/// Per-run execution options, consumed by [`Engine::run_with`].
+///
+/// Consolidates what used to be spread across `run` / `run_warmed` /
+/// `with_predictor` into one builder:
+///
+/// ```
+/// use uarch_sim::branch::PredictorKind;
+/// use uarch_sim::engine::RunOptions;
+/// use uarch_sim::timeline::SamplerConfig;
+///
+/// let opts = RunOptions::new()
+///     .warmup(10_000)
+///     .predictor(PredictorKind::GShare)
+///     .sampler(SamplerConfig::every(5_000));
+/// assert_eq!(opts.warmup_ops, 10_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunOptions {
+    /// Micro-ops that warm caches and predictor without being counted —
+    /// standard simulation methodology so compulsory effects,
+    /// over-represented in scaled traces, do not distort the steady-state
+    /// rates the paper measures over minutes-long executions.
+    pub warmup_ops: u64,
+    /// Branch predictor to run with. `None` keeps the engine's current
+    /// predictor (including its trained state); `Some(kind)` switches to
+    /// `kind`, rebuilding it fresh if it differs from the current one.
+    pub predictor: Option<PredictorKind>,
+    /// Interval sampler configuration. `None` (the default) disables
+    /// sampling: the run takes the identical hot path and the returned
+    /// session carries no timeline.
+    pub sampler: Option<SamplerConfig>,
+}
+
+impl RunOptions {
+    /// Default options: no warmup, current predictor, sampling off.
+    pub fn new() -> Self {
+        RunOptions::default()
+    }
+
+    /// Sets the number of uncounted warmup micro-ops.
+    pub fn warmup(mut self, ops: u64) -> Self {
+        self.warmup_ops = ops;
+        self
+    }
+
+    /// Selects the branch predictor for this run.
+    pub fn predictor(mut self, kind: PredictorKind) -> Self {
+        self.predictor = Some(kind);
+        self
+    }
+
+    /// Enables interval sampling with the given configuration.
+    pub fn sampler(mut self, config: SamplerConfig) -> Self {
+        self.sampler = Some(config);
+        self
     }
 }
 
@@ -107,26 +166,54 @@ impl Engine {
     }
 
     /// Runs a micro-op stream to completion and returns the counter file.
-    ///
-    /// The returned session contains every [`Event`], including the cycle
-    /// count derived by the interval timing model, so `session.ipc()` is
-    /// meaningful.
+    #[deprecated(since = "0.2.0", note = "use `run_with` with `RunOptions::new()`")]
     pub fn run<I>(&mut self, ops: I, hints: &WorkloadHints) -> PerfSession
     where
         I: IntoIterator<Item = MicroOp>,
     {
-        self.run_warmed(ops, hints, 0)
+        self.run_with(ops, hints, &RunOptions::new())
     }
 
-    /// Like [`Engine::run`], but the first `warmup_ops` micro-ops warm the
-    /// caches and predictor without being counted — standard simulation
-    /// methodology so that compulsory effects, over-represented in scaled
-    /// traces, do not distort the steady-state rates the paper measures
-    /// over minutes-long executions.
+    /// Runs with the first `warmup_ops` micro-ops uncounted.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run_with` with `RunOptions::new().warmup(n)`"
+    )]
     pub fn run_warmed<I>(&mut self, ops: I, hints: &WorkloadHints, warmup_ops: u64) -> PerfSession
     where
         I: IntoIterator<Item = MicroOp>,
     {
+        self.run_with(ops, hints, &RunOptions::new().warmup(warmup_ops))
+    }
+
+    /// Runs a micro-op stream to completion under [`RunOptions`] and
+    /// returns the counter file.
+    ///
+    /// The returned session contains every [`Event`], including the cycle
+    /// count derived by the interval timing model, so `session.ipc()` is
+    /// meaningful. With [`RunOptions::sampler`] set, the session also
+    /// carries a [`CounterTimeline`] whose interval deltas sum exactly to
+    /// the session's final counts.
+    pub fn run_with<I>(&mut self, ops: I, hints: &WorkloadHints, opts: &RunOptions) -> PerfSession
+    where
+        I: IntoIterator<Item = MicroOp>,
+    {
+        if let Some(kind) = opts.predictor {
+            if kind != self.predictor_kind {
+                self.predictor = kind.build();
+                self.predictor_kind = kind;
+            }
+        }
+        let warmup_ops = opts.warmup_ops;
+        // When sampling is off the boundary is unreachable, so the run
+        // pays one integer compare per op and nothing else.
+        let interval = opts.sampler.map(|c| c.interval_ops.max(1));
+        let mut next_sample = interval.unwrap_or(u64::MAX);
+        let mut counted: u64 = 0;
+        // Snapshots at interval boundaries: (counted-op index, session
+        // counts so far, cumulative L1I misses).
+        let mut marks: Vec<(u64, PerfSession, u64)> = Vec::new();
+
         let mut s = PerfSession::new();
         let mut executed: u64 = 0;
         let mut l1i_misses_at_warmup: u64 = 0;
@@ -150,13 +237,14 @@ impl Engine {
             executed += 1;
             // During warmup, events land in a discarded session; the
             // microarchitectural state still updates.
-            let s = if executed <= warmup_ops {
+            let sink = if executed <= warmup_ops {
                 &mut warm
             } else {
+                counted += 1;
                 &mut s
             };
-            s.incr(Event::InstRetiredAny);
-            s.incr(Event::UopsRetiredAll);
+            sink.incr(Event::InstRetiredAny);
+            sink.incr(Event::UopsRetiredAll);
 
             // Instruction fetch: sequential 4-byte advance within the code
             // footprint; only line crossings touch the L1I.
@@ -171,7 +259,7 @@ impl Engine {
             match op {
                 MicroOp::Alu => {}
                 MicroOp::Load { addr } => {
-                    s.incr(Event::MemUopsRetiredAllLoads);
+                    sink.incr(Event::MemUopsRetiredAllLoads);
                     let bypass = hints
                         .l2_bypass_range
                         .is_some_and(|(base, end)| (base..end).contains(&addr));
@@ -181,33 +269,33 @@ impl Engine {
                         self.hierarchy.load(addr)
                     };
                     match served {
-                        ServedBy::L1 => s.incr(Event::MemLoadUopsRetiredL1Hit),
+                        ServedBy::L1 => sink.incr(Event::MemLoadUopsRetiredL1Hit),
                         ServedBy::L2 => {
-                            s.incr(Event::MemLoadUopsRetiredL1Miss);
-                            s.incr(Event::MemLoadUopsRetiredL2Hit);
+                            sink.incr(Event::MemLoadUopsRetiredL1Miss);
+                            sink.incr(Event::MemLoadUopsRetiredL2Hit);
                         }
                         ServedBy::L3 => {
-                            s.incr(Event::MemLoadUopsRetiredL1Miss);
-                            s.incr(Event::MemLoadUopsRetiredL2Miss);
-                            s.incr(Event::MemLoadUopsRetiredL3Hit);
+                            sink.incr(Event::MemLoadUopsRetiredL1Miss);
+                            sink.incr(Event::MemLoadUopsRetiredL2Miss);
+                            sink.incr(Event::MemLoadUopsRetiredL3Hit);
                         }
                         ServedBy::Memory => {
-                            s.incr(Event::MemLoadUopsRetiredL1Miss);
-                            s.incr(Event::MemLoadUopsRetiredL2Miss);
-                            s.incr(Event::MemLoadUopsRetiredL3Miss);
+                            sink.incr(Event::MemLoadUopsRetiredL1Miss);
+                            sink.incr(Event::MemLoadUopsRetiredL2Miss);
+                            sink.incr(Event::MemLoadUopsRetiredL3Miss);
                         }
                     }
                 }
                 MicroOp::Store { addr } => {
-                    s.incr(Event::MemUopsRetiredAllStores);
+                    sink.incr(Event::MemUopsRetiredAllStores);
                     self.hierarchy.store(addr);
                 }
                 MicroOp::Branch { pc, kind, taken } => {
-                    s.incr(Event::BrInstExecAllBranches);
-                    s.incr(branch_kind_event(kind));
+                    sink.incr(Event::BrInstExecAllBranches);
+                    sink.incr(branch_kind_event(kind));
                     if kind.is_conditional() {
                         if !self.predictor.predict_and_update(pc, taken) {
-                            s.incr(Event::BrMispExecAllBranches);
+                            sink.incr(Event::BrMispExecAllBranches);
                         }
                     } else if target_is_static(kind) {
                         // Direct target: predicted perfectly once decoded.
@@ -222,7 +310,7 @@ impl Engine {
                             (indirect_seen as f64 * hints.indirect_target_miss_rate).floor() as u64;
                         if due > extra_mispredicts {
                             extra_mispredicts = due;
-                            s.incr(Event::BrMispExecAllBranches);
+                            sink.incr(Event::BrMispExecAllBranches);
                         }
                     }
                     if taken {
@@ -243,6 +331,10 @@ impl Engine {
                         last_fetch_line = u64::MAX;
                     }
                 }
+            }
+            if counted == next_sample {
+                marks.push((counted, s.clone(), self.hierarchy.l1i_stats().misses));
+                next_sample += interval.unwrap_or(u64::MAX);
             }
         }
 
@@ -273,7 +365,91 @@ impl Engine {
             cycles *= 1.0 + hints.sync_overhead * (hints.threads - 1) as f64;
         }
         s.set(Event::CpuClkUnhaltedRefTsc, cycles.max(1.0) as u64);
+
+        if let Some(interval_ops) = interval {
+            // Close the final (possibly partial) interval with the finished
+            // session so the interval deltas telescope to the exact totals.
+            if marks.last().is_none_or(|(end, _, _)| *end < counted) {
+                marks.push((counted, s.clone(), l1i_total));
+            }
+            s.set_timeline(self.build_timeline(interval_ops, &marks, &s, hints, l1i_counted));
+        }
         s
+    }
+
+    /// Turns boundary snapshots into a [`CounterTimeline`].
+    ///
+    /// Non-cycle events are plain snapshot differences, so they telescope
+    /// to the final counts exactly. Cycles do not accumulate during the
+    /// loop (the timing model prices the whole run at the end), so the
+    /// final cycle count is decomposed across intervals in proportion to
+    /// each interval's own timing-model estimate, using cumulative-floor
+    /// rounding so the per-interval cycles also sum to the total exactly.
+    fn build_timeline(
+        &self,
+        interval_ops: u64,
+        marks: &[(u64, PerfSession, u64)],
+        finished: &PerfSession,
+        hints: &WorkloadHints,
+        l1i_counted: u64,
+    ) -> CounterTimeline {
+        let final_l1i = marks.last().map_or(0, |(_, _, l1i)| *l1i);
+        let baseline_l1i = final_l1i.saturating_sub(l1i_counted);
+        let mut intervals = Vec::with_capacity(marks.len());
+        let mut weights = Vec::with_capacity(marks.len());
+        for (i, (end, snap, l1i_cum)) in marks.iter().enumerate() {
+            let (prev_end, prev_l1i, mut deltas) = match i.checked_sub(1).map(|p| &marks[p]) {
+                Some((pe, psnap, pl1i)) => (*pe, *pl1i, snap.delta(psnap)),
+                None => (0, baseline_l1i, snap.clone()),
+            };
+            // Cycles are assigned below from the whole-run pricing.
+            deltas.set(Event::CpuClkUnhaltedRefTsc, 0);
+            let inputs = TimingInputs {
+                uops: deltas.count(Event::UopsRetiredAll),
+                mispredicts: deltas.count(Event::BrMispExecAllBranches),
+                l2_served: deltas.count(Event::MemLoadUopsRetiredL2Hit),
+                l3_served: deltas.count(Event::MemLoadUopsRetiredL3Hit),
+                mem_served: deltas.count(Event::MemLoadUopsRetiredL3Miss),
+                l1i_misses: l1i_cum.saturating_sub(prev_l1i),
+                ilp: hints.ilp,
+                mlp: hints.mlp,
+            };
+            let b = estimate_cycles(&self.config, &inputs);
+            weights.push(b.base + b.branch + b.memory + b.frontend);
+            intervals.push(IntervalSample {
+                start_op: prev_end,
+                end_op: *end,
+                deltas,
+            });
+        }
+
+        let total_cycles = finished.count(Event::CpuClkUnhaltedRefTsc);
+        // `weights` and this sum fold in the same order, so every running
+        // prefix is <= the sum and the last prefix equals it exactly.
+        let weight_sum: f64 = weights.iter().sum();
+        let n = intervals.len();
+        let mut prefix = 0.0f64;
+        let mut assigned = 0u64;
+        for (i, interval) in intervals.iter_mut().enumerate() {
+            prefix += weights[i];
+            let cum = if i + 1 == n {
+                total_cycles
+            } else if weight_sum > 0.0 {
+                ((prefix / weight_sum) * total_cycles as f64).floor() as u64
+            } else {
+                0
+            };
+            let cum = cum.min(total_cycles);
+            interval
+                .deltas
+                .set(Event::CpuClkUnhaltedRefTsc, cum - assigned);
+            assigned = cum;
+        }
+
+        CounterTimeline {
+            interval_ops,
+            intervals,
+        }
     }
 
     /// The interval-model cycle breakdown of the most recent run — the
@@ -321,7 +497,7 @@ mod tests {
                 taken: true,
             },
         ];
-        let s = e.run(ops, &WorkloadHints::default());
+        let s = e.run_with(ops, &WorkloadHints::default(), &RunOptions::new());
         assert_eq!(s.count(Event::InstRetiredAny), 5);
         assert_eq!(s.count(Event::UopsRetiredAll), 5);
         assert_eq!(s.count(Event::MemUopsRetiredAllLoads), 1);
@@ -337,7 +513,7 @@ mod tests {
         let ops: Vec<MicroOp> = (0..10_000u64)
             .map(|i| MicroOp::load((i % 2048) * 64))
             .collect();
-        let s = e.run(ops, &WorkloadHints::default());
+        let s = e.run_with(ops, &WorkloadHints::default(), &RunOptions::new());
         let loads = s.count(Event::MemUopsRetiredAllLoads);
         let l1h = s.count(Event::MemLoadUopsRetiredL1Hit);
         let l1m = s.count(Event::MemLoadUopsRetiredL1Miss);
@@ -357,7 +533,7 @@ mod tests {
         let ops: Vec<MicroOp> = (0..10_000u64)
             .map(|i| MicroOp::load((i % 4) * 64))
             .collect();
-        let s = e.run(ops, &WorkloadHints::default());
+        let s = e.run_with(ops, &WorkloadHints::default(), &RunOptions::new());
         assert!(s.l1_miss_rate() < 0.01, "l1 miss rate {}", s.l1_miss_rate());
     }
 
@@ -365,7 +541,7 @@ mod tests {
     fn streaming_load_misses_all_levels() {
         let mut e = engine();
         let ops: Vec<MicroOp> = (0..10_000u64).map(|i| MicroOp::load(i * 64)).collect();
-        let s = e.run(ops, &WorkloadHints::default());
+        let s = e.run_with(ops, &WorkloadHints::default(), &RunOptions::new());
         assert!(s.l1_miss_rate() > 0.95);
         assert!(s.l2_miss_rate() > 0.95);
         assert!(s.l3_miss_rate() > 0.9);
@@ -377,7 +553,7 @@ mod tests {
         let ops: Vec<MicroOp> = (0..50_000)
             .map(|_| MicroOp::conditional_branch(0x40, true))
             .collect();
-        let s = e.run(ops, &WorkloadHints::default());
+        let s = e.run_with(ops, &WorkloadHints::default(), &RunOptions::new());
         assert!(s.mispredict_rate() < 0.001, "rate {}", s.mispredict_rate());
     }
 
@@ -393,7 +569,7 @@ mod tests {
                 MicroOp::conditional_branch(0x40, x & 1 == 1)
             })
             .collect();
-        let s = e.run(ops, &WorkloadHints::default());
+        let s = e.run_with(ops, &WorkloadHints::default(), &RunOptions::new());
         assert!(s.mispredict_rate() > 0.3, "rate {}", s.mispredict_rate());
     }
 
@@ -411,7 +587,7 @@ mod tests {
             indirect_target_miss_rate: 0.25,
             ..WorkloadHints::default()
         };
-        let s = e.run(ops, &hints);
+        let s = e.run_with(ops, &hints, &RunOptions::new());
         let rate = s.mispredict_rate();
         assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
     }
@@ -426,7 +602,7 @@ mod tests {
                 taken: true,
             })
             .collect();
-        let s = e.run(ops, &WorkloadHints::default());
+        let s = e.run_with(ops, &WorkloadHints::default(), &RunOptions::new());
         assert_eq!(s.count(Event::BrMispExecAllBranches), 0);
     }
 
@@ -434,20 +610,22 @@ mod tests {
     fn higher_ilp_means_higher_ipc() {
         let ops: Vec<MicroOp> = (0..50_000).map(|_| MicroOp::Alu).collect();
         let mut e1 = engine();
-        let s1 = e1.run(
+        let s1 = e1.run_with(
             ops.clone(),
             &WorkloadHints {
                 ilp: 1.0,
                 ..WorkloadHints::default()
             },
+            &RunOptions::new(),
         );
         let mut e2 = engine();
-        let s2 = e2.run(
+        let s2 = e2.run_with(
             ops,
             &WorkloadHints {
                 ilp: 2.0,
                 ..WorkloadHints::default()
             },
+            &RunOptions::new(),
         );
         assert!(s2.ipc() > s1.ipc() * 1.5);
     }
@@ -456,14 +634,14 @@ mod tests {
     fn thread_overhead_lowers_ipc() {
         let ops: Vec<MicroOp> = (0..50_000).map(|_| MicroOp::Alu).collect();
         let mut e1 = engine();
-        let s1 = e1.run(ops.clone(), &WorkloadHints::default());
+        let s1 = e1.run_with(ops.clone(), &WorkloadHints::default(), &RunOptions::new());
         let mut e2 = engine();
         let hints = WorkloadHints {
             threads: 4,
             sync_overhead: 0.5,
             ..WorkloadHints::default()
         };
-        let s2 = e2.run(ops, &hints);
+        let s2 = e2.run_with(ops, &hints, &RunOptions::new());
         assert!(s2.ipc() < s1.ipc() * 0.5);
     }
 
@@ -471,7 +649,7 @@ mod tests {
     fn seconds_follows_clock() {
         let mut e = engine();
         let ops: Vec<MicroOp> = (0..1000).map(|_| MicroOp::Alu).collect();
-        let s = e.run(ops, &WorkloadHints::default());
+        let s = e.run_with(ops, &WorkloadHints::default(), &RunOptions::new());
         let secs = e.seconds(&s);
         let expected = s.count(Event::CpuClkUnhaltedRefTsc) as f64 / 1e9; // 1 GHz tiny config
         assert!((secs - expected).abs() < 1e-15);
@@ -481,9 +659,9 @@ mod tests {
     fn reset_restores_cold_state() {
         let mut e = engine();
         let ops: Vec<MicroOp> = (0..100u64).map(|i| MicroOp::load(i * 64)).collect();
-        let s1 = e.run(ops.clone(), &WorkloadHints::default());
+        let s1 = e.run_with(ops.clone(), &WorkloadHints::default(), &RunOptions::new());
         e.reset();
-        let s2 = e.run(ops, &WorkloadHints::default());
+        let s2 = e.run_with(ops, &WorkloadHints::default(), &RunOptions::new());
         assert_eq!(s1, s2, "cold runs are deterministic and identical");
     }
 
@@ -491,24 +669,181 @@ mod tests {
     fn large_code_footprint_costs_icache_misses() {
         let ops: Vec<MicroOp> = (0..200_000).map(|_| MicroOp::Alu).collect();
         let mut e_small = engine();
-        let small = e_small.run(
+        let small = e_small.run_with(
             ops.clone(),
             &WorkloadHints {
                 code_footprint_bytes: 512,
                 ..WorkloadHints::default()
             },
+            &RunOptions::new(),
         );
         let mut e_big = engine();
-        let big = e_big.run(
+        let big = e_big.run_with(
             ops,
             &WorkloadHints {
                 code_footprint_bytes: 1 << 20,
                 ..WorkloadHints::default()
             },
+            &RunOptions::new(),
         );
         assert!(
             big.count(Event::CpuClkUnhaltedRefTsc) > small.count(Event::CpuClkUnhaltedRefTsc),
             "code larger than L1I must fetch-stall"
         );
+    }
+
+    /// A mixed stream with phase behaviour: streaming loads, then ALU work,
+    /// then hard-to-predict branches.
+    fn phased_ops(n: u64) -> Vec<MicroOp> {
+        let mut x = 0x1234_5678_9abc_def0u64;
+        (0..n)
+            .map(|i| match i * 3 / n {
+                0 => MicroOp::load(i * 64),
+                1 => {
+                    if i % 7 == 0 {
+                        MicroOp::store(0x9000 + (i % 64) * 8)
+                    } else {
+                        MicroOp::Alu
+                    }
+                }
+                _ => {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    MicroOp::conditional_branch(0x40 + (i % 16) * 4, x & 1 == 1)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_run_with() {
+        let ops = phased_ops(20_000);
+        let hints = WorkloadHints::default();
+        let mut a = engine();
+        let old_run = a.run(ops.clone(), &hints);
+        let mut b = engine();
+        let new_run = b.run_with(ops.clone(), &hints, &RunOptions::new());
+        assert_eq!(old_run, new_run);
+        let mut c = engine();
+        let old_warmed = c.run_warmed(ops.clone(), &hints, 5000);
+        let mut d = engine();
+        let new_warmed = d.run_with(ops, &hints, &RunOptions::new().warmup(5000));
+        assert_eq!(old_warmed, new_warmed);
+    }
+
+    #[test]
+    fn disabled_sampling_is_bit_identical() {
+        let ops = phased_ops(30_000);
+        let hints = WorkloadHints::default();
+        let mut a = engine();
+        let plain = a.run_with(ops.clone(), &hints, &RunOptions::new().warmup(3000));
+        assert!(plain.timeline().is_none(), "no sampler, no timeline");
+        let mut b = engine();
+        let mut sampled = b.run_with(
+            ops,
+            &hints,
+            &RunOptions::new()
+                .warmup(3000)
+                .sampler(SamplerConfig::every(777)),
+        );
+        assert!(sampled.timeline().is_some());
+        sampled.take_timeline();
+        assert_eq!(plain, sampled, "sampling must not perturb any counter");
+    }
+
+    #[test]
+    fn timeline_deltas_sum_exactly_to_final_counters() {
+        let ops = phased_ops(50_000);
+        let hints = WorkloadHints {
+            code_footprint_bytes: 256 * 1024,
+            ..WorkloadHints::default()
+        };
+        let mut e = engine();
+        let s = e.run_with(
+            ops,
+            &hints,
+            &RunOptions::new()
+                .warmup(2000)
+                .sampler(SamplerConfig::every(1000)),
+        );
+        let t = s.timeline().expect("sampler attaches a timeline");
+        assert!(t.len() >= 2, "expected several intervals, got {}", t.len());
+        let total = t.total();
+        for ev in Event::ALL {
+            assert_eq!(total.count(ev), s.count(ev), "event {ev} must telescope");
+        }
+        // Intervals tile the counted range contiguously.
+        let mut prev_end = 0;
+        for iv in &t.intervals {
+            assert_eq!(iv.start_op, prev_end);
+            assert!(iv.end_op > iv.start_op);
+            prev_end = iv.end_op;
+        }
+        assert_eq!(prev_end, 48_000, "counted ops = total - warmup");
+    }
+
+    #[test]
+    fn timeline_sees_phase_change() {
+        // First half streams through memory, second half is pure ALU: the
+        // memory phase must be priced slower than the compute phase.
+        let n = 40_000u64;
+        let ops: Vec<MicroOp> = (0..n)
+            .map(|i| {
+                if i < n / 2 {
+                    MicroOp::load(i * 64)
+                } else {
+                    MicroOp::Alu
+                }
+            })
+            .collect();
+        let mut e = engine();
+        let s = e.run_with(
+            ops,
+            &WorkloadHints::default(),
+            &RunOptions::new().sampler(SamplerConfig::every(n / 4)),
+        );
+        let t = s.timeline().unwrap();
+        assert_eq!(t.len(), 4);
+        assert!(
+            t.intervals[0].ipc() < t.intervals[3].ipc(),
+            "memory phase ipc {} must trail compute phase ipc {}",
+            t.intervals[0].ipc(),
+            t.intervals[3].ipc()
+        );
+        assert!(t.intervals[0].l1_mpki() > t.intervals[3].l1_mpki());
+    }
+
+    #[test]
+    fn empty_run_with_sampler_keeps_invariant() {
+        let mut e = engine();
+        let s = e.run_with(
+            std::iter::empty(),
+            &WorkloadHints::default(),
+            &RunOptions::new().sampler(SamplerConfig::every(100)),
+        );
+        let t = s.timeline().expect("even an empty run gets a timeline");
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            t.total().count(Event::CpuClkUnhaltedRefTsc),
+            s.count(Event::CpuClkUnhaltedRefTsc)
+        );
+    }
+
+    #[test]
+    fn run_options_switch_predictor() {
+        let mut e = engine();
+        assert_eq!(e.predictor_kind(), PredictorKind::Tournament);
+        let ops: Vec<MicroOp> = (0..100).map(|_| MicroOp::Alu).collect();
+        e.run_with(
+            ops.clone(),
+            &WorkloadHints::default(),
+            &RunOptions::new().predictor(PredictorKind::Bimodal),
+        );
+        assert_eq!(e.predictor_kind(), PredictorKind::Bimodal);
+        // None keeps the switched predictor.
+        e.run_with(ops, &WorkloadHints::default(), &RunOptions::new());
+        assert_eq!(e.predictor_kind(), PredictorKind::Bimodal);
     }
 }

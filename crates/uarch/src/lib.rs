@@ -23,8 +23,9 @@
 //! ```
 //! use uarch_sim::config::SystemConfig;
 //! use uarch_sim::counters::Event;
-//! use uarch_sim::engine::{Engine, WorkloadHints};
+//! use uarch_sim::engine::{Engine, RunOptions, WorkloadHints};
 //! use uarch_sim::microop::MicroOp;
+//! use uarch_sim::timeline::SamplerConfig;
 //!
 //! let config = SystemConfig::haswell_e5_2650l_v3();
 //! let mut engine = Engine::new(&config);
@@ -36,9 +37,14 @@
 //!         MicroOp::conditional_branch(0x400, i % 16 != 0),
 //!     ]
 //! });
-//! let session = engine.run(ops, &WorkloadHints::default());
+//! let opts = RunOptions::new().sampler(SamplerConfig::every(5_000));
+//! let session = engine.run_with(ops, &WorkloadHints::default(), &opts);
 //! assert_eq!(session.count(Event::InstRetiredAny), 30_000);
 //! assert!(session.ipc() > 0.0);
+//! // The sampler records per-interval counter deltas that sum back to
+//! // the final counts exactly.
+//! let timeline = session.timeline().unwrap();
+//! assert_eq!(timeline.total().count(Event::InstRetiredAny), 30_000);
 //! ```
 
 pub mod branch;
@@ -51,4 +57,5 @@ pub mod microop;
 pub mod pipeline;
 pub mod prefetch;
 pub mod replacement;
+pub mod timeline;
 pub mod tlb;

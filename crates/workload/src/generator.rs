@@ -12,7 +12,7 @@ use uarch_sim::config::SystemConfig;
 use uarch_sim::microop::MicroOp;
 
 use crate::branchmodel::BranchModel;
-use crate::profile::{AppInputPair, Behavior};
+use crate::profile::{AppInputPair, Behavior, InvalidBehavior};
 use crate::reuse::LocalityModel;
 use crate::rng::Rng64;
 
@@ -109,7 +109,7 @@ impl TraceScale {
 /// use workload_synth::profile::Behavior;
 ///
 /// let config = SystemConfig::haswell_e5_2650l_v3();
-/// let gen = TraceGenerator::new(&Behavior::default(), &config, 7, 10_000);
+/// let gen = TraceGenerator::new(&Behavior::default(), &config, 7, 10_000).unwrap();
 /// assert_eq!(gen.count(), 10_000);
 /// ```
 #[derive(Debug, Clone)]
@@ -125,18 +125,21 @@ pub struct TraceGenerator {
 impl TraceGenerator {
     /// Builds a generator producing exactly `ops` micro-ops.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `behavior` fails validation (see
-    /// [`Behavior::validate`]).
-    pub fn new(behavior: &Behavior, config: &SystemConfig, seed: u64, ops: u64) -> Self {
-        behavior
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid behavior for trace generation: {e}"));
+    /// Returns the [`InvalidBehavior`] diagnosis when `behavior` fails
+    /// validation (see [`Behavior::validate`]).
+    pub fn new(
+        behavior: &Behavior,
+        config: &SystemConfig,
+        seed: u64,
+        ops: u64,
+    ) -> Result<Self, InvalidBehavior> {
+        behavior.validate()?;
         let load = behavior.load_pct / 100.0;
         let store = behavior.store_pct / 100.0;
         let branch = behavior.branch_pct / 100.0;
-        TraceGenerator {
+        Ok(TraceGenerator {
             rng: Rng64::seed_from(seed),
             locality: LocalityModel::new(
                 behavior.service_fractions(),
@@ -146,12 +149,21 @@ impl TraceGenerator {
             branches: BranchModel::new(behavior),
             remaining: ops,
             cum: [load, load + store, load + store + branch],
-        }
+        })
     }
 
     /// Builds the canonical generator for an application–input pair: seeded
     /// from the pair identity and sized by `scale`.
-    pub fn from_pair(pair: &AppInputPair<'_>, config: &SystemConfig, scale: &TraceScale) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidBehavior`] when the pair's behaviour profile fails
+    /// validation.
+    pub fn from_pair(
+        pair: &AppInputPair<'_>,
+        config: &SystemConfig,
+        scale: &TraceScale,
+    ) -> Result<Self, InvalidBehavior> {
         let behavior = &pair.input.behavior;
         TraceGenerator::new(
             behavior,
@@ -217,20 +229,23 @@ mod tests {
 
     #[test]
     fn produces_exact_count() {
-        let g = TraceGenerator::new(&Behavior::default(), &config(), 1, 5000);
+        let g = TraceGenerator::new(&Behavior::default(), &config(), 1, 5000).unwrap();
         assert_eq!(g.len(), 5000);
         assert_eq!(g.count(), 5000);
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let a: Vec<MicroOp> =
-            TraceGenerator::new(&Behavior::default(), &config(), 9, 2000).collect();
-        let b: Vec<MicroOp> =
-            TraceGenerator::new(&Behavior::default(), &config(), 9, 2000).collect();
+        let a: Vec<MicroOp> = TraceGenerator::new(&Behavior::default(), &config(), 9, 2000)
+            .unwrap()
+            .collect();
+        let b: Vec<MicroOp> = TraceGenerator::new(&Behavior::default(), &config(), 9, 2000)
+            .unwrap()
+            .collect();
         assert_eq!(a, b);
-        let c: Vec<MicroOp> =
-            TraceGenerator::new(&Behavior::default(), &config(), 10, 2000).collect();
+        let c: Vec<MicroOp> = TraceGenerator::new(&Behavior::default(), &config(), 10, 2000)
+            .unwrap()
+            .collect();
         assert_ne!(a, c, "different seeds give different traces");
     }
 
@@ -243,7 +258,7 @@ mod tests {
             ..Behavior::default()
         };
         let n = 200_000u64;
-        let g = TraceGenerator::new(&behavior, &config(), 3, n);
+        let g = TraceGenerator::new(&behavior, &config(), 3, n).unwrap();
         let (mut loads, mut stores, mut branches) = (0u64, 0u64, 0u64);
         for op in g {
             match op {
@@ -264,7 +279,7 @@ mod tests {
             branch_pct: 30.0,
             ..Behavior::default()
         };
-        let g = TraceGenerator::new(&behavior, &config(), 4, 300_000);
+        let g = TraceGenerator::new(&behavior, &config(), 4, 300_000).unwrap();
         let mut cond = 0u64;
         let mut total = 0u64;
         for op in g {
@@ -318,19 +333,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid behavior")]
-    fn invalid_behavior_panics() {
+    fn invalid_behavior_is_reported() {
         let bad = Behavior {
             load_pct: 90.0,
             store_pct: 20.0,
             ..Behavior::default()
         };
-        TraceGenerator::new(&bad, &config(), 0, 10);
+        let err = TraceGenerator::new(&bad, &config(), 0, 10).unwrap_err();
+        assert!(err.to_string().contains("exceed 100%"), "{err}");
     }
 
     #[test]
     fn size_hint_is_exact() {
-        let mut g = TraceGenerator::new(&Behavior::default(), &config(), 2, 100);
+        let mut g = TraceGenerator::new(&Behavior::default(), &config(), 2, 100).unwrap();
         assert_eq!(g.size_hint(), (100, Some(100)));
         g.next();
         assert_eq!(g.size_hint(), (99, Some(99)));

@@ -100,6 +100,7 @@ impl PhasedWorkload {
                     seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9),
                     ops,
                 )
+                .expect("phase behaviors are validated at construction")
             })
     }
 }

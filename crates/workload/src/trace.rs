@@ -229,8 +229,9 @@ mod tests {
     #[test]
     fn round_trip_generated_trace() {
         let config = SystemConfig::haswell_e5_2650l_v3();
-        let original: Vec<MicroOp> =
-            TraceGenerator::new(&Behavior::default(), &config, 3, 5000).collect();
+        let original: Vec<MicroOp> = TraceGenerator::new(&Behavior::default(), &config, 3, 5000)
+            .expect("valid behavior")
+            .collect();
         let mut buf = Vec::new();
         write_trace(&mut buf, original.iter().copied(), 5000).unwrap();
         let reader = TraceReader::open(buf.as_slice()).unwrap();

@@ -52,7 +52,9 @@ fn any_valid_behavior_generates() {
             "sampled behaviour invalid: {behavior:?}"
         );
         let n = 20_000u64;
-        let ops: Vec<MicroOp> = TraceGenerator::new(&behavior, &config, 5, n).collect();
+        let ops: Vec<MicroOp> = TraceGenerator::new(&behavior, &config, 5, n)
+            .expect("valid behavior")
+            .collect();
         assert_eq!(ops.len() as u64, n);
     }
 }
@@ -63,7 +65,7 @@ fn mix_fractions_track_profile() {
     for behavior in behaviors(0x5eed_0002) {
         let n = 60_000u64;
         let (mut loads, mut stores, mut branches) = (0u64, 0u64, 0u64);
-        for op in TraceGenerator::new(&behavior, &config, 6, n) {
+        for op in TraceGenerator::new(&behavior, &config, 6, n).expect("valid behavior") {
             match op {
                 MicroOp::Load { .. } => loads += 1,
                 MicroOp::Store { .. } => stores += 1,
@@ -85,7 +87,7 @@ fn branch_kinds_sum_to_branch_total() {
     for behavior in behaviors(0x5eed_0003) {
         let mut by_kind = std::collections::HashMap::new();
         let mut total = 0u64;
-        for op in TraceGenerator::new(&behavior, &config, 7, 40_000) {
+        for op in TraceGenerator::new(&behavior, &config, 7, 40_000).expect("valid behavior") {
             if let MicroOp::Branch { kind, .. } = op {
                 *by_kind.entry(kind).or_insert(0u64) += 1;
                 total += 1;
@@ -94,7 +96,7 @@ fn branch_kinds_sum_to_branch_total() {
         let sum: u64 = by_kind.values().sum();
         assert_eq!(sum, total);
         // Unconditional kinds are always taken.
-        for op in TraceGenerator::new(&behavior, &config, 7, 5_000) {
+        for op in TraceGenerator::new(&behavior, &config, 7, 5_000).expect("valid behavior") {
             if let MicroOp::Branch { kind, taken, .. } = op {
                 if kind != BranchKind::Conditional {
                     assert!(taken);
@@ -163,8 +165,12 @@ fn traces_replay_identically() {
     let mut seeds = Rng64::seed_from(0x5eed_0008);
     for behavior in behaviors(0x5eed_0009) {
         let seed = seeds.gen_below(1000);
-        let a: Vec<MicroOp> = TraceGenerator::new(&behavior, &config, seed, 4_000).collect();
-        let b: Vec<MicroOp> = TraceGenerator::new(&behavior, &config, seed, 4_000).collect();
+        let a: Vec<MicroOp> = TraceGenerator::new(&behavior, &config, seed, 4_000)
+            .expect("valid behavior")
+            .collect();
+        let b: Vec<MicroOp> = TraceGenerator::new(&behavior, &config, seed, 4_000)
+            .expect("valid behavior")
+            .collect();
         assert_eq!(a, b);
     }
 }

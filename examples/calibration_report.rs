@@ -14,7 +14,8 @@ fn main() {
     let config = RunConfig::default();
     let apps = cpu2017::suite();
     println!("characterizing all CPU2017 ref pairs (this takes a minute)...\n");
-    let records = characterize_suite(&apps, InputSize::Ref, &config);
+    let records =
+        characterize_suite(&apps, InputSize::Ref, &config).expect("suite characterizes cleanly");
 
     let mut table = Table::new(
         "Calibration: measured / target at ref",

@@ -11,7 +11,7 @@ use spec2017_workchar::workchar::experiments::{self, ExperimentId};
 
 fn main() {
     println!("characterizing CPU2017 + CPU2006 (this takes a minute)...\n");
-    let data = Dataset::collect(RunConfig::default());
+    let data = Dataset::collect(RunConfig::default()).expect("dataset collects cleanly");
     for id in [
         ExperimentId::Table3,
         ExperimentId::Table4,
@@ -19,7 +19,12 @@ fn main() {
         ExperimentId::Table6,
         ExperimentId::Table7,
     ] {
-        println!("{}", experiments::run(id, &data).render());
+        println!(
+            "{}",
+            experiments::run(id, &data)
+                .expect("experiment runs")
+                .render()
+        );
     }
     println!("Headline shape checks against the paper:");
     println!(" - CPU17 overall IPC below CPU06 (fp applications drive the drop)");

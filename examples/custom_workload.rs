@@ -48,7 +48,8 @@ fn main() {
     let config = RunConfig::default();
     let pair_list = app.pairs(InputSize::Ref);
     let pair: &AppInputPair<'_> = &pair_list[0];
-    let custom_record = characterize_pair(pair, &config);
+    let custom_record =
+        characterize_pair(pair, &config).expect("custom pair characterizes cleanly");
     println!("custom workload '{}' characterized:", custom_record.id);
     println!(
         "  IPC {:.3}   L1 {:.2}%  L2 {:.2}%  L3 {:.2}%  mispredict {:.2}%\n",
@@ -62,7 +63,8 @@ fn main() {
     // Fit PCA on the real suite, then project the custom workload into the
     // same space and report its nearest CPU2017 neighbours.
     println!("characterizing the CPU2017 ref pairs for comparison...");
-    let mut records = characterize_suite(&cpu2017::suite(), InputSize::Ref, &config);
+    let mut records = characterize_suite(&cpu2017::suite(), InputSize::Ref, &config)
+        .expect("suite characterizes cleanly");
     let analysis = RedundancyAnalysis::fit_paper(&records).expect("PCA fits");
     records.push(custom_record);
     let rows = characteristic_rows(&records);

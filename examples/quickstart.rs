@@ -26,7 +26,7 @@ fn main() {
     );
 
     for pair in app.pairs(InputSize::Ref) {
-        let r = characterize_pair(&pair, &config);
+        let r = characterize_pair(&pair, &config).expect("pair characterizes cleanly");
         println!("== {} ==", r.id);
         println!("  simulated micro-ops        : {}", r.sim_ops);
         println!(

@@ -17,7 +17,8 @@ use spec2017_workchar::workload_synth::profile::InputSize;
 fn main() {
     let config = RunConfig::default();
     println!("characterizing all CPU2017 ref pairs (this takes a minute)...");
-    let records = characterize_suite(&cpu2017::suite(), InputSize::Ref, &config);
+    let records = characterize_suite(&cpu2017::suite(), InputSize::Ref, &config)
+        .expect("suite characterizes cleanly");
     println!("collected {} ref application-input pairs\n", records.len());
 
     for (label, keep_speed) in [("rate", false), ("speed", true)] {

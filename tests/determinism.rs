@@ -12,8 +12,8 @@ fn characterization_is_bit_deterministic() {
     for name in ["505.mcf_r", "603.bwaves_s", "657.xz_s"] {
         let app = cpu2017::app(name).expect("known app");
         for pair in app.pairs(InputSize::Ref) {
-            let a = characterize_pair(&pair, &config);
-            let b = characterize_pair(&pair, &config);
+            let a = characterize_pair(&pair, &config).unwrap();
+            let b = characterize_pair(&pair, &config).unwrap();
             assert_eq!(a, b, "{name} differs across identical runs");
         }
     }
@@ -33,7 +33,8 @@ fn analysis_is_deterministic() {
             &apps,
             InputSize::Ref,
             &config,
-        );
+        )
+        .unwrap();
         let analysis = RedundancyAnalysis::fit_paper(&records).expect("pca fits");
         analysis.score_rows()
     };
@@ -46,8 +47,8 @@ fn input_sizes_differ_but_share_structure() {
     // volumes) but the same application identity.
     let config = RunConfig::quick();
     let app = cpu2017::app("505.mcf_r").unwrap();
-    let test = characterize_pair(&app.pairs(InputSize::Test)[0], &config);
-    let reference = characterize_pair(&app.pairs(InputSize::Ref)[0], &config);
+    let test = characterize_pair(&app.pairs(InputSize::Test)[0], &config).unwrap();
+    let reference = characterize_pair(&app.pairs(InputSize::Ref)[0], &config).unwrap();
     assert_ne!(test.session, reference.session);
     assert!(reference.instructions_billions > test.instructions_billions * 5.0);
     // IPC stays in the same ballpark across sizes (paper Table II for int).

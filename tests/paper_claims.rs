@@ -36,6 +36,7 @@ fn records() -> &'static Vec<CharRecord> {
             .map(|n| cpu2017::app(n).expect("known app"))
             .collect();
         characterize_suite(&apps, InputSize::Ref, &RunConfig::quick())
+            .expect("paper-claims roster characterizes cleanly")
     })
 }
 

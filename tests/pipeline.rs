@@ -14,7 +14,7 @@ fn demo() -> &'static Dataset {
 #[test]
 fn all_twenty_experiments_render() {
     let data = demo();
-    for artifact in experiments::run_all(data) {
+    for artifact in experiments::run_all(data).unwrap() {
         let text = artifact.render();
         assert!(
             text.len() > 40,
@@ -32,7 +32,7 @@ fn all_twenty_experiments_render() {
 #[test]
 fn table2_sizes_ordered() {
     let data = demo();
-    let artifact = experiments::run(ExperimentId::Table2, data);
+    let artifact = experiments::run(ExperimentId::Table2, data).unwrap();
     let table = &artifact.tables[0];
     // Within each suite block, ref rows must report more instructions than
     // test rows.
@@ -60,7 +60,7 @@ fn comparison_tables_have_six_rows() {
         ExperimentId::Table6,
         ExperimentId::Table7,
     ] {
-        let artifact = experiments::run(id, data);
+        let artifact = experiments::run(id, data).unwrap();
         assert_eq!(artifact.tables[0].n_rows(), 6, "{id}");
     }
 }
@@ -69,7 +69,7 @@ fn comparison_tables_have_six_rows() {
 fn figures_contain_every_ref_pair() {
     let data = demo();
     let n_ref = data.cpu17_at(InputSize::Ref).len();
-    let artifact = experiments::run(ExperimentId::Fig1, data);
+    let artifact = experiments::run(ExperimentId::Fig1, data).unwrap();
     let points: usize = artifact
         .figures
         .iter()
@@ -95,7 +95,7 @@ fn correlations_match_paper_signs() {
 #[test]
 fn subset_analysis_is_actionable() {
     let data = demo();
-    let artifact = experiments::run(ExperimentId::Table10, data);
+    let artifact = experiments::run(ExperimentId::Table10, data).unwrap();
     let text = artifact.render();
     // Savings rows exist for both groups.
     assert!(text.contains("rate"));
