@@ -14,6 +14,8 @@
 //! - `ablations` — design-choice sweeps: replacement policy, branch
 //!   predictor, linkage criterion, trace scale.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 
 use workchar::characterize::RunConfig;

@@ -1,0 +1,541 @@
+//! The rule registry: stable codes, families, default severities, and the
+//! `--explain` catalog.
+//!
+//! Codes never change meaning once shipped: `P004` is the instruction-mix
+//! budget forever. New rules get new codes; retired rules leave gaps.
+
+use crate::diag::Severity;
+
+/// Which layer of the pipeline a rule audits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// `P…` — behaviour-profile well-formedness (workload-synth).
+    Profile,
+    /// `C…` — system/cache/predictor/TLB config legality (uarch-sim).
+    Config,
+    /// `R…` — cached-result and timeline counter identities (workchar).
+    Result,
+    /// `E…` — perfmon JSONL event-stream schema (perfmon).
+    Events,
+}
+
+impl Family {
+    /// Human label used by renderers and `--explain`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Profile => "profile",
+            Family::Config => "config",
+            Family::Result => "result",
+            Family::Events => "events",
+        }
+    }
+}
+
+/// A registered static rule: stable identity plus documentation.
+///
+/// `summary` doubles as the legacy error string where a panicking
+/// constructor or `Behavior::validate` used to hard-code a message, so the
+/// thin compatibility wrappers keep their exact historical wording.
+#[derive(Debug)]
+pub struct RuleCode {
+    /// Stable code, e.g. `"P004"`.
+    pub code: &'static str,
+    /// Short kebab-case rule name, e.g. `"mix-budget"`.
+    pub name: &'static str,
+    /// Default severity of a violation.
+    pub severity: Severity,
+    /// Which layer the rule audits.
+    pub family: Family,
+    /// One-line invariant statement (legacy-compatible where applicable).
+    pub summary: &'static str,
+    /// Full rationale for `--explain`: what breaks when violated and which
+    /// paper figure/table the invariant protects.
+    pub explanation: &'static str,
+}
+
+impl PartialEq for RuleCode {
+    fn eq(&self, other: &Self) -> bool {
+        self.code == other.code
+    }
+}
+impl Eq for RuleCode {}
+
+/// All registered rules as statics, grouped by family.
+pub mod codes {
+    use super::{Family, RuleCode};
+    use crate::diag::Severity;
+
+    macro_rules! rule {
+        ($vis:vis $ident:ident, $code:literal, $name:literal, $sev:ident, $fam:ident,
+         $summary:literal, $explanation:literal) => {
+            $vis static $ident: RuleCode = RuleCode {
+                code: $code,
+                name: $name,
+                severity: Severity::$sev,
+                family: Family::$fam,
+                summary: $summary,
+                explanation: $explanation,
+            };
+        };
+    }
+
+    // ---------------------------------------------------------------- P: profile
+
+    rule!(pub P001, "P001", "volume-positive", Error, Profile,
+        "instructions_billions must be positive",
+        "The dynamic instruction volume drives every projection (runtime, \
+         MPKI denominators, Table 2 instruction counts). A zero or negative \
+         volume makes per-kilo-instruction rates undefined and runtime \
+         projections meaningless.");
+    rule!(pub P002, "P002", "ipc-target-positive", Error, Profile,
+        "ipc_target must be positive",
+        "The profile's IPC target calibrates the CPI stack the simulator \
+         decomposes (paper Fig. 9). A non-positive target implies infinite \
+         or negative cycles per instruction.");
+    rule!(pub P003, "P003", "mix-pct-range", Error, Profile,
+        "mix percentages must be within [0, 100]",
+        "load_pct / store_pct / branch_pct are percentages of retired \
+         instructions (paper Fig. 2, instruction-mix characterization). \
+         Values outside [0, 100] cannot describe a real mix.");
+    rule!(pub P004, "P004", "mix-budget", Error, Profile,
+        "loads + stores + branches exceed 100%",
+        "Loads, stores and branches partition a subset of the retired \
+         instruction stream; their percentages summing past 100% leaves a \
+         negative share for compute ops. Protects the instruction-mix \
+         breakdown of paper Fig. 2.");
+    rule!(pub P005, "P005", "branch-kind-sum", Error, Profile,
+        "branch kind fractions must sum to 1",
+        "Conditional / unconditional / indirect / call-return fractions \
+         partition the branch stream feeding the predictor model (paper \
+         Fig. 7 branch characterization). The four fractions must sum to \
+         1 within 1e-6.");
+    rule!(pub P006, "P006", "rate-range", Error, Profile,
+        "fractions and rates must be within [0, 1]",
+        "Reuse fractions, mispredict targets, dirty ratios and similar \
+         fields are probabilities. A value outside [0, 1] is not a rate \
+         and silently corrupts the locality model driving Figs. 4-6.");
+    rule!(pub P007, "P007", "vsz-vs-rss", Error, Profile,
+        "vsz must be non-trivially sized vs rss",
+        "Virtual size far below resident size is physically impossible \
+         (RSS is a subset of VSZ). Protects the memory-footprint \
+         characterization of paper Table 3 / Fig. 3.");
+    rule!(pub P008, "P008", "code-positive", Error, Profile,
+        "code footprint must be positive",
+        "The instruction-side working set sizes the L1I/frontend model. A \
+         non-positive code footprint disables instruction-fetch modelling \
+         entirely.");
+    rule!(pub P009, "P009", "threads-positive", Error, Profile,
+        "threads must be at least 1",
+        "Speed (_s) benchmarks run OpenMP threads; rate (_r) benchmarks \
+         run one copy per core. Zero threads means no execution stream \
+         exists to simulate.");
+    rule!(pub P010, "P010", "ipc-plausible", Warning, Profile,
+        "ipc_target outside the paper-plausible range",
+        "CPU2017 IPC on Haswell spans roughly 0.2-3.3 (paper Fig. 9); the \
+         lint accepts [0.05, 4.0] and, when a system config is given, \
+         flags targets above the machine's issue width, which the engine \
+         can never reach.");
+    rule!(pub P011, "P011", "mispredict-plausible", Warning, Profile,
+        "branch mispredict target outside the paper-plausible range",
+        "Measured CPU2017 mispredict rates stay below ~15 MPKI / ~10% of \
+         branches (paper Fig. 7). A target above 25% of branches usually \
+         means a rate was entered where a fraction belongs.");
+    rule!(pub P012, "P012", "reuse-cdf", Error, Profile,
+        "service fractions must be non-negative and sum to 1",
+        "The four-region reuse-distance model (hot / L2-sized / L3-sized / \
+         streaming) is a discretized CDF: each service fraction must be \
+         non-negative and the set must sum to 1, i.e. the CDF must be \
+         monotone and normalized. Protects the reuse/locality results of \
+         paper Figs. 4-6.");
+    rule!(pub P013, "P013", "vsz-below-rss", Warning, Profile,
+        "vsz smaller than rss",
+        "VSZ modestly below RSS (but above the hard P007 floor) is \
+         suspicious: real processes always map at least as much as they \
+         touch. Usually a transposed pair of columns from Table 3.");
+    rule!(pub P014, "P014", "footprint-vs-reuse", Warning, Profile,
+        "memory-service fraction inconsistent with resident footprint",
+        "A profile that claims a large DRAM-serviced fraction while its \
+         resident set fits comfortably inside the L3 (or vice versa: a \
+         multi-GiB footprint with a purely cache-resident reuse pattern) \
+         describes a locality distribution its own footprint cannot \
+         produce. Cross-checks Fig. 3 footprints against Figs. 4-6 \
+         locality.");
+    rule!(pub P015, "P015", "duplicate-fingerprint", Warning, Profile,
+        "identical behaviour fingerprint across distinct inputs",
+        "Two pairs with byte-identical behaviour profiles (same 128-bit \
+         stable hash) are redundant before any simulation runs — the \
+         cheap static counterpart of the PCA/clustering redundancy \
+         analysis (paper §V, Table 5). Keep one representative or make \
+         the inputs actually differ.");
+    rule!(pub P016, "P016", "volume-plausible", Warning, Profile,
+        "instruction volume outside the paper-plausible range",
+        "CPU2017 ref workloads retire roughly 0.4-30 trillion \
+         instructions (paper Table 2). Volumes outside [0.001, 100000] \
+         billions are almost certainly unit mistakes (count given in \
+         millions or raw instructions).");
+
+    // ----------------------------------------------------------------- C: config
+
+    rule!(pub C001, "C001", "line-pow2", Error, Config,
+        "line size must be a power of two",
+        "Set indexing and tag extraction decompose addresses with shifts \
+         and masks; a non-power-of-two line size breaks the address \
+         arithmetic of every cache level.");
+    rule!(pub C002, "C002", "associativity-min", Error, Config,
+        "associativity must be at least 1",
+        "A set needs at least one way to hold a line; zero ways means the \
+         cache cannot store anything.");
+    rule!(pub C003, "C003", "size-multiple", Error, Config,
+        "cache size must be a positive multiple of ways * line size",
+        "Capacity must divide evenly into sets of (associativity x line \
+         size) bytes, or the geometry implies a fractional set count.");
+    rule!(pub C004, "C004", "sets-pow2", Info, Config,
+        "set count is not a power of two",
+        "Most caches index with low-order address bits, which needs a \
+         power-of-two set count — but real parts break this: the modelled \
+         Haswell E5-2650L v3's 30 MiB 20-way L3 has 24576 sets. \
+         Informational only; the simulator handles either.");
+    rule!(pub C005, "C005", "capacity-ordering", Error, Config,
+        "inclusive hierarchy requires L1 <= L2 <= L3 capacity",
+        "The modelled hierarchy is inclusive: every L1-resident line also \
+         occupies L2 and L3. An inner level larger than an outer level \
+         cannot be contained by it, and the miss-rate identities of paper \
+         Figs. 4-6 stop holding.");
+    rule!(pub C006, "C006", "latency-ordering", Error, Config,
+        "access latencies must increase strictly down the hierarchy",
+        "The CPI stack charges each miss the *additional* latency of the \
+         next level; l2 < l3 < memory (all >= 1 cycle) is what makes \
+         those charges non-negative. Protects the Fig. 9 CPI \
+         decomposition.");
+    rule!(pub C007, "C007", "line-uniform", Warning, Config,
+        "cache levels disagree on line size",
+        "The locality model reasons about one line granularity end to \
+         end; mixed line sizes silently rescale miss counts between \
+         levels. All modelled Intel parts use 64 B throughout.");
+    rule!(pub C008, "C008", "issue-width-range", Error, Config,
+        "issue width must be within [1, 16]",
+        "Width 0 retires nothing (cycles diverge); widths beyond 16 are \
+         outside any shipped core and the engine's ILP model. Haswell is \
+         4-wide.");
+    rule!(pub C009, "C009", "clock-range", Error, Config,
+        "clock frequency must be positive, finite, and at most 10 GHz",
+        "Runtime projection divides cycles by clock_ghz; zero, negative, \
+         NaN or >10 GHz clocks turn Table 2 projected runtimes into \
+         garbage.");
+    rule!(pub C010, "C010", "mispredict-penalty-range", Warning, Config,
+        "branch mispredict penalty outside [5, 30] cycles",
+        "Pipeline refill costs on modelled cores sit in the 5-30 cycle \
+         band (Haswell ~15). Outliers skew the branch component of the \
+         Fig. 9 CPI stack far outside measured behaviour.");
+    rule!(pub C011, "C011", "cores-range", Error, Config,
+        "core count must be within [1, 1024]",
+        "Rate runs scale by core count; zero cores means no copies run, \
+         and >1024 is outside the scaling model's validated range.");
+    rule!(pub C012, "C012", "predictor-geometry", Error, Config,
+        "branch predictor table geometry is illegal",
+        "Bimodal/gshare tables index with masked history/PC bits: table \
+         sizes must be powers of two and gshare history at most 32 bits, \
+         or indexing aliases unpredictably. Protects Fig. 7 mispredict \
+         reproduction.");
+    rule!(pub C013, "C013", "tlb-geometry", Error, Config,
+        "TLB geometry is illegal",
+        "The TLB needs at least one entry and a power-of-two page size \
+         for page-number extraction. Haswell's DTLB is 64 entries of \
+         4 KiB pages.");
+    rule!(pub C014, "C014", "tlb-page-range", Warning, Config,
+        "TLB page size outside [4 KiB, 1 GiB]",
+        "x86-64 supports 4 KiB / 2 MiB / 1 GiB pages. Other sizes are \
+         legal to simulate but almost always a typo'd exponent.");
+    rule!(pub C015, "C015", "prefetch-depth", Error, Config,
+        "prefetch depth beyond the modelled maximum",
+        "The stream detector ramps 1 -> 2 -> 4 lines ahead and the model \
+         is validated only to depth 8; deeper prefetch would fabricate \
+         bandwidth the memory model does not charge for.");
+
+    // ----------------------------------------------------------------- R: result
+
+    rule!(pub R001, "R001", "l1-partition", Error, Result,
+        "L1 hits + misses must equal retired loads",
+        "Every retired load is serviced somewhere: MemLoadRetiredL1Hit + \
+         MemLoadRetiredL1Miss == MemUopsRetiredAllLoads is exact by \
+         construction in the engine. A cached record violating it is \
+         corrupt or from a different engine version. Protects Fig. 4.");
+    rule!(pub R002, "R002", "l2-partition", Error, Result,
+        "L2 hits + misses must equal L1 misses",
+        "L1 misses partition into L2 hits and L2 misses (bypassed loads \
+         still count as L2 misses). Exact identity; protects Fig. 5.");
+    rule!(pub R003, "R003", "l3-partition", Error, Result,
+        "L3 hits + misses must equal L2 misses",
+        "L2 misses partition into L3 hits and DRAM-bound L3 misses. \
+         Exact identity; protects Fig. 6 and the DRAM traffic estimate.");
+    rule!(pub R004, "R004", "branch-kind-partition", Error, Result,
+        "branch kind counters must sum to all executed branches",
+        "Conditional + unconditional + indirect + call/return counters \
+         partition BrInstExecAllBranches exactly. Protects the Fig. 7 \
+         branch-mix breakdown.");
+    rule!(pub R005, "R005", "mispredict-bound", Error, Result,
+        "mispredicts cannot exceed executed branches",
+        "BrMispRetiredAllBranches > BrInstExecAllBranches would mean \
+         more than one mispredict per branch — impossible for a \
+         direction predictor.");
+    rule!(pub R006, "R006", "ipc-bound", Error, Result,
+        "IPC cannot exceed the machine's issue width",
+        "The engine retires at most issue-width instructions per cycle, \
+         so instructions/cycles must stay at or below it. A record above \
+         the bound was not produced by this machine model. Protects \
+         Fig. 9.");
+    rule!(pub R007, "R007", "cycles-positive", Error, Result,
+        "a record with instructions must have positive cycles",
+        "Zero or negative cycles with retired instructions implies \
+         infinite IPC; all rate and runtime projections divide by \
+         cycles.");
+    rule!(pub R008, "R008", "ipc-consistency", Error, Result,
+        "stored IPC field must match instructions / cycles",
+        "CharRecord.ipc is derived from the instruction and cycle \
+         counters; disagreement beyond rounding means the summary fields \
+         and raw counters came from different runs.");
+    rule!(pub R009, "R009", "rate-consistency", Error, Result,
+        "stored miss/mix percentages must match their counters",
+        "load/store/branch mix and per-level miss percentages are \
+         recomputable from the raw counters; a mismatch means the record \
+         was edited or truncated. Protects Figs. 2 and 4-6 as rendered \
+         from cached results.");
+    rule!(pub R010, "R010", "timeline-sum", Error, Result,
+        "timeline interval deltas must sum to final counters",
+        "Interval samples telescope: the sum of per-interval deltas for \
+         every counter must exactly reproduce the run's final counter \
+         values. Protects the Fig. 10-style phase plots.");
+    rule!(pub R011, "R011", "timeline-monotone", Error, Result,
+        "timeline intervals must be contiguous and monotone",
+        "Each interval must start where the previous ended, with \
+         non-negative deltas and strictly increasing operation counts — \
+         cycle counts never run backwards.");
+    rule!(pub R012, "R012", "id-naming", Warning, Result,
+        "record id does not follow app/size/input naming",
+        "Pair ids are `app/size/input` (e.g. 505.mcf_r/ref/in1); other \
+         shapes usually indicate hand-built records that will not join \
+         against the roster tables.");
+    rule!(pub R013, "R013", "projection-consistency", Warning, Result,
+        "projected seconds disagree with cycles and clock",
+        "Projected runtime should equal projected cycles / clock for the \
+         record's instruction volume; large disagreement means the \
+         projection and the counters drifted apart. Protects Table 2 \
+         runtime estimates.");
+    rule!(pub R014, "R014", "uops-vs-inst", Error, Result,
+        "retired load uops cannot exceed retired instructions",
+        "Each load uop belongs to a retired instruction in this model, \
+         so MemUopsRetiredAllLoads <= InstRetiredAny must hold.");
+    rule!(pub R015, "R015", "class-partition", Error, Result,
+        "loads + stores + branches cannot exceed retired instructions",
+        "The three counted instruction classes are disjoint subsets of \
+         the retired stream; their counter sum above InstRetiredAny \
+         leaves a negative share for compute ops — the counter-level \
+         twin of P004.");
+    rule!(pub R020, "R020", "store-envelope", Error, Result,
+        "cached entry has a corrupt storage envelope",
+        "The simstore envelope (magic, version, key echo, length) failed \
+         verification; the entry is unreadable and has been evicted. \
+         Usually torn writes or bit rot in results/cache.");
+    rule!(pub R021, "R021", "store-payload", Error, Result,
+        "cached entry payload does not decode as a record",
+        "The envelope verified but the payload is not a valid versioned \
+         CharRecord encoding — typically a schema-version mismatch from \
+         an older binary. Re-run to repopulate.");
+
+    // ----------------------------------------------------------------- E: events
+
+    rule!(pub E001, "E001", "json-parse", Error, Events,
+        "line is not valid JSON",
+        "Every perfmon event line must parse as a JSON document; a parse \
+         failure means a torn write or interleaved writer.");
+    rule!(pub E002, "E002", "not-object", Error, Events,
+        "event line is not a JSON object",
+        "Events are objects with schema/kind/name members; arrays or \
+         bare scalars cannot carry the schema.");
+    rule!(pub E003, "E003", "schema-missing", Error, Events,
+        "event is missing a numeric 'schema' field",
+        "The version discriminator must be present and numeric so \
+         readers can dispatch on it.");
+    rule!(pub E004, "E004", "schema-version", Error, Events,
+        "event declares an unsupported schema version",
+        "This validator understands schema 1 only; other versions need a \
+         matching reader.");
+    rule!(pub E005, "E005", "name-kind", Error, Events,
+        "event 'kind' or 'name' is missing or not a string",
+        "kind and name identify what was measured; both must be \
+         non-empty strings.");
+    rule!(pub E006, "E006", "wall-ms", Error, Events,
+        "span wall_ms is missing, negative, or NaN",
+        "Span events carry elapsed wall time; a negative or NaN duration \
+         cannot be aggregated into the stage summary table.");
+    rule!(pub E007, "E007", "kind-unknown", Error, Events,
+        "event kind is not recognized",
+        "Schema 1 defines 'span' and 'event' kinds; anything else is a \
+         producer bug or version skew.");
+    rule!(pub E008, "E008", "mem-hwm", Error, Events,
+        "mem_hwm_bytes is not a non-negative whole number",
+        "Peak RSS comes from /proc VmHWM in whole bytes; fractional or \
+         negative values indicate unit confusion.");
+    rule!(pub E009, "E009", "fields-object", Error, Events,
+        "event 'fields' member is not an object",
+        "Typed key/value payloads must be a JSON object mapping field \
+         names to values.");
+    rule!(pub E010, "E010", "empty-stream", Error, Events,
+        "event stream contains no records",
+        "An empty or all-blank JSONL file means instrumentation never \
+         ran or the sink path was wrong; auditing it would vacuously \
+         pass. The validator fails instead of reporting 0 clean events.");
+    rule!(pub E011, "E011", "truncated-line", Error, Events,
+        "final event line is truncated (no trailing newline)",
+        "JSONL appenders terminate every record with a newline; a \
+         missing final newline means the last write was cut off \
+         mid-record and later appends would corrupt it.");
+}
+
+/// Every registered rule, in catalog order.
+pub static CATALOG: &[&RuleCode] = &[
+    &codes::P001,
+    &codes::P002,
+    &codes::P003,
+    &codes::P004,
+    &codes::P005,
+    &codes::P006,
+    &codes::P007,
+    &codes::P008,
+    &codes::P009,
+    &codes::P010,
+    &codes::P011,
+    &codes::P012,
+    &codes::P013,
+    &codes::P014,
+    &codes::P015,
+    &codes::P016,
+    &codes::C001,
+    &codes::C002,
+    &codes::C003,
+    &codes::C004,
+    &codes::C005,
+    &codes::C006,
+    &codes::C007,
+    &codes::C008,
+    &codes::C009,
+    &codes::C010,
+    &codes::C011,
+    &codes::C012,
+    &codes::C013,
+    &codes::C014,
+    &codes::C015,
+    &codes::R001,
+    &codes::R002,
+    &codes::R003,
+    &codes::R004,
+    &codes::R005,
+    &codes::R006,
+    &codes::R007,
+    &codes::R008,
+    &codes::R009,
+    &codes::R010,
+    &codes::R011,
+    &codes::R012,
+    &codes::R013,
+    &codes::R014,
+    &codes::R015,
+    &codes::R020,
+    &codes::R021,
+    &codes::E001,
+    &codes::E002,
+    &codes::E003,
+    &codes::E004,
+    &codes::E005,
+    &codes::E006,
+    &codes::E007,
+    &codes::E008,
+    &codes::E009,
+    &codes::E010,
+    &codes::E011,
+];
+
+/// Looks up a rule by its code, case-insensitively (`"p004"` finds `P004`).
+pub fn find(code: &str) -> Option<&'static RuleCode> {
+    CATALOG
+        .iter()
+        .find(|rule| rule.code.eq_ignore_ascii_case(code))
+        .copied()
+}
+
+/// The `--explain CODE` text: severity, family, invariant, and rationale.
+pub fn explain(code: &str) -> Option<String> {
+    let rule = find(code)?;
+    Some(format!(
+        "{} ({}) — {} [{}]\n\n  invariant: {}\n\n  {}\n",
+        rule.code,
+        rule.name,
+        rule.severity,
+        rule.family.label(),
+        rule.summary,
+        rule.explanation
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_codes_are_unique_and_well_formed() {
+        let mut seen = std::collections::HashSet::new();
+        for rule in CATALOG {
+            assert!(seen.insert(rule.code), "duplicate code {}", rule.code);
+            let family_letter = match rule.family {
+                Family::Profile => 'P',
+                Family::Config => 'C',
+                Family::Result => 'R',
+                Family::Events => 'E',
+            };
+            assert!(
+                rule.code.starts_with(family_letter),
+                "{} is in the wrong family",
+                rule.code
+            );
+            assert_eq!(rule.code.len(), 4, "{} not letter+3 digits", rule.code);
+            assert!(!rule.summary.is_empty() && !rule.explanation.is_empty());
+        }
+        assert!(
+            CATALOG.len() >= 25,
+            "catalog smaller than the issue's floor"
+        );
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert_eq!(find("p004"), Some(&codes::P004));
+        assert_eq!(find("R020").map(|r| r.code), Some("R020"));
+        assert!(find("Z999").is_none());
+    }
+
+    #[test]
+    fn explain_includes_invariant_and_rationale() {
+        let text = explain("C005").unwrap();
+        assert!(text.contains("C005"));
+        assert!(text.contains("capacity-ordering"));
+        assert!(text.contains("inclusive"));
+        assert!(explain("nope").is_none());
+    }
+
+    #[test]
+    fn legacy_messages_are_preserved() {
+        // These summaries double as the historical panic / validate()
+        // messages; downstream tests assert on the exact wording.
+        assert_eq!(codes::P004.summary, "loads + stores + branches exceed 100%");
+        assert_eq!(codes::C001.summary, "line size must be a power of two");
+        assert_eq!(codes::C002.summary, "associativity must be at least 1");
+        assert_eq!(
+            codes::C003.summary,
+            "cache size must be a positive multiple of ways * line size"
+        );
+        assert_eq!(
+            codes::P012.summary,
+            "service fractions must be non-negative and sum to 1"
+        );
+    }
+}

@@ -3,8 +3,12 @@
 //!
 //! ```text
 //! extensions [--results DIR] [--no-cache] [--cache-dir DIR]
-//!            [--timeline] [--events FILE]
+//!            [--lint] [--deny-warnings] [--timeline] [--events FILE]
 //! ```
+//!
+//! `--lint` statically checks the rate-suite profiles and the system
+//! configuration before any simulation starts (the `simcheck` rules);
+//! `--deny-warnings` makes lint warnings refuse the run too.
 //!
 //! Characterization-backed tables share the `reproduce` binary's result
 //! cache (default `results/cache`): the rate-suite records feeding the
@@ -38,6 +42,8 @@ struct Options {
     results_dir: PathBuf,
     cache_dir: PathBuf,
     no_cache: bool,
+    lint: bool,
+    deny_warnings: bool,
     timeline: bool,
     events: Option<PathBuf>,
 }
@@ -47,6 +53,8 @@ fn parse_args() -> Result<Options> {
         results_dir: PathBuf::from("results"),
         cache_dir: PathBuf::from("results/cache"),
         no_cache: false,
+        lint: false,
+        deny_warnings: false,
         timeline: false,
         events: None,
     };
@@ -66,6 +74,8 @@ fn parse_args() -> Result<Options> {
                     })?);
             }
             "--no-cache" => opts.no_cache = true,
+            "--lint" => opts.lint = true,
+            "--deny-warnings" => opts.deny_warnings = true,
             "--timeline" => opts.timeline = true,
             "--events" => {
                 opts.events =
@@ -129,6 +139,16 @@ fn real_main(opts: Options) -> Result<()> {
         .into_iter()
         .filter(|a| !a.suite.is_speed())
         .collect();
+    if opts.lint {
+        let report = workchar::lint::check_campaign(&[&rate_apps], &config);
+        if !report.is_empty() {
+            eprint!("{}", report.to_table());
+        }
+        if report.failed(opts.deny_warnings) {
+            return Err(report.into());
+        }
+        eprintln!("lint: profiles and config — {}", report.summary());
+    }
     let mut span = recorder.span("characterize-rate-ref");
     let records = characterize_suite_with(&rate_apps, InputSize::Ref, &config, cache.as_ref())?;
     span.record("records", records.len());

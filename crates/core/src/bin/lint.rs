@@ -1,0 +1,216 @@
+//! Static model analysis: lints profiles, configs, cached results, and
+//! events files without running any simulation.
+//!
+//! ```text
+//! lint [--all] [--profiles] [--config] [--cache-dir DIR] [--events FILE]...
+//!      [--quick] [--json] [--deny-warnings] [--explain CODE]
+//! ```
+//!
+//! `--all` lints the shipped CPU2017 + CPU2006 rosters and the Haswell
+//! system configuration, and — when the default cache directory
+//! (`results/cache`) exists — audits every cached record's counter
+//! identities. Individual passes can be selected with `--profiles`,
+//! `--config`, `--cache-dir DIR`, and `--events FILE` (repeatable).
+//!
+//! Every violation carries a stable rule code (`P...` profile, `C...`
+//! config, `R...` result, `E...` events); `--explain CODE` prints the
+//! catalog entry for one rule. Exits 0 when clean, 1 when any error (or,
+//! under `--deny-warnings`, any warning) was found, 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simcheck::Report;
+use workchar::characterize::RunConfig;
+use workchar::error::{Error, Result};
+use workchar::lint;
+use workload_synth::{cpu2006, cpu2017};
+
+struct Options {
+    profiles: bool,
+    config: bool,
+    cache_dir: Option<PathBuf>,
+    events: Vec<PathBuf>,
+    quick: bool,
+    json: bool,
+    deny_warnings: bool,
+}
+
+fn parse_args() -> Result<Option<Options>> {
+    let mut opts = Options {
+        profiles: false,
+        config: false,
+        cache_dir: None,
+        events: Vec::new(),
+        quick: false,
+        json: false,
+        deny_warnings: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--all" => {
+                opts.profiles = true;
+                opts.config = true;
+                // Audit the default cache location only if a cache exists
+                // there; a fresh checkout must still lint clean.
+                let default_cache = PathBuf::from("results/cache");
+                if opts.cache_dir.is_none() && default_cache.is_dir() {
+                    opts.cache_dir = Some(default_cache);
+                }
+            }
+            "--profiles" => opts.profiles = true,
+            "--config" => opts.config = true,
+            "--quick" => opts.quick = true,
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--cache-dir" => {
+                opts.cache_dir =
+                    Some(PathBuf::from(args.next().ok_or_else(|| {
+                        Error::Usage("--cache-dir needs a directory".to_string())
+                    })?));
+            }
+            "--events" => {
+                opts.events
+                    .push(PathBuf::from(args.next().ok_or_else(|| {
+                        Error::Usage("--events needs a file path".to_string())
+                    })?));
+            }
+            "--explain" => {
+                let code = args
+                    .next()
+                    .ok_or_else(|| Error::Usage("--explain needs a rule code".to_string()))?;
+                match simcheck::explain(&code) {
+                    Some(text) => {
+                        println!("{text}");
+                        return Ok(None);
+                    }
+                    None => {
+                        return Err(Error::Usage(format!(
+                            "unknown rule code '{code}' (codes are P/C/R/Exxx; see DESIGN.md)"
+                        )));
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return Ok(None);
+            }
+            other => {
+                return Err(Error::Usage(format!("unknown argument '{other}'")));
+            }
+        }
+    }
+    let selected_any =
+        opts.profiles || opts.config || opts.cache_dir.is_some() || !opts.events.is_empty();
+    if !selected_any {
+        return Err(Error::Usage(
+            "nothing to lint; pass --all or select passes (see --help)".to_string(),
+        ));
+    }
+    Ok(Some(opts))
+}
+
+fn run(opts: &Options) -> Result<Report> {
+    let config = if opts.quick {
+        RunConfig::quick()
+    } else {
+        RunConfig::default()
+    };
+    let mut report = Report::new();
+
+    if opts.profiles || opts.config {
+        let cpu17 = cpu2017::suite();
+        let cpu06 = cpu2006::suite();
+        if opts.profiles && opts.config {
+            report.merge(lint::check_campaign(&[&cpu17, &cpu06], &config));
+            eprintln!(
+                "linted {} CPU2017 + {} CPU2006 profiles and config '{}'",
+                cpu17.len(),
+                cpu06.len(),
+                config.system.name
+            );
+        } else if opts.config {
+            report.merge(uarch_sim::lint::check_system(&config.system));
+            eprintln!("linted config '{}'", config.system.name);
+        } else {
+            for apps in [&cpu17, &cpu06] {
+                report.merge(workload_synth::lint::check_roster(
+                    apps,
+                    Some(&config.system),
+                ));
+            }
+            eprintln!(
+                "linted {} CPU2017 + {} CPU2006 profiles",
+                cpu17.len(),
+                cpu06.len()
+            );
+        }
+    }
+
+    if let Some(dir) = &opts.cache_dir {
+        let store = simstore::Store::open(dir)?;
+        let (visited, audit) = lint::audit_cache(&store, Some(&config.system));
+        eprintln!("audited {visited} cached records under {}", dir.display());
+        report.merge(audit);
+    }
+
+    for path in &opts.events {
+        let text = std::fs::read_to_string(path)?;
+        let (summary, events_report) = perfmon::check_events(&path.display().to_string(), &text);
+        eprintln!(
+            "audited {}: {} spans, {} events",
+            path.display(),
+            summary.spans,
+            summary.events
+        );
+        report.merge(events_report);
+    }
+
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run with --help for usage");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match run(&opts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_table());
+    }
+    if report.failed(opts.deny_warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_usage() {
+    println!(
+        "usage: lint [--all] [--profiles] [--config] [--cache-dir DIR] \
+         [--events FILE]... [--quick] [--json] [--deny-warnings] [--explain CODE]"
+    );
+    println!("  --all            lint shipped rosters + config (+ results/cache if present)");
+    println!("  --profiles       lint the CPU2017 and CPU2006 behavior profiles (P-rules)");
+    println!("  --config         lint the system configuration (C-rules)");
+    println!("  --cache-dir DIR  audit every cached record in DIR (R-rules)");
+    println!("  --events FILE    audit a perfmon JSONL stream (E-rules; repeatable)");
+    println!("  --quick          use the reduced-fidelity run configuration");
+    println!("  --json           machine-readable diagnostics document on stdout");
+    println!("  --deny-warnings  exit nonzero on warnings, not just errors");
+    println!("  --explain CODE   print the catalog entry for one rule and exit");
+}

@@ -38,6 +38,8 @@ struct Options {
     quick: bool,
     markdown: bool,
     no_cache: bool,
+    lint: bool,
+    deny_warnings: bool,
     timeline: bool,
     events: Option<PathBuf>,
     results_dir: PathBuf,
@@ -50,6 +52,8 @@ fn parse_args() -> Result<Option<Options>> {
         quick: false,
         markdown: false,
         no_cache: false,
+        lint: false,
+        deny_warnings: false,
         timeline: false,
         events: None,
         results_dir: PathBuf::from("results"),
@@ -62,6 +66,8 @@ fn parse_args() -> Result<Option<Options>> {
             "--quick" => opts.quick = true,
             "--markdown" => opts.markdown = true,
             "--no-cache" => opts.no_cache = true,
+            "--lint" => opts.lint = true,
+            "--deny-warnings" => opts.deny_warnings = true,
             "--timeline" => opts.timeline = true,
             "--events" => {
                 opts.events =
@@ -160,6 +166,18 @@ fn real_main(opts: Options) -> Result<()> {
         if cache.is_some() {
             eprintln!("timeline sampling on: runs bypass the result cache");
         }
+    }
+    if opts.lint {
+        let cpu17 = workload_synth::cpu2017::suite();
+        let cpu06 = workload_synth::cpu2006::suite();
+        let report = workchar::lint::check_campaign(&[&cpu17, &cpu06], &config);
+        if !report.is_empty() {
+            eprint!("{}", report.to_table());
+        }
+        if report.failed(opts.deny_warnings) {
+            return Err(report.into());
+        }
+        eprintln!("lint: profiles and config — {}", report.summary());
     }
     eprintln!(
         "characterizing SPEC CPU2017 (194 pairs, 3 input sizes) and CPU2006 (29 apps) \
@@ -282,11 +300,13 @@ fn write_file(dir: &std::path::Path, name: &str, contents: &str) {
 fn print_usage() {
     println!(
         "usage: reproduce [--quick] [--markdown] [--results DIR] \
-         [--no-cache] [--cache-dir DIR] [--timeline] [--events FILE] \
-         [table1..table10 fig1..fig10]"
+         [--no-cache] [--cache-dir DIR] [--lint] [--deny-warnings] \
+         [--timeline] [--events FILE] [table1..table10 fig1..fig10]"
     );
     println!("  --no-cache    re-simulate everything; do not read or write the result cache");
     println!("  --cache-dir   result-cache directory (default results/cache)");
+    println!("  --lint        statically check profiles and config before simulating");
+    println!("  --deny-warnings  with --lint, refuse to run on warnings too");
     println!(
         "  --timeline    sample a per-pair counter timeline (CSV + SVG under results/timelines)"
     );

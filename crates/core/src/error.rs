@@ -37,6 +37,9 @@ pub enum Error {
         /// How many pairs the campaign attempted.
         total: usize,
     },
+    /// A static lint pass (`--lint` / the `lint` binary) found failing
+    /// diagnostics; the report carries every violation with its rule code.
+    Lint(simcheck::Report),
     /// A requested artifact or record was not available.
     MissingData(String),
     /// Bad command-line usage (binaries map this to exit code 2).
@@ -61,6 +64,14 @@ impl fmt::Display for Error {
                     writeln!(f, "  {failure}")?;
                 }
                 Ok(())
+            }
+            Error::Lint(report) => {
+                write!(
+                    f,
+                    "lint failed ({}):\n{}",
+                    report.summary(),
+                    report.to_table()
+                )
             }
             Error::MissingData(what) => write!(f, "missing data: {what}"),
             Error::Usage(what) => write!(f, "usage: {what}"),
@@ -104,6 +115,12 @@ impl From<io::Error> for Error {
     }
 }
 
+impl From<simcheck::Report> for Error {
+    fn from(report: simcheck::Report) -> Self {
+        Error::Lint(report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +137,16 @@ mod tests {
         assert!(io.to_string().contains("gone"));
         let usage = Error::Usage("unknown flag --frob".to_string());
         assert!(usage.to_string().contains("--frob"));
+        let mut report = simcheck::Report::new();
+        report.push(simcheck::Diagnostic::new(
+            &simcheck::codes::P004,
+            simcheck::Span::field("999.fake_r/ref/in1", "load_pct"),
+            "mix sums to 120%".to_string(),
+        ));
+        let lint: Error = report.into();
+        let text = lint.to_string();
+        assert!(text.contains("P004"), "{text}");
+        assert!(text.contains("1 error"), "{text}");
     }
 
     #[test]

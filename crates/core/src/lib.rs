@@ -25,6 +25,10 @@
 //!     `simstore` store, so repeated campaigns replay from disk; the
 //!     parallel runners in [`characterize`] are cache-first and
 //!     panic-isolated (one broken profile no longer aborts a campaign).
+//! 11. [`lint`] statically audits produced artifacts without re-running
+//!     anything: counter identities on records and cached entries, timeline
+//!     telescoping, and the campaign pre-flight gate behind the binaries'
+//!     `--lint` flag (`simcheck` rules `R001`–`R021`).
 //!
 //! # Example
 //!
@@ -41,6 +45,8 @@
 //! # Ok::<(), workchar::error::Error>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ablation;
 pub mod cache;
 pub mod characterize;
@@ -48,6 +54,7 @@ pub mod compare;
 pub mod dataset;
 pub mod error;
 pub mod experiments;
+pub mod lint;
 pub mod metrics;
 pub mod observe;
 pub mod phase;

@@ -1,19 +1,34 @@
-//! Validates a perfmon JSONL events file against the versioned schema.
+//! Validates perfmon JSONL events files against the versioned schema.
 //!
-//! Usage: `events-validate <events.jsonl>...`
+//! Usage: `events-validate [--json] <events.jsonl>...`
 //!
-//! Exits 0 and prints per-kind record counts when every file validates;
-//! exits nonzero with the first offending file/line otherwise. CI's smoke
-//! job runs this over the events emitted by a quick `reproduce` run.
+//! Every schema violation is reported with its rule code (`E001`–`E011`)
+//! and `file:line` location; all violations are collected, not just the
+//! first. Empty and truncated streams are errors (E010/E011) — an events
+//! file CI never wrote must fail the gate, not vacuously pass it. Exits 0
+//! when every file is clean, 1 otherwise, 2 on usage errors. `--json`
+//! emits the machine-readable diagnostics document instead of the table.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut paths = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: events-validate [--json] <events.jsonl>...");
+                return ExitCode::from(2);
+            }
+            _ => paths.push(arg),
+        }
+    }
     if paths.is_empty() {
-        eprintln!("usage: events-validate <events.jsonl>...");
+        eprintln!("usage: events-validate [--json] <events.jsonl>...");
         return ExitCode::from(2);
     }
+    let mut failed = false;
     for path in &paths {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
@@ -22,18 +37,27 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        match perfmon::validate_events(&text) {
-            Ok(summary) => println!(
+        let (summary, report) = perfmon::check_events(path, &text);
+        if json {
+            println!("{}", report.to_json());
+        }
+        if report.failed(false) {
+            failed = true;
+            if !json {
+                eprint!("{}", report.to_table());
+            }
+        } else if !json {
+            println!(
                 "{path}: ok — {} spans, {} events (schema {})",
                 summary.spans,
                 summary.events,
                 perfmon::SCHEMA
-            ),
-            Err(msg) => {
-                eprintln!("error: {path}: {msg}");
-                return ExitCode::FAILURE;
-            }
+            );
         }
     }
-    ExitCode::SUCCESS
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

@@ -32,6 +32,8 @@
 //! - `mem_hwm_bytes` (optional, number): process peak RSS at finish.
 //! - `fields` (optional, object): stage-specific scalars/strings.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 
 use std::fmt;
@@ -410,9 +412,164 @@ impl EventsSummary {
     }
 }
 
+/// Validates JSONL event text with coded diagnostics (rules E001–E011),
+/// collecting *every* violation instead of stopping at the first.
+///
+/// `object` names the stream in spans (usually the file path); each
+/// diagnostic's span is `"{object}:{line}"` plus the offending member.
+/// Beyond the per-line schema checks that [`validate_events`] performs,
+/// this audit treats an empty stream (E010) and a truncated final line
+/// (E011) as errors — an events file CI never wrote should fail its gate,
+/// not vacuously pass it.
+pub fn check_events(object: &str, input: &str) -> (EventsSummary, simcheck::Report) {
+    use simcheck::{codes, Diagnostic, Report, Span};
+    let mut summary = EventsSummary::default();
+    let mut report = Report::new();
+    let mut non_blank = 0usize;
+    let mut last_lineno = 0usize;
+    for (idx, line) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        last_lineno = lineno;
+        if line.trim().is_empty() {
+            continue;
+        }
+        non_blank += 1;
+        let at = format!("{object}:{lineno}");
+        let before = report.len();
+        let value = match json::parse(line) {
+            Ok(value) => value,
+            Err(e) => {
+                report.push(Diagnostic::new(
+                    &codes::E001,
+                    Span::object(at),
+                    e.to_string(),
+                ));
+                continue;
+            }
+        };
+        if value.as_object().is_none() {
+            report.push(Diagnostic::new(
+                &codes::E002,
+                Span::object(at),
+                "record is not a JSON object",
+            ));
+            continue;
+        }
+        match value.get("schema").map(json::Value::as_u64) {
+            None | Some(None) => {
+                report.push(Diagnostic::new(
+                    &codes::E003,
+                    Span::field(&at, "schema"),
+                    "missing numeric \"schema\"",
+                ));
+            }
+            Some(Some(schema)) if schema != SCHEMA as u64 => {
+                report.push(Diagnostic::new(
+                    &codes::E004,
+                    Span::field(&at, "schema"),
+                    format!("schema version {schema} (expected {SCHEMA})"),
+                ));
+            }
+            Some(Some(_)) => {}
+        }
+        let kind = value.get("kind").and_then(json::Value::as_str);
+        let name = value.get("name").and_then(json::Value::as_str);
+        if kind.is_none() {
+            report.push(Diagnostic::new(
+                &codes::E005,
+                Span::field(&at, "kind"),
+                "missing string \"kind\"",
+            ));
+        }
+        match name {
+            None => report.push(Diagnostic::new(
+                &codes::E005,
+                Span::field(&at, "name"),
+                "missing string \"name\"",
+            )),
+            Some("") => report.push(Diagnostic::new(
+                &codes::E005,
+                Span::field(&at, "name"),
+                "empty \"name\"",
+            )),
+            Some(_) => {}
+        }
+        let mut counted_kind = None;
+        match kind {
+            Some("span") => {
+                match value.get("wall_ms").and_then(json::Value::as_f64) {
+                    Some(wall) if !wall.is_nan() && wall >= 0.0 => {}
+                    Some(wall) => report.push(Diagnostic::new(
+                        &codes::E006,
+                        Span::field(&at, "wall_ms"),
+                        format!("invalid wall_ms {wall}"),
+                    )),
+                    None => report.push(Diagnostic::new(
+                        &codes::E006,
+                        Span::field(&at, "wall_ms"),
+                        "span without numeric \"wall_ms\"",
+                    )),
+                }
+                counted_kind = Some("span");
+            }
+            Some("event") => counted_kind = Some("event"),
+            Some(other) => report.push(Diagnostic::new(
+                &codes::E007,
+                Span::field(&at, "kind"),
+                format!("unknown kind \"{other}\""),
+            )),
+            None => {}
+        }
+        if let Some(mem) = value.get("mem_hwm_bytes") {
+            if mem.as_u64().is_none() {
+                report.push(Diagnostic::new(
+                    &codes::E008,
+                    Span::field(&at, "mem_hwm_bytes"),
+                    "mem_hwm_bytes is not a non-negative whole number",
+                ));
+            }
+        }
+        if let Some(fields) = value.get("fields") {
+            if fields.as_object().is_none() {
+                report.push(Diagnostic::new(
+                    &codes::E009,
+                    Span::field(&at, "fields"),
+                    "\"fields\" is not an object",
+                ));
+            }
+        }
+        if report.len() == before {
+            match counted_kind {
+                Some("span") => summary.spans += 1,
+                Some("event") => summary.events += 1,
+                _ => {}
+            }
+        }
+    }
+    if non_blank == 0 {
+        report.push(Diagnostic::new(
+            &codes::E010,
+            Span::object(object),
+            "event stream contains no records",
+        ));
+    }
+    if !input.is_empty() && !input.ends_with('\n') {
+        report.push(Diagnostic::new(
+            &codes::E011,
+            Span::object(format!("{object}:{last_lineno}")),
+            "final line is truncated (no trailing newline)",
+        ));
+    }
+    (summary, report)
+}
+
 /// Validates JSONL event text against the versioned schema (see the
 /// crate-level docs). Returns per-kind record counts, or a message naming
 /// the first offending line.
+///
+/// This is the legacy first-failure API; [`check_events`] performs the same
+/// per-line checks with coded diagnostics, collects every violation, and
+/// additionally rejects empty and truncated streams.
 pub fn validate_events(input: &str) -> Result<EventsSummary, String> {
     let mut summary = EventsSummary::default();
     for (idx, line) in input.lines().enumerate() {
@@ -586,6 +743,68 @@ mod tests {
                 .total(),
             1
         );
+    }
+
+    fn fired(report: &simcheck::Report) -> Vec<&'static str> {
+        report.diagnostics().iter().map(|d| d.code.code).collect()
+    }
+
+    #[test]
+    fn check_events_accepts_a_clean_stream() {
+        let text = "{\"schema\":1,\"kind\":\"span\",\"name\":\"a\",\"wall_ms\":1.0}\n\
+                    {\"schema\":1,\"kind\":\"event\",\"name\":\"b\"}\n";
+        let (summary, report) = check_events("events.jsonl", text);
+        assert!(report.is_empty(), "{}", report.to_table());
+        assert_eq!(summary.spans, 1);
+        assert_eq!(summary.events, 1);
+    }
+
+    #[test]
+    fn check_events_collects_every_violation_with_lines() {
+        let text = "not json\n\
+                    {\"schema\":1,\"kind\":\"event\",\"name\":\"ok\"}\n\
+                    {\"schema\":9,\"kind\":\"nope\",\"name\":\"\",\"mem_hwm_bytes\":-1}\n";
+        let (summary, report) = check_events("events.jsonl", text);
+        let codes = fired(&report);
+        for code in ["E001", "E004", "E005", "E007", "E008"] {
+            assert!(codes.contains(&code), "expected {code} in {codes:?}");
+        }
+        assert_eq!(summary.total(), 1, "the clean middle line still counts");
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.span.object == "events.jsonl:3"));
+    }
+
+    #[test]
+    fn check_events_rejects_empty_and_truncated_streams() {
+        let (_, report) = check_events("events.jsonl", "");
+        assert_eq!(fired(&report), ["E010"]);
+        let (_, report) = check_events("events.jsonl", "\n\n");
+        assert_eq!(fired(&report), ["E010"]);
+        let truncated = "{\"schema\":1,\"kind\":\"event\",\"name\":\"x\"}";
+        let (summary, report) = check_events("events.jsonl", truncated);
+        assert_eq!(fired(&report), ["E011"]);
+        assert_eq!(summary.events, 1);
+        assert!(report.failed(false), "E011 is an error");
+    }
+
+    #[test]
+    fn check_events_agrees_with_legacy_validator_on_content_checks() {
+        // Every line the legacy validator rejects must produce at least one
+        // error diagnostic from the coded audit.
+        for bad in [
+            "not json",
+            "[1,2]",
+            "{\"schema\":99,\"kind\":\"span\",\"name\":\"x\",\"wall_ms\":1}",
+            "{\"schema\":1,\"kind\":\"nope\",\"name\":\"x\"}",
+            "{\"schema\":1,\"kind\":\"span\",\"name\":\"x\"}",
+            "{\"schema\":1,\"kind\":\"event\"}",
+        ] {
+            assert!(validate_events(bad).is_err());
+            let (_, report) = check_events("t", &format!("{bad}\n"));
+            assert!(report.has_errors(), "coded audit missed: {bad}");
+        }
     }
 
     #[cfg(target_os = "linux")]

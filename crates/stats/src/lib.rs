@@ -39,6 +39,8 @@
 //! # Ok::<(), stat_analysis::StatsError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod distance;
 pub mod eigen;

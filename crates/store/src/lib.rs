@@ -24,6 +24,8 @@
 //! pipeline's record types: callers define what is hashed (via
 //! [`StableHash`]) and what is stored (via [`codec`]-encoded payloads).
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod hash;
 pub mod scheduler;

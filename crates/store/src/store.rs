@@ -111,6 +111,19 @@ impl Store {
         self.len() == 0
     }
 
+    /// Every indexed key, in unspecified order (cheap: no file I/O). The
+    /// static cached-result audit walks this to verify each entry without
+    /// knowing which pairs produced them.
+    pub fn keys(&self) -> Vec<Key> {
+        let mut keys = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            if let Ok(index) = shard.read() {
+                keys.extend(index.keys().copied());
+            }
+        }
+        keys
+    }
+
     /// True when `key` is indexed (cheap: no file I/O).
     pub fn contains(&self, key: Key) -> bool {
         self.shards[shard_of(key)]

@@ -56,20 +56,28 @@ pub struct Bimodal {
 }
 
 impl Bimodal {
-    /// Creates a predictor with `entries` counters.
+    /// Creates a predictor with `entries` counters, reporting illegal table
+    /// geometry as coded diagnostics (C012) instead of panicking.
+    pub fn try_new(entries: usize) -> Result<Self, simcheck::Report> {
+        let report = crate::lint::check_predictor_geometry("bimodal", entries, None);
+        if report.has_errors() {
+            return Err(report);
+        }
+        Ok(Bimodal {
+            table: vec![Counter2::WEAKLY_TAKEN; entries],
+            mask: entries as u64 - 1,
+        })
+    }
+
+    /// Creates a predictor with `entries` counters (deny-by-default wrapper
+    /// over [`Bimodal::try_new`]).
     ///
     /// # Panics
     ///
     /// Panics unless `entries` is a power of two.
     pub fn new(entries: usize) -> Self {
-        assert!(
-            entries.is_power_of_two(),
-            "bimodal table size must be a power of two"
-        );
-        Bimodal {
-            table: vec![Counter2::WEAKLY_TAKEN; entries],
-            mask: entries as u64 - 1,
-        }
+        Self::try_new(entries)
+            .unwrap_or_else(|_| panic!("bimodal table size must be a power of two"))
     }
 
     fn index(&self, pc: u64) -> usize {
@@ -99,7 +107,23 @@ pub struct GShare {
 
 impl GShare {
     /// Creates a predictor with `entries` counters and `history_bits` of
-    /// global history.
+    /// global history, reporting illegal geometry as coded diagnostics
+    /// (C012) instead of panicking.
+    pub fn try_new(entries: usize, history_bits: u32) -> Result<Self, simcheck::Report> {
+        let report = crate::lint::check_predictor_geometry("gshare", entries, Some(history_bits));
+        if report.has_errors() {
+            return Err(report);
+        }
+        Ok(GShare {
+            table: vec![Counter2::WEAKLY_TAKEN; entries],
+            mask: entries as u64 - 1,
+            history: 0,
+            history_bits,
+        })
+    }
+
+    /// Creates a predictor with `entries` counters and `history_bits` of
+    /// global history (deny-by-default wrapper over [`GShare::try_new`]).
     ///
     /// # Panics
     ///

@@ -22,33 +22,61 @@ pub struct CacheConfig {
 }
 
 impl CacheConfig {
-    /// Creates a cache configuration.
+    /// Creates a cache configuration, collecting every geometry violation
+    /// as coded diagnostics (C001–C003) instead of panicking at the first.
+    ///
+    /// Info-level notes (e.g. C004 non-power-of-two set count) do not fail
+    /// construction; the returned report carries only errors.
+    pub fn try_new(
+        size_bytes: usize,
+        ways: usize,
+        line_bytes: usize,
+        policy: Policy,
+    ) -> Result<Self, simcheck::Report> {
+        let candidate = CacheConfig {
+            size_bytes,
+            ways,
+            line_bytes,
+            policy,
+        };
+        let report = crate::lint::check_cache("cache", &candidate);
+        if report.has_errors() {
+            Err(report)
+        } else {
+            Ok(candidate)
+        }
+    }
+
+    /// Creates a cache configuration (deny-by-default wrapper over
+    /// [`CacheConfig::try_new`]).
     ///
     /// # Panics
     ///
     /// Panics unless `line_bytes` is a power of two, `ways >= 1`, and
     /// `size_bytes` is a positive multiple of `ways * line_bytes`.
     pub fn new(size_bytes: usize, ways: usize, line_bytes: usize, policy: Policy) -> Self {
-        assert!(
-            line_bytes.is_power_of_two(),
-            "line size must be a power of two"
-        );
-        assert!(ways >= 1, "associativity must be at least 1");
-        assert!(
-            size_bytes > 0 && size_bytes.is_multiple_of(ways * line_bytes),
-            "cache size must be a positive multiple of ways * line size"
-        );
-        CacheConfig {
-            size_bytes,
-            ways,
-            line_bytes,
-            policy,
-        }
+        Self::try_new(size_bytes, ways, line_bytes, policy).unwrap_or_else(|report| {
+            let first = report
+                .diagnostics()
+                .iter()
+                .find(|d| d.severity == simcheck::Severity::Error)
+                .expect("error report has an error");
+            panic!("{}", first.message)
+        })
     }
 
     /// Number of sets.
     pub fn sets(&self) -> usize {
         self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+impl SystemConfig {
+    /// Lints the full configuration: every cache level's geometry plus the
+    /// cross-level and core parameters (rules C001–C011). See
+    /// [`crate::lint::check_system`].
+    pub fn check(&self) -> simcheck::Report {
+        crate::lint::check_system(self)
     }
 }
 

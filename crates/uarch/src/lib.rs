@@ -47,12 +47,15 @@
 //! assert_eq!(timeline.total().count(Event::InstRetiredAny), 30_000);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod branch;
 pub mod cache;
 pub mod config;
 pub mod counters;
 pub mod engine;
 pub mod hierarchy;
+pub mod lint;
 pub mod microop;
 pub mod pipeline;
 pub mod prefetch;

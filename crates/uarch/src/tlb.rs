@@ -16,7 +16,25 @@ pub struct Tlb {
 }
 
 impl Tlb {
-    /// Creates a TLB with `entries` slots for pages of `page_bytes`.
+    /// Creates a TLB with `entries` slots for pages of `page_bytes`,
+    /// reporting illegal geometry as coded diagnostics (C013; C014 warns on
+    /// implausible page sizes without failing construction).
+    pub fn try_new(entries: usize, page_bytes: usize) -> Result<Self, simcheck::Report> {
+        let report = crate::lint::check_tlb("tlb", entries, page_bytes);
+        if report.has_errors() {
+            return Err(report);
+        }
+        Ok(Tlb {
+            entries,
+            page_shift: page_bytes.trailing_zeros(),
+            resident: Vec::with_capacity(entries),
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// Creates a TLB with `entries` slots for pages of `page_bytes`
+    /// (deny-by-default wrapper over [`Tlb::try_new`]).
     ///
     /// # Panics
     ///

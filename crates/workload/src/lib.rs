@@ -42,11 +42,14 @@
 //! assert_eq!(pairs, 64); // the paper's 64 distinct ref pairs
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod branchmodel;
 pub mod cpu2006;
 pub mod cpu2017;
 pub mod footprint;
 pub mod generator;
+pub mod lint;
 pub mod phases;
 pub mod profile;
 pub mod reuse;

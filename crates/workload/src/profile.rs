@@ -181,77 +181,33 @@ impl fmt::Display for InvalidBehavior {
 impl std::error::Error for InvalidBehavior {}
 
 impl Behavior {
-    /// Checks all cross-field invariants.
+    /// Lints this profile, collecting *every* violated invariant as coded
+    /// diagnostics (rules P001–P016) instead of stopping at the first.
+    /// `object` names the profile in spans; pass a system config to enable
+    /// the machine-relative plausibility checks. See
+    /// [`crate::lint::check_behavior`].
+    pub fn check(&self, object: &str, config: Option<&SystemConfig>) -> simcheck::Report {
+        crate::lint::check_behavior(object, self, config)
+    }
+
+    /// Checks all cross-field invariants (legacy adapter over
+    /// [`Behavior::check`], reporting the first error-severity diagnostic).
     ///
     /// # Errors
     ///
     /// Returns [`InvalidBehavior`] naming the first violated invariant.
     pub fn validate(&self) -> Result<(), InvalidBehavior> {
-        let pct = |v: f64| (0.0..=100.0).contains(&v);
-        let frac = |v: f64| (0.0..=1.0).contains(&v);
-        if self.instructions_billions.is_nan() || self.instructions_billions <= 0.0 {
-            return Err(InvalidBehavior {
-                what: "instructions_billions must be positive",
-            });
+        match self
+            .check("behavior", None)
+            .diagnostics()
+            .iter()
+            .find(|d| d.severity == simcheck::Severity::Error)
+        {
+            Some(diagnostic) => Err(InvalidBehavior {
+                what: diagnostic.code.summary,
+            }),
+            None => Ok(()),
         }
-        if self.ipc_target.is_nan() || self.ipc_target <= 0.0 {
-            return Err(InvalidBehavior {
-                what: "ipc_target must be positive",
-            });
-        }
-        if !pct(self.load_pct) || !pct(self.store_pct) || !pct(self.branch_pct) {
-            return Err(InvalidBehavior {
-                what: "mix percentages must be within [0, 100]",
-            });
-        }
-        if self.load_pct + self.store_pct + self.branch_pct > 100.0 {
-            return Err(InvalidBehavior {
-                what: "loads + stores + branches exceed 100%",
-            });
-        }
-        let kinds = self.cond_frac
-            + self.direct_jump_frac
-            + self.call_frac
-            + self.indirect_frac
-            + self.return_frac;
-        if (kinds - 1.0).abs() > 1e-6 {
-            return Err(InvalidBehavior {
-                what: "branch kind fractions must sum to 1",
-            });
-        }
-        for v in [
-            self.cond_frac,
-            self.direct_jump_frac,
-            self.call_frac,
-            self.indirect_frac,
-            self.return_frac,
-            self.mispredict_target,
-            self.l1_miss_target,
-            self.l2_miss_target,
-            self.l3_miss_target,
-        ] {
-            if !frac(v) {
-                return Err(InvalidBehavior {
-                    what: "fractions and rates must be within [0, 1]",
-                });
-            }
-        }
-        if self.rss_gib < 0.0 || self.vsz_gib < self.rss_gib * 0.5 {
-            return Err(InvalidBehavior {
-                what: "vsz must be non-trivially sized vs rss",
-            });
-        }
-        if self.code_kib <= 0.0 {
-            return Err(InvalidBehavior {
-                what: "code footprint must be positive",
-            });
-        }
-        if self.threads == 0 {
-            return Err(InvalidBehavior {
-                what: "threads must be at least 1",
-            });
-        }
-        Ok(())
     }
 
     /// Probability that a given load is served by L1 / L2 / L3 / memory,
@@ -422,6 +378,12 @@ impl AppProfile {
             }
         }
         Ok(())
+    }
+
+    /// Lints every input behaviour at every size, collecting all coded
+    /// diagnostics. See [`crate::lint::check_app`].
+    pub fn check(&self, config: Option<&SystemConfig>) -> simcheck::Report {
+        crate::lint::check_app(self, config)
     }
 }
 

@@ -59,13 +59,31 @@ impl LocalityModel {
     ///
     /// # Panics
     ///
-    /// Panics if fractions are negative or do not sum to ~1.
+    /// Panics if fractions are negative or do not sum to ~1 (deny-by-default
+    /// wrapper over [`LocalityModel::try_new`]).
     pub fn new(fractions: [f64; 4], config: &SystemConfig, expected_accesses: u64) -> Self {
+        Self::try_new(fractions, config, expected_accesses)
+            .unwrap_or_else(|report| panic!("{}", report.diagnostics()[0].message))
+    }
+
+    /// Builds the model, reporting a denormalized service distribution as a
+    /// coded diagnostic (P012: the reuse-distance CDF must be monotone and
+    /// normalized) instead of panicking.
+    pub fn try_new(
+        fractions: [f64; 4],
+        config: &SystemConfig,
+        expected_accesses: u64,
+    ) -> Result<Self, simcheck::Report> {
         let sum: f64 = fractions.iter().sum();
-        assert!(
-            (sum - 1.0).abs() < 1e-6 && fractions.iter().all(|&f| f >= 0.0),
-            "service fractions must be non-negative and sum to 1, got {fractions:?}"
-        );
+        if !((sum - 1.0).abs() < 1e-6 && fractions.iter().all(|&f| f >= 0.0)) {
+            let mut report = simcheck::Report::new();
+            report.push(simcheck::Diagnostic::new(
+                &simcheck::codes::P012,
+                simcheck::Span::field("locality_model", "fractions"),
+                format!("service fractions must be non-negative and sum to 1, got {fractions:?}"),
+            ));
+            return Err(report);
+        }
         let [mut f1, mut f2, mut f3, mut f4] = fractions;
         let l1_lines = (config.l1d.size_bytes / config.l1d.line_bytes) as f64;
         let l2_lines = (config.l2.size_bytes / config.l2.line_bytes) as f64;
@@ -114,7 +132,7 @@ impl LocalityModel {
         // Stream: long enough that it never wraps within a run.
         let stream_lines = (64.0 * l3_lines) as u64;
 
-        LocalityModel {
+        Ok(LocalityModel {
             cum: [f1, f1 + f2, f1 + f2 + f3],
             hot_lines,
             w2_lines,
@@ -123,7 +141,7 @@ impl LocalityModel {
             w3_cursor: 0,
             stream_lines,
             stream_cursor: 0,
-        }
+        })
     }
 
     /// Draws the next data address.

@@ -7,9 +7,15 @@
 //! - [`uarch_sim`] — cache / branch-predictor / pipeline simulator with perf-style counters.
 //! - [`stat_analysis`] — PCA, hierarchical clustering, Pareto analysis.
 //! - [`simstore`] — content-addressed result store + fault-tolerant scheduler.
+//! - [`simcheck`] — static model-analysis diagnostics (rule codes, spans, renderers).
+//! - [`perfmon`] — structured span/event observability with a JSONL sink.
 //! - [`workchar`] — the paper's characterization + subsetting pipeline.
 //! - [`simreport`] — table and figure rendering.
 
+#![forbid(unsafe_code)]
+
+pub use perfmon;
+pub use simcheck;
 pub use simreport;
 pub use simstore;
 pub use stat_analysis;
