@@ -86,6 +86,18 @@ fn bench_engine(r: &mut Runner) {
         let mut engine = Engine::new(&config);
         black_box(engine.run_with(gen, &WorkloadHints::default(), &sampled))
     });
+    // Paired with engine_run_100k above: with metrics enabled, the engine
+    // pays one histogram record and two counter adds per *run* (never per
+    // op), and the generator one counter add per drop, so the ratio of the
+    // two medians is the simmetrics overhead the design budgets at <5%.
+    simmetrics::enable();
+    r.bench("engine_run_100k_metrics_enabled", || {
+        let gen =
+            TraceGenerator::new(&Behavior::default(), &config, 7, 100_000).expect("valid behavior");
+        let mut engine = Engine::new(&config);
+        black_box(engine.run_with(gen, &WorkloadHints::default(), &RunOptions::new()))
+    });
+    simmetrics::disable();
 }
 
 fn bench_pca(r: &mut Runner) {

@@ -17,6 +17,8 @@ pub enum Family {
     Result,
     /// `E…` — perfmon JSONL event-stream schema (perfmon).
     Events,
+    /// `M…` — metric registry hygiene (simmetrics).
+    Metrics,
 }
 
 impl Family {
@@ -27,6 +29,7 @@ impl Family {
             Family::Config => "config",
             Family::Result => "result",
             Family::Events => "events",
+            Family::Metrics => "metrics",
         }
     }
 }
@@ -390,6 +393,41 @@ pub mod codes {
         "JSONL appenders terminate every record with a newline; a \
          missing final newline means the last write was cut off \
          mid-record and later appends would corrupt it.");
+
+    // ---------------------------------------------------------------- M: metrics
+
+    rule!(pub M001, "M001", "metric-name-charset", Error, Metrics,
+        "metric name is not Prometheus-legal",
+        "Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]* and \
+         be non-empty. An illegal name renders the whole /metrics page \
+         unparseable for a scraper, silently losing every other series \
+         exposed alongside it.");
+    rule!(pub M002, "M002", "metric-duplicate", Error, Metrics,
+        "metric name registered more than once",
+        "Two registrations under one name (same or different kinds) emit \
+         duplicate series: scrapers either reject the page or keep an \
+         arbitrary one, and dashboards silently read whichever survived. \
+         Every metric name must be registered exactly once per process.");
+    rule!(pub M003, "M003", "label-name-charset", Error, Metrics,
+        "label name is not Prometheus-legal",
+        "Label names must match [a-zA-Z_][a-zA-Z0-9_]* and must not start \
+         with '__', which Prometheus reserves for internally generated \
+         labels (__name__, __address__). Illegal labels break the \
+         exposition parse exactly like illegal metric names.");
+    rule!(pub M004, "M004", "label-duplicate", Error, Metrics,
+        "duplicate label name on one metric",
+        "A series key is the sorted set of its label pairs; repeating a \
+         label name within one metric makes the key ambiguous, and \
+         Prometheus rejects the scrape. Each label name may appear at \
+         most once per metric.");
+    rule!(pub M005, "M005", "metric-suffix-convention", Warning, Metrics,
+        "metric name violates the suffix conventions for its kind",
+        "Convention carries meaning for downstream tooling: counters end \
+         in '_total' (rate() targets), while no metric may end in the \
+         histogram-reserved suffixes '_bucket', '_sum', or '_count' — the \
+         exposition writer appends those itself, so a base name carrying \
+         one collides with its own derived series. Gauges ending in \
+         '_total' read as counters and get mis-aggregated.");
 }
 
 /// Every registered rule, in catalog order.
@@ -453,6 +491,11 @@ pub static CATALOG: &[&RuleCode] = &[
     &codes::E009,
     &codes::E010,
     &codes::E011,
+    &codes::M001,
+    &codes::M002,
+    &codes::M003,
+    &codes::M004,
+    &codes::M005,
 ];
 
 /// Looks up a rule by its code, case-insensitively (`"p004"` finds `P004`).
@@ -491,6 +534,7 @@ mod tests {
                 Family::Config => 'C',
                 Family::Result => 'R',
                 Family::Events => 'E',
+                Family::Metrics => 'M',
             };
             assert!(
                 rule.code.starts_with(family_letter),

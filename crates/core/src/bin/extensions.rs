@@ -4,6 +4,7 @@
 //! ```text
 //! extensions [--results DIR] [--no-cache] [--cache-dir DIR]
 //!            [--lint] [--deny-warnings] [--timeline] [--events FILE]
+//!            [--serve-metrics ADDR]
 //! ```
 //!
 //! `--lint` statically checks the rate-suite profiles and the system
@@ -18,8 +19,11 @@
 //! Observability mirrors `reproduce`: `--timeline` samples per-pair counter
 //! timelines for the rate-suite characterization (artifacts under
 //! `<results>/timelines/`), `--events FILE` streams perfmon JSONL, and a
-//! per-stage summary table prints to stderr on exit. Errors render on
-//! stderr and exit nonzero.
+//! per-stage summary table prints to stderr on exit. Process metrics are
+//! always on — `--serve-metrics ADDR` scrapes them live, a final snapshot
+//! lands in `<results>/metrics.json`, and a panic dumps the flight
+//! recorder to `<results>/flight-recorder.json`. Errors render on stderr
+//! and exit nonzero.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -46,6 +50,7 @@ struct Options {
     deny_warnings: bool,
     timeline: bool,
     events: Option<PathBuf>,
+    serve_metrics: Option<String>,
 }
 
 fn parse_args() -> Result<Options> {
@@ -57,6 +62,7 @@ fn parse_args() -> Result<Options> {
         deny_warnings: false,
         timeline: false,
         events: None,
+        serve_metrics: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -82,6 +88,11 @@ fn parse_args() -> Result<Options> {
                     Some(PathBuf::from(args.next().ok_or_else(|| {
                         Error::Usage("--events needs a file path".to_string())
                     })?));
+            }
+            "--serve-metrics" => {
+                opts.serve_metrics = Some(args.next().ok_or_else(|| {
+                    Error::Usage("--serve-metrics needs an address like 127.0.0.1:9184".to_string())
+                })?);
             }
             other => {
                 return Err(Error::Usage(format!("unknown argument '{other}'")));
@@ -109,6 +120,18 @@ fn main() -> ExitCode {
 }
 
 fn real_main(opts: Options) -> Result<()> {
+    simmetrics::enable();
+    workchar::telemetry::register_pipeline_metrics();
+    simmetrics::flight::install_dump(&opts.results_dir.join("flight-recorder.json"));
+    let _metrics_server = match &opts.serve_metrics {
+        Some(addr) => {
+            let server = simmetrics::http::serve(addr)?;
+            eprintln!("serving metrics on http://{}/metrics", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
+
     let recorder = match &opts.events {
         Some(path) => Recorder::to_path(path)?,
         None => Recorder::in_memory(),
@@ -206,7 +229,18 @@ fn real_main(opts: Options) -> Result<()> {
     }
     span.finish();
     if let Some(ctx) = &cache {
-        eprintln!("cache: {}", ctx.stats.snapshot());
+        let snap = ctx.stats.snapshot();
+        eprintln!("cache: {snap}");
+        recorder.stat(
+            "cache",
+            &[
+                ("hits", snap.hits.into()),
+                ("misses", snap.misses.into()),
+                ("hit_rate", snap.hit_rate().into()),
+                ("bytes_read", snap.bytes_read.into()),
+                ("bytes_written", snap.bytes_written.into()),
+            ],
+        );
     }
 
     if opts.timeline {
@@ -254,6 +288,12 @@ fn real_main(opts: Options) -> Result<()> {
     match std::fs::File::create(&path).and_then(|mut f| f.write_all(all.as_bytes())) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+    let metrics_path = opts.results_dir.join("metrics.json");
+    let rendered = simmetrics::json::render(&simmetrics::snapshot());
+    match std::fs::File::create(&metrics_path).and_then(|mut f| f.write_all(rendered.as_bytes())) {
+        Ok(()) => {}
+        Err(e) => eprintln!("warning: cannot write {}: {e}", metrics_path.display()),
     }
     eprint!("{}", recorder.render_summary());
     Ok(())

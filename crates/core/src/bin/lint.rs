@@ -2,20 +2,23 @@
 //! events files without running any simulation.
 //!
 //! ```text
-//! lint [--all] [--profiles] [--config] [--cache-dir DIR] [--events FILE]...
-//!      [--quick] [--json] [--deny-warnings] [--explain CODE]
+//! lint [--all] [--profiles] [--config] [--metrics] [--cache-dir DIR]
+//!      [--events FILE]... [--quick] [--json] [--deny-warnings]
+//!      [--explain CODE]
 //! ```
 //!
-//! `--all` lints the shipped CPU2017 + CPU2006 rosters and the Haswell
-//! system configuration, and — when the default cache directory
-//! (`results/cache`) exists — audits every cached record's counter
-//! identities. Individual passes can be selected with `--profiles`,
-//! `--config`, `--cache-dir DIR`, and `--events FILE` (repeatable).
+//! `--all` lints the shipped CPU2017 + CPU2006 rosters, the Haswell
+//! system configuration, and the pipeline's metric registry, and — when
+//! the default cache directory (`results/cache`) exists — audits every
+//! cached record's counter identities. Individual passes can be selected
+//! with `--profiles`, `--config`, `--metrics`, `--cache-dir DIR`, and
+//! `--events FILE` (repeatable).
 //!
 //! Every violation carries a stable rule code (`P...` profile, `C...`
-//! config, `R...` result, `E...` events); `--explain CODE` prints the
-//! catalog entry for one rule. Exits 0 when clean, 1 when any error (or,
-//! under `--deny-warnings`, any warning) was found, 2 on usage errors.
+//! config, `R...` result, `E...` events, `M...` metrics); `--explain CODE`
+//! prints the catalog entry for one rule. Exits 0 when clean, 1 when any
+//! error (or, under `--deny-warnings`, any warning) was found, 2 on usage
+//! errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,6 +32,7 @@ use workload_synth::{cpu2006, cpu2017};
 struct Options {
     profiles: bool,
     config: bool,
+    metrics: bool,
     cache_dir: Option<PathBuf>,
     events: Vec<PathBuf>,
     quick: bool,
@@ -40,6 +44,7 @@ fn parse_args() -> Result<Option<Options>> {
     let mut opts = Options {
         profiles: false,
         config: false,
+        metrics: false,
         cache_dir: None,
         events: Vec::new(),
         quick: false,
@@ -52,6 +57,7 @@ fn parse_args() -> Result<Option<Options>> {
             "--all" => {
                 opts.profiles = true;
                 opts.config = true;
+                opts.metrics = true;
                 // Audit the default cache location only if a cache exists
                 // there; a fresh checkout must still lint clean.
                 let default_cache = PathBuf::from("results/cache");
@@ -61,6 +67,7 @@ fn parse_args() -> Result<Option<Options>> {
             }
             "--profiles" => opts.profiles = true,
             "--config" => opts.config = true,
+            "--metrics" => opts.metrics = true,
             "--quick" => opts.quick = true,
             "--json" => opts.json = true,
             "--deny-warnings" => opts.deny_warnings = true,
@@ -87,7 +94,7 @@ fn parse_args() -> Result<Option<Options>> {
                     }
                     None => {
                         return Err(Error::Usage(format!(
-                            "unknown rule code '{code}' (codes are P/C/R/Exxx; see DESIGN.md)"
+                            "unknown rule code '{code}' (codes are P/C/R/E/Mxxx; see DESIGN.md)"
                         )));
                     }
                 }
@@ -101,8 +108,11 @@ fn parse_args() -> Result<Option<Options>> {
             }
         }
     }
-    let selected_any =
-        opts.profiles || opts.config || opts.cache_dir.is_some() || !opts.events.is_empty();
+    let selected_any = opts.profiles
+        || opts.config
+        || opts.metrics
+        || opts.cache_dir.is_some()
+        || !opts.events.is_empty();
     if !selected_any {
         return Err(Error::Usage(
             "nothing to lint; pass --all or select passes (see --help)".to_string(),
@@ -146,6 +156,15 @@ fn run(opts: &Options) -> Result<Report> {
                 cpu06.len()
             );
         }
+    }
+
+    if opts.metrics {
+        // Register every metric the pipeline can emit, then lint the
+        // registry itself — names, labels, and suffix conventions.
+        workchar::telemetry::register_pipeline_metrics();
+        let snapshot = simmetrics::snapshot();
+        eprintln!("linted {} registered metric series", snapshot.series.len());
+        report.merge(simmetrics::lint::check_snapshot(&snapshot));
     }
 
     if let Some(dir) = &opts.cache_dir {
@@ -201,12 +220,16 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     println!(
-        "usage: lint [--all] [--profiles] [--config] [--cache-dir DIR] \
+        "usage: lint [--all] [--profiles] [--config] [--metrics] [--cache-dir DIR] \
          [--events FILE]... [--quick] [--json] [--deny-warnings] [--explain CODE]"
     );
-    println!("  --all            lint shipped rosters + config (+ results/cache if present)");
+    println!(
+        "  --all            lint shipped rosters + config + metric registry \
+         (+ results/cache if present)"
+    );
     println!("  --profiles       lint the CPU2017 and CPU2006 behavior profiles (P-rules)");
     println!("  --config         lint the system configuration (C-rules)");
+    println!("  --metrics        lint the pipeline's metric registry (M-rules)");
     println!("  --cache-dir DIR  audit every cached record in DIR (R-rules)");
     println!("  --events FILE    audit a perfmon JSONL stream (E-rules; repeatable)");
     println!("  --quick          use the reduced-fidelity run configuration");

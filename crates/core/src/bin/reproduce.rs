@@ -3,7 +3,8 @@
 //! ```text
 //! reproduce [--quick] [--markdown] [--results DIR]
 //!           [--no-cache] [--cache-dir DIR]
-//!           [--timeline] [--events FILE] [table1 .. fig10]
+//!           [--timeline] [--events FILE] [--serve-metrics ADDR]
+//!           [table1 .. fig10]
 //! ```
 //!
 //! With no experiment arguments, all twenty artifacts are produced. Each is
@@ -17,8 +18,13 @@
 //! per pair (written as CSV + SVG sparkline under `<results>/timelines/`;
 //! sampled runs bypass the result cache), and `--events FILE` streams
 //! structured perfmon span/event records as JSONL. A per-stage summary table
-//! (wall time, peak RSS, throughput) prints to stderr at the end of every
-//! run. Any pipeline error renders on stderr and exits nonzero.
+//! (wall time, peak RSS, throughput, cache statistics) prints to stderr at
+//! the end of every run. Process metrics are always on: `--serve-metrics
+//! ADDR` scrapes them live (Prometheus text at `/metrics`, JSON at
+//! `/metrics.json`), a final snapshot lands in `<results>/metrics.json`,
+//! and a panic dumps the flight recorder's last events to
+//! `<results>/flight-recorder.json`. Any pipeline error renders on stderr
+//! and exits nonzero.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -42,6 +48,7 @@ struct Options {
     deny_warnings: bool,
     timeline: bool,
     events: Option<PathBuf>,
+    serve_metrics: Option<String>,
     results_dir: PathBuf,
     cache_dir: PathBuf,
     selected: Vec<ExperimentId>,
@@ -56,6 +63,7 @@ fn parse_args() -> Result<Option<Options>> {
         deny_warnings: false,
         timeline: false,
         events: None,
+        serve_metrics: None,
         results_dir: PathBuf::from("results"),
         cache_dir: PathBuf::from("results/cache"),
         selected: Vec::new(),
@@ -74,6 +82,11 @@ fn parse_args() -> Result<Option<Options>> {
                     Some(PathBuf::from(args.next().ok_or_else(|| {
                         Error::Usage("--events needs a file path".to_string())
                     })?));
+            }
+            "--serve-metrics" => {
+                opts.serve_metrics = Some(args.next().ok_or_else(|| {
+                    Error::Usage("--serve-metrics needs an address like 127.0.0.1:9184".to_string())
+                })?);
             }
             "--results" => {
                 opts.results_dir = PathBuf::from(
@@ -125,6 +138,21 @@ fn main() -> ExitCode {
 }
 
 fn real_main(opts: Options) -> Result<()> {
+    // Metrics are on for the whole run: the substrate crates' counters are
+    // sentinel-gated and cost one atomic add per hit, and the flight
+    // recorder dumps its last events to the results directory on panic.
+    simmetrics::enable();
+    workchar::telemetry::register_pipeline_metrics();
+    simmetrics::flight::install_dump(&opts.results_dir.join("flight-recorder.json"));
+    let _metrics_server = match &opts.serve_metrics {
+        Some(addr) => {
+            let server = simmetrics::http::serve(addr)?;
+            eprintln!("serving metrics on http://{}/metrics", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
+
     let recorder = match &opts.events {
         Some(path) => Recorder::to_path(path)?,
         None => Recorder::in_memory(),
@@ -212,7 +240,18 @@ fn real_main(opts: Options) -> Result<()> {
         data.cpu06.len(),
     );
     if let Some(ctx) = &cache {
-        eprintln!("cache: {}", ctx.stats.snapshot());
+        let snap = ctx.stats.snapshot();
+        eprintln!("cache: {snap}");
+        recorder.stat(
+            "cache",
+            &[
+                ("hits", snap.hits.into()),
+                ("misses", snap.misses.into()),
+                ("hit_rate", snap.hit_rate().into()),
+                ("bytes_read", snap.bytes_read.into()),
+                ("bytes_written", snap.bytes_written.into()),
+            ],
+        );
     }
 
     std::fs::create_dir_all(&opts.results_dir)?;
@@ -285,6 +324,14 @@ fn real_main(opts: Options) -> Result<()> {
         println!("{name}: {c:+.3}");
     }
 
+    // Final metric snapshot — the same series the HTTP endpoint serves,
+    // persisted for offline inspection.
+    write_file(
+        &opts.results_dir,
+        "metrics.json",
+        &simmetrics::json::render(&simmetrics::snapshot()),
+    );
+
     eprint!("{}", recorder.render_summary());
     Ok(())
 }
@@ -301,7 +348,8 @@ fn print_usage() {
     println!(
         "usage: reproduce [--quick] [--markdown] [--results DIR] \
          [--no-cache] [--cache-dir DIR] [--lint] [--deny-warnings] \
-         [--timeline] [--events FILE] [table1..table10 fig1..fig10]"
+         [--timeline] [--events FILE] [--serve-metrics ADDR] \
+         [table1..table10 fig1..fig10]"
     );
     println!("  --no-cache    re-simulate everything; do not read or write the result cache");
     println!("  --cache-dir   result-cache directory (default results/cache)");
@@ -311,6 +359,9 @@ fn print_usage() {
         "  --timeline    sample a per-pair counter timeline (CSV + SVG under results/timelines)"
     );
     println!("  --events      write perfmon span/event records as JSONL to FILE");
+    println!(
+        "  --serve-metrics  serve Prometheus text at http://ADDR/metrics (JSON at /metrics.json)"
+    );
     println!("experiments:");
     for id in ExperimentId::ALL {
         println!("  {id}");

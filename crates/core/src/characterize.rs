@@ -221,7 +221,9 @@ pub fn prepared_run(
 /// [`Error::Behavior`] when the pair's profile fails validation.
 pub fn characterize_pair(pair: &AppInputPair<'_>, config: &RunConfig) -> Result<CharRecord> {
     let behavior = &pair.input.behavior;
+    let prepare = crate::telemetry::stage_prepare_micros().start_timer();
     let (trace, hints) = prepared_run(pair, config)?;
+    drop(prepare);
     let sim_ops = trace.remaining();
 
     // A third of the trace warms caches and predictor so steady-state
@@ -230,7 +232,9 @@ pub fn characterize_pair(pair: &AppInputPair<'_>, config: &RunConfig) -> Result<
     let mut opts = RunOptions::new().warmup(warmup);
     opts.sampler = config.sampler;
     let mut engine = Engine::new(&config.system);
+    let simulate = crate::telemetry::stage_simulate_micros().start_timer();
     let session = engine.run_with(trace, &hints, &opts);
+    drop(simulate);
     let sim_seconds = engine.seconds(&session);
     let counted = session.count(Event::InstRetiredAny).max(1) as f64;
     let breakdown = engine.last_breakdown().expect("run just completed");
@@ -243,9 +247,11 @@ pub fn characterize_pair(pair: &AppInputPair<'_>, config: &RunConfig) -> Result<
     } else {
         GrowthCurve::Saturating
     };
+    let footprint = crate::telemetry::stage_footprint_micros().start_timer();
     let map = MemoryMap::from_behavior(behavior, growth);
     let mut sampler = PsSampler::new();
     sampler.sample_run(&map, 60);
+    drop(footprint);
 
     let gib = |bytes: u64| bytes as f64 / (1u64 << 30) as f64;
     let ipc = session.ipc();
@@ -259,6 +265,7 @@ pub fn characterize_pair(pair: &AppInputPair<'_>, config: &RunConfig) -> Result<
         0.0
     };
 
+    crate::telemetry::pairs_characterized().inc();
     Ok(CharRecord {
         id: pair.id(),
         app: pair.app.name.clone(),

@@ -62,3 +62,4 @@ pub mod redundancy;
 pub mod sensitivity;
 pub mod subset;
 pub mod suitestats;
+pub mod telemetry;

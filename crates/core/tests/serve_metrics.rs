@@ -1,0 +1,74 @@
+//! Acceptance check for `--serve-metrics`: a live `reproduce` process must
+//! answer a scrape with a Prometheus exposition our own strict parser
+//! accepts, carrying the pipeline's registered series.
+//!
+//! The binary is spawned with port 0 and announces the bound address on
+//! stderr before any simulation starts, so the test scrapes immediately
+//! and then kills the child — run wall time never gates the test.
+
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::process::{Command, Stdio};
+
+#[test]
+fn reproduce_serves_a_parseable_prometheus_exposition() {
+    let results = std::env::temp_dir().join(format!("serve-metrics-{}", std::process::id()));
+    let mut child = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args([
+            "--quick",
+            "--no-cache",
+            "--serve-metrics",
+            "127.0.0.1:0",
+            "--results",
+        ])
+        .arg(&results)
+        .arg("table2")
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn reproduce");
+
+    // The announce line is the first thing real_main prints.
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut lines = std::io::BufReader::new(stderr).lines();
+    let addr: SocketAddr = loop {
+        let line = lines
+            .next()
+            .expect("stderr closed before the serving line")
+            .expect("read stderr");
+        if let Some(rest) = line.strip_prefix("serving metrics on http://") {
+            let addr = rest.strip_suffix("/metrics").expect("announce format");
+            break addr.parse().expect("bound address");
+        }
+    };
+
+    let scrape = simmetrics::http::get(addr, "/metrics");
+    let json_scrape = simmetrics::http::get(addr, "/metrics.json");
+    child.kill().ok();
+    child.wait().ok();
+    std::fs::remove_dir_all(&results).ok();
+
+    let (status, body) = scrape.expect("scrape the live process");
+    assert!(status.contains("200"), "{status}");
+    let doc = simmetrics::prometheus::parse(&body).expect("exposition parses strictly");
+    // Registration happens at startup, so every family is present even
+    // before the first pair finishes.
+    for name in [
+        "simstore_cache_hits_total",
+        "simstore_jobs_total",
+        "uarch_ops_retired_total",
+        "workload_uops_generated_total",
+        "workchar_pairs_characterized_total",
+    ] {
+        assert!(doc.sample(name).is_some(), "missing {name} in:\n{body}");
+    }
+    assert_eq!(
+        doc.type_of("workchar_stage_simulate_micros"),
+        Some("histogram"),
+        "stage latency histogram not typed in:\n{body}"
+    );
+
+    let (status, body) = json_scrape.expect("scrape json route");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"schema\":1"), "{body}");
+}

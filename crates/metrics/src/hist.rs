@@ -1,0 +1,321 @@
+//! Log-linear histograms with bounded-error quantile estimation.
+//!
+//! Observations are non-negative integers (the pipeline records
+//! microseconds). Buckets are log-linear: values below 16 get exact
+//! single-value buckets, and every power-of-two range `[2^m, 2^(m+1))`
+//! above that is split into 16 linear sub-buckets. A bucket's width is
+//! therefore at most 1/16 of its lower bound, which bounds the relative
+//! error of any reported quantile at 6.25% — the classic HdrHistogram
+//! trade: fixed memory (976 atomic buckets, ~7.7 KiB), lock-free
+//! recording, and quantiles that are wrong by at most one sub-bucket.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::is_enabled;
+
+/// Single-value buckets below this threshold (must be a power of two).
+const LINEAR_MAX: u64 = 16;
+/// Sub-buckets per power-of-two range above the linear region.
+const SUBS: u64 = 16;
+/// Total bucket count: 16 linear + 60 ranges (m = 4..=63) x 16 subs.
+const BUCKETS: usize = 976;
+
+/// The bucket holding value `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        v as usize
+    } else {
+        let m = 63 - u64::from(v.leading_zeros()); // floor(log2 v), >= 4
+        let sub = (v >> (m - 4)) - SUBS; // 0..16 within the range
+        (LINEAR_MAX + (m - 4) * SUBS + sub) as usize
+    }
+}
+
+/// The largest value stored in bucket `index` (inclusive upper bound).
+fn bucket_upper(index: usize) -> u64 {
+    if index < LINEAR_MAX as usize {
+        index as u64
+    } else {
+        let m = 4 + (index - LINEAR_MAX as usize) as u64 / SUBS;
+        let sub = (index - LINEAR_MAX as usize) as u64 % SUBS;
+        let width = 1u64 << (m - 4);
+        let lower = (SUBS + sub) << (m - 4);
+        lower + (width - 1)
+    }
+}
+
+struct Core {
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` until the first observation.
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+/// A lock-free log-linear histogram. Cloning shares the underlying cells.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<Core>,
+}
+
+impl Histogram {
+    /// A standalone histogram (the registry wraps this; tests use it
+    /// directly).
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            core: Arc::new(Core {
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+                buckets: buckets.into_boxed_slice(),
+            }),
+        }
+    }
+
+    /// Records one observation (no-op while metrics are disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !is_enabled() {
+            return;
+        }
+        let c = &self.core;
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.min.fetch_min(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+        c.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Starts a wall-clock timer that records elapsed **microseconds** on
+    /// drop. While metrics are disabled the timer never reads the clock.
+    pub fn start_timer(&self) -> Timer {
+        Timer {
+            hist: self.clone(),
+            start: is_enabled().then(Instant::now),
+        }
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.core.sum.load(Ordering::Relaxed)
+    }
+
+    /// An upper bound for the `q`-quantile (`0.0 < q <= 1.0`), or `None`
+    /// on an empty histogram. The bound is the inclusive upper edge of the
+    /// first bucket whose cumulative count reaches `ceil(q * count)`,
+    /// clamped to the exact observed maximum — so relative error is at
+    /// most one sub-bucket width (6.25%) and `quantile(1.0)` is exact.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let c = &self.core;
+        let count = c.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return None;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (i, bucket) in c.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= target {
+                return Some(bucket_upper(i).min(c.max.load(Ordering::Relaxed)));
+            }
+        }
+        // Racing writers may have bumped `count` after our bucket reads;
+        // the maximum is the correct answer for any tail quantile.
+        Some(c.max.load(Ordering::Relaxed))
+    }
+
+    /// Freezes the current state (count, sum, extrema, non-empty buckets,
+    /// and the three headline quantiles).
+    pub fn snapshot(&self) -> HistSnapshot {
+        let c = &self.core;
+        let count = c.count.load(Ordering::Relaxed);
+        let min = c.min.load(Ordering::Relaxed);
+        HistSnapshot {
+            count,
+            sum: c.sum.load(Ordering::Relaxed),
+            min: (min != u64::MAX).then_some(min),
+            max: (count > 0).then(|| c.max.load(Ordering::Relaxed)),
+            buckets: c
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then(|| (bucket_upper(i), n))
+                })
+                .collect(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Scope guard from [`Histogram::start_timer`]: records elapsed
+/// microseconds when dropped.
+pub struct Timer {
+    hist: Histogram,
+    start: Option<Instant>,
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.hist.record(start.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+/// A histogram frozen at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Exact smallest observation, if any.
+    pub min: Option<u64>,
+    /// Exact largest observation, if any.
+    pub max: Option<u64>,
+    /// Non-empty buckets as `(inclusive upper bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+    /// Median upper bound.
+    pub p50: Option<u64>,
+    /// 90th-percentile upper bound.
+    pub p90: Option<u64>,
+    /// 99th-percentile upper bound.
+    pub p99: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support;
+
+    #[test]
+    fn bucket_layout_is_exhaustive_and_monotone() {
+        // Every bucket's upper bound maps back to its own index, bounds
+        // strictly increase, and the last bucket absorbs u64::MAX.
+        let mut prev = None;
+        for i in 0..BUCKETS {
+            let upper = bucket_upper(i);
+            assert_eq!(bucket_index(upper), i, "upper bound of bucket {i}");
+            if let Some(p) = prev {
+                assert!(upper > p, "bounds must increase at bucket {i}");
+                // Lower edge = previous upper + 1: no gaps, no overlap.
+                assert_eq!(bucket_index(p + 1), i, "gap below bucket {i}");
+            }
+            prev = Some(upper);
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn boundary_values_land_in_exact_linear_buckets() {
+        for v in 0..LINEAR_MAX {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+        // First log-linear bucket starts exactly at 16 with width 1.
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_upper(16), 16);
+        // Width doubles each power of two: [32,33] share a bucket.
+        assert_eq!(bucket_index(32), bucket_index(33));
+        assert_ne!(bucket_index(33), bucket_index(34));
+    }
+
+    #[test]
+    fn quantiles_bound_a_known_uniform_distribution() {
+        let _on = test_support::enabled();
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        // Exact quantiles are 5000 / 9000 / 9900; estimates may only
+        // round *up* to a bucket edge, by at most 6.25%.
+        for (q, exact) in [(0.50, 5_000.0), (0.90, 9_000.0), (0.99, 9_900.0)] {
+            let est = h.quantile(q).unwrap() as f64;
+            assert!(est >= exact, "q{q}: {est} underestimates {exact}");
+            assert!(
+                est <= exact * 1.0625,
+                "q{q}: {est} exceeds the 6.25% error bound on {exact}"
+            );
+        }
+        assert_eq!(h.quantile(1.0), Some(10_000), "p100 is the exact max");
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.sum(), 10_000 * 10_001 / 2);
+    }
+
+    #[test]
+    fn quantiles_bound_a_two_mode_distribution() {
+        let _on = test_support::enabled();
+        let h = Histogram::new();
+        // 90 fast ops at 100us, 10 slow ops at 50_000us.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(50_000);
+        }
+        let p50 = h.quantile(0.50).unwrap();
+        assert!((100..=106).contains(&p50), "p50 {p50} should sit near 100");
+        assert_eq!(h.quantile(0.99), Some(50_000), "p99 clamps to exact max");
+        let snap = h.snapshot();
+        assert_eq!(snap.min, Some(100));
+        assert_eq!(snap.max, Some(50_000));
+        assert_eq!(snap.buckets.iter().map(|(_, n)| n).sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn empty_and_disabled_histograms_stay_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        let snap = h.snapshot();
+        assert_eq!((snap.count, snap.min, snap.max), (0, None, None));
+        h.record(42); // metrics disabled: must not record
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn zero_and_extreme_values_record_safely() {
+        let _on = test_support::enabled();
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.snapshot().min, Some(0));
+        assert_eq!(h.snapshot().max, Some(u64::MAX));
+        assert_eq!(h.quantile(0.25), Some(0));
+    }
+
+    #[test]
+    fn timer_records_microseconds_only_when_enabled() {
+        let h = Histogram::new();
+        drop(h.start_timer()); // disabled: no clock read, no record
+        assert_eq!(h.count(), 0);
+        let _on = test_support::enabled();
+        {
+            let _t = h.start_timer();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 2_000, "2ms sleep is at least 2000us");
+    }
+}

@@ -1,0 +1,174 @@
+//! A std-only, single-threaded HTTP scrape endpoint.
+//!
+//! `serve("127.0.0.1:9100")` binds a listener and spawns one thread that
+//! answers `GET /metrics` (Prometheus text exposition) and
+//! `GET /metrics.json` (the JSON snapshot) from the global registry. It is
+//! deliberately minimal — one connection at a time, no keep-alive, no TLS —
+//! because its only job is letting a scraper poll a live `reproduce` run.
+//! Bind port 0 to let the OS pick (tests do); [`Server::local_addr`]
+//! reports the real address.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::{json, prometheus};
+
+/// A running scrape endpoint. Dropping it (or calling [`Server::stop`])
+/// shuts the listener thread down.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// Binds `addr` and serves the global registry until the returned
+/// [`Server`] is stopped or dropped.
+pub fn serve(addr: &str) -> io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("simmetrics-http".to_string())
+        .spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = answer(stream);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+        })?;
+    Ok(Server {
+        addr: local,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+impl Server {
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn answer(mut stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    let mut request = Vec::new();
+    let mut chunk = [0u8; 1024];
+    // Read until the end of the request head; scrape requests have no body.
+    while !request.windows(4).any(|w| w == b"\r\n\r\n") && request.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => request.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&request);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            prometheus::CONTENT_TYPE,
+            prometheus::render(&crate::snapshot()),
+        ),
+        ("GET", "/metrics.json") => (
+            "200 OK",
+            json::CONTENT_TYPE,
+            json::render(&crate::snapshot()),
+        ),
+        ("GET", _) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; routes are /metrics and /metrics.json\n".to_string(),
+        ),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        ),
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// A minimal scrape client for tests and the acceptance check: one GET,
+/// returns `(status line, body)`.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<(String, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header/body split"))?;
+    let status = head.lines().next().unwrap_or("").to_string();
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support;
+
+    #[test]
+    fn serves_prometheus_and_json_routes() {
+        let _on = test_support::enabled();
+        crate::counter("t_http_requests_total", "x").add(9);
+        let server = serve("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/metrics").expect("scrape");
+        assert!(status.contains("200"), "{status}");
+        let doc = crate::prometheus::parse(&body).expect("valid exposition");
+        let sample = doc.sample("t_http_requests_total").expect("sample present");
+        assert!(sample.value >= 9.0);
+
+        let (status, body) = get(addr, "/metrics.json").expect("scrape json");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"t_http_requests_total\""));
+
+        let (status, _) = get(addr, "/nope").expect("404 route");
+        assert!(status.contains("404"), "{status}");
+        server.stop();
+    }
+}

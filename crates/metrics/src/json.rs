@@ -1,0 +1,127 @@
+//! JSON snapshot rendering for `results/metrics.json` and the
+//! `/metrics.json` HTTP route.
+//!
+//! Schema 1, one document per snapshot:
+//!
+//! ```json
+//! {"schema":1,"metrics":[
+//!   {"name":"...","kind":"counter","labels":{...},"value":3},
+//!   {"name":"...","kind":"histogram","count":2,"sum":47,
+//!    "min":7,"max":40,"p50":7,"p90":41,"p99":41}
+//! ]}
+//! ```
+//!
+//! The workspace builds fully offline, so the escaper lives here rather
+//! than behind a dependency (same stance as `perfmon::json`).
+
+use std::fmt::Write as _;
+
+use crate::{SeriesValue, Snapshot};
+
+/// The JSON `Content-Type` for the HTTP route.
+pub const CONTENT_TYPE: &str = "application/json";
+
+/// Renders a snapshot as a schema-1 JSON document (one line, trailing
+/// newline).
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::from("{\"schema\":1,\"metrics\":[");
+    for (i, series) in snapshot.series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"kind\":\"{}\"",
+            escape(&series.name),
+            series.kind.as_str()
+        );
+        if !series.labels.is_empty() {
+            out.push_str(",\"labels\":{");
+            for (j, (k, v)) in series.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":\"{}\"", escape(k), escape(v));
+            }
+            out.push('}');
+        }
+        match &series.value {
+            SeriesValue::Counter(v) => {
+                let _ = write!(out, ",\"value\":{v}");
+            }
+            SeriesValue::Gauge(v) => {
+                let _ = write!(out, ",\"value\":{v}");
+            }
+            SeriesValue::Histogram(h) => {
+                let _ = write!(out, ",\"count\":{},\"sum\":{}", h.count, h.sum);
+                for (key, v) in [
+                    ("min", h.min),
+                    ("max", h.max),
+                    ("p50", h.p50),
+                    ("p90", h.p90),
+                    ("p99", h.p99),
+                ] {
+                    if let Some(v) = v {
+                        let _ = write!(out, ",\"{key}\":{v}");
+                    }
+                }
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+/// quotes).
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{test_support, Registry};
+
+    #[test]
+    fn snapshot_json_carries_values_and_quantiles() {
+        let _on = test_support::enabled();
+        let r = Registry::new();
+        r.counter("t_json_total", "x").add(3);
+        r.gauge("t_json_depth", "x").set(-4);
+        let h = r.histogram("t_json_micros", "x");
+        h.record(7);
+        h.record(40);
+        let text = render(&r.snapshot());
+        assert!(text.starts_with("{\"schema\":1,\"metrics\":["));
+        assert!(text.contains("\"name\":\"t_json_total\",\"kind\":\"counter\",\"value\":3"));
+        assert!(text.contains("\"name\":\"t_json_depth\",\"kind\":\"gauge\",\"value\":-4"));
+        assert!(text.contains("\"count\":2,\"sum\":47,\"min\":7,\"max\":40,\"p50\":7"));
+    }
+
+    #[test]
+    fn labels_and_strings_are_escaped() {
+        let r = Registry::new();
+        r.counter_with("t_json_esc_total", "x", &[("k", "a\"b\\c\nd")]);
+        let text = render(&r.snapshot());
+        assert!(
+            text.contains("\"labels\":{\"k\":\"a\\\"b\\\\c\\nd\"}"),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,428 @@
+//! Prometheus text exposition (format 0.0.4): a renderer over registry
+//! snapshots and a strict parser.
+//!
+//! The parser exists for the repo's own tests — the exposition golden test
+//! and the live-scrape acceptance test both parse what the renderer (or a
+//! running binary) produced, so a formatting regression fails in-tree
+//! instead of in someone's scraper.
+
+use std::fmt::Write as _;
+
+use crate::{HistSnapshot, SeriesValue, Snapshot};
+
+/// The `Content-Type` a 0.0.4 exposition endpoint must declare.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Renders a snapshot as text exposition. Series sharing a name emit one
+/// `# HELP`/`# TYPE` header (first registration wins) followed by every
+/// sample line; histograms expand to cumulative `_bucket{le=...}` lines
+/// plus `_sum` and `_count`.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for series in &snapshot.series {
+        if last_name != Some(series.name.as_str()) {
+            let _ = writeln!(out, "# HELP {} {}", series.name, escape_help(&series.help));
+            let _ = writeln!(out, "# TYPE {} {}", series.name, series.kind.as_str());
+            last_name = Some(series.name.as_str());
+        }
+        match &series.value {
+            SeriesValue::Counter(v) => {
+                let _ = writeln!(out, "{}{} {}", series.name, labels(&series.labels, &[]), v);
+            }
+            SeriesValue::Gauge(v) => {
+                let _ = writeln!(out, "{}{} {}", series.name, labels(&series.labels, &[]), v);
+            }
+            SeriesValue::Histogram(h) => {
+                render_histogram(&mut out, &series.name, &series.labels, h)
+            }
+        }
+    }
+    out
+}
+
+fn render_histogram(out: &mut String, name: &str, base: &[(String, String)], h: &HistSnapshot) {
+    let mut cumulative = 0u64;
+    for (upper, count) in &h.buckets {
+        cumulative += count;
+        let le = format!("{upper}");
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cumulative}",
+            labels(base, &[("le", &le)])
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{} {}",
+        labels(base, &[("le", "+Inf")]),
+        h.count
+    );
+    let _ = writeln!(out, "{name}_sum{} {}", labels(base, &[]), h.sum);
+    let _ = writeln!(out, "{name}_count{} {}", labels(base, &[]), h.count);
+}
+
+/// Formats a label set (constant labels plus extras like `le`), or an
+/// empty string when there are none.
+fn labels(base: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if base.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in base
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra.iter().copied())
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+    out
+}
+
+/// `# HELP` text escaping: backslash and newline only.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Label-value escaping: backslash, double quote, and newline.
+fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+// ------------------------------------------------------------------ parser
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sample name as written (histograms appear as `_bucket`/`_sum`/
+    /// `_count` samples).
+    pub name: String,
+    /// Label pairs in document order, escapes resolved.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (`+Inf` bucket bounds live in labels, not here).
+    pub value: f64,
+}
+
+/// A parsed exposition document.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    /// `# HELP` lines as (metric, text).
+    pub helps: Vec<(String, String)>,
+    /// `# TYPE` lines as (metric, type keyword).
+    pub types: Vec<(String, String)>,
+    /// Every sample line in document order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// The first sample with this exact name and no label requirements.
+    pub fn sample(&self, name: &str) -> Option<&Sample> {
+        self.samples.iter().find(|s| s.name == name)
+    }
+
+    /// The declared `# TYPE` for a metric, if any.
+    pub fn type_of(&self, name: &str) -> Option<&str> {
+        self.types
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t.as_str())
+    }
+}
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong.
+    pub what: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exposition line {}: {}", self.line, self.what)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Is `name` a legal Prometheus metric name?
+pub fn is_legal_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Is `name` a legal (non-reserved) Prometheus label name?
+pub fn is_legal_label_name(name: &str) -> bool {
+    if name.starts_with("__") {
+        return false;
+    }
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parses a text-exposition document. Strict: any malformed line is an
+/// error rather than a skip, because the in-tree golden tests want to
+/// catch drift, not tolerate it.
+pub fn parse(text: &str) -> Result<Exposition, ParseError> {
+    let mut doc = Exposition::default();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').unwrap_or((rest, ""));
+            check_name(name, lineno)?;
+            doc.helps.push((name.to_string(), help.to_string()));
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| err(lineno, "TYPE line missing a type keyword"))?;
+            check_name(name, lineno)?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(err(lineno, format!("unknown TYPE '{kind}'")));
+            }
+            doc.types.push((name.to_string(), kind.to_string()));
+        } else if line.starts_with('#') {
+            continue; // plain comment
+        } else {
+            doc.samples.push(parse_sample(line, lineno)?);
+        }
+    }
+    Ok(doc)
+}
+
+fn parse_sample(line: &str, lineno: usize) -> Result<Sample, ParseError> {
+    // name[{labels}] value
+    let name_end = line
+        .find(['{', ' '])
+        .ok_or_else(|| err(lineno, "sample line has no value"))?;
+    let name = &line[..name_end];
+    check_name(name, lineno)?;
+    let mut rest = &line[name_end..];
+    let mut labels = Vec::new();
+    if let Some(after_brace) = rest.strip_prefix('{') {
+        let (parsed, remainder) = parse_labels(after_brace, lineno)?;
+        labels = parsed;
+        rest = remainder;
+    }
+    let value_text = rest.trim();
+    if value_text.is_empty() {
+        return Err(err(lineno, "sample line has no value"));
+    }
+    let value = parse_value(value_text)
+        .ok_or_else(|| err(lineno, format!("unparseable sample value '{value_text}'")))?;
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_value(text: &str) -> Option<f64> {
+    match text {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse().ok(),
+    }
+}
+
+/// Label pairs parsed from one sample line.
+type Labels = Vec<(String, String)>;
+
+/// Parses `key="value",...}` (the opening brace already consumed),
+/// returning the labels and the text after the closing brace.
+fn parse_labels(mut rest: &str, lineno: usize) -> Result<(Labels, &str), ParseError> {
+    let mut labels = Vec::new();
+    loop {
+        rest = rest.trim_start_matches(',');
+        if let Some(after) = rest.strip_prefix('}') {
+            return Ok((labels, after));
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| err(lineno, "label without '='"))?;
+        let key = &rest[..eq];
+        if !is_legal_label_name(key) && key != "le" {
+            return Err(err(lineno, format!("illegal label name '{key}'")));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| err(lineno, "label value must be quoted"))?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let close = loop {
+            let (pos, c) = chars
+                .next()
+                .ok_or_else(|| err(lineno, "unterminated label value"))?;
+            match c {
+                '"' => break pos,
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!("bad escape '\\{}'", other.map_or(' ', |(_, c)| c)),
+                        ))
+                    }
+                },
+                c => value.push(c),
+            }
+        };
+        labels.push((key.to_string(), value));
+        rest = &rest[close + 1..];
+    }
+}
+
+fn check_name(name: &str, lineno: usize) -> Result<(), ParseError> {
+    if is_legal_metric_name(name) {
+        Ok(())
+    } else {
+        Err(err(lineno, format!("illegal metric name '{name}'")))
+    }
+}
+
+fn err(line: usize, what: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        what: what.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{test_support, Registry};
+
+    /// The exposition golden test: a registry with every metric kind and
+    /// an escaping-hostile label renders to exactly this document, and the
+    /// parser round-trips it.
+    #[test]
+    fn exposition_golden_roundtrip() {
+        let _on = test_support::enabled();
+        let r = Registry::new();
+        let c = r.counter("demo_requests_total", "Requests seen.");
+        let g = r.gauge("demo_queue_depth", "Jobs in flight.");
+        let h = r.histogram("demo_latency_micros", "Request latency.");
+        let l = r.counter_with(
+            "demo_tagged_total",
+            "Escaping: back\\slash and \"quote\".",
+            &[("path", "a\\b\"c\nd")],
+        );
+        c.add(3);
+        g.set(-2);
+        h.record(7);
+        h.record(40);
+        l.inc();
+
+        let text = render(&r.snapshot());
+        let expected = concat!(
+            "# HELP demo_latency_micros Request latency.\n",
+            "# TYPE demo_latency_micros histogram\n",
+            "demo_latency_micros_bucket{le=\"7\"} 1\n",
+            "demo_latency_micros_bucket{le=\"41\"} 2\n",
+            "demo_latency_micros_bucket{le=\"+Inf\"} 2\n",
+            "demo_latency_micros_sum 47\n",
+            "demo_latency_micros_count 2\n",
+            "# HELP demo_queue_depth Jobs in flight.\n",
+            "# TYPE demo_queue_depth gauge\n",
+            "demo_queue_depth -2\n",
+            "# HELP demo_requests_total Requests seen.\n",
+            "# TYPE demo_requests_total counter\n",
+            "demo_requests_total 3\n",
+            "# HELP demo_tagged_total Escaping: back\\\\slash and \"quote\".\n",
+            "# TYPE demo_tagged_total counter\n",
+            "demo_tagged_total{path=\"a\\\\b\\\"c\\nd\"} 1\n",
+        );
+        assert_eq!(text, expected);
+
+        let doc = parse(&text).expect("renderer output must parse");
+        assert_eq!(doc.type_of("demo_latency_micros"), Some("histogram"));
+        assert_eq!(doc.sample("demo_requests_total").unwrap().value, 3.0);
+        assert_eq!(doc.sample("demo_queue_depth").unwrap().value, -2.0);
+        let tagged = doc.sample("demo_tagged_total").unwrap();
+        assert_eq!(tagged.labels, vec![("path".into(), "a\\b\"c\nd".into())]);
+        let inf = doc
+            .samples
+            .iter()
+            .find(|s| s.name == "demo_latency_micros_bucket" && s.labels[0].1 == "+Inf")
+            .unwrap();
+        assert_eq!(inf.value, 2.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_le_labelled() {
+        let _on = test_support::enabled();
+        let r = Registry::new();
+        let h = r.histogram("t_cumulative", "x");
+        for v in [1u64, 1, 2, 100] {
+            h.record(v);
+        }
+        let doc = parse(&render(&r.snapshot())).unwrap();
+        let counts: Vec<f64> = doc
+            .samples
+            .iter()
+            .filter(|s| s.name == "t_cumulative_bucket")
+            .map(|s| s.value)
+            .collect();
+        // Cumulative: 2 (le=1), 3 (le=2), 4 (le~100), 4 (+Inf).
+        assert_eq!(counts, [2.0, 3.0, 4.0, 4.0]);
+        let mut sorted = counts.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(counts, sorted, "bucket counts must be non-decreasing");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for (text, needle) in [
+            ("1bad_name 3\n", "illegal metric name"),
+            ("ok_total\n", "no value"),
+            ("ok_total x\n", "unparseable sample value"),
+            ("ok_total{l=\"v} 1\n", "unterminated"),
+            ("ok_total{__res=\"v\"} 1\n", "illegal label name"),
+            ("# TYPE ok_total widget\n", "unknown TYPE"),
+        ] {
+            let e = parse(text).expect_err(text);
+            assert!(e.what.contains(needle), "{text:?} -> {e}");
+            assert_eq!(e.line, 1);
+        }
+        assert!(parse("ok_total 1\n# a comment\n\nok2_total 2\n").is_ok());
+    }
+
+    #[test]
+    fn name_legality_matches_prometheus_rules() {
+        for good in ["a", "_x", "a:b", "simstore_cache_hits_total", "A9_"] {
+            assert!(is_legal_metric_name(good), "{good}");
+        }
+        for bad in ["", "9a", "a-b", "a b", "café"] {
+            assert!(!is_legal_metric_name(bad), "{bad}");
+        }
+        assert!(is_legal_label_name("size"));
+        assert!(!is_legal_label_name("__reserved"));
+        assert!(!is_legal_label_name("le:"));
+    }
+}

@@ -124,8 +124,9 @@ impl From<bool> for FieldValue {
 pub struct SpanSummary {
     /// Stage name.
     pub name: String,
-    /// Wall-clock duration in milliseconds.
-    pub wall_ms: f64,
+    /// Wall-clock duration in milliseconds; `None` for stat rows
+    /// ([`Recorder::stat`]), which have no duration of their own.
+    pub wall_ms: Option<f64>,
     /// Process peak RSS when the span finished, if known.
     pub mem_hwm_bytes: Option<u64>,
     /// Stage-specific fields, in insertion order.
@@ -220,6 +221,28 @@ impl Recorder {
         self.write_line("event", name, None, None, &owned);
     }
 
+    /// Records an end-of-run statistic row: it appears in the summary
+    /// table with no wall time (rendered as `-`) and streams to the sink
+    /// as an `event` record, which legally carries no `wall_ms`.
+    pub fn stat(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        let Some(inner) = &self.inner else { return };
+        let owned: Vec<(String, FieldValue)> = fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        inner
+            .summaries
+            .lock()
+            .expect("summary lock")
+            .push(SpanSummary {
+                name: name.to_string(),
+                wall_ms: None,
+                mem_hwm_bytes: None,
+                fields: owned.clone(),
+            });
+        self.write_line("event", name, None, None, &owned);
+    }
+
     /// Snapshot of all finished span summaries, in completion order.
     pub fn summaries(&self) -> Vec<SpanSummary> {
         match &self.inner {
@@ -247,6 +270,10 @@ impl Recorder {
             "stage", "wall_ms", "peak_rss_mb"
         ));
         for s in &summaries {
+            let wall = match s.wall_ms {
+                Some(ms) => format!("{ms:.3}"),
+                None => "-".to_string(),
+            };
             let mem = match s.mem_hwm_bytes {
                 Some(b) => format!("{:.1}", b as f64 / (1024.0 * 1024.0)),
                 None => "-".to_string(),
@@ -258,8 +285,8 @@ impl Recorder {
                 .collect::<Vec<_>>()
                 .join(" ");
             out.push_str(&format!(
-                "{:<name_w$}  {:>12.3}  {:>12}  {}\n",
-                s.name, s.wall_ms, mem, details
+                "{:<name_w$}  {:>12}  {:>12}  {}\n",
+                s.name, wall, mem, details
             ));
         }
         out
@@ -279,7 +306,7 @@ impl Recorder {
             .expect("summary lock")
             .push(SpanSummary {
                 name: name.to_string(),
-                wall_ms,
+                wall_ms: Some(wall_ms),
                 mem_hwm_bytes,
                 fields: fields.to_vec(),
             });
@@ -668,11 +695,48 @@ mod tests {
             summaries[0].fields[0],
             ("records".to_string(), FieldValue::U64(12))
         );
-        assert!(summaries[0].wall_ms >= 0.0);
+        assert!(summaries[0].wall_ms.expect("span has wall time") >= 0.0);
         let table = r.render_summary();
         assert!(table.contains("stage/one"));
         assert!(table.contains("stage/two"));
         assert!(table.contains("records=12"));
+    }
+
+    #[test]
+    fn stat_rows_render_without_wall_time() {
+        let r = Recorder::in_memory();
+        r.span("collect").finish();
+        r.stat(
+            "cache",
+            &[("hits", FieldValue::U64(9)), ("misses", FieldValue::U64(1))],
+        );
+        let summaries = r.summaries();
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[1].name, "cache");
+        assert_eq!(summaries[1].wall_ms, None);
+        assert_eq!(summaries[1].mem_hwm_bytes, None);
+        let table = r.render_summary();
+        let cache_row = table
+            .lines()
+            .find(|l| l.starts_with("cache"))
+            .expect("stat row in table");
+        assert!(cache_row.contains('-'), "no wall time: {cache_row}");
+        assert!(cache_row.contains("hits=9"));
+    }
+
+    #[test]
+    fn stat_rows_stream_as_schema_valid_events() {
+        let path = temp_path("stat");
+        {
+            let r = Recorder::to_path(&path).unwrap();
+            r.span("collect").finish();
+            r.stat("cache", &[("hits", FieldValue::U64(3))]);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let summary = validate_events(&text).expect("stat line is schema-valid");
+        assert_eq!(summary.spans, 1);
+        assert_eq!(summary.events, 1);
     }
 
     #[test]

@@ -14,6 +14,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
+use simmetrics::flight;
+
+use crate::metrics;
+
 /// One job that panicked on both attempts.
 #[derive(Debug, Clone)]
 pub struct JobFailure {
@@ -134,6 +138,7 @@ impl Scheduler {
         let failed = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<T>>> = (0..total).map(|_| Mutex::new(None)).collect();
         let failures: Mutex<Vec<JobFailure>> = Mutex::new(Vec::new());
+        metrics::queue_depth().add(total as i64);
         thread::scope(|scope| {
             for _ in 0..self.workers.min(total.max(1)) {
                 scope.spawn(|| loop {
@@ -141,17 +146,37 @@ impl Scheduler {
                     if i >= total {
                         break;
                     }
+                    // Flight breadcrumbs carry the job label (the pair id
+                    // in the pipeline), so a panic dump names what was in
+                    // flight. Label formatting is skipped entirely while
+                    // metrics are disabled.
+                    if simmetrics::is_enabled() {
+                        flight::note("job-start", label(i));
+                    }
+                    let timer = metrics::job_wall_micros().start_timer();
                     let mut outcome = None;
                     let mut message = String::new();
-                    for _attempt in 0..2 {
+                    for attempt in 0..2 {
                         match catch_unwind(AssertUnwindSafe(|| job(i))) {
                             Ok(value) => {
                                 outcome = Some(value);
                                 break;
                             }
-                            Err(payload) => message = panic_message(payload.as_ref()),
+                            Err(payload) => {
+                                message = panic_message(payload.as_ref());
+                                metrics::job_panics().inc();
+                                if attempt == 0 {
+                                    metrics::job_retries().inc();
+                                    if simmetrics::is_enabled() {
+                                        flight::note("job-retry", label(i));
+                                    }
+                                }
+                            }
                         }
                     }
+                    drop(timer);
+                    metrics::jobs().inc();
+                    metrics::queue_depth().sub(1);
                     match outcome {
                         Some(value) => {
                             // A previous panic cannot have poisoned slot i:
@@ -163,6 +188,9 @@ impl Scheduler {
                         }
                         None => {
                             failed.fetch_add(1, Ordering::Relaxed);
+                            if simmetrics::is_enabled() {
+                                flight::note("job-failed", format!("{}: {message}", label(i)));
+                            }
                             failures
                                 .lock()
                                 .unwrap_or_else(|poison| poison.into_inner())

@@ -20,10 +20,11 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError};
 
 use crate::codec::{CodecError, Decoder, Encoder};
 use crate::hash::Key;
+use crate::metrics;
 
 /// Envelope format version; bump when the envelope layout itself changes.
 /// (Payload schema changes are the *key's* concern — schema versions are
@@ -35,6 +36,34 @@ const SHARDS: usize = 16;
 
 fn shard_of(key: Key) -> usize {
     (key.hi >> 60) as usize
+}
+
+type Index = HashMap<Key, ()>;
+
+/// Read-locks a shard, counting a contention event when the lock was
+/// already held (the `simstore_index_contention_total` metric). `None`
+/// only on poisoning, which callers treat as an empty index.
+fn read_shard(shard: &RwLock<Index>) -> Option<RwLockReadGuard<'_, Index>> {
+    match shard.try_read() {
+        Ok(guard) => Some(guard),
+        Err(TryLockError::WouldBlock) => {
+            metrics::index_contention().inc();
+            shard.read().ok()
+        }
+        Err(TryLockError::Poisoned(_)) => None,
+    }
+}
+
+/// Write-locks a shard, counting contention like [`read_shard`].
+fn write_shard(shard: &RwLock<Index>) -> Option<RwLockWriteGuard<'_, Index>> {
+    match shard.try_write() {
+        Ok(guard) => Some(guard),
+        Err(TryLockError::WouldBlock) => {
+            metrics::index_contention().inc();
+            shard.write().ok()
+        }
+        Err(TryLockError::Poisoned(_)) => None,
+    }
 }
 
 /// A persistent, concurrently readable content-addressed record store.
@@ -102,7 +131,7 @@ impl Store {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().map(|m| m.len()).unwrap_or(0))
+            .map(|s| read_shard(s).map(|m| m.len()).unwrap_or(0))
             .sum()
     }
 
@@ -117,7 +146,7 @@ impl Store {
     pub fn keys(&self) -> Vec<Key> {
         let mut keys = Vec::with_capacity(self.len());
         for shard in &self.shards {
-            if let Ok(index) = shard.read() {
+            if let Some(index) = read_shard(shard) {
                 keys.extend(index.keys().copied());
             }
         }
@@ -126,8 +155,7 @@ impl Store {
 
     /// True when `key` is indexed (cheap: no file I/O).
     pub fn contains(&self, key: Key) -> bool {
-        self.shards[shard_of(key)]
-            .read()
+        read_shard(&self.shards[shard_of(key)])
             .map(|m| m.contains_key(&key))
             .unwrap_or(false)
     }
@@ -180,14 +208,14 @@ impl Store {
         ));
         fs::write(&tmp, wrap_envelope(key, payload))?;
         fs::rename(&tmp, &final_path)?;
-        if let Ok(mut index) = self.shards[shard_of(key)].write() {
+        if let Some(mut index) = write_shard(&self.shards[shard_of(key)]) {
             index.insert(key, ());
         }
         Ok(())
     }
 
     fn evict(&self, key: Key) {
-        if let Ok(mut index) = self.shards[shard_of(key)].write() {
+        if let Some(mut index) = write_shard(&self.shards[shard_of(key)]) {
             index.remove(&key);
         }
     }

@@ -374,6 +374,12 @@ impl Engine {
             }
             s.set_timeline(self.build_timeline(interval_ops, &marks, &s, hints, l1i_counted));
         }
+
+        // Process metrics: constant cost per run (never per op), so the
+        // enabled-vs-disabled overhead of the hot loop stays flat.
+        crate::metrics::engine_runs().inc();
+        crate::metrics::ops_retired().add(executed);
+        crate::metrics::sim_time_micros().record((self.seconds(&s) * 1e6) as u64);
         s
     }
 

@@ -56,6 +56,7 @@ pub mod counters;
 pub mod engine;
 pub mod hierarchy;
 pub mod lint;
+pub mod metrics;
 pub mod microop;
 pub mod pipeline;
 pub mod prefetch;

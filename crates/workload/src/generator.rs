@@ -112,14 +112,40 @@ impl TraceScale {
 /// let gen = TraceGenerator::new(&Behavior::default(), &config, 7, 10_000).unwrap();
 /// assert_eq!(gen.count(), 10_000);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TraceGenerator {
     rng: Rng64,
     locality: LocalityModel,
     branches: BranchModel,
     remaining: u64,
+    /// Ops produced by *this instance*, flushed to the
+    /// `workload_uops_generated_total` process metric on drop.
+    produced: u64,
     /// Cumulative class thresholds: load | store | branch (remainder: ALU).
     cum: [f64; 3],
+}
+
+impl Clone for TraceGenerator {
+    fn clone(&self) -> Self {
+        TraceGenerator {
+            rng: self.rng.clone(),
+            locality: self.locality.clone(),
+            branches: self.branches.clone(),
+            remaining: self.remaining,
+            // The clone flushes only what it produces itself; the ops the
+            // original already produced stay on the original's tally.
+            produced: 0,
+            cum: self.cum,
+        }
+    }
+}
+
+impl Drop for TraceGenerator {
+    fn drop(&mut self) {
+        if self.produced > 0 {
+            crate::metrics::uops_generated().add(self.produced);
+        }
+    }
 }
 
 impl TraceGenerator {
@@ -148,6 +174,7 @@ impl TraceGenerator {
             ),
             branches: BranchModel::new(behavior),
             remaining: ops,
+            produced: 0,
             cum: [load, load + store, load + store + branch],
         })
     }
@@ -194,6 +221,7 @@ impl Iterator for TraceGenerator {
             return None;
         }
         self.remaining -= 1;
+        self.produced += 1;
         let u = self.rng.gen_f64();
         Some(if u < self.cum[0] {
             MicroOp::Load {

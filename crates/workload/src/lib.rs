@@ -50,6 +50,7 @@ pub mod cpu2017;
 pub mod footprint;
 pub mod generator;
 pub mod lint;
+pub mod metrics;
 pub mod phases;
 pub mod profile;
 pub mod reuse;

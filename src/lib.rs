@@ -9,6 +9,7 @@
 //! - [`simstore`] — content-addressed result store + fault-tolerant scheduler.
 //! - [`simcheck`] — static model-analysis diagnostics (rule codes, spans, renderers).
 //! - [`perfmon`] — structured span/event observability with a JSONL sink.
+//! - [`simmetrics`] — process-wide metrics registry, exporters, and flight recorder.
 //! - [`workchar`] — the paper's characterization + subsetting pipeline.
 //! - [`simreport`] — table and figure rendering.
 
@@ -16,6 +17,7 @@
 
 pub use perfmon;
 pub use simcheck;
+pub use simmetrics;
 pub use simreport;
 pub use simstore;
 pub use stat_analysis;

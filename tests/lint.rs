@@ -177,11 +177,56 @@ fn event_stream_rules_fire_with_line_numbers() {
     );
 }
 
+// ------------------------------------------------------------- M: metrics
+
+/// The pipeline's full metric registry — every series the substrate crates
+/// and the characterization core can emit — must satisfy the M-rules:
+/// Prometheus-legal names, no duplicates, sane labels, and the counter
+/// `_total` suffix convention.
+#[test]
+fn pipeline_metric_registry_lints_clean() {
+    spec2017_workchar::workchar::telemetry::register_pipeline_metrics();
+    let snapshot = spec2017_workchar::simmetrics::snapshot();
+    assert!(
+        snapshot.series.len() >= 14,
+        "expected the full pipeline registry, got {} series",
+        snapshot.series.len()
+    );
+    let report = spec2017_workchar::simmetrics::lint::check_snapshot(&snapshot);
+    assert!(report.is_empty(), "{}", report.to_table());
+}
+
+#[test]
+fn metric_rules_fire_on_a_hostile_registry() {
+    use spec2017_workchar::simmetrics::Registry;
+    let r = Registry::new();
+    r.counter("bad name", "space is not Prometheus-legal"); // M001 + M005
+    r.counter_with(
+        "demo_total",
+        "counter",
+        &[("le", "0.5"), ("le", "0.9")], // M004 twice
+    );
+    r.gauge("demo_total", "same name, different kind"); // M002
+    let report = spec2017_workchar::simmetrics::lint::check_snapshot(&r.snapshot());
+    let codes: Vec<&str> = report.diagnostics().iter().map(|d| d.code.code).collect();
+    for code in ["M001", "M002", "M004", "M005"] {
+        assert!(codes.contains(&code), "missing {code} in {codes:?}");
+    }
+    // M001–M004 are errors; the M005 suffix conventions only warn.
+    assert!(report.has_errors(), "{}", report.to_table());
+    assert_eq!(
+        report.count(Severity::Warning),
+        2,
+        "exactly the two suffix-convention hits warn: {}",
+        report.to_table()
+    );
+}
+
 // --------------------------------------------------------- catalog surface
 
 #[test]
 fn every_rule_family_is_explainable() {
-    for code in ["P004", "C010", "R020", "E010"] {
+    for code in ["P004", "C010", "R020", "E010", "M002"] {
         let text = simcheck::explain(code).unwrap();
         assert!(text.contains(code), "{text}");
         assert!(text.len() > 80, "explanation too thin for {code}");
