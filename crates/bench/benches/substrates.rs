@@ -98,6 +98,24 @@ fn bench_engine(r: &mut Runner) {
         black_box(engine.run_with(gen, &WorkloadHints::default(), &RunOptions::new()))
     });
     simmetrics::disable();
+    // Paired with engine_run_100k above: with tracing enabled, the engine
+    // pays one span open/close per *run* (never per op) and the generator
+    // one per expansion, so the ratio of the two medians is the simtrace
+    // overhead the design budgets at <5%. Spans are drained per iteration
+    // so the collector never grows past one iteration's worth.
+    simtrace::enable();
+    r.bench("engine_run_100k_traced", || {
+        let _root = simtrace::root("bench/engine-run");
+        let gen =
+            TraceGenerator::new(&Behavior::default(), &config, 7, 100_000).expect("valid behavior");
+        let mut engine = Engine::new(&config);
+        let stats = black_box(engine.run_with(gen, &WorkloadHints::default(), &RunOptions::new()));
+        drop(_root);
+        black_box(simtrace::drain().len());
+        stats
+    });
+    simtrace::disable();
+    simtrace::drain();
 }
 
 fn bench_pca(r: &mut Runner) {

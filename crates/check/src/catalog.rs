@@ -19,6 +19,8 @@ pub enum Family {
     Events,
     /// `M…` — metric registry hygiene (simmetrics).
     Metrics,
+    /// `T…` — collected causal-trace integrity (simtrace).
+    Trace,
 }
 
 impl Family {
@@ -30,6 +32,7 @@ impl Family {
             Family::Result => "result",
             Family::Events => "events",
             Family::Metrics => "metrics",
+            Family::Trace => "trace",
         }
     }
 }
@@ -394,6 +397,14 @@ pub mod codes {
          missing final newline means the last write was cut off \
          mid-record and later appends would corrupt it.");
 
+    rule!(pub E012, "E012", "schema-too-new", Error, Events,
+        "event declares a schema version newer than this reader supports",
+        "A version above the reader's maximum means the file was written \
+         by a newer binary: the stream may carry kinds and members this \
+         validator has never heard of, so 'clean' would be meaningless. \
+         Distinct from E004 (a version the producer never emitted) so \
+         tooling can say 'upgrade the reader' instead of 'corrupt file'.");
+
     // ---------------------------------------------------------------- M: metrics
 
     rule!(pub M001, "M001", "metric-name-charset", Error, Metrics,
@@ -428,6 +439,35 @@ pub mod codes {
          exposition writer appends those itself, so a base name carrying \
          one collides with its own derived series. Gauges ending in \
          '_total' read as counters and get mis-aggregated.");
+
+    // ------------------------------------------------------------------ T: trace
+
+    rule!(pub T001, "T001", "span-name-legality", Error, Trace,
+        "span name is empty or uses characters outside the trace charset",
+        "Span names are `/`-separated lowercase segments \
+         ([a-z0-9_.-]+, e.g. stage/simulate): the differential report \
+         aligns runs by name, and Perfetto groups slices by it, so an \
+         empty name or stray whitespace/uppercase silently forks a \
+         series and breaks PR-to-PR regression alignment.");
+    rule!(pub T002, "T002", "orphan-span", Error, Trace,
+        "span references a parent id absent from the trace",
+        "Every non-root span must nest under a parent present in the \
+         same file; a dangling parent_id means a guard was dropped \
+         without export, a file was truncated, or two runs were \
+         concatenated. Critical-path extraction would silently treat \
+         the orphan as a root and walk the wrong tree.");
+    rule!(pub T003, "T003", "non-monotonic-span", Error, Trace,
+        "span ends before it starts",
+        "start_ns/end_ns come from one monotonic clock, so end >= start \
+         holds for every recorded span; a reversed window means corrupt \
+         encoding or hand-edited timestamps, and every wall/self-time \
+         aggregate built from it would be wrong.");
+    rule!(pub T004, "T004", "duplicate-span-id", Error, Trace,
+        "span id appears more than once in the trace",
+        "Span ids are unique per process run; a duplicate means two \
+         traces were merged without renumbering. Parent references \
+         become ambiguous, and both the critical path and the diff \
+         aligner double-count the colliding spans.");
 }
 
 /// Every registered rule, in catalog order.
@@ -491,11 +531,16 @@ pub static CATALOG: &[&RuleCode] = &[
     &codes::E009,
     &codes::E010,
     &codes::E011,
+    &codes::E012,
     &codes::M001,
     &codes::M002,
     &codes::M003,
     &codes::M004,
     &codes::M005,
+    &codes::T001,
+    &codes::T002,
+    &codes::T003,
+    &codes::T004,
 ];
 
 /// Looks up a rule by its code, case-insensitively (`"p004"` finds `P004`).
@@ -535,6 +580,7 @@ mod tests {
                 Family::Result => 'R',
                 Family::Events => 'E',
                 Family::Metrics => 'M',
+                Family::Trace => 'T',
             };
             assert!(
                 rule.code.starts_with(family_letter),

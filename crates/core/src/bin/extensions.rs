@@ -4,7 +4,7 @@
 //! ```text
 //! extensions [--results DIR] [--no-cache] [--cache-dir DIR]
 //!            [--lint] [--deny-warnings] [--timeline] [--events FILE]
-//!            [--serve-metrics ADDR]
+//!            [--trace] [--serve-metrics ADDR]
 //! ```
 //!
 //! `--lint` statically checks the rate-suite profiles and the system
@@ -18,8 +18,10 @@
 //!
 //! Observability mirrors `reproduce`: `--timeline` samples per-pair counter
 //! timelines for the rate-suite characterization (artifacts under
-//! `<results>/timelines/`), `--events FILE` streams perfmon JSONL, and a
-//! per-stage summary table prints to stderr on exit. Process metrics are
+//! `<results>/timelines/`), `--events FILE` streams perfmon JSONL, `--trace`
+//! exports a causal span trace of the run under `<results>/traces/`
+//! (Perfetto-loadable JSON plus the binary format `trace-report` reads), and
+//! a per-stage summary table prints to stderr on exit. Process metrics are
 //! always on — `--serve-metrics ADDR` scrapes them live, a final snapshot
 //! lands in `<results>/metrics.json`, and a panic dumps the flight
 //! recorder to `<results>/flight-recorder.json`. Errors render on stderr
@@ -36,7 +38,7 @@ use workchar::ablation;
 use workchar::cache::CacheContext;
 use workchar::characterize::{characterize_suite_with, RunConfig};
 use workchar::error::{Error, Result};
-use workchar::observe::write_timeline_artifacts;
+use workchar::observe::{write_timeline_artifacts, PipelineSpan};
 use workchar::phase::analyze_phases;
 use workload_synth::cpu2017;
 use workload_synth::phases::demo_three_phase;
@@ -49,6 +51,7 @@ struct Options {
     lint: bool,
     deny_warnings: bool,
     timeline: bool,
+    trace: bool,
     events: Option<PathBuf>,
     serve_metrics: Option<String>,
 }
@@ -61,6 +64,7 @@ fn parse_args() -> Result<Options> {
         lint: false,
         deny_warnings: false,
         timeline: false,
+        trace: false,
         events: None,
         serve_metrics: None,
     };
@@ -83,6 +87,7 @@ fn parse_args() -> Result<Options> {
             "--lint" => opts.lint = true,
             "--deny-warnings" => opts.deny_warnings = true,
             "--timeline" => opts.timeline = true,
+            "--trace" => opts.trace = true,
             "--events" => {
                 opts.events =
                     Some(PathBuf::from(args.next().ok_or_else(|| {
@@ -136,6 +141,12 @@ fn real_main(opts: Options) -> Result<()> {
         Some(path) => Recorder::to_path(path)?,
         None => Recorder::in_memory(),
     };
+    let trace_root = if opts.trace {
+        simtrace::enable();
+        Some(simtrace::root("run/extensions"))
+    } else {
+        None
+    };
     std::fs::create_dir_all(&opts.results_dir)?;
     let mut all = String::new();
     let mut config = RunConfig::default();
@@ -172,7 +183,7 @@ fn real_main(opts: Options) -> Result<()> {
         }
         eprintln!("lint: profiles and config — {}", report.summary());
     }
-    let mut span = recorder.span("characterize-rate-ref");
+    let mut span = PipelineSpan::open(&recorder, "characterize-rate-ref");
     let records = characterize_suite_with(&rate_apps, InputSize::Ref, &config, cache.as_ref())?;
     span.record("records", records.len());
     if let Some(ctx) = &cache {
@@ -183,7 +194,7 @@ fn real_main(opts: Options) -> Result<()> {
     span.finish();
     let refs: Vec<&workchar::characterize::CharRecord> = records.iter().collect();
 
-    let mut span = recorder.span("ablations");
+    let mut span = PipelineSpan::open(&recorder, "ablations");
     for table in [
         ablation::linkage_ablation(&refs),
         ablation::subsetter_ablation(&refs),
@@ -207,7 +218,7 @@ fn real_main(opts: Options) -> Result<()> {
         .collect();
     // The 220-cycle and 4-wide points are the baseline machine: serve them
     // from the records characterized above instead of replaying.
-    let span = recorder.span("sensitivity-sweeps");
+    let span = PipelineSpan::open(&recorder, "sensitivity-sweeps");
     for sweep in [
         workchar::sensitivity::memory_latency_sweep_with(
             &sweep_apps,
@@ -256,7 +267,7 @@ fn real_main(opts: Options) -> Result<()> {
     eprintln!("running phase analysis on the three-phase demo workload...");
     let workload = demo_three_phase();
     let trace: Vec<_> = workload.trace(&config.system, 42, 600_000).collect();
-    let mut span = recorder.span("phase-analysis");
+    let mut span = PipelineSpan::open(&recorder, "phase-analysis");
     match analyze_phases(trace, &config.system, &WorkloadHints::default(), 40, 6) {
         Ok(analysis) => {
             span.record("phases", analysis.n_phases);
@@ -294,6 +305,17 @@ fn real_main(opts: Options) -> Result<()> {
     match std::fs::File::create(&metrics_path).and_then(|mut f| f.write_all(rendered.as_bytes())) {
         Ok(()) => {}
         Err(e) => eprintln!("warning: cannot write {}: {e}", metrics_path.display()),
+    }
+    if let Some(root) = trace_root {
+        root.finish();
+        let spans = simtrace::drain();
+        let dir = opts.results_dir.join("traces");
+        let (json_path, _bin_path) = simtrace::export(&dir, "extensions", &spans)?;
+        eprintln!(
+            "wrote {} trace spans to {} (load in Perfetto, or run trace-report)",
+            spans.len(),
+            json_path.display()
+        );
     }
     eprint!("{}", recorder.render_summary());
     Ok(())

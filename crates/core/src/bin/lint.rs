@@ -3,19 +3,22 @@
 //!
 //! ```text
 //! lint [--all] [--profiles] [--config] [--metrics] [--cache-dir DIR]
-//!      [--events FILE]... [--quick] [--json] [--deny-warnings]
-//!      [--explain CODE]
+//!      [--events FILE]... [--trace FILE]... [--quick] [--json]
+//!      [--deny-warnings] [--explain CODE]
 //! ```
 //!
 //! `--all` lints the shipped CPU2017 + CPU2006 rosters, the Haswell
 //! system configuration, and the pipeline's metric registry, and — when
 //! the default cache directory (`results/cache`) exists — audits every
-//! cached record's counter identities. Individual passes can be selected
-//! with `--profiles`, `--config`, `--metrics`, `--cache-dir DIR`, and
-//! `--events FILE` (repeatable).
+//! cached record's counter identities, plus any trace artifacts under
+//! `results/traces/`. Individual passes can be selected with
+//! `--profiles`, `--config`, `--metrics`, `--cache-dir DIR`,
+//! `--events FILE` (repeatable), and `--trace FILE` (repeatable; either
+//! simtrace export format).
 //!
 //! Every violation carries a stable rule code (`P...` profile, `C...`
-//! config, `R...` result, `E...` events, `M...` metrics); `--explain CODE`
+//! config, `R...` result, `E...` events, `M...` metrics, `T...` trace);
+//! `--explain CODE`
 //! prints the catalog entry for one rule. Exits 0 when clean, 1 when any
 //! error (or, under `--deny-warnings`, any warning) was found, 2 on usage
 //! errors.
@@ -35,6 +38,7 @@ struct Options {
     metrics: bool,
     cache_dir: Option<PathBuf>,
     events: Vec<PathBuf>,
+    traces: Vec<PathBuf>,
     quick: bool,
     json: bool,
     deny_warnings: bool,
@@ -47,6 +51,7 @@ fn parse_args() -> Result<Option<Options>> {
         metrics: false,
         cache_dir: None,
         events: Vec::new(),
+        traces: Vec::new(),
         quick: false,
         json: false,
         deny_warnings: false,
@@ -63,6 +68,22 @@ fn parse_args() -> Result<Option<Options>> {
                 let default_cache = PathBuf::from("results/cache");
                 if opts.cache_dir.is_none() && default_cache.is_dir() {
                     opts.cache_dir = Some(default_cache);
+                }
+                // Same opportunistic pick-up for trace artifacts: audit
+                // whatever `reproduce --trace` has left behind, if anything.
+                let default_traces = PathBuf::from("results/traces");
+                if let Ok(entries) = std::fs::read_dir(&default_traces) {
+                    let mut found: Vec<PathBuf> = entries
+                        .flatten()
+                        .map(|e| e.path())
+                        .filter(|p| {
+                            p.file_name()
+                                .and_then(|n| n.to_str())
+                                .is_some_and(|n| n.ends_with(".trace.json"))
+                        })
+                        .collect();
+                    found.sort();
+                    opts.traces.extend(found);
                 }
             }
             "--profiles" => opts.profiles = true,
@@ -83,6 +104,12 @@ fn parse_args() -> Result<Option<Options>> {
                         Error::Usage("--events needs a file path".to_string())
                     })?));
             }
+            "--trace" => {
+                opts.traces
+                    .push(PathBuf::from(args.next().ok_or_else(|| {
+                        Error::Usage("--trace needs a file path".to_string())
+                    })?));
+            }
             "--explain" => {
                 let code = args
                     .next()
@@ -94,7 +121,7 @@ fn parse_args() -> Result<Option<Options>> {
                     }
                     None => {
                         return Err(Error::Usage(format!(
-                            "unknown rule code '{code}' (codes are P/C/R/E/Mxxx; see DESIGN.md)"
+                            "unknown rule code '{code}' (codes are P/C/R/E/M/Txxx; see DESIGN.md)"
                         )));
                     }
                 }
@@ -112,7 +139,8 @@ fn parse_args() -> Result<Option<Options>> {
         || opts.config
         || opts.metrics
         || opts.cache_dir.is_some()
-        || !opts.events.is_empty();
+        || !opts.events.is_empty()
+        || !opts.traces.is_empty();
     if !selected_any {
         return Err(Error::Usage(
             "nothing to lint; pass --all or select passes (see --help)".to_string(),
@@ -186,6 +214,15 @@ fn run(opts: &Options) -> Result<Report> {
         report.merge(events_report);
     }
 
+    for path in &opts.traces {
+        let spans = simtrace::load(path)?;
+        eprintln!("audited {}: {} trace spans", path.display(), spans.len());
+        report.merge(simtrace::lint::check_trace(
+            &path.display().to_string(),
+            &spans,
+        ));
+    }
+
     Ok(report)
 }
 
@@ -221,7 +258,8 @@ fn main() -> ExitCode {
 fn print_usage() {
     println!(
         "usage: lint [--all] [--profiles] [--config] [--metrics] [--cache-dir DIR] \
-         [--events FILE]... [--quick] [--json] [--deny-warnings] [--explain CODE]"
+         [--events FILE]... [--trace FILE]... [--quick] [--json] [--deny-warnings] \
+         [--explain CODE]"
     );
     println!(
         "  --all            lint shipped rosters + config + metric registry \
@@ -232,6 +270,10 @@ fn print_usage() {
     println!("  --metrics        lint the pipeline's metric registry (M-rules)");
     println!("  --cache-dir DIR  audit every cached record in DIR (R-rules)");
     println!("  --events FILE    audit a perfmon JSONL stream (E-rules; repeatable)");
+    println!(
+        "  --trace FILE     audit a simtrace artifact, .trace.json or .trace.bin \
+         (T-rules; repeatable)"
+    );
     println!("  --quick          use the reduced-fidelity run configuration");
     println!("  --json           machine-readable diagnostics document on stdout");
     println!("  --deny-warnings  exit nonzero on warnings, not just errors");

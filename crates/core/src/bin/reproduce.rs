@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce [--quick] [--markdown] [--results DIR]
 //!           [--no-cache] [--cache-dir DIR]
-//!           [--timeline] [--events FILE] [--serve-metrics ADDR]
+//!           [--timeline] [--events FILE] [--trace] [--serve-metrics ADDR]
 //!           [table1 .. fig10]
 //! ```
 //!
@@ -19,7 +19,11 @@
 //! sampled runs bypass the result cache), and `--events FILE` streams
 //! structured perfmon span/event records as JSONL. A per-stage summary table
 //! (wall time, peak RSS, throughput, cache statistics) prints to stderr at
-//! the end of every run. Process metrics are always on: `--serve-metrics
+//! the end of every run. `--trace` records a causal span trace of the whole
+//! run — every per-pair job nests under the run root across the scheduler's
+//! worker threads — exported as Perfetto-loadable Chrome Trace Event JSON
+//! plus the compact binary format under `<results>/traces/` (feed either to
+//! `trace-report`). Process metrics are always on: `--serve-metrics
 //! ADDR` scrapes them live (Prometheus text at `/metrics`, JSON at
 //! `/metrics.json`), a final snapshot lands in `<results>/metrics.json`,
 //! and a panic dumps the flight recorder's last events to
@@ -38,7 +42,7 @@ use workchar::characterize::RunConfig;
 use workchar::dataset::Dataset;
 use workchar::error::{Error, Result};
 use workchar::experiments::{self, correlation_notes, ExperimentId};
-use workchar::observe::write_timeline_artifacts;
+use workchar::observe::{write_timeline_artifacts, PipelineSpan};
 
 struct Options {
     quick: bool,
@@ -47,6 +51,7 @@ struct Options {
     lint: bool,
     deny_warnings: bool,
     timeline: bool,
+    trace: bool,
     events: Option<PathBuf>,
     serve_metrics: Option<String>,
     results_dir: PathBuf,
@@ -62,6 +67,7 @@ fn parse_args() -> Result<Option<Options>> {
         lint: false,
         deny_warnings: false,
         timeline: false,
+        trace: false,
         events: None,
         serve_metrics: None,
         results_dir: PathBuf::from("results"),
@@ -77,6 +83,7 @@ fn parse_args() -> Result<Option<Options>> {
             "--lint" => opts.lint = true,
             "--deny-warnings" => opts.deny_warnings = true,
             "--timeline" => opts.timeline = true,
+            "--trace" => opts.trace = true,
             "--events" => {
                 opts.events =
                     Some(PathBuf::from(args.next().ok_or_else(|| {
@@ -158,6 +165,17 @@ fn real_main(opts: Options) -> Result<()> {
         None => Recorder::in_memory(),
     };
 
+    // The trace root opens before any stage so every span of the run —
+    // including per-pair jobs on scheduler worker threads — nests under it.
+    let trace_root = if opts.trace {
+        simtrace::enable();
+        let mut root = simtrace::root("run/reproduce");
+        root.arg("quick", opts.quick);
+        Some(root)
+    } else {
+        None
+    };
+
     let cache = if opts.no_cache {
         None
     } else {
@@ -213,7 +231,7 @@ fn real_main(opts: Options) -> Result<()> {
         config.system.name
     );
     let t0 = Instant::now();
-    let mut span = recorder.span("collect-dataset");
+    let mut span = PipelineSpan::open(&recorder, "collect-dataset");
     let data = Dataset::collect_with(config, cache.as_ref())?;
     let wall = t0.elapsed().as_secs_f64();
     let sim_ops: u64 = data
@@ -258,8 +276,9 @@ fn real_main(opts: Options) -> Result<()> {
     let mut report = String::from(
         "# SPEC CPU2017 characterization — regenerated artifacts\n\n         Produced by the `reproduce` binary; see EXPERIMENTS.md for the\n         paper-vs-measured discussion.\n\n",
     );
-    for id in opts.selected {
-        let mut span = recorder.span("experiment");
+    for id in &opts.selected {
+        let id = *id;
+        let mut span = PipelineSpan::open(&recorder, "experiment");
         span.record("id", id.slug());
         let artifact = experiments::run(id, &data)?;
         span.record("tables", artifact.tables.len());
@@ -296,7 +315,7 @@ fn real_main(opts: Options) -> Result<()> {
     }
 
     if opts.timeline {
-        let mut span = recorder.span("timeline-artifacts");
+        let mut span = PipelineSpan::open(&recorder, "timeline-artifacts");
         let dir = opts.results_dir.join("timelines");
         let mut records = data.cpu17.clone();
         records.extend(data.cpu06.iter().cloned());
@@ -332,6 +351,18 @@ fn real_main(opts: Options) -> Result<()> {
         &simmetrics::json::render(&simmetrics::snapshot()),
     );
 
+    if let Some(root) = trace_root {
+        root.finish();
+        let spans = simtrace::drain();
+        let dir = opts.results_dir.join("traces");
+        let (json_path, _bin_path) = simtrace::export(&dir, "reproduce", &spans)?;
+        eprintln!(
+            "wrote {} trace spans to {} (load in Perfetto, or run trace-report)",
+            spans.len(),
+            json_path.display()
+        );
+    }
+
     eprint!("{}", recorder.render_summary());
     Ok(())
 }
@@ -348,7 +379,7 @@ fn print_usage() {
     println!(
         "usage: reproduce [--quick] [--markdown] [--results DIR] \
          [--no-cache] [--cache-dir DIR] [--lint] [--deny-warnings] \
-         [--timeline] [--events FILE] [--serve-metrics ADDR] \
+         [--timeline] [--events FILE] [--trace] [--serve-metrics ADDR] \
          [table1..table10 fig1..fig10]"
     );
     println!("  --no-cache    re-simulate everything; do not read or write the result cache");
@@ -359,6 +390,9 @@ fn print_usage() {
         "  --timeline    sample a per-pair counter timeline (CSV + SVG under results/timelines)"
     );
     println!("  --events      write perfmon span/event records as JSONL to FILE");
+    println!(
+        "  --trace       record a causal span trace under results/traces/ (Perfetto JSON + binary)"
+    );
     println!(
         "  --serve-metrics  serve Prometheus text at http://ADDR/metrics (JSON at /metrics.json)"
     );

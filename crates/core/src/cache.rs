@@ -288,9 +288,16 @@ pub fn characterize_pair_cached(
         return characterize_pair(pair, config);
     }
     let key = pair_key(pair, config);
+    let mut probe = simtrace::span("stage/cache-probe");
+    if probe.is_recording() {
+        probe.arg("pair", pair.id());
+    }
     if let Some(record) = cache.lookup(key) {
+        probe.arg("hit", true);
         return Ok(record);
     }
+    probe.arg("hit", false);
+    drop(probe);
     let started = Instant::now();
     let record = characterize_pair(pair, config)?;
     cache.stats.record_miss(started.elapsed());

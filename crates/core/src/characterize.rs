@@ -221,7 +221,8 @@ pub fn prepared_run(
 /// [`Error::Behavior`] when the pair's profile fails validation.
 pub fn characterize_pair(pair: &AppInputPair<'_>, config: &RunConfig) -> Result<CharRecord> {
     let behavior = &pair.input.behavior;
-    let prepare = crate::telemetry::stage_prepare_micros().start_timer();
+    let prepare =
+        crate::telemetry::stage("stage/prepare", crate::telemetry::stage_prepare_micros());
     let (trace, hints) = prepared_run(pair, config)?;
     drop(prepare);
     let sim_ops = trace.remaining();
@@ -232,7 +233,8 @@ pub fn characterize_pair(pair: &AppInputPair<'_>, config: &RunConfig) -> Result<
     let mut opts = RunOptions::new().warmup(warmup);
     opts.sampler = config.sampler;
     let mut engine = Engine::new(&config.system);
-    let simulate = crate::telemetry::stage_simulate_micros().start_timer();
+    let simulate =
+        crate::telemetry::stage("stage/simulate", crate::telemetry::stage_simulate_micros());
     let session = engine.run_with(trace, &hints, &opts);
     drop(simulate);
     let sim_seconds = engine.seconds(&session);
@@ -247,7 +249,10 @@ pub fn characterize_pair(pair: &AppInputPair<'_>, config: &RunConfig) -> Result<
     } else {
         GrowthCurve::Saturating
     };
-    let footprint = crate::telemetry::stage_footprint_micros().start_timer();
+    let footprint = crate::telemetry::stage(
+        "stage/footprint",
+        crate::telemetry::stage_footprint_micros(),
+    );
     let map = MemoryMap::from_behavior(behavior, growth);
     let mut sampler = PsSampler::new();
     sampler.sample_run(&map, 60);

@@ -5,7 +5,8 @@
 //! [`uarch_sim::timeline::CounterTimeline`]. This module turns those
 //! timelines into on-disk artifacts — one CSV and one SVG sparkline per
 //! pair under `<results>/timelines/` — and is shared by the `reproduce` and
-//! `extensions` binaries.
+//! `extensions` binaries. It also hosts [`PipelineSpan`], the combined
+//! perfmon + simtrace phase guard both binaries wrap their stages in.
 
 use std::path::Path;
 
@@ -14,6 +15,46 @@ use uarch_sim::timeline::IntervalSample;
 
 use crate::characterize::CharRecord;
 use crate::error::Result;
+
+/// One top-level pipeline phase in *both* span layers: a [`perfmon::Span`]
+/// (JSONL event + stderr stage table) and a [`simtrace`] span (the causal
+/// trace), opened and closed from the same scope so the two reports always
+/// describe the same wall-clock window. Fields recorded here land in both
+/// layers. Either side being disabled degrades to the other alone.
+#[derive(Debug)]
+pub struct PipelineSpan {
+    perf: perfmon::Span,
+    trace: simtrace::SpanGuard,
+}
+
+impl PipelineSpan {
+    /// Opens the phase `name` in both layers; the trace span nests under
+    /// whatever is current on this thread (the binary's run root).
+    pub fn open(recorder: &perfmon::Recorder, name: &str) -> PipelineSpan {
+        PipelineSpan {
+            perf: recorder.span(name),
+            trace: simtrace::span(name),
+        }
+    }
+
+    /// Attaches a field to both layers.
+    pub fn record(&mut self, key: &str, value: impl Into<perfmon::FieldValue>) {
+        let value = value.into();
+        self.trace.arg(
+            key,
+            match &value {
+                perfmon::FieldValue::U64(v) => simtrace::ArgValue::U64(*v),
+                perfmon::FieldValue::F64(v) => simtrace::ArgValue::F64(*v),
+                perfmon::FieldValue::Str(s) => simtrace::ArgValue::Str(s.clone()),
+                perfmon::FieldValue::Bool(b) => simtrace::ArgValue::Bool(*b),
+            },
+        );
+        self.perf.record(key, value);
+    }
+
+    /// Finishes both spans now (drop does the same).
+    pub fn finish(self) {}
+}
 
 /// Pair ids as written turn into file names; everything outside
 /// `[A-Za-z0-9._-]` is mapped to `_` so ids like `505.mcf_r/ref` stay

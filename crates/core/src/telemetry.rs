@@ -65,6 +65,25 @@ handle! {
     }
 }
 
+/// One guard covering a pipeline stage in *both* observability layers:
+/// dropping it closes the simtrace span and records the simmetrics latency
+/// histogram sample from the same scope, so the trace view and the metric
+/// view always describe the same wall-clock window.
+pub(crate) struct StageTimer {
+    _span: simtrace::SpanGuard,
+    _timer: simmetrics::Timer,
+}
+
+/// Opens a [`StageTimer`] for the stage named `span_name`, feeding
+/// `histogram` on close. The span nests under whatever is current on this
+/// thread (the scheduler's per-job span during suite runs).
+pub(crate) fn stage(span_name: &str, histogram: &'static Histogram) -> StageTimer {
+    StageTimer {
+        _span: simtrace::span(span_name),
+        _timer: histogram.start_timer(),
+    }
+}
+
 /// Forces registration of every metric the pipeline can emit — this
 /// crate's `workchar_*` handles plus the `simstore_*`, `uarch_*`, and
 /// `workload_*` families owned by the substrate crates.

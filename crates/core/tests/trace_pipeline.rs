@@ -1,0 +1,70 @@
+//! Pipeline-level guarantees of the tracing layer: enabling simtrace must
+//! not perturb simulation results, the per-pair stages must appear as
+//! spans, and an exported artifact must round-trip through both formats.
+
+use workchar::characterize::{characterize_pair, RunConfig};
+use workload_synth::cpu2017;
+use workload_synth::profile::InputSize;
+
+#[test]
+fn tracing_does_not_perturb_characterization_results() {
+    let app = cpu2017::app("505.mcf_r").expect("shipped profile");
+    let pair = &app.pairs(InputSize::Ref)[0];
+    let config = RunConfig::quick();
+
+    let baseline = characterize_pair(pair, &config).expect("untraced run");
+
+    let traced = {
+        let _on = simtrace::test_support::enabled();
+        let root = simtrace::root("run/test");
+        let record = characterize_pair(pair, &config).expect("traced run");
+        drop(root);
+        let spans = simtrace::drain();
+        for stage in ["stage/prepare", "stage/simulate", "stage/footprint"] {
+            assert!(
+                spans.iter().any(|s| s.name == stage),
+                "missing {stage} span in {:?}",
+                spans.iter().map(|s| &s.name).collect::<Vec<_>>()
+            );
+        }
+        let engine = spans
+            .iter()
+            .find(|s| s.name == "engine/run")
+            .expect("engine span");
+        assert!(engine.arg("ops").is_some(), "engine span carries op count");
+        record
+    };
+
+    assert_eq!(
+        baseline, traced,
+        "tracing must be observation, not perturbation"
+    );
+}
+
+#[test]
+fn exported_pipeline_trace_round_trips_through_both_formats() {
+    let spans = {
+        let _on = simtrace::test_support::enabled();
+        let root = simtrace::root("run/test");
+        let app = cpu2017::app("541.leela_r").expect("shipped profile");
+        let pair = &app.pairs(InputSize::Ref)[0];
+        characterize_pair(pair, &RunConfig::quick()).expect("traced run");
+        drop(root);
+        simtrace::drain()
+    };
+    assert!(!spans.is_empty());
+
+    let dir = std::env::temp_dir().join(format!("workchar-trace-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (json_path, bin_path) = simtrace::export(&dir, "it", &spans).expect("export");
+
+    let from_json = simtrace::load(&json_path).expect("load json");
+    assert_eq!(from_json, spans, "Chrome JSON export round-trips exactly");
+    let from_bin = simtrace::load(&bin_path).expect("load binary");
+    assert_eq!(from_bin, spans, "binary export round-trips exactly");
+
+    // The emitted artifact must also be lint-clean under the T-rules.
+    let report = simtrace::lint::check_trace("it.trace.json", &from_json);
+    assert!(report.is_empty(), "{}", report.to_table());
+    let _ = std::fs::remove_dir_all(&dir);
+}

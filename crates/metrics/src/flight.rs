@@ -203,6 +203,46 @@ mod tests {
     }
 
     #[test]
+    fn wraparound_dump_keeps_exactly_the_newest_capacity_events() {
+        let _on = test_support::enabled();
+        // Flood well past one revolution so every slot is ours, then check
+        // the panic-dump path sees exactly the newest CAPACITY, in order.
+        let total = CAPACITY * 2 + 7;
+        for i in 0..total {
+            note("t-wrap", format!("wrap {i} end"));
+        }
+        let (events, _) = snapshot();
+        let wrap: Vec<&Event> = events.iter().filter(|e| e.kind == "t-wrap").collect();
+        assert_eq!(wrap.len(), CAPACITY, "the flood overwrites every slot");
+        assert!(
+            wrap.windows(2).all(|w| w[0].seq + 1 == w[1].seq),
+            "survivors are a contiguous run of sequence numbers"
+        );
+        assert_eq!(
+            wrap[0].detail,
+            format!("wrap {} end", total - CAPACITY),
+            "the oldest survivor is exactly CAPACITY back from the newest"
+        );
+        assert_eq!(wrap[CAPACITY - 1].detail, format!("wrap {} end", total - 1));
+
+        let path = std::env::temp_dir().join(format!(
+            "simmetrics-flight-wrap-{}.json",
+            std::process::id()
+        ));
+        dump_to(&path).expect("dump");
+        let text = std::fs::read_to_string(&path).expect("read dump");
+        std::fs::remove_file(&path).ok();
+        assert!(
+            text.contains(&format!("wrap {} end", total - 1)),
+            "dump holds the newest event"
+        );
+        assert!(
+            !text.contains(&format!("wrap {} end", total - CAPACITY - 1)),
+            "dump has evicted the event just past the ring"
+        );
+    }
+
+    #[test]
     fn render_is_valid_json_with_escaping() {
         let _on = test_support::enabled();
         note("t-escape", "a\"b\\c");

@@ -171,4 +171,69 @@ mod tests {
         assert!(status.contains("404"), "{status}");
         server.stop();
     }
+
+    fn raw_exchange(addr: SocketAddr, request: &str) -> (String, String) {
+        let mut stream =
+            TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("read timeout");
+        write!(stream, "{request}").expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let (head, body) = response.split_once("\r\n\r\n").expect("head/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    fn content_length(head: &str) -> usize {
+        head.lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("Content-Length header present")
+            .trim()
+            .parse()
+            .expect("numeric Content-Length")
+    }
+
+    #[test]
+    fn unknown_route_gets_a_well_formed_404() {
+        let server = serve("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        let (head, body) = raw_exchange(
+            addr,
+            &format!("GET /missing HTTP/1.1\r\nHost: {addr}\r\n\r\n"),
+        );
+        assert!(head.starts_with("HTTP/1.1 404 Not Found"), "{head}");
+        assert!(
+            head.lines().any(|l| l == "Connection: close"),
+            "404 must close the connection: {head}"
+        );
+        assert_eq!(
+            content_length(&head),
+            body.len(),
+            "Content-Length matches the body exactly"
+        );
+        assert!(
+            body.contains("/metrics") && body.contains("/metrics.json"),
+            "the 404 body names the real routes: {body}"
+        );
+        server.stop();
+    }
+
+    #[test]
+    fn non_get_methods_get_a_well_formed_405() {
+        let server = serve("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        let (head, body) = raw_exchange(
+            addr,
+            &format!("POST /metrics HTTP/1.1\r\nHost: {addr}\r\n\r\n"),
+        );
+        assert!(
+            head.starts_with("HTTP/1.1 405 Method Not Allowed"),
+            "{head}"
+        );
+        assert!(head.lines().any(|l| l == "Connection: close"), "{head}");
+        assert_eq!(content_length(&head), body.len());
+        assert!(!body.is_empty(), "405 carries an explanatory body");
+        server.stop();
+    }
 }

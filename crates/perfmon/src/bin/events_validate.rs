@@ -2,12 +2,15 @@
 //!
 //! Usage: `events-validate [--json] <events.jsonl>...`
 //!
-//! Every schema violation is reported with its rule code (`E001`–`E011`)
+//! Every schema violation is reported with its rule code (`E001`–`E012`)
 //! and `file:line` location; all violations are collected, not just the
 //! first. Empty and truncated streams are errors (E010/E011) — an events
 //! file CI never wrote must fail the gate, not vacuously pass it. Exits 0
-//! when every file is clean, 1 otherwise, 2 on usage errors. `--json`
-//! emits the machine-readable diagnostics document instead of the table.
+//! when every file is clean, 1 on schema violations, and 2 on usage errors
+//! *or* when a file declares a schema version newer than this binary
+//! supports (E012) — that case means "upgrade the reader", not "bad file",
+//! so it gets the same exit class as operator error. `--json` emits the
+//! machine-readable diagnostics document instead of the table.
 
 use std::process::ExitCode;
 
@@ -29,6 +32,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     let mut failed = false;
+    let mut too_new = false;
     for path in &paths {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
@@ -43,6 +47,7 @@ fn main() -> ExitCode {
         }
         if report.failed(false) {
             failed = true;
+            too_new |= report.diagnostics().iter().any(|d| d.code.code == "E012");
             if !json {
                 eprint!("{}", report.to_table());
             }
@@ -55,7 +60,9 @@ fn main() -> ExitCode {
             );
         }
     }
-    if failed {
+    if too_new {
+        ExitCode::from(2)
+    } else if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -439,7 +439,7 @@ impl EventsSummary {
     }
 }
 
-/// Validates JSONL event text with coded diagnostics (rules E001–E011),
+/// Validates JSONL event text with coded diagnostics (rules E001–E012),
 /// collecting *every* violation instead of stopping at the first.
 ///
 /// `object` names the stream in spans (usually the file path); each
@@ -488,6 +488,16 @@ pub fn check_events(object: &str, input: &str) -> (EventsSummary, simcheck::Repo
                     &codes::E003,
                     Span::field(&at, "schema"),
                     "missing numeric \"schema\"",
+                ));
+            }
+            Some(Some(schema)) if schema > SCHEMA as u64 => {
+                report.push(Diagnostic::new(
+                    &codes::E012,
+                    Span::field(&at, "schema"),
+                    format!(
+                        "schema version {schema} is newer than supported {SCHEMA}; \
+                         upgrade the reader"
+                    ),
                 ));
             }
             Some(Some(schema)) if schema != SCHEMA as u64 => {
@@ -590,68 +600,130 @@ pub fn check_events(object: &str, input: &str) -> (EventsSummary, simcheck::Repo
     (summary, report)
 }
 
+/// A failure from [`validate_events`], typed so callers can distinguish a
+/// malformed stream from one written by a *newer* producer.
+///
+/// Both variants render as `line {n}: …` (the historical string format), so
+/// message-based consumers keep working; exit-code consumers match on the
+/// variant instead (`events-validate` exits 2 on [`SchemaTooNew`],
+/// 1 on [`Malformed`]).
+///
+/// [`SchemaTooNew`]: ValidateError::SchemaTooNew
+/// [`Malformed`]: ValidateError::Malformed
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A line violating the schema it declares.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong with the line.
+        message: String,
+    },
+    /// A line declaring a schema version above [`SCHEMA`]: the file comes
+    /// from a newer binary, and "valid" cannot be decided by this reader.
+    SchemaTooNew {
+        /// 1-based line number.
+        line: usize,
+        /// The version the line declares.
+        found: u64,
+        /// The newest version this reader understands ([`SCHEMA`]).
+        supported: u32,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::Malformed { line, message } => write!(f, "line {line}: {message}"),
+            ValidateError::SchemaTooNew {
+                line,
+                found,
+                supported,
+            } => write!(
+                f,
+                "line {line}: schema version {found} is newer than supported {supported}; \
+                 upgrade the reader"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
 /// Validates JSONL event text against the versioned schema (see the
-/// crate-level docs). Returns per-kind record counts, or a message naming
-/// the first offending line.
+/// crate-level docs). Returns per-kind record counts, or a typed
+/// [`ValidateError`] naming the first offending line.
 ///
 /// This is the legacy first-failure API; [`check_events`] performs the same
 /// per-line checks with coded diagnostics, collects every violation, and
 /// additionally rejects empty and truncated streams.
-pub fn validate_events(input: &str) -> Result<EventsSummary, String> {
+pub fn validate_events(input: &str) -> Result<EventsSummary, ValidateError> {
+    let malformed = |line: usize, message: String| ValidateError::Malformed { line, message };
     let mut summary = EventsSummary::default();
     for (idx, line) in input.lines().enumerate() {
         let lineno = idx + 1;
         if line.trim().is_empty() {
             continue;
         }
-        let value = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let value = json::parse(line).map_err(|e| malformed(lineno, e.to_string()))?;
         if value.as_object().is_none() {
-            return Err(format!("line {lineno}: record is not a JSON object"));
+            return Err(malformed(lineno, "record is not a JSON object".to_string()));
         }
         let schema = value
             .get("schema")
             .and_then(json::Value::as_u64)
-            .ok_or_else(|| format!("line {lineno}: missing numeric \"schema\""))?;
+            .ok_or_else(|| malformed(lineno, "missing numeric \"schema\"".to_string()))?;
+        if schema > SCHEMA as u64 {
+            return Err(ValidateError::SchemaTooNew {
+                line: lineno,
+                found: schema,
+                supported: SCHEMA,
+            });
+        }
         if schema != SCHEMA as u64 {
-            return Err(format!(
-                "line {lineno}: schema version {schema} (expected {SCHEMA})"
+            return Err(malformed(
+                lineno,
+                format!("schema version {schema} (expected {SCHEMA})"),
             ));
         }
         let kind = value
             .get("kind")
             .and_then(json::Value::as_str)
-            .ok_or_else(|| format!("line {lineno}: missing string \"kind\""))?;
+            .ok_or_else(|| malformed(lineno, "missing string \"kind\"".to_string()))?;
         let name = value
             .get("name")
             .and_then(json::Value::as_str)
-            .ok_or_else(|| format!("line {lineno}: missing string \"name\""))?;
+            .ok_or_else(|| malformed(lineno, "missing string \"name\"".to_string()))?;
         if name.is_empty() {
-            return Err(format!("line {lineno}: empty \"name\""));
+            return Err(malformed(lineno, "empty \"name\"".to_string()));
         }
         match kind {
             "span" => {
                 let wall = value
                     .get("wall_ms")
                     .and_then(json::Value::as_f64)
-                    .ok_or_else(|| format!("line {lineno}: span without numeric \"wall_ms\""))?;
+                    .ok_or_else(|| {
+                        malformed(lineno, "span without numeric \"wall_ms\"".to_string())
+                    })?;
                 if wall.is_nan() || wall < 0.0 {
-                    return Err(format!("line {lineno}: invalid wall_ms {wall}"));
+                    return Err(malformed(lineno, format!("invalid wall_ms {wall}")));
                 }
                 summary.spans += 1;
             }
             "event" => summary.events += 1,
-            other => return Err(format!("line {lineno}: unknown kind \"{other}\"")),
+            other => return Err(malformed(lineno, format!("unknown kind \"{other}\""))),
         }
         if let Some(mem) = value.get("mem_hwm_bytes") {
             if mem.as_u64().is_none() {
-                return Err(format!(
-                    "line {lineno}: mem_hwm_bytes is not a whole number"
+                return Err(malformed(
+                    lineno,
+                    "mem_hwm_bytes is not a whole number".to_string(),
                 ));
             }
         }
         if let Some(fields) = value.get("fields") {
             if fields.as_object().is_none() {
-                return Err(format!("line {lineno}: \"fields\" is not an object"));
+                return Err(malformed(lineno, "\"fields\" is not an object".to_string()));
             }
         }
     }
@@ -785,17 +857,38 @@ mod tests {
     fn validator_rejects_bad_records() {
         assert!(validate_events("not json").is_err());
         assert!(validate_events("[1,2]").is_err());
-        assert!(
-            validate_events("{\"schema\":99,\"kind\":\"span\",\"name\":\"x\",\"wall_ms\":1}")
-                .is_err()
-        );
         assert!(validate_events("{\"schema\":1,\"kind\":\"nope\",\"name\":\"x\"}").is_err());
         assert!(validate_events("{\"schema\":1,\"kind\":\"span\",\"name\":\"x\"}").is_err());
         assert!(validate_events("{\"schema\":1,\"kind\":\"event\"}").is_err());
         let err =
             validate_events("{\"schema\":1,\"kind\":\"event\",\"name\":\"ok\"}\n{\"schema\":1}\n")
                 .unwrap_err();
-        assert!(err.starts_with("line 2:"), "error names the line: {err}");
+        let rendered = err.to_string();
+        assert!(
+            rendered.starts_with("line 2:"),
+            "error names the line: {rendered}"
+        );
+        assert!(matches!(err, ValidateError::Malformed { line: 2, .. }));
+    }
+
+    #[test]
+    fn validator_distinguishes_newer_schemas_from_malformed_ones() {
+        // A version *above* SCHEMA means "upgrade the reader", not "bad
+        // file" — the typed variant carries both versions for the caller.
+        let err = validate_events("{\"schema\":99,\"kind\":\"span\",\"name\":\"x\",\"wall_ms\":1}")
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ValidateError::SchemaTooNew {
+                line: 1,
+                found: 99,
+                supported: SCHEMA,
+            }
+        );
+        assert!(err.to_string().starts_with("line 1: schema version 99"));
+        // A version *below* SCHEMA is an ordinary mismatch.
+        let err = validate_events("{\"schema\":0,\"kind\":\"event\",\"name\":\"x\"}").unwrap_err();
+        assert!(matches!(err, ValidateError::Malformed { line: 1, .. }));
     }
 
     #[test]
@@ -827,13 +920,14 @@ mod tests {
     fn check_events_collects_every_violation_with_lines() {
         let text = "not json\n\
                     {\"schema\":1,\"kind\":\"event\",\"name\":\"ok\"}\n\
-                    {\"schema\":9,\"kind\":\"nope\",\"name\":\"\",\"mem_hwm_bytes\":-1}\n";
+                    {\"schema\":9,\"kind\":\"nope\",\"name\":\"\",\"mem_hwm_bytes\":-1}\n\
+                    {\"schema\":0,\"kind\":\"event\",\"name\":\"old\"}\n";
         let (summary, report) = check_events("events.jsonl", text);
         let codes = fired(&report);
-        for code in ["E001", "E004", "E005", "E007", "E008"] {
+        for code in ["E001", "E004", "E005", "E007", "E008", "E012"] {
             assert!(codes.contains(&code), "expected {code} in {codes:?}");
         }
-        assert_eq!(summary.total(), 1, "the clean middle line still counts");
+        assert_eq!(summary.total(), 1, "the clean second line still counts");
         assert!(report
             .diagnostics()
             .iter()

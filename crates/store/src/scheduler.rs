@@ -139,6 +139,13 @@ impl Scheduler {
         let slots: Vec<Mutex<Option<T>>> = (0..total).map(|_| Mutex::new(None)).collect();
         let failures: Mutex<Vec<JobFailure>> = Mutex::new(Vec::new());
         metrics::queue_depth().add(total as i64);
+        // The batch span nests under whatever the submitting thread has
+        // open (the suite-run root); its context is copied to every worker
+        // so per-job spans join the same trace across thread boundaries.
+        let mut batch_span = simtrace::span("sched/batch");
+        batch_span.arg("workers", self.workers.min(total.max(1)));
+        batch_span.arg("jobs", total);
+        let batch_ctx = batch_span.context();
         thread::scope(|scope| {
             for _ in 0..self.workers.min(total.max(1)) {
                 scope.spawn(|| loop {
@@ -153,10 +160,19 @@ impl Scheduler {
                     if simmetrics::is_enabled() {
                         flight::note("job-start", label(i));
                     }
+                    let mut job_span = simtrace::child_of(batch_ctx, "sched/job");
+                    if job_span.is_recording() {
+                        job_span.arg("pair", label(i));
+                        job_span.arg("index", i);
+                    }
                     let timer = metrics::job_wall_micros().start_timer();
                     let mut outcome = None;
                     let mut message = String::new();
                     for attempt in 0..2 {
+                        // The job span is this thread's current context
+                        // while held, so the attempt (and anything the job
+                        // itself opens) nests under it automatically.
+                        let mut attempt_span = simtrace::span("sched/attempt");
                         match catch_unwind(AssertUnwindSafe(|| job(i))) {
                             Ok(value) => {
                                 outcome = Some(value);
@@ -164,9 +180,13 @@ impl Scheduler {
                             }
                             Err(payload) => {
                                 message = panic_message(payload.as_ref());
+                                attempt_span.set_error(&message);
                                 metrics::job_panics().inc();
                                 if attempt == 0 {
                                     metrics::job_retries().inc();
+                                    if job_span.is_recording() {
+                                        job_span.arg("retried", true);
+                                    }
                                     if simmetrics::is_enabled() {
                                         flight::note("job-retry", label(i));
                                     }
@@ -177,6 +197,10 @@ impl Scheduler {
                     drop(timer);
                     metrics::jobs().inc();
                     metrics::queue_depth().sub(1);
+                    if outcome.is_none() {
+                        job_span.set_error(&message);
+                    }
+                    drop(job_span);
                     match outcome {
                         Some(value) => {
                             // A previous panic cannot have poisoned slot i:

@@ -1,0 +1,155 @@
+//! Analyzes collected simtrace files (either on-disk format).
+//!
+//! Usage:
+//!
+//! ```text
+//! trace-report [--top N] <run.trace>
+//! trace-report --diff <old.trace> <new.trace> [--threshold-pct P] [--abs-ms MS]
+//! ```
+//!
+//! Single-file mode prints the self-time top-N table, the critical path
+//! through the scheduler's fan-out, and worker utilization. Diff mode
+//! aligns spans by stable name+pair key and gates on wall-time
+//! regressions: exits 0 when clean, 1 when any aligned key regressed past
+//! both the relative threshold (default 10%) and the absolute floor
+//! (default 1 ms), 2 on usage or I/O errors.
+
+use simtrace::analyze;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: trace-report [--top N] <run.trace>\n       \
+     trace-report --diff <old.trace> <new.trace> [--threshold-pct P] [--abs-ms MS]";
+
+struct Options {
+    diff: bool,
+    top: usize,
+    threshold_pct: f64,
+    abs_ms: f64,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        diff: false,
+        top: 15,
+        threshold_pct: 10.0,
+        abs_ms: 1.0,
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--diff" => opts.diff = true,
+            "--top" => {
+                opts.top = value("--top")?
+                    .parse()
+                    .map_err(|_| "--top needs an integer".to_string())?;
+            }
+            "--threshold-pct" => {
+                opts.threshold_pct = value("--threshold-pct")?
+                    .parse()
+                    .map_err(|_| "--threshold-pct needs a number".to_string())?;
+            }
+            "--abs-ms" => {
+                opts.abs_ms = value("--abs-ms")?
+                    .parse()
+                    .map_err(|_| "--abs-ms needs a number".to_string())?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    let expected = if opts.diff { 2 } else { 1 };
+    if opts.paths.len() != expected {
+        return Err(format!(
+            "expected {expected} trace file(s), got {}\n{USAGE}",
+            opts.paths.len()
+        ));
+    }
+    Ok(opts)
+}
+
+fn report_one(opts: &Options) -> Result<ExitCode, String> {
+    let path = &opts.paths[0];
+    let spans = simtrace::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!(
+        "trace {} — {} spans\n\nself time (top {}):",
+        path.display(),
+        spans.len(),
+        opts.top
+    );
+    print!(
+        "{}",
+        analyze::render_self_time(&analyze::self_time(&spans), opts.top)
+    );
+    println!("\ncritical path:");
+    print!(
+        "{}",
+        analyze::render_critical_path(&analyze::critical_path(&spans))
+    );
+    match analyze::utilization(&spans) {
+        Some(u) => {
+            println!("\nscheduler utilization:");
+            print!("{}", analyze::render_utilization(&u));
+        }
+        None => println!("\nscheduler utilization: no sched/batch spans in this trace"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn report_diff(opts: &Options) -> Result<ExitCode, String> {
+    let old =
+        simtrace::load(&opts.paths[0]).map_err(|e| format!("{}: {e}", opts.paths[0].display()))?;
+    let new =
+        simtrace::load(&opts.paths[1]).map_err(|e| format!("{}: {e}", opts.paths[1].display()))?;
+    let report = analyze::diff(
+        &old,
+        &new,
+        analyze::DiffOptions {
+            threshold_pct: opts.threshold_pct,
+            min_delta_ns: (opts.abs_ms * 1e6) as u64,
+        },
+    );
+    println!(
+        "diff {} -> {} (gate: +{}% and +{} ms)\n",
+        opts.paths[0].display(),
+        opts.paths[1].display(),
+        opts.threshold_pct,
+        opts.abs_ms
+    );
+    print!("{}", analyze::render_diff(&report, opts.top));
+    let regressions = report.regressions().count();
+    if regressions > 0 {
+        eprintln!("\n{regressions} span key(s) regressed past the gate");
+        Ok(ExitCode::FAILURE)
+    } else {
+        println!("\nno regressions past the gate");
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let run = if opts.diff { report_diff } else { report_one };
+    match run(&opts) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

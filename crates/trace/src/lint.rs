@@ -1,0 +1,159 @@
+//! T-rule checks over a collected trace: structural integrity the
+//! analyses in [`crate::analyze`] silently assume.
+//!
+//! Rule logic lives here, next to the records it audits; the stable
+//! codes, severities, and explanations live in simcheck's catalog like
+//! every other family. `lint --trace FILE` (and `--all` over
+//! `results/traces/`) drives [`check_trace`].
+
+use crate::SpanRecord;
+use simcheck::{codes, Diagnostic, Report, Span};
+use std::collections::{HashMap, HashSet};
+
+/// Whether `name` is a legal span name: non-empty `/`-separated segments
+/// of `[a-z0-9_.-]+` (the charset diff alignment and Perfetto grouping
+/// rely on).
+pub fn is_legal_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.split('/').all(|segment| {
+            !segment.is_empty()
+                && segment
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b".-_".contains(&b))
+        })
+}
+
+/// Audits `spans` (as loaded from `object`, used for diagnostic spans)
+/// against the T-rule family, collecting every violation.
+pub fn check_trace(object: &str, spans: &[SpanRecord]) -> Report {
+    let mut report = Report::new();
+    let at = |span_id: u64| Span::object(format!("{object}#{span_id}"));
+
+    // T004 first: parent resolution below treats ids as a set, which a
+    // duplicate would silently merge.
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    for s in spans {
+        *seen.entry(s.span_id).or_insert(0) += 1;
+    }
+    for (span_id, count) in seen.iter().filter(|(_, &count)| count > 1) {
+        report.push(Diagnostic::new(
+            &codes::T004,
+            at(*span_id),
+            format!("span id {span_id} appears {count} times"),
+        ));
+    }
+
+    let ids: HashSet<u64> = seen.keys().copied().collect();
+    for s in spans {
+        if !is_legal_name(&s.name) {
+            report.push(Diagnostic::new(
+                &codes::T001,
+                Span::field(format!("{object}#{}", s.span_id), "name"),
+                format!(
+                    "name {:?} is not /-separated lowercase [a-z0-9_.-]+",
+                    s.name
+                ),
+            ));
+        }
+        if s.parent_id != 0 && !ids.contains(&s.parent_id) {
+            report.push(Diagnostic::new(
+                &codes::T002,
+                Span::field(format!("{object}#{}", s.span_id), "parent_id"),
+                format!(
+                    "span {:?} references parent id {} absent from the trace",
+                    s.name, s.parent_id
+                ),
+            ));
+        }
+        if s.end_ns < s.start_ns {
+            report.push(Diagnostic::new(
+                &codes::T003,
+                at(s.span_id),
+                format!(
+                    "span {:?} ends at {} ns before its start at {} ns",
+                    s.name, s.end_ns, s.start_ns
+                ),
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArgValue;
+
+    fn span(id: u64, parent: u64, name: &str) -> SpanRecord {
+        SpanRecord {
+            trace_id: 1,
+            span_id: id,
+            parent_id: parent,
+            name: name.to_string(),
+            tid: 1,
+            start_ns: 10 * id,
+            end_ns: 10 * id + 5,
+            error: None,
+            args: vec![("pair".to_string(), ArgValue::Str("505.mcf_r".to_string()))],
+        }
+    }
+
+    #[test]
+    fn clean_trace_produces_no_diagnostics() {
+        let spans = vec![
+            span(1, 0, "run/reproduce"),
+            span(2, 1, "sched/batch"),
+            span(3, 2, "sched/job"),
+            span(4, 3, "stage/simulate"),
+            span(5, 3, "engine/run"),
+        ];
+        let report = check_trace("run.trace.json", &spans);
+        assert!(report.is_empty(), "{}", report.to_table());
+    }
+
+    #[test]
+    fn t001_flags_illegal_names() {
+        for bad in ["", "Stage/Simulate", "stage simulate", "stage//x", "é"] {
+            let report = check_trace("t", &[span(1, 0, bad)]);
+            assert!(
+                report.diagnostics().iter().any(|d| d.code.code == "T001"),
+                "expected T001 for {bad:?}"
+            );
+        }
+        assert!(is_legal_name("sched/job"));
+        assert!(is_legal_name("run/reproduce-2.quick_x"));
+    }
+
+    #[test]
+    fn t002_flags_orphan_parents() {
+        let report = check_trace("t", &[span(1, 0, "run/root"), span(2, 99, "sched/job")]);
+        let orphans: Vec<_> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code.code == "T002")
+            .collect();
+        assert_eq!(orphans.len(), 1);
+        assert!(orphans[0].message.contains("99"));
+    }
+
+    #[test]
+    fn t003_flags_reversed_windows() {
+        let mut bad = span(1, 0, "run/root");
+        bad.start_ns = 100;
+        bad.end_ns = 50;
+        let report = check_trace("t", &[bad]);
+        assert!(report.diagnostics().iter().any(|d| d.code.code == "T003"));
+    }
+
+    #[test]
+    fn t004_flags_duplicate_ids() {
+        let report = check_trace("t", &[span(7, 0, "run/a"), span(7, 0, "run/b")]);
+        let dups: Vec<_> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code.code == "T004")
+            .collect();
+        assert_eq!(dups.len(), 1);
+        assert!(dups[0].message.contains("2 times"));
+    }
+}

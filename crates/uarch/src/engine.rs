@@ -198,6 +198,9 @@ impl Engine {
     where
         I: IntoIterator<Item = MicroOp>,
     {
+        // One guard around the whole run: constant cost, never per op, and
+        // inert while tracing is disabled so the hot loop is untouched.
+        let mut trace_span = simtrace::span("engine/run");
         if let Some(kind) = opts.predictor {
             if kind != self.predictor_kind {
                 self.predictor = kind.build();
@@ -380,6 +383,10 @@ impl Engine {
         crate::metrics::engine_runs().inc();
         crate::metrics::ops_retired().add(executed);
         crate::metrics::sim_time_micros().record((self.seconds(&s) * 1e6) as u64);
+        if trace_span.is_recording() {
+            trace_span.arg("ops", executed);
+            trace_span.arg("warmup_ops", warmup_ops);
+        }
         s
     }
 

@@ -191,13 +191,22 @@ impl TraceGenerator {
         config: &SystemConfig,
         scale: &TraceScale,
     ) -> Result<Self, InvalidBehavior> {
+        let mut trace_span = simtrace::span("gen/expand");
+        if trace_span.is_recording() {
+            trace_span.arg("pair", pair.id());
+        }
         let behavior = &pair.input.behavior;
-        TraceGenerator::new(
+        let generator = TraceGenerator::new(
             behavior,
             config,
             pair.seed(),
             scale.budget_for(behavior, config),
-        )
+        );
+        match &generator {
+            Ok(g) => trace_span.arg("ops", g.remaining()),
+            Err(e) => trace_span.set_error(&e.to_string()),
+        }
+        generator
     }
 
     /// Micro-ops still to be produced.
