@@ -116,6 +116,47 @@ fn bench_engine(r: &mut Runner) {
     });
     simtrace::disable();
     simtrace::drain();
+    // Paired with engine_run_100k above: a simpoint sparse replay of the
+    // same 100k-op trace — detailed counted simulation for the medoid
+    // intervals only, functional warming in between. The clustering plan is
+    // precomputed outside the loop (profiling is a one-time cost a campaign
+    // amortizes across replays); the ratio of the two medians is the
+    // warm-mode replay cost, and the headline reconstruction error printed
+    // alongside is the accuracy price of simulating medoids only.
+    let gen =
+        TraceGenerator::new(&Behavior::default(), &config, 7, 100_000).expect("valid behavior");
+    let hints = WorkloadHints {
+        l2_bypass_range: Some(gen.l2_bypass_range()),
+        ..WorkloadHints::default()
+    };
+    let sp = simpoint::SimpointConfig::default();
+    let analysis = simpoint::analyze(&config, &gen, &hints, &sp).expect("simpoint plan");
+    eprintln!(
+        "engine_run_100k_simpoint plan: k={} of {} intervals, {:.1}x fewer \
+         detailed ops, {:.2}% max headline counter error",
+        analysis.k(),
+        analysis.n_intervals(),
+        analysis.speedup(),
+        analysis.max_headline_error() * 100.0
+    );
+    let medoids: std::collections::HashSet<usize> = analysis.medoids.iter().copied().collect();
+    let opts = RunOptions::new();
+    r.bench("engine_run_100k_simpoint", || {
+        let mut g = gen.clone();
+        let mut engine = Engine::new(&config);
+        let mut merged = uarch_sim::counters::PerfSession::new();
+        let mut interval = 0usize;
+        while g.remaining() > 0 {
+            let take = analysis.interval_ops.min(g.remaining()) as usize;
+            if medoids.contains(&interval) {
+                merged.merge(&engine.run_with((&mut g).take(take), &hints, &opts));
+            } else {
+                engine.warm_with((&mut g).take(take), &hints);
+            }
+            interval += 1;
+        }
+        black_box(merged)
+    });
 }
 
 fn bench_pca(r: &mut Runner) {

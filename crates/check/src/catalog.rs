@@ -21,6 +21,8 @@ pub enum Family {
     Metrics,
     /// `T…` — collected causal-trace integrity (simtrace).
     Trace,
+    /// `S…` — simpoint artifact consistency (simpoint).
+    Simpoint,
 }
 
 impl Family {
@@ -33,6 +35,7 @@ impl Family {
             Family::Events => "events",
             Family::Metrics => "metrics",
             Family::Trace => "trace",
+            Family::Simpoint => "simpoint",
         }
     }
 }
@@ -468,6 +471,50 @@ pub mod codes {
          traces were merged without renumbering. Parent references \
          become ambiguous, and both the critical path and the diff \
          aligner double-count the colliding spans.");
+
+    // --------------------------------------------------------------- S: simpoint
+
+    rule!(pub S001, "S001", "weights-sum", Error, Simpoint,
+        "cluster weights must each lie in (0, 1] and sum to 1",
+        "A simpoint record's cluster weights are the fractions of the \
+         run's intervals each medoid stands for; whole-run counters are \
+         reconstructed as the weight-scaled sum of medoid counters. \
+         Weights that do not partition the run (sum != 1 within 1e-6, or \
+         a weight outside (0, 1]) bias every reconstructed counter and \
+         invalidate the reported speedup/error trade-off.");
+    rule!(pub S002, "S002", "empty-cluster", Error, Simpoint,
+        "every cluster must own at least one interval",
+        "k-medoids assigns each interval to exactly one medoid, so a \
+         cluster with zero member intervals cannot occur in a valid \
+         clustering: it means the labels and medoids arrays were edited \
+         or truncated independently. An empty cluster's medoid was \
+         simulated for nothing and its weight misallocates the run's \
+         interval mass to the remaining clusters.");
+    rule!(pub S003, "S003", "medoid-range", Error, Simpoint,
+        "medoid indices must be unique, in range, and in their own cluster",
+        "Medoids are interval indices into the profiled run, so each must \
+         be < n_intervals, appear once, and be labelled with its own \
+         cluster (a medoid is by definition the member minimizing its \
+         cluster's distance sum). An out-of-range or misassigned medoid \
+         means the sparse replay simulated intervals that do not \
+         correspond to the clusters being reconstructed.");
+    rule!(pub S004, "S004", "interval-count", Error, Simpoint,
+        "interval bookkeeping must be consistent with the run size",
+        "The interval grid is derived from the run: labels has one entry \
+         per interval, n_intervals = ceil(total_ops / interval_ops), \
+         simulated ops cannot exceed total ops, and the reference \
+         instruction counter equals total_ops (one retired instruction \
+         per counted micro-op). Any mismatch means the record mixes two \
+         different runs and its per-counter errors compare apples to \
+         oranges.");
+    rule!(pub S005, "S005", "record-decodes", Error, Simpoint,
+        "stored simpoint payload fails to decode",
+        "Entries under results/simpoints/ are schema-versioned binary \
+         simpoint records written through the content-addressed store. A \
+         payload that fails to decode (bad magic, wrong schema version, \
+         or trailing bytes) is either corruption or a foreign artifact \
+         under the simpoint prefix; the reporter would otherwise skip it \
+         silently and under-report the roster.");
 }
 
 /// Every registered rule, in catalog order.
@@ -541,6 +588,11 @@ pub static CATALOG: &[&RuleCode] = &[
     &codes::T002,
     &codes::T003,
     &codes::T004,
+    &codes::S001,
+    &codes::S002,
+    &codes::S003,
+    &codes::S004,
+    &codes::S005,
 ];
 
 /// Looks up a rule by its code, case-insensitively (`"p004"` finds `P004`).
@@ -581,6 +633,7 @@ mod tests {
                 Family::Events => 'E',
                 Family::Metrics => 'M',
                 Family::Trace => 'T',
+                Family::Simpoint => 'S',
             };
             assert!(
                 rule.code.starts_with(family_letter),

@@ -3,13 +3,17 @@
 //!
 //! ```text
 //! extensions [--results DIR] [--no-cache] [--cache-dir DIR]
-//!            [--lint] [--deny-warnings] [--timeline] [--events FILE]
-//!            [--trace] [--serve-metrics ADDR]
+//!            [--lint] [--deny-warnings] [--timeline] [--simpoint]
+//!            [--events FILE] [--trace] [--serve-metrics ADDR]
 //! ```
 //!
 //! `--lint` statically checks the rate-suite profiles and the system
 //! configuration before any simulation starts (the `simcheck` rules);
 //! `--deny-warnings` makes lint warnings refuse the run too.
+//!
+//! `--simpoint` additionally runs the representative-interval campaign over
+//! the rate-suite ref pairs, persisting per-pair speedup-vs-error records
+//! content-addressed under `<results>/simpoints/` (see `simpoint-report`).
 //!
 //! Characterization-backed tables share the `reproduce` binary's result
 //! cache (default `results/cache`): the rate-suite records feeding the
@@ -51,6 +55,7 @@ struct Options {
     lint: bool,
     deny_warnings: bool,
     timeline: bool,
+    simpoint: bool,
     trace: bool,
     events: Option<PathBuf>,
     serve_metrics: Option<String>,
@@ -64,6 +69,7 @@ fn parse_args() -> Result<Options> {
         lint: false,
         deny_warnings: false,
         timeline: false,
+        simpoint: false,
         trace: false,
         events: None,
         serve_metrics: None,
@@ -87,6 +93,7 @@ fn parse_args() -> Result<Options> {
             "--lint" => opts.lint = true,
             "--deny-warnings" => opts.deny_warnings = true,
             "--timeline" => opts.timeline = true,
+            "--simpoint" => opts.simpoint = true,
             "--trace" => opts.trace = true,
             "--events" => {
                 opts.events =
@@ -294,6 +301,31 @@ fn real_main(opts: Options) -> Result<()> {
         Err(e) => eprintln!("phase analysis failed: {e}"),
     }
     span.finish();
+
+    if opts.simpoint {
+        let mut span = PipelineSpan::open(&recorder, "simpoint-campaign");
+        let dir = opts.results_dir.join("simpoints");
+        let store = simstore::Store::open(&dir)?;
+        let sp = simpoint::SimpointConfig::default();
+        eprintln!(
+            "simpoint: representative-interval analysis of the rate ref pairs \
+             (records under {})...",
+            dir.display()
+        );
+        let sp_records = workchar::simpoints::run_roster(
+            &rate_apps,
+            InputSize::Ref,
+            &config,
+            &sp,
+            Some(&store),
+        )?;
+        span.record("pairs", sp_records.len());
+        let text = workchar::simpoints::summary_table(&sp_records).render_ascii();
+        println!("{text}");
+        all.push_str(&text);
+        all.push('\n');
+        span.finish();
+    }
 
     let path = opts.results_dir.join("extensions.txt");
     match std::fs::File::create(&path).and_then(|mut f| f.write_all(all.as_bytes())) {

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! lint [--all] [--profiles] [--config] [--metrics] [--cache-dir DIR]
+//!      [--simpoint] [--simpoint-dir DIR]
 //!      [--events FILE]... [--trace FILE]... [--quick] [--json]
 //!      [--deny-warnings] [--explain CODE]
 //! ```
@@ -10,15 +11,16 @@
 //! `--all` lints the shipped CPU2017 + CPU2006 rosters, the Haswell
 //! system configuration, and the pipeline's metric registry, and — when
 //! the default cache directory (`results/cache`) exists — audits every
-//! cached record's counter identities, plus any trace artifacts under
-//! `results/traces/`. Individual passes can be selected with
-//! `--profiles`, `--config`, `--metrics`, `--cache-dir DIR`,
-//! `--events FILE` (repeatable), and `--trace FILE` (repeatable; either
-//! simtrace export format).
+//! cached record's counter identities, plus any simpoint records under
+//! `results/simpoints/` and trace artifacts under `results/traces/`.
+//! Individual passes can be selected with `--profiles`, `--config`,
+//! `--metrics`, `--cache-dir DIR`, `--simpoint` (default store location) /
+//! `--simpoint-dir DIR`, `--events FILE` (repeatable), and `--trace FILE`
+//! (repeatable; either simtrace export format).
 //!
 //! Every violation carries a stable rule code (`P...` profile, `C...`
-//! config, `R...` result, `E...` events, `M...` metrics, `T...` trace);
-//! `--explain CODE`
+//! config, `R...` result, `E...` events, `M...` metrics, `T...` trace,
+//! `S...` simpoint); `--explain CODE`
 //! prints the catalog entry for one rule. Exits 0 when clean, 1 when any
 //! error (or, under `--deny-warnings`, any warning) was found, 2 on usage
 //! errors.
@@ -37,6 +39,7 @@ struct Options {
     config: bool,
     metrics: bool,
     cache_dir: Option<PathBuf>,
+    simpoint_dir: Option<PathBuf>,
     events: Vec<PathBuf>,
     traces: Vec<PathBuf>,
     quick: bool,
@@ -50,6 +53,7 @@ fn parse_args() -> Result<Option<Options>> {
         config: false,
         metrics: false,
         cache_dir: None,
+        simpoint_dir: None,
         events: Vec::new(),
         traces: Vec::new(),
         quick: false,
@@ -68,6 +72,11 @@ fn parse_args() -> Result<Option<Options>> {
                 let default_cache = PathBuf::from("results/cache");
                 if opts.cache_dir.is_none() && default_cache.is_dir() {
                     opts.cache_dir = Some(default_cache);
+                }
+                // Simpoint records get the same opportunistic pick-up.
+                let default_simpoints = PathBuf::from("results/simpoints");
+                if opts.simpoint_dir.is_none() && default_simpoints.is_dir() {
+                    opts.simpoint_dir = Some(default_simpoints);
                 }
                 // Same opportunistic pick-up for trace artifacts: audit
                 // whatever `reproduce --trace` has left behind, if anything.
@@ -98,6 +107,16 @@ fn parse_args() -> Result<Option<Options>> {
                         Error::Usage("--cache-dir needs a directory".to_string())
                     })?));
             }
+            "--simpoint" => {
+                if opts.simpoint_dir.is_none() {
+                    opts.simpoint_dir = Some(PathBuf::from("results/simpoints"));
+                }
+            }
+            "--simpoint-dir" => {
+                opts.simpoint_dir = Some(PathBuf::from(args.next().ok_or_else(|| {
+                    Error::Usage("--simpoint-dir needs a directory".to_string())
+                })?));
+            }
             "--events" => {
                 opts.events
                     .push(PathBuf::from(args.next().ok_or_else(|| {
@@ -121,7 +140,7 @@ fn parse_args() -> Result<Option<Options>> {
                     }
                     None => {
                         return Err(Error::Usage(format!(
-                            "unknown rule code '{code}' (codes are P/C/R/E/M/Txxx; see DESIGN.md)"
+                            "unknown rule code '{code}' (codes are P/C/R/E/M/T/Sxxx; see DESIGN.md)"
                         )));
                     }
                 }
@@ -139,6 +158,7 @@ fn parse_args() -> Result<Option<Options>> {
         || opts.config
         || opts.metrics
         || opts.cache_dir.is_some()
+        || opts.simpoint_dir.is_some()
         || !opts.events.is_empty()
         || !opts.traces.is_empty();
     if !selected_any {
@@ -202,6 +222,13 @@ fn run(opts: &Options) -> Result<Report> {
         report.merge(audit);
     }
 
+    if let Some(dir) = &opts.simpoint_dir {
+        let store = simstore::Store::open(dir)?;
+        let (visited, audit) = simpoint::lint::audit_store(&store);
+        eprintln!("audited {visited} simpoint records under {}", dir.display());
+        report.merge(audit);
+    }
+
     for path in &opts.events {
         let text = std::fs::read_to_string(path)?;
         let (summary, events_report) = perfmon::check_events(&path.display().to_string(), &text);
@@ -258,17 +285,20 @@ fn main() -> ExitCode {
 fn print_usage() {
     println!(
         "usage: lint [--all] [--profiles] [--config] [--metrics] [--cache-dir DIR] \
+         [--simpoint] [--simpoint-dir DIR] \
          [--events FILE]... [--trace FILE]... [--quick] [--json] [--deny-warnings] \
          [--explain CODE]"
     );
     println!(
         "  --all            lint shipped rosters + config + metric registry \
-         (+ results/cache if present)"
+         (+ results/cache and results/simpoints if present)"
     );
     println!("  --profiles       lint the CPU2017 and CPU2006 behavior profiles (P-rules)");
     println!("  --config         lint the system configuration (C-rules)");
     println!("  --metrics        lint the pipeline's metric registry (M-rules)");
     println!("  --cache-dir DIR  audit every cached record in DIR (R-rules)");
+    println!("  --simpoint       audit simpoint records under results/simpoints (S-rules)");
+    println!("  --simpoint-dir DIR  audit simpoint records in DIR (S-rules)");
     println!("  --events FILE    audit a perfmon JSONL stream (E-rules; repeatable)");
     println!(
         "  --trace FILE     audit a simtrace artifact, .trace.json or .trace.bin \

@@ -3,7 +3,8 @@
 //! ```text
 //! reproduce [--quick] [--markdown] [--results DIR]
 //!           [--no-cache] [--cache-dir DIR]
-//!           [--timeline] [--events FILE] [--trace] [--serve-metrics ADDR]
+//!           [--timeline] [--simpoint] [--events FILE] [--trace]
+//!           [--serve-metrics ADDR]
 //!           [table1 .. fig10]
 //! ```
 //!
@@ -13,6 +14,12 @@
 //! memoized content-addressed under the cache directory (default
 //! `results/cache`), so repeated runs replay from disk; `--no-cache` forces
 //! full re-simulation and writes nothing.
+//!
+//! `--simpoint` additionally runs a representative-interval campaign over
+//! the CPU2017 ref pairs: each pair is profiled in intervals, clustered,
+//! sparsely replayed, and the per-pair speedup-vs-error record lands
+//! content-addressed under `<results>/simpoints/` (rendered by
+//! `simpoint-report`, audited by `lint --simpoint`).
 //!
 //! Observability: `--timeline` records an interval-sampled counter timeline
 //! per pair (written as CSV + SVG sparkline under `<results>/timelines/`;
@@ -51,6 +58,7 @@ struct Options {
     lint: bool,
     deny_warnings: bool,
     timeline: bool,
+    simpoint: bool,
     trace: bool,
     events: Option<PathBuf>,
     serve_metrics: Option<String>,
@@ -67,6 +75,7 @@ fn parse_args() -> Result<Option<Options>> {
         lint: false,
         deny_warnings: false,
         timeline: false,
+        simpoint: false,
         trace: false,
         events: None,
         serve_metrics: None,
@@ -83,6 +92,7 @@ fn parse_args() -> Result<Option<Options>> {
             "--lint" => opts.lint = true,
             "--deny-warnings" => opts.deny_warnings = true,
             "--timeline" => opts.timeline = true,
+            "--simpoint" => opts.simpoint = true,
             "--trace" => opts.trace = true,
             "--events" => {
                 opts.events =
@@ -232,7 +242,7 @@ fn real_main(opts: Options) -> Result<()> {
     );
     let t0 = Instant::now();
     let mut span = PipelineSpan::open(&recorder, "collect-dataset");
-    let data = Dataset::collect_with(config, cache.as_ref())?;
+    let data = Dataset::collect_with(config.clone(), cache.as_ref())?;
     let wall = t0.elapsed().as_secs_f64();
     let sim_ops: u64 = data
         .cpu17
@@ -325,6 +335,32 @@ fn real_main(opts: Options) -> Result<()> {
         eprintln!("wrote {written} pair timelines under {}", dir.display());
     }
 
+    if opts.simpoint {
+        let mut span = PipelineSpan::open(&recorder, "simpoint-campaign");
+        let dir = opts.results_dir.join("simpoints");
+        let store = simstore::Store::open(&dir)?;
+        let sp = simpoint::SimpointConfig::default();
+        let apps = workload_synth::cpu2017::suite();
+        eprintln!(
+            "simpoint: representative-interval analysis of the CPU2017 ref pairs \
+             (records under {})...",
+            dir.display()
+        );
+        let records = workchar::simpoints::run_roster(
+            &apps,
+            workload_synth::profile::InputSize::Ref,
+            &config,
+            &sp,
+            Some(&store),
+        )?;
+        span.record("pairs", records.len());
+        let table = workchar::simpoints::summary_table(&records);
+        let text = table.render_ascii();
+        println!("{text}");
+        write_file(&opts.results_dir, "simpoints.txt", &text);
+        span.finish();
+    }
+
     // Full per-pair record dump — the machine-readable artifact downstream
     // analyses start from.
     write_file(
@@ -379,8 +415,8 @@ fn print_usage() {
     println!(
         "usage: reproduce [--quick] [--markdown] [--results DIR] \
          [--no-cache] [--cache-dir DIR] [--lint] [--deny-warnings] \
-         [--timeline] [--events FILE] [--trace] [--serve-metrics ADDR] \
-         [table1..table10 fig1..fig10]"
+         [--timeline] [--simpoint] [--events FILE] [--trace] \
+         [--serve-metrics ADDR] [table1..table10 fig1..fig10]"
     );
     println!("  --no-cache    re-simulate everything; do not read or write the result cache");
     println!("  --cache-dir   result-cache directory (default results/cache)");
@@ -388,6 +424,10 @@ fn print_usage() {
     println!("  --deny-warnings  with --lint, refuse to run on warnings too");
     println!(
         "  --timeline    sample a per-pair counter timeline (CSV + SVG under results/timelines)"
+    );
+    println!(
+        "  --simpoint    run the representative-interval campaign on the CPU2017 ref pairs \
+         (records under results/simpoints)"
     );
     println!("  --events      write perfmon span/event records as JSONL to FILE");
     println!(

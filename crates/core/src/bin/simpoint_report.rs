@@ -1,0 +1,184 @@
+//! Renders and gates the simpoint records a `--simpoint` campaign stored.
+//!
+//! ```text
+//! simpoint-report [--dir DIR] [--markdown] [--json]
+//!                 [--max-error PCT] [--min-speedup X]
+//! ```
+//!
+//! Reads every record under the store directory (default
+//! `results/simpoints`), prints the per-pair speedup-vs-error table, and —
+//! when gates are given — fails the run if any pair's headline
+//! reconstruction error exceeds `--max-error` percent or any pair's
+//! speedup falls below `--min-speedup`. Exits 0 when clean, 1 when a gate
+//! is violated (or a record does not decode), 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simpoint::SimpointRecord;
+use workchar::error::{Error, Result};
+use workchar::simpoints::summary_table;
+
+struct Options {
+    dir: PathBuf,
+    markdown: bool,
+    json: bool,
+    max_error_pct: Option<f64>,
+    min_speedup: Option<f64>,
+}
+
+fn parse_args() -> Result<Option<Options>> {
+    let mut opts = Options {
+        dir: PathBuf::from("results/simpoints"),
+        markdown: false,
+        json: false,
+        max_error_pct: None,
+        min_speedup: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => {
+                opts.dir = PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| Error::Usage("--dir needs a directory".to_string()))?,
+                );
+            }
+            "--markdown" => opts.markdown = true,
+            "--json" => opts.json = true,
+            "--max-error" => {
+                let raw = args
+                    .next()
+                    .ok_or_else(|| Error::Usage("--max-error needs a percentage".to_string()))?;
+                opts.max_error_pct =
+                    Some(raw.parse().map_err(|_| {
+                        Error::Usage(format!("--max-error: '{raw}' is not a number"))
+                    })?);
+            }
+            "--min-speedup" => {
+                let raw = args
+                    .next()
+                    .ok_or_else(|| Error::Usage("--min-speedup needs a factor".to_string()))?;
+                opts.min_speedup = Some(raw.parse().map_err(|_| {
+                    Error::Usage(format!("--min-speedup: '{raw}' is not a number"))
+                })?);
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return Ok(None);
+            }
+            other => {
+                return Err(Error::Usage(format!("unknown argument '{other}'")));
+            }
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run with --help for usage");
+            return ExitCode::from(2);
+        }
+    };
+    match real_main(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main(opts: &Options) -> Result<bool> {
+    let store = simstore::Store::open(&opts.dir)?;
+    let mut records = Vec::new();
+    let mut undecodable = 0usize;
+    for key in store.keys() {
+        let Some(payload) = store.get(key) else {
+            continue;
+        };
+        match SimpointRecord::decode(&payload) {
+            Ok(record) => records.push(record),
+            Err(e) => {
+                eprintln!("error: record {key} does not decode: {e}");
+                undecodable += 1;
+            }
+        }
+    }
+    if records.is_empty() && undecodable == 0 {
+        return Err(Error::MissingData(format!(
+            "no simpoint records under {} (run `reproduce --simpoint` first)",
+            opts.dir.display()
+        )));
+    }
+    records.sort_by(|a, b| a.id.cmp(&b.id));
+    let table = summary_table(&records);
+    if opts.json {
+        println!("{}", table.render_csv());
+    } else if opts.markdown {
+        println!("{}", table.render_markdown());
+    } else {
+        println!("{}", table.render_ascii());
+    }
+
+    let mut clean = undecodable == 0;
+    if let Some(max_pct) = opts.max_error_pct {
+        for r in &records {
+            let pct = r.max_headline_error() * 100.0;
+            if pct > max_pct {
+                eprintln!(
+                    "gate: {} headline error {pct:.2}% exceeds --max-error {max_pct}%",
+                    r.id
+                );
+                clean = false;
+            }
+        }
+    }
+    if let Some(min) = opts.min_speedup {
+        for r in &records {
+            let speedup = r.speedup();
+            if speedup < min {
+                eprintln!(
+                    "gate: {} speedup {speedup:.1}x below --min-speedup {min}x",
+                    r.id
+                );
+                clean = false;
+            }
+        }
+    }
+    if clean {
+        let worst_err = records
+            .iter()
+            .map(|r| r.max_headline_error())
+            .fold(0.0f64, f64::max);
+        let worst_speedup = records
+            .iter()
+            .map(|r| r.speedup())
+            .fold(f64::INFINITY, f64::min);
+        eprintln!(
+            "{} pair(s): worst headline error {:.2}%, worst speedup {:.1}x",
+            records.len(),
+            worst_err * 100.0,
+            worst_speedup
+        );
+    }
+    Ok(clean)
+}
+
+fn print_usage() {
+    println!(
+        "usage: simpoint-report [--dir DIR] [--markdown] [--json] \
+         [--max-error PCT] [--min-speedup X]"
+    );
+    println!("  --dir DIR        simpoint store directory (default results/simpoints)");
+    println!("  --markdown       render the table as markdown instead of ASCII");
+    println!("  --json           render the table as CSV on stdout");
+    println!("  --max-error PCT  fail if any pair's headline error exceeds PCT percent");
+    println!("  --min-speedup X  fail if any pair's speedup falls below X");
+}

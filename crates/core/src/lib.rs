@@ -29,6 +29,10 @@
 //!     anything: counter identities on records and cached entries, timeline
 //!     telescoping, and the campaign pre-flight gate behind the binaries'
 //!     `--lint` flag (`simcheck` rules `R001`–`R021`).
+//! 12. [`simpoints`] drives roster-wide `simpoint` campaigns (SimPoint-style
+//!     representative-interval simulation) behind the binaries' `--simpoint`
+//!     flag, persisting speedup-vs-error records under `results/simpoints/`;
+//!     the `simpoint-report` binary renders and gates them.
 //!
 //! # Example
 //!
@@ -60,6 +64,7 @@ pub mod observe;
 pub mod phase;
 pub mod redundancy;
 pub mod sensitivity;
+pub mod simpoints;
 pub mod subset;
 pub mod suitestats;
 pub mod telemetry;

@@ -390,6 +390,79 @@ impl Engine {
         s
     }
 
+    /// Functional warming: advances every piece of persistent
+    /// microarchitectural state over `ops` — cache hierarchy (demand and
+    /// instruction fetch), branch predictor — through transitions
+    /// bit-identical to [`Engine::run_with`] on the same stream, but with
+    /// no counter accounting, no cycle pricing, and no timeline sampling.
+    /// Returns the number of ops warmed.
+    ///
+    /// This is the gap path of a SimPoint-style sparse replay (`simpoint`
+    /// crate): intervals between simulation points are warmed so each
+    /// medoid interval starts from the exact state a full chunked run
+    /// would have given it. The equivalence (`warm_with` on chunk A then
+    /// `run_with` on chunk B produces the same session for B as
+    /// `run_with` on both) is pinned by this crate's tests.
+    pub fn warm_with<I>(&mut self, ops: I, hints: &WorkloadHints) -> u64
+    where
+        I: IntoIterator<Item = MicroOp>,
+    {
+        let mut executed: u64 = 0;
+        // Per-run fetch state, reset per call exactly like run_with.
+        let mut fetch_off: u64 = 0;
+        let mut last_fetch_line = u64::MAX;
+        let code_mask = hints.code_footprint_bytes.next_power_of_two().max(64) - 1;
+        let hot_code_mask = (8 * 1024u64).min(code_mask + 1) - 1;
+        let mut taken_seen: u64 = 0;
+        for op in ops {
+            executed += 1;
+            fetch_off = (fetch_off + 4) & code_mask;
+            let fetch_pc = 0x40_0000 + fetch_off;
+            let line = fetch_pc >> 6;
+            if line != last_fetch_line {
+                self.hierarchy.fetch(fetch_pc);
+                last_fetch_line = line;
+            }
+            match op {
+                MicroOp::Alu => {}
+                MicroOp::Load { addr } => {
+                    let bypass = hints
+                        .l2_bypass_range
+                        .is_some_and(|(base, end)| (base..end).contains(&addr));
+                    if bypass {
+                        self.hierarchy.load_bypass_l2(addr);
+                    } else {
+                        self.hierarchy.load(addr);
+                    }
+                }
+                MicroOp::Store { addr } => {
+                    self.hierarchy.store(addr);
+                }
+                MicroOp::Branch { pc, kind, taken } => {
+                    if kind.is_conditional() {
+                        self.predictor.predict_and_update(pc, taken);
+                    }
+                    if taken {
+                        taken_seen += 1;
+                        let h = pc
+                            .wrapping_add(taken_seen)
+                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                            >> 17;
+                        let mask = if taken_seen.is_multiple_of(32) {
+                            code_mask
+                        } else {
+                            hot_code_mask
+                        };
+                        fetch_off = h & mask;
+                        last_fetch_line = u64::MAX;
+                    }
+                }
+            }
+        }
+        crate::metrics::ops_warmed().add(executed);
+        executed
+    }
+
     /// Turns boundary snapshots into a [`CounterTimeline`].
     ///
     /// Non-cycle events are plain snapshot differences, so they telescope
@@ -795,6 +868,74 @@ mod tests {
             prev_end = iv.end_op;
         }
         assert_eq!(prev_end, 48_000, "counted ops = total - warmup");
+    }
+
+    #[test]
+    fn interval_mix_fractions_telescope_to_final_counters() {
+        // The µop-mix extension of the interval records must not disturb
+        // the timeline's core invariant: per-interval deltas (including
+        // the class counters the mix fractions derive from) still sum
+        // exactly to the final counter file.
+        let ops = phased_ops(50_000);
+        let hints = WorkloadHints::default();
+        let mut e = engine();
+        let s = e.run_with(
+            ops,
+            &hints,
+            &RunOptions::new()
+                .warmup(5000)
+                .sampler(SamplerConfig::every(1500)),
+        );
+        let t = s.timeline().expect("sampler attaches a timeline");
+        for ev in [
+            Event::MemUopsRetiredAllLoads,
+            Event::MemUopsRetiredAllStores,
+            Event::BrInstExecAllBranches,
+        ] {
+            let sum: u64 = t.intervals.iter().map(|iv| iv.deltas.count(ev)).sum();
+            assert_eq!(sum, s.count(ev), "class counter {ev} must telescope");
+        }
+        for iv in &t.intervals {
+            let mix =
+                iv.load_fraction() + iv.store_fraction() + iv.branch_fraction() + iv.alu_fraction();
+            assert!(
+                iv.deltas.count(Event::InstRetiredAny) == 0 || (mix - 1.0).abs() < 1e-9,
+                "mix fractions must partition the interval, got {mix}"
+            );
+            assert!(iv.feature_vector().iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn warm_with_reproduces_run_with_state_transitions() {
+        // Functional warming is only sound if a warmed prefix leaves the
+        // engine in the exact state a counted run of the same prefix
+        // would: the session of the chunk that follows must be
+        // bit-identical either way. This is the invariant the simpoint
+        // sparse replay's gap intervals stand on.
+        let ops = phased_ops(30_000);
+        let hints = WorkloadHints {
+            l2_bypass_range: Some((0x8000, 0x9800)),
+            ..WorkloadHints::default()
+        };
+        let split = 15_000;
+
+        let mut counted = Engine::new(&SystemConfig::haswell_e5_2650l_v3());
+        let _ = counted.run_with(ops[..split].iter().copied(), &hints, &RunOptions::new());
+        let tail_counted =
+            counted.run_with(ops[split..].iter().copied(), &hints, &RunOptions::new());
+
+        let mut warmed = Engine::new(&SystemConfig::haswell_e5_2650l_v3());
+        assert_eq!(
+            warmed.warm_with(ops[..split].iter().copied(), &hints),
+            split as u64
+        );
+        let tail_warmed = warmed.run_with(ops[split..].iter().copied(), &hints, &RunOptions::new());
+
+        assert_eq!(
+            tail_counted, tail_warmed,
+            "warming must advance hierarchy and predictor exactly like a counted run"
+        );
     }
 
     #[test]

@@ -28,10 +28,16 @@ handle!(pub(crate) engine_runs, counter, Counter,
 handle!(pub(crate) sim_time_micros, histogram, Histogram,
     "uarch_sim_time_micros",
     "Simulated (projected target-machine) time per run, in microseconds.");
+handle!(pub(crate) ops_warmed, counter, Counter,
+    "uarch_ops_warmed_total",
+    "Micro-ops run through functional warming (state updates without \
+     counter accounting) by Engine::warm_with, e.g. the gap intervals of \
+     a simpoint sparse replay.");
 
 /// Forces registration of every `uarch_*` metric for the lint pass.
 pub fn register() {
     ops_retired();
     engine_runs();
     sim_time_micros();
+    ops_warmed();
 }

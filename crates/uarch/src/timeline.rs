@@ -98,6 +98,58 @@ impl IntervalSample {
     pub fn mispredict_rate(&self) -> f64 {
         self.deltas.mispredict_rate()
     }
+
+    /// Fraction of the interval's retired micro-ops that were loads.
+    pub fn load_fraction(&self) -> f64 {
+        self.deltas.load_fraction()
+    }
+
+    /// Fraction of the interval's retired micro-ops that were stores.
+    pub fn store_fraction(&self) -> f64 {
+        self.deltas.store_fraction()
+    }
+
+    /// Fraction of the interval's retired micro-ops that were branches.
+    pub fn branch_fraction(&self) -> f64 {
+        self.deltas.branch_fraction()
+    }
+
+    /// Fraction of the interval's retired micro-ops that were plain ALU
+    /// ops (the remainder after loads, stores, and branches).
+    pub fn alu_fraction(&self) -> f64 {
+        (1.0 - self.load_fraction() - self.store_fraction() - self.branch_fraction()).max(0.0)
+    }
+
+    /// Column names of [`IntervalSample::feature_vector`], in order.
+    pub const FEATURE_NAMES: [&'static str; 8] = [
+        "load_frac",
+        "store_frac",
+        "branch_frac",
+        "ipc",
+        "l1_mpki",
+        "l2_mpki",
+        "l3_mpki",
+        "mispredict_rate",
+    ];
+
+    /// The interval's clustering feature vector — the µop-mix fractions
+    /// plus IPC / MPKI / mispredict deltas that stand in for a
+    /// basic-block vector in the SimPoint-style representative-interval
+    /// pipeline (`simpoint` crate). Derived purely from the interval's
+    /// own counter deltas, so two intervals with identical deltas map to
+    /// the identical point in feature space.
+    pub fn feature_vector(&self) -> [f64; 8] {
+        [
+            self.load_fraction(),
+            self.store_fraction(),
+            self.branch_fraction(),
+            self.ipc(),
+            self.l1_mpki(),
+            self.l2_mpki(),
+            self.l3_mpki(),
+            self.mispredict_rate(),
+        ]
+    }
 }
 
 /// The per-interval counter history of one engine run.
@@ -146,9 +198,11 @@ impl CounterTimeline {
         self.intervals.iter().map(f).collect()
     }
 
-    /// Column names of [`CounterTimeline::csv`], in order.
+    /// Column names of [`CounterTimeline::csv`], in order. The trailing
+    /// µop-mix columns are the same fractions the SimPoint feature vector
+    /// starts from ([`IntervalSample::feature_vector`]).
     pub const CSV_HEADER: &'static str =
-        "interval,start_op,end_op,instructions,cycles,ipc,l1_mpki,l2_mpki,l3_mpki,mispredict_rate";
+        "interval,start_op,end_op,instructions,cycles,ipc,l1_mpki,l2_mpki,l3_mpki,mispredict_rate,load_frac,store_frac,branch_frac";
 
     /// Renders the timeline as a CSV document (header + one row per
     /// interval) — the machine-readable phase-behaviour artifact.
@@ -157,7 +211,7 @@ impl CounterTimeline {
         out.push('\n');
         for (i, s) in self.intervals.iter().enumerate() {
             out.push_str(&format!(
-                "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
+                "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
                 i,
                 s.start_op,
                 s.end_op,
@@ -168,6 +222,9 @@ impl CounterTimeline {
                 s.l2_mpki(),
                 s.l3_mpki(),
                 s.mispredict_rate(),
+                s.load_fraction(),
+                s.store_fraction(),
+                s.branch_fraction(),
             ));
         }
         out
@@ -210,6 +267,40 @@ mod tests {
         assert_eq!(s.ipc(), 0.0);
         assert_eq!(s.l1_mpki(), 0.0);
         assert_eq!(s.mispredict_rate(), 0.0);
+    }
+
+    #[test]
+    fn mix_fractions_and_feature_vector_are_consistent() {
+        let mut deltas = PerfSession::new();
+        deltas.set(Event::InstRetiredAny, 1000);
+        deltas.set(Event::UopsRetiredAll, 1000);
+        deltas.set(Event::CpuClkUnhaltedRefTsc, 500);
+        deltas.set(Event::MemUopsRetiredAllLoads, 300);
+        deltas.set(Event::MemUopsRetiredAllStores, 100);
+        deltas.set(Event::BrInstExecAllBranches, 200);
+        deltas.set(Event::MemLoadUopsRetiredL1Miss, 25);
+        let s = IntervalSample {
+            start_op: 0,
+            end_op: 1000,
+            deltas,
+        };
+        assert!((s.load_fraction() - 0.3).abs() < 1e-12);
+        assert!((s.store_fraction() - 0.1).abs() < 1e-12);
+        assert!((s.branch_fraction() - 0.2).abs() < 1e-12);
+        assert!((s.alu_fraction() - 0.4).abs() < 1e-12);
+        let v = s.feature_vector();
+        assert_eq!(v.len(), IntervalSample::FEATURE_NAMES.len());
+        assert!((v[0] - s.load_fraction()).abs() < 1e-12);
+        assert!((v[3] - s.ipc()).abs() < 1e-12);
+        assert!((v[4] - s.l1_mpki()).abs() < 1e-12);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn empty_interval_feature_vector_is_finite() {
+        let s = sample(0, 0, 0, 0, 0);
+        assert_eq!(s.alu_fraction(), 1.0);
+        assert!(s.feature_vector().iter().all(|x| x.is_finite()));
     }
 
     #[test]

@@ -214,6 +214,37 @@ impl TraceGenerator {
         self.remaining
     }
 
+    /// Fast-forwards over the next `n` micro-ops without materializing them,
+    /// returning how many were actually skipped (clamped at the end of the
+    /// stream).
+    ///
+    /// Every stateful model the generator consults is advanced exactly as
+    /// [`Iterator::next`] would — one class draw per op, plus the address or
+    /// branch draw that class performs — so a skip followed by iteration
+    /// yields bit-identical ops to iterating the whole stream and discarding
+    /// the first `n`. This is the primitive a SimPoint-style sparse replay
+    /// uses to jump between medoid intervals. Skipped ops do not count as
+    /// produced for the `workload_uops_generated_total` metric; they are
+    /// tallied under `workload_uops_fastforwarded_total` instead.
+    pub fn fast_forward(&mut self, n: u64) -> u64 {
+        let take = n.min(self.remaining);
+        for _ in 0..take {
+            self.remaining -= 1;
+            let u = self.rng.gen_f64();
+            if u < self.cum[1] {
+                // Loads and stores each draw exactly one address.
+                self.locality.next_addr(&mut self.rng);
+            } else if u < self.cum[2] {
+                self.branches.next(&mut self.rng);
+            }
+            // ALU ops draw nothing beyond the class selector.
+        }
+        if take > 0 {
+            crate::metrics::uops_fastforwarded().add(take);
+        }
+        take
+    }
+
     /// Address range of the L3-resident working set; pass this as the
     /// engine's `l2_bypass_range` hint so the scaled-down region behaves
     /// like the multi-megabyte original (see `crate::reuse`).
@@ -378,6 +409,35 @@ mod tests {
         };
         let err = TraceGenerator::new(&bad, &config(), 0, 10).unwrap_err();
         assert!(err.to_string().contains("exceed 100%"), "{err}");
+    }
+
+    #[test]
+    fn skip_is_bit_identical_to_iterate_and_drop() {
+        let behavior = Behavior {
+            load_pct: 30.0,
+            store_pct: 10.0,
+            branch_pct: 20.0,
+            ..Behavior::default()
+        };
+        let full: Vec<MicroOp> = TraceGenerator::new(&behavior, &config(), 11, 4000)
+            .unwrap()
+            .collect();
+        for k in [0u64, 1, 7, 1000, 3999, 4000] {
+            let mut g = TraceGenerator::new(&behavior, &config(), 11, 4000).unwrap();
+            assert_eq!(g.fast_forward(k), k);
+            assert_eq!(g.remaining(), 4000 - k);
+            let rest: Vec<MicroOp> = g.collect();
+            assert_eq!(rest, full[k as usize..], "fast_forward({k}) diverged");
+        }
+    }
+
+    #[test]
+    fn skip_clamps_at_end_of_stream() {
+        let mut g = TraceGenerator::new(&Behavior::default(), &config(), 5, 100).unwrap();
+        assert_eq!(g.fast_forward(250), 100);
+        assert_eq!(g.remaining(), 0);
+        assert_eq!(g.fast_forward(10), 0);
+        assert_eq!(g.next(), None);
     }
 
     #[test]

@@ -19,7 +19,21 @@ pub(crate) fn uops_generated() -> &'static Counter {
     })
 }
 
+/// Micro-ops fast-forwarded (RNG-advanced without materializing a
+/// [`uarch_sim::microop::MicroOp`]) by `TraceGenerator::skip` — the ops a
+/// SimPoint-style sparse replay does *not* simulate.
+pub(crate) fn uops_fastforwarded() -> &'static Counter {
+    static H: OnceLock<Counter> = OnceLock::new();
+    H.get_or_init(|| {
+        simmetrics::counter(
+            "workload_uops_fastforwarded_total",
+            "Micro-ops skipped by generator fast-forward across the process.",
+        )
+    })
+}
+
 /// Forces registration of every `workload_*` metric for the lint pass.
 pub fn register() {
     uops_generated();
+    uops_fastforwarded();
 }

@@ -10,6 +10,7 @@
 //! - [`simcheck`] — static model-analysis diagnostics (rule codes, spans, renderers).
 //! - [`perfmon`] — structured span/event observability with a JSONL sink.
 //! - [`simmetrics`] — process-wide metrics registry, exporters, and flight recorder.
+//! - [`simpoint`] — phase detection and representative-interval simulation.
 //! - [`workchar`] — the paper's characterization + subsetting pipeline.
 //! - [`simreport`] — table and figure rendering.
 
@@ -18,6 +19,7 @@
 pub use perfmon;
 pub use simcheck;
 pub use simmetrics;
+pub use simpoint;
 pub use simreport;
 pub use simstore;
 pub use stat_analysis;

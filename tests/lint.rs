@@ -144,6 +144,45 @@ fn cached_result_audit_catches_corruption() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+// ------------------------------------------------------------ S: simpoint
+
+#[test]
+fn simpoint_store_audit_catches_corruption() {
+    use spec2017_workchar::simpoint::{self, SimpointConfig};
+    use spec2017_workchar::workchar::simpoints::{analyze_pair, simpoint_key};
+
+    let root = std::env::temp_dir().join(format!("workchar-splint-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = Store::open(&root).unwrap();
+    let run = RunConfig::quick();
+    let sp = SimpointConfig::default();
+    let app = cpu2017::app("505.mcf_r").unwrap();
+    let pair = &app.pairs(InputSize::Ref)[0];
+    let record = analyze_pair(pair, &run, &sp).unwrap();
+    let key = simpoint_key(pair, &run, &sp);
+    store.put(key, &record.encode()).unwrap();
+
+    // Genuine record: clean.
+    let (n, report) = simpoint::lint::audit_store(&store);
+    assert_eq!(n, 1);
+    assert!(report.is_empty(), "{}", report.to_table());
+
+    // Tampered weights re-encoded under the same key: S001 fires. A second
+    // entry whose payload is not a simpoint record at all: S005.
+    let mut bad = record.clone();
+    bad.weights[0] += 0.25;
+    store.put(key, &bad.encode()).unwrap();
+    store.put(key_of("sp-gibberish"), &[0u8; 12]).unwrap();
+
+    let (n, report) = simpoint::lint::audit_store(&store);
+    assert_eq!(n, 2);
+    let codes: Vec<&str> = report.diagnostics().iter().map(|d| d.code.code).collect();
+    assert!(codes.contains(&"S001"), "{codes:?}");
+    assert!(codes.contains(&"S005"), "{codes:?}");
+    assert!(report.has_errors());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 // --------------------------------------------------------------- E: events
 
 #[test]
@@ -226,7 +265,7 @@ fn metric_rules_fire_on_a_hostile_registry() {
 
 #[test]
 fn every_rule_family_is_explainable() {
-    for code in ["P004", "C010", "R020", "E010", "M002"] {
+    for code in ["P004", "C010", "R020", "E010", "M002", "S003"] {
         let text = simcheck::explain(code).unwrap();
         assert!(text.contains(code), "{text}");
         assert!(text.len() > 80, "explanation too thin for {code}");

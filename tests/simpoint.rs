@@ -1,0 +1,93 @@
+//! End-to-end properties of the simpoint subsystem, pinned at the
+//! workspace level: the exactness anchor (k = n reconstructs the reference
+//! bit-identically), the acceptance floor (≥ 5x fewer detailed ops at
+//! ≤ 5% headline counter error on real roster pairs), and off-path purity
+//! (running a simpoint analysis perturbs nothing the characterization
+//! pipeline measures).
+
+use spec2017_workchar::simpoint::{analyze, GapMode, SimpointConfig};
+use spec2017_workchar::uarch_sim::counters::Event;
+use spec2017_workchar::workchar::characterize::{characterize_pair, prepared_run, RunConfig};
+use spec2017_workchar::workload_synth::cpu2017;
+use spec2017_workchar::workload_synth::profile::InputSize;
+
+fn quick() -> RunConfig {
+    RunConfig::quick()
+}
+
+/// With every interval its own cluster there are no gaps to approximate:
+/// the sparse replay degenerates to a full chunked run and reconstruction
+/// must be *bit-identical* to the reference — in both gap modes, since no
+/// interval is ever warmed or skipped.
+#[test]
+fn k_equal_to_n_reconstructs_bit_identically() {
+    let run = quick();
+    let app = cpu2017::app("505.mcf_r").unwrap();
+    let pair = &app.pairs(InputSize::Ref)[0];
+    let (trace, hints) = prepared_run(pair, &run).unwrap();
+    let interval_ops = 10_000u64;
+    let n = trace.remaining().div_ceil(interval_ops) as usize;
+    for gap_mode in [GapMode::Warm, GapMode::Skip] {
+        let config = SimpointConfig {
+            interval_ops,
+            force_k: Some(n),
+            gap_mode,
+            ..SimpointConfig::default()
+        };
+        let a = analyze(&run.system, &trace, &hints, &config).unwrap();
+        assert_eq!(a.k(), n);
+        assert_eq!(a.simulated_ops, a.total_ops);
+        assert_eq!(
+            a.estimate, a.reference,
+            "k = n must be bit-identical under {gap_mode:?}"
+        );
+        for ev in Event::ALL {
+            assert_eq!(a.counter_error(ev), 0.0, "{ev} under {gap_mode:?}");
+        }
+    }
+}
+
+/// The ISSUE acceptance floor, on real roster pairs spanning the suite's
+/// behaviour range: memory-bound int (mcf), pointer-chasing int (omnetpp),
+/// cache-friendly int (x264), and memory-streaming fp (lbm).
+#[test]
+fn roster_pairs_meet_speedup_and_error_floor() {
+    let run = quick();
+    for name in ["505.mcf_r", "520.omnetpp_r", "525.x264_r", "619.lbm_s"] {
+        let app = cpu2017::app(name).unwrap();
+        let pair = &app.pairs(InputSize::Ref)[0];
+        let (trace, hints) = prepared_run(pair, &run).unwrap();
+        let a = analyze(&run.system, &trace, &hints, &SimpointConfig::default()).unwrap();
+        assert!(
+            a.speedup() >= 5.0,
+            "{name}: speedup {:.1}x below the 5x floor",
+            a.speedup()
+        );
+        assert!(
+            a.max_headline_error() <= 0.05,
+            "{name}: headline error {:.2}% above 5%",
+            a.max_headline_error() * 100.0
+        );
+        // Under the default warm mode every op either counts or warms.
+        assert_eq!(a.simulated_ops + a.warmed_ops, a.total_ops, "{name}");
+        assert_eq!(a.skipped_ops, 0, "{name}");
+    }
+}
+
+/// Running a simpoint analysis must not perturb anything the ordinary
+/// characterization pipeline measures: the analysis clones its generator
+/// and builds its own engines, so a characterization made after an
+/// analysis is bit-identical to one made before.
+#[test]
+fn simpoint_analysis_leaves_characterization_untouched() {
+    let run = quick();
+    let app = cpu2017::app("541.leela_r").unwrap();
+    let pair = &app.pairs(InputSize::Ref)[0];
+    let before = characterize_pair(pair, &run).unwrap();
+    let (trace, hints) = prepared_run(pair, &run).unwrap();
+    let remaining = trace.remaining();
+    analyze(&run.system, &trace, &hints, &SimpointConfig::default()).unwrap();
+    assert_eq!(trace.remaining(), remaining, "caller's generator untouched");
+    let after = characterize_pair(pair, &run).unwrap();
+    assert_eq!(before, after, "characterization must be unaffected");
+}
