@@ -11,7 +11,8 @@ use stat_analysis::cluster::{agglomerative, Linkage};
 use stat_analysis::distance::Metric;
 use uarch_sim::branch::PredictorKind;
 use uarch_sim::config::SystemConfig;
-use uarch_sim::engine::{Engine, RunOptions, WorkloadHints};
+use uarch_sim::engine::Engine;
+use uarch_sim::exec::ExecPlan;
 use uarch_sim::replacement::Policy;
 use uarch_sim::tlb::Tlb;
 use workload_synth::cpu2017;
@@ -37,7 +38,7 @@ fn ablate_replacement(r: &mut Runner) {
         r.bench(&format!("ablation_replacement_policy/{policy:?}"), || {
             let mut engine = Engine::new(&config);
             let trace = mcf_like_trace(&config, 50_000);
-            black_box(engine.run_with(trace, &WorkloadHints::default(), &RunOptions::new()))
+            black_box(engine.execute(trace, &ExecPlan::new()))
         });
     }
 }
@@ -53,7 +54,7 @@ fn ablate_predictor(r: &mut Runner) {
         r.bench(&format!("ablation_branch_predictor/{kind:?}"), || {
             let mut engine = Engine::with_predictor(&config, kind);
             let trace = mcf_like_trace(&config, 50_000);
-            black_box(engine.run_with(trace, &WorkloadHints::default(), &RunOptions::new()))
+            black_box(engine.execute(trace, &ExecPlan::new()))
         });
     }
 }
@@ -89,7 +90,7 @@ fn ablate_trace_scale(r: &mut Runner) {
         r.bench(&format!("ablation_trace_scale/{ops_per_billion}"), || {
             let mut engine = Engine::new(&config);
             let trace = TraceGenerator::new(&behavior, &config, 13, ops).expect("valid behavior");
-            black_box(engine.run_with(trace, &WorkloadHints::default(), &RunOptions::new()))
+            black_box(engine.execute(trace, &ExecPlan::new()))
         });
     }
 }

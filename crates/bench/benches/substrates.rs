@@ -13,7 +13,8 @@ use stat_analysis::silhouette::mean_silhouette;
 use uarch_sim::branch::PredictorKind;
 use uarch_sim::cache::Cache;
 use uarch_sim::config::{CacheConfig, SystemConfig};
-use uarch_sim::engine::{Engine, RunOptions, WorkloadHints};
+use uarch_sim::engine::{Engine, WorkloadHints};
+use uarch_sim::exec::{ExecPlan, UopSource};
 use uarch_sim::replacement::Policy;
 use uarch_sim::timeline::SamplerConfig;
 use workchar::phase::analyze_phases;
@@ -69,33 +70,48 @@ fn bench_generator(r: &mut Runner) {
     });
 }
 
+/// Runs a paired benchmark at its anchor's calibrated count, falling back
+/// to independent calibration when the anchor itself was filtered out.
+fn bench_paired<T, F: FnMut() -> T>(r: &mut Runner, anchor: Option<u64>, name: &str, f: F) {
+    match anchor {
+        Some(iters) => {
+            r.bench_with_iters(name, iters, f);
+        }
+        None => {
+            r.bench(name, f);
+        }
+    }
+}
+
 fn bench_engine(r: &mut Runner) {
     let config = SystemConfig::haswell_e5_2650l_v3();
-    r.bench("engine_run_100k", || {
+    // The group's anchor calibrates the batch size; every paired variant
+    // below is pinned to the same count so the medians are comparable.
+    let anchor = r.bench("engine_run_100k", || {
         let gen =
             TraceGenerator::new(&Behavior::default(), &config, 7, 100_000).expect("valid behavior");
         let mut engine = Engine::new(&config);
-        black_box(engine.run_with(gen, &WorkloadHints::default(), &RunOptions::new()))
+        black_box(engine.execute(gen, &ExecPlan::new()))
     });
     // Paired with engine_run_100k above: the ratio of the two medians is the
     // interval-sampling overhead the perfmon design budgets at <5%.
-    let sampled = RunOptions::new().sampler(SamplerConfig::every(10_000));
-    r.bench("engine_run_100k_sampled_10k", || {
+    let sampled = ExecPlan::new().sampler(SamplerConfig::every(10_000));
+    bench_paired(r, anchor, "engine_run_100k_sampled_10k", || {
         let gen =
             TraceGenerator::new(&Behavior::default(), &config, 7, 100_000).expect("valid behavior");
         let mut engine = Engine::new(&config);
-        black_box(engine.run_with(gen, &WorkloadHints::default(), &sampled))
+        black_box(engine.execute(gen, &sampled))
     });
     // Paired with engine_run_100k above: with metrics enabled, the engine
     // pays one histogram record and two counter adds per *run* (never per
     // op), and the generator one counter add per drop, so the ratio of the
     // two medians is the simmetrics overhead the design budgets at <5%.
     simmetrics::enable();
-    r.bench("engine_run_100k_metrics_enabled", || {
+    bench_paired(r, anchor, "engine_run_100k_metrics_enabled", || {
         let gen =
             TraceGenerator::new(&Behavior::default(), &config, 7, 100_000).expect("valid behavior");
         let mut engine = Engine::new(&config);
-        black_box(engine.run_with(gen, &WorkloadHints::default(), &RunOptions::new()))
+        black_box(engine.execute(gen, &ExecPlan::new()))
     });
     simmetrics::disable();
     // Paired with engine_run_100k above: with tracing enabled, the engine
@@ -104,12 +120,12 @@ fn bench_engine(r: &mut Runner) {
     // overhead the design budgets at <5%. Spans are drained per iteration
     // so the collector never grows past one iteration's worth.
     simtrace::enable();
-    r.bench("engine_run_100k_traced", || {
+    bench_paired(r, anchor, "engine_run_100k_traced", || {
         let _root = simtrace::root("bench/engine-run");
         let gen =
             TraceGenerator::new(&Behavior::default(), &config, 7, 100_000).expect("valid behavior");
         let mut engine = Engine::new(&config);
-        let stats = black_box(engine.run_with(gen, &WorkloadHints::default(), &RunOptions::new()));
+        let stats = black_box(engine.execute(gen, &ExecPlan::new()));
         drop(_root);
         black_box(simtrace::drain().len());
         stats
@@ -140,18 +156,18 @@ fn bench_engine(r: &mut Runner) {
         analysis.max_headline_error() * 100.0
     );
     let medoids: std::collections::HashSet<usize> = analysis.medoids.iter().copied().collect();
-    let opts = RunOptions::new();
-    r.bench("engine_run_100k_simpoint", || {
+    let plan = ExecPlan::new().hints(hints);
+    bench_paired(r, anchor, "engine_run_100k_simpoint", || {
         let mut g = gen.clone();
         let mut engine = Engine::new(&config);
         let mut merged = uarch_sim::counters::PerfSession::new();
         let mut interval = 0usize;
         while g.remaining() > 0 {
-            let take = analysis.interval_ops.min(g.remaining()) as usize;
+            let take = analysis.interval_ops.min(g.remaining());
             if medoids.contains(&interval) {
-                merged.merge(&engine.run_with((&mut g).take(take), &hints, &opts));
+                merged.merge(&engine.execute((&mut g).take_ops(take), &plan));
             } else {
-                engine.warm_with((&mut g).take(take), &hints);
+                engine.warm((&mut g).take_ops(take), &hints);
             }
             interval += 1;
         }

@@ -1,0 +1,208 @@
+//! Compares two `BENCH_results.json` files and gates on regressions.
+//!
+//! The CI bench-smoke job re-measures the engine benches and runs this
+//! against the committed baseline: any benchmark whose median slowed by
+//! more than `--max-regression` (default 10%) fails the job. Benchmarks
+//! appearing on only one side are reported but never fatal — suites grow
+//! and shrink, and only a measured slowdown is a regression.
+//!
+//! ```text
+//! benchcmp --baseline BENCH_results.json --current new.json \
+//!          [--max-regression 0.10] [--write]
+//! ```
+//!
+//! `--write` merges the current medians over the baseline file afterwards
+//! (replace matching entries, append new ones), so an accepted run can
+//! refresh the committed record in one step.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench_suite::harness::{merge_entries, read_results, write_results, ResultEntry};
+use workchar::cli::ArgStream;
+
+struct Options {
+    baseline: PathBuf,
+    current: PathBuf,
+    max_regression: f64,
+    write: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: benchcmp --baseline FILE --current FILE \
+     [--max-regression FRACTION] [--write]"
+}
+
+fn parse(args: &mut ArgStream) -> Result<Options, String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut max_regression = 0.10;
+    let mut write = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = Some(args.path(&arg, "a file path").map_err(stringify)?),
+            "--current" => current = Some(args.path(&arg, "a file path").map_err(stringify)?),
+            "--max-regression" => {
+                max_regression = args.number(&arg, "a fraction").map_err(stringify)?;
+                if !(0.0..10.0).contains(&max_regression) {
+                    return Err(format!("--max-regression: {max_regression} not in [0, 10)"));
+                }
+            }
+            "--write" => write = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    Ok(Options {
+        baseline: baseline.ok_or_else(|| format!("--baseline is required\n{}", usage()))?,
+        current: current.ok_or_else(|| format!("--current is required\n{}", usage()))?,
+        max_regression,
+        write,
+    })
+}
+
+fn stringify(e: workchar::error::Error) -> String {
+    e.to_string()
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Compares entries by name; returns the regressed benchmark names.
+fn compare(baseline: &[ResultEntry], current: &[ResultEntry], max_regression: f64) -> Vec<String> {
+    let mut regressed = Vec::new();
+    let mut compared = 0usize;
+    let mut improved = 0usize;
+    for (name, cur_ns, _) in current {
+        let Some((_, base_ns, _)) = baseline.iter().find(|(n, _, _)| n == name) else {
+            println!("{name:<55} (new)            {:>12}", fmt_ns(*cur_ns));
+            continue;
+        };
+        compared += 1;
+        let ratio = *cur_ns as f64 / (*base_ns).max(1) as f64;
+        let verdict = if ratio > 1.0 + max_regression {
+            regressed.push(name.clone());
+            "REGRESSED"
+        } else if ratio < 1.0 {
+            improved += 1;
+            "ok"
+        } else {
+            "ok"
+        };
+        println!(
+            "{name:<55} {:>12} -> {:>12}  {ratio:>5.2}x  {verdict}",
+            fmt_ns(*base_ns),
+            fmt_ns(*cur_ns),
+        );
+    }
+    for (name, _, _) in baseline {
+        if !current.iter().any(|(n, _, _)| n == name) {
+            println!("{name:<55} (missing from current)");
+        }
+    }
+    println!(
+        "{compared} compared, {improved} improved, {} regressed (> +{:.0}%)",
+        regressed.len(),
+        max_regression * 100.0
+    );
+    regressed
+}
+
+fn run() -> Result<Vec<String>, String> {
+    let mut args = ArgStream::from_env();
+    let opts = parse(&mut args)?;
+    let baseline =
+        read_results(&opts.baseline).map_err(|e| format!("{}: {e}", opts.baseline.display()))?;
+    let current =
+        read_results(&opts.current).map_err(|e| format!("{}: {e}", opts.current.display()))?;
+    let regressed = compare(&baseline, &current, opts.max_regression);
+    if opts.write {
+        let mut merged = baseline;
+        merge_entries(&mut merged, &current);
+        write_results(&opts.baseline, &merged)
+            .map_err(|e| format!("{}: {e}", opts.baseline.display()))?;
+        println!("merged current medians into {}", opts.baseline.display());
+    }
+    Ok(regressed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(regressed) if regressed.is_empty() => ExitCode::SUCCESS,
+        Ok(regressed) => {
+            eprintln!("benchcmp: {} benchmark(s) regressed:", regressed.len());
+            for name in regressed {
+                eprintln!("  {name}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("benchcmp: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(list: &[(&str, u64)]) -> Vec<ResultEntry> {
+        list.iter()
+            .map(|(n, ns)| (n.to_string(), *ns, 10))
+            .collect()
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let base = entries(&[("a", 1000), ("b", 2000)]);
+        let cur = entries(&[("a", 1050), ("b", 1500)]);
+        assert!(compare(&base, &cur, 0.10).is_empty());
+    }
+
+    #[test]
+    fn slowdown_beyond_threshold_is_reported() {
+        let base = entries(&[("a", 1000), ("b", 2000)]);
+        let cur = entries(&[("a", 1200), ("b", 2000)]);
+        assert_eq!(compare(&base, &cur, 0.10), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn new_and_missing_benchmarks_are_not_regressions() {
+        let base = entries(&[("gone", 1000)]);
+        let cur = entries(&[("fresh", 999_999)]);
+        assert!(compare(&base, &cur, 0.10).is_empty());
+    }
+
+    #[test]
+    fn flags_parse_and_validate() {
+        let mut args = ArgStream::from_args([
+            "--baseline",
+            "a.json",
+            "--current",
+            "b.json",
+            "--max-regression",
+            "0.25",
+            "--write",
+        ]);
+        let opts = parse(&mut args).expect("valid flags");
+        assert_eq!(opts.baseline, PathBuf::from("a.json"));
+        assert_eq!(opts.current, PathBuf::from("b.json"));
+        assert!((opts.max_regression - 0.25).abs() < 1e-12);
+        assert!(opts.write);
+
+        let mut missing = ArgStream::from_args(["--baseline", "a.json"]);
+        assert!(parse(&mut missing).is_err());
+        let mut unknown = ArgStream::from_args(["--frobnicate"]);
+        assert!(parse(&mut unknown).is_err());
+    }
+}

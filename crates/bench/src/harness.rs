@@ -62,31 +62,75 @@ impl Runner {
     /// roughly the target time, times several batches, and records the
     /// median per-iteration cost. Skipped (silently) when a filter is set
     /// and `name` does not contain it.
-    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) {
+    ///
+    /// Returns the calibrated iteration count (`None` when filtered out) so
+    /// paired benchmarks can run at the same count via
+    /// [`Runner::bench_with_iters`].
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, f: F) -> Option<u64> {
+        self.run(name, None, f)
+    }
+
+    /// Runs one benchmark at a fixed, pre-calibrated iteration count.
+    ///
+    /// Paired benchmarks (the same workload with one knob toggled) must use
+    /// the same `iters_per_batch` for their medians to be comparable:
+    /// independent calibration can land different counts for each variant,
+    /// which skews per-iteration amortization of batch-boundary effects.
+    /// Calibrate once on the group's anchor with [`Runner::bench`] and pin
+    /// the rest to its count.
+    pub fn bench_with_iters<T, F: FnMut() -> T>(
+        &mut self,
+        name: &str,
+        iters: u64,
+        f: F,
+    ) -> Option<u64> {
+        self.run(name, Some(iters.max(1)), f)
+    }
+
+    fn run<T, F: FnMut() -> T>(
+        &mut self,
+        name: &str,
+        pinned: Option<u64>,
+        mut f: F,
+    ) -> Option<u64> {
         if let Some(filter) = &self.filter {
             if !name.contains(filter.as_str()) {
-                return;
+                return None;
             }
         }
-        // Calibration: double the batch size until it costs enough to time
-        // reliably, starting from a single (also warmup) iteration.
-        let mut iters: u64 = 1;
-        loop {
-            let start = Instant::now();
-            for _ in 0..iters {
-                std_black_box(f());
+        let iters = match pinned {
+            Some(iters) => {
+                // One untimed batch so the pinned run is as warm as a
+                // calibrated one.
+                for _ in 0..iters {
+                    std_black_box(f());
+                }
+                iters
             }
-            let took = start.elapsed();
-            if took >= self.target_batch || iters >= 1 << 24 {
-                break;
+            None => {
+                // Calibration: double the batch size until it costs enough
+                // to time reliably, starting from a single (also warmup)
+                // iteration.
+                let mut iters: u64 = 1;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        std_black_box(f());
+                    }
+                    let took = start.elapsed();
+                    if took >= self.target_batch || iters >= 1 << 24 {
+                        break;
+                    }
+                    iters = if took.is_zero() {
+                        iters * 16
+                    } else {
+                        let scale = self.target_batch.as_secs_f64() / took.as_secs_f64();
+                        (iters as f64 * scale.clamp(1.5, 16.0)).ceil() as u64
+                    };
+                }
+                iters
             }
-            iters = if took.is_zero() {
-                iters * 16
-            } else {
-                let scale = self.target_batch.as_secs_f64() / took.as_secs_f64();
-                (iters as f64 * scale.clamp(1.5, 16.0)).ceil() as u64
-            };
-        }
+        };
         let mut per_iter: Vec<Duration> = (0..self.batches)
             .map(|_| {
                 let start = Instant::now();
@@ -110,6 +154,7 @@ impl Runner {
             median,
             iters_per_batch: iters,
         });
+        Some(iters)
     }
 
     /// All measurements recorded so far.
@@ -142,31 +187,39 @@ fn results_path() -> PathBuf {
     p.join("BENCH_results.json")
 }
 
-/// Rewrites `path` with `results` merged over whatever it already holds:
-/// entries from other suites survive, re-measured ones are replaced in
-/// place, and the output stays one benchmark per line for clean diffs.
-fn merge_results(path: &Path, results: &[Measurement]) -> std::io::Result<()> {
-    let mut entries: Vec<(String, u64, u64)> = Vec::new();
-    if let Ok(existing) = std::fs::read_to_string(path) {
-        if let Ok(value) = json::parse(&existing) {
-            if let Some(benchmarks) = value.get("benchmarks").and_then(Value::as_object) {
-                for (name, m) in benchmarks {
-                    let median = m.get("median_ns").and_then(Value::as_u64);
-                    let iters = m.get("iters_per_batch").and_then(Value::as_u64);
-                    if let (Some(median), Some(iters)) = (median, iters) {
-                        entries.push((name.clone(), median, iters));
-                    }
-                }
+/// One `BENCH_results.json` record: `(name, median_ns, iters_per_batch)`.
+pub type ResultEntry = (String, u64, u64);
+
+/// Parses a `BENCH_results.json` file (schema 1) into its entries, in file
+/// order. Unlike the merge path, a malformed file is an error here — the
+/// regression gate (`benchcmp`) must not silently treat one as empty.
+pub fn read_results(path: &Path) -> std::io::Result<Vec<ResultEntry>> {
+    let text = std::fs::read_to_string(path)?;
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let value = json::parse(&text).map_err(|e| bad(&format!("not valid JSON: {e:?}")))?;
+    let benchmarks = value
+        .get("benchmarks")
+        .and_then(Value::as_object)
+        .ok_or_else(|| bad("missing \"benchmarks\" object"))?;
+    let mut entries = Vec::new();
+    for (name, m) in benchmarks {
+        let median = m.get("median_ns").and_then(Value::as_u64);
+        let iters = m.get("iters_per_batch").and_then(Value::as_u64);
+        match (median, iters) {
+            (Some(median), Some(iters)) => entries.push((name.clone(), median, iters)),
+            _ => {
+                return Err(bad(&format!(
+                    "entry '{name}' lacks median_ns/iters_per_batch"
+                )))
             }
         }
     }
-    for m in results {
-        let median = m.median.as_nanos() as u64;
-        match entries.iter_mut().find(|(n, _, _)| *n == m.name) {
-            Some(slot) => (slot.1, slot.2) = (median, m.iters_per_batch),
-            None => entries.push((m.name.clone(), median, m.iters_per_batch)),
-        }
-    }
+    Ok(entries)
+}
+
+/// Writes entries in the canonical format — one benchmark per line for
+/// clean diffs, schema 1.
+pub fn write_results(path: &Path, entries: &[ResultEntry]) -> std::io::Result<()> {
     let mut out = String::from("{\n  \"schema\": 1,\n  \"benchmarks\": {\n");
     for (i, (name, median, iters)) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
@@ -177,6 +230,36 @@ fn merge_results(path: &Path, results: &[Measurement]) -> std::io::Result<()> {
     }
     out.push_str("  }\n}\n");
     std::fs::write(path, out)
+}
+
+/// Merges `updates` over `entries` in place: existing names are replaced,
+/// new ones appended in order.
+pub fn merge_entries(entries: &mut Vec<ResultEntry>, updates: &[ResultEntry]) {
+    for (name, median, iters) in updates {
+        match entries.iter_mut().find(|(n, _, _)| n == name) {
+            Some(slot) => (slot.1, slot.2) = (*median, *iters),
+            None => entries.push((name.clone(), *median, *iters)),
+        }
+    }
+}
+
+/// Rewrites `path` with `results` merged over whatever it already holds:
+/// entries from other suites survive, re-measured ones are replaced in
+/// place. A missing or malformed file starts from scratch (first run).
+fn merge_results(path: &Path, results: &[Measurement]) -> std::io::Result<()> {
+    let mut entries = read_results(path).unwrap_or_default();
+    let updates: Vec<ResultEntry> = results
+        .iter()
+        .map(|m| {
+            (
+                m.name.clone(),
+                m.median.as_nanos() as u64,
+                m.iters_per_batch,
+            )
+        })
+        .collect();
+    merge_entries(&mut entries, &updates);
+    write_results(path, &entries)
 }
 
 fn format_duration(d: Duration) -> String {
@@ -216,6 +299,21 @@ mod tests {
         assert_eq!(r.results().len(), 1);
         assert!(r.results()[0].median > Duration::ZERO);
         assert!(r.results()[0].iters_per_batch >= 1);
+    }
+
+    #[test]
+    fn pinned_iters_are_used_verbatim() {
+        let mut r = quick_runner(None);
+        let anchor = r.bench("group/anchor", || black_box(1u64 + 1));
+        let anchor = anchor.expect("unfiltered bench returns its count");
+        let paired = r.bench_with_iters("group/variant", anchor, || black_box(2u64 + 2));
+        assert_eq!(paired, Some(anchor));
+        assert_eq!(r.results()[0].iters_per_batch, anchor);
+        assert_eq!(
+            r.results()[1].iters_per_batch,
+            anchor,
+            "paired benchmarks must share one batch size"
+        );
     }
 
     #[test]

@@ -13,7 +13,8 @@ use stat_analysis::kmedoids::k_medoids;
 use stat_analysis::silhouette::mean_silhouette;
 use uarch_sim::branch::PredictorKind;
 use uarch_sim::config::SystemConfig;
-use uarch_sim::engine::{Engine, RunOptions};
+use uarch_sim::engine::Engine;
+use uarch_sim::exec::ExecPlan;
 use uarch_sim::hierarchy::Hierarchy;
 use uarch_sim::prefetch::Prefetcher;
 use uarch_sim::replacement::Policy;
@@ -153,7 +154,7 @@ pub fn predictor_ablation(config: &SystemConfig, scale: &TraceScale) -> Table {
             )
             .expect("curated profiles are valid");
             let mut engine = Engine::with_predictor(config, kind);
-            let session = engine.run_with(trace, &hints, &RunOptions::new());
+            let session = engine.execute(trace, &ExecPlan::new().hints(hints));
             cells.push(num(session.mispredict_rate() * 100.0, 3));
         }
         table.row(cells);

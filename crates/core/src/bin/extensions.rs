@@ -32,7 +32,6 @@
 //! and exit nonzero.
 
 use std::io::Write;
-use std::path::PathBuf;
 use std::process::ExitCode;
 
 use perfmon::Recorder;
@@ -41,6 +40,7 @@ use uarch_sim::timeline::SamplerConfig;
 use workchar::ablation;
 use workchar::cache::CacheContext;
 use workchar::characterize::{characterize_suite_with, RunConfig};
+use workchar::cli::{ArgStream, PipelineFlags};
 use workchar::error::{Error, Result};
 use workchar::observe::{write_timeline_artifacts, PipelineSpan};
 use workchar::phase::analyze_phases;
@@ -48,63 +48,22 @@ use workload_synth::cpu2017;
 use workload_synth::phases::demo_three_phase;
 use workload_synth::profile::InputSize;
 
-struct Options {
-    results_dir: PathBuf,
-    cache_dir: PathBuf,
-    no_cache: bool,
-    lint: bool,
-    deny_warnings: bool,
-    timeline: bool,
-    simpoint: bool,
-    trace: bool,
-    events: Option<PathBuf>,
-    serve_metrics: Option<String>,
-}
-
-fn parse_args() -> Result<Options> {
-    let mut opts = Options {
-        results_dir: PathBuf::from("results"),
-        cache_dir: PathBuf::from("results/cache"),
-        no_cache: false,
-        lint: false,
-        deny_warnings: false,
-        timeline: false,
-        simpoint: false,
-        trace: false,
-        events: None,
-        serve_metrics: None,
-    };
-    let mut args = std::env::args().skip(1);
+fn parse_args() -> Result<PipelineFlags> {
+    let mut opts = PipelineFlags::new();
+    let mut args = ArgStream::from_env();
     while let Some(arg) = args.next() {
+        if opts.accept(&arg, &mut args)? {
+            continue;
+        }
         match arg.as_str() {
-            "--results" => {
-                opts.results_dir = PathBuf::from(
-                    args.next()
-                        .ok_or_else(|| Error::Usage("--results needs a directory".to_string()))?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: extensions [--results DIR] [--no-cache] [--cache-dir DIR] \
+                     [--lint] [--deny-warnings] [--timeline] [--simpoint] \
+                     [--events FILE] [--trace] [--serve-metrics ADDR]"
                 );
-            }
-            "--cache-dir" => {
-                opts.cache_dir =
-                    PathBuf::from(args.next().ok_or_else(|| {
-                        Error::Usage("--cache-dir needs a directory".to_string())
-                    })?);
-            }
-            "--no-cache" => opts.no_cache = true,
-            "--lint" => opts.lint = true,
-            "--deny-warnings" => opts.deny_warnings = true,
-            "--timeline" => opts.timeline = true,
-            "--simpoint" => opts.simpoint = true,
-            "--trace" => opts.trace = true,
-            "--events" => {
-                opts.events =
-                    Some(PathBuf::from(args.next().ok_or_else(|| {
-                        Error::Usage("--events needs a file path".to_string())
-                    })?));
-            }
-            "--serve-metrics" => {
-                opts.serve_metrics = Some(args.next().ok_or_else(|| {
-                    Error::Usage("--serve-metrics needs an address like 127.0.0.1:9184".to_string())
-                })?);
+                print!("{}", PipelineFlags::usage_lines());
+                std::process::exit(0);
             }
             other => {
                 return Err(Error::Usage(format!("unknown argument '{other}'")));
@@ -131,7 +90,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn real_main(opts: Options) -> Result<()> {
+fn real_main(opts: PipelineFlags) -> Result<()> {
     simmetrics::enable();
     workchar::telemetry::register_pipeline_metrics();
     simmetrics::flight::install_dump(&opts.results_dir.join("flight-recorder.json"));

@@ -38,7 +38,6 @@
 //! and exits nonzero.
 
 use std::io::Write;
-use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -46,6 +45,7 @@ use perfmon::Recorder;
 use uarch_sim::timeline::SamplerConfig;
 use workchar::cache::CacheContext;
 use workchar::characterize::RunConfig;
+use workchar::cli::{ArgStream, PipelineFlags};
 use workchar::dataset::Dataset;
 use workchar::error::{Error, Result};
 use workchar::experiments::{self, correlation_notes, ExperimentId};
@@ -54,16 +54,7 @@ use workchar::observe::{write_timeline_artifacts, PipelineSpan};
 struct Options {
     quick: bool,
     markdown: bool,
-    no_cache: bool,
-    lint: bool,
-    deny_warnings: bool,
-    timeline: bool,
-    simpoint: bool,
-    trace: bool,
-    events: Option<PathBuf>,
-    serve_metrics: Option<String>,
-    results_dir: PathBuf,
-    cache_dir: PathBuf,
+    shared: PipelineFlags,
     selected: Vec<ExperimentId>,
 }
 
@@ -71,52 +62,17 @@ fn parse_args() -> Result<Option<Options>> {
     let mut opts = Options {
         quick: false,
         markdown: false,
-        no_cache: false,
-        lint: false,
-        deny_warnings: false,
-        timeline: false,
-        simpoint: false,
-        trace: false,
-        events: None,
-        serve_metrics: None,
-        results_dir: PathBuf::from("results"),
-        cache_dir: PathBuf::from("results/cache"),
+        shared: PipelineFlags::new(),
         selected: Vec::new(),
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = ArgStream::from_env();
     while let Some(arg) = args.next() {
+        if opts.shared.accept(&arg, &mut args)? {
+            continue;
+        }
         match arg.as_str() {
             "--quick" => opts.quick = true,
             "--markdown" => opts.markdown = true,
-            "--no-cache" => opts.no_cache = true,
-            "--lint" => opts.lint = true,
-            "--deny-warnings" => opts.deny_warnings = true,
-            "--timeline" => opts.timeline = true,
-            "--simpoint" => opts.simpoint = true,
-            "--trace" => opts.trace = true,
-            "--events" => {
-                opts.events =
-                    Some(PathBuf::from(args.next().ok_or_else(|| {
-                        Error::Usage("--events needs a file path".to_string())
-                    })?));
-            }
-            "--serve-metrics" => {
-                opts.serve_metrics = Some(args.next().ok_or_else(|| {
-                    Error::Usage("--serve-metrics needs an address like 127.0.0.1:9184".to_string())
-                })?);
-            }
-            "--results" => {
-                opts.results_dir = PathBuf::from(
-                    args.next()
-                        .ok_or_else(|| Error::Usage("--results needs a directory".to_string()))?,
-                );
-            }
-            "--cache-dir" => {
-                opts.cache_dir =
-                    PathBuf::from(args.next().ok_or_else(|| {
-                        Error::Usage("--cache-dir needs a directory".to_string())
-                    })?);
-            }
             "--help" | "-h" => {
                 print_usage();
                 return Ok(None);
@@ -160,8 +116,8 @@ fn real_main(opts: Options) -> Result<()> {
     // recorder dumps its last events to the results directory on panic.
     simmetrics::enable();
     workchar::telemetry::register_pipeline_metrics();
-    simmetrics::flight::install_dump(&opts.results_dir.join("flight-recorder.json"));
-    let _metrics_server = match &opts.serve_metrics {
+    simmetrics::flight::install_dump(&opts.shared.results_dir.join("flight-recorder.json"));
+    let _metrics_server = match &opts.shared.serve_metrics {
         Some(addr) => {
             let server = simmetrics::http::serve(addr)?;
             eprintln!("serving metrics on http://{}/metrics", server.local_addr());
@@ -170,14 +126,14 @@ fn real_main(opts: Options) -> Result<()> {
         None => None,
     };
 
-    let recorder = match &opts.events {
+    let recorder = match &opts.shared.events {
         Some(path) => Recorder::to_path(path)?,
         None => Recorder::in_memory(),
     };
 
     // The trace root opens before any stage so every span of the run —
     // including per-pair jobs on scheduler worker threads — nests under it.
-    let trace_root = if opts.trace {
+    let trace_root = if opts.shared.trace {
         simtrace::enable();
         let mut root = simtrace::root("run/reproduce");
         root.arg("quick", opts.quick);
@@ -186,16 +142,16 @@ fn real_main(opts: Options) -> Result<()> {
         None
     };
 
-    let cache = if opts.no_cache {
+    let cache = if opts.shared.no_cache {
         None
     } else {
-        match CacheContext::open(&opts.cache_dir) {
+        match CacheContext::open(&opts.shared.cache_dir) {
             Ok(ctx) => {
                 if let Some(store) = ctx.store() {
                     if !store.is_empty() {
                         eprintln!(
                             "result cache at {}: {} records on hand",
-                            opts.cache_dir.display(),
+                            opts.shared.cache_dir.display(),
                             store.len()
                         );
                     }
@@ -205,7 +161,7 @@ fn real_main(opts: Options) -> Result<()> {
             Err(e) => {
                 eprintln!(
                     "warning: cannot open cache at {}: {e}; running uncached",
-                    opts.cache_dir.display()
+                    opts.shared.cache_dir.display()
                 );
                 None
             }
@@ -217,20 +173,20 @@ fn real_main(opts: Options) -> Result<()> {
     } else {
         RunConfig::default()
     };
-    if opts.timeline {
+    if opts.shared.timeline {
         config = config.with_sampler(SamplerConfig::default());
         if cache.is_some() {
             eprintln!("timeline sampling on: runs bypass the result cache");
         }
     }
-    if opts.lint {
+    if opts.shared.lint {
         let cpu17 = workload_synth::cpu2017::suite();
         let cpu06 = workload_synth::cpu2006::suite();
         let report = workchar::lint::check_campaign(&[&cpu17, &cpu06], &config);
         if !report.is_empty() {
             eprint!("{}", report.to_table());
         }
-        if report.failed(opts.deny_warnings) {
+        if report.failed(opts.shared.deny_warnings) {
             return Err(report.into());
         }
         eprintln!("lint: profiles and config — {}", report.summary());
@@ -282,7 +238,7 @@ fn real_main(opts: Options) -> Result<()> {
         );
     }
 
-    std::fs::create_dir_all(&opts.results_dir)?;
+    std::fs::create_dir_all(&opts.shared.results_dir)?;
     let mut report = String::from(
         "# SPEC CPU2017 characterization — regenerated artifacts\n\n         Produced by the `reproduce` binary; see EXPERIMENTS.md for the\n         paper-vs-measured discussion.\n\n",
     );
@@ -295,9 +251,13 @@ fn real_main(opts: Options) -> Result<()> {
         span.record("figures", artifact.figures.len());
         let text = artifact.render();
         println!("{text}");
-        write_file(&opts.results_dir, &format!("{}.txt", id.slug()), &text);
         write_file(
-            &opts.results_dir,
+            &opts.shared.results_dir,
+            &format!("{}.txt", id.slug()),
+            &text,
+        );
+        write_file(
+            &opts.shared.results_dir,
             &format!("{}.csv", id.slug()),
             &artifact.render_csv(),
         );
@@ -312,7 +272,11 @@ fn real_main(opts: Options) -> Result<()> {
             } else {
                 format!("{}_{}.svg", id.slug(), i + 1)
             };
-            write_file(&opts.results_dir, &name, &figure.render_svg(900, 420));
+            write_file(
+                &opts.shared.results_dir,
+                &name,
+                &figure.render_svg(900, 420),
+            );
             report.push_str(&format!("![{}]({name})\n\n", figure.title()));
         }
         for (title, body) in &artifact.texts {
@@ -321,12 +285,12 @@ fn real_main(opts: Options) -> Result<()> {
         span.finish();
     }
     if opts.markdown {
-        write_file(&opts.results_dir, "REPORT.md", &report);
+        write_file(&opts.shared.results_dir, "REPORT.md", &report);
     }
 
-    if opts.timeline {
+    if opts.shared.timeline {
         let mut span = PipelineSpan::open(&recorder, "timeline-artifacts");
-        let dir = opts.results_dir.join("timelines");
+        let dir = opts.shared.results_dir.join("timelines");
         let mut records = data.cpu17.clone();
         records.extend(data.cpu06.iter().cloned());
         let written = write_timeline_artifacts(&records, &dir)?;
@@ -335,9 +299,9 @@ fn real_main(opts: Options) -> Result<()> {
         eprintln!("wrote {written} pair timelines under {}", dir.display());
     }
 
-    if opts.simpoint {
+    if opts.shared.simpoint {
         let mut span = PipelineSpan::open(&recorder, "simpoint-campaign");
-        let dir = opts.results_dir.join("simpoints");
+        let dir = opts.shared.results_dir.join("simpoints");
         let store = simstore::Store::open(&dir)?;
         let sp = simpoint::SimpointConfig::default();
         let apps = workload_synth::cpu2017::suite();
@@ -357,19 +321,19 @@ fn real_main(opts: Options) -> Result<()> {
         let table = workchar::simpoints::summary_table(&records);
         let text = table.render_ascii();
         println!("{text}");
-        write_file(&opts.results_dir, "simpoints.txt", &text);
+        write_file(&opts.shared.results_dir, "simpoints.txt", &text);
         span.finish();
     }
 
     // Full per-pair record dump — the machine-readable artifact downstream
     // analyses start from.
     write_file(
-        &opts.results_dir,
+        &opts.shared.results_dir,
         "records_cpu2017.csv",
         &workchar::characterize::records_csv(&data.cpu17),
     );
     write_file(
-        &opts.results_dir,
+        &opts.shared.results_dir,
         "records_cpu2006.csv",
         &workchar::characterize::records_csv(&data.cpu06),
     );
@@ -382,7 +346,7 @@ fn real_main(opts: Options) -> Result<()> {
     // Final metric snapshot — the same series the HTTP endpoint serves,
     // persisted for offline inspection.
     write_file(
-        &opts.results_dir,
+        &opts.shared.results_dir,
         "metrics.json",
         &simmetrics::json::render(&simmetrics::snapshot()),
     );
@@ -390,7 +354,7 @@ fn real_main(opts: Options) -> Result<()> {
     if let Some(root) = trace_root {
         root.finish();
         let spans = simtrace::drain();
-        let dir = opts.results_dir.join("traces");
+        let dir = opts.shared.results_dir.join("traces");
         let (json_path, _bin_path) = simtrace::export(&dir, "reproduce", &spans)?;
         eprintln!(
             "wrote {} trace spans to {} (load in Perfetto, or run trace-report)",
@@ -418,24 +382,7 @@ fn print_usage() {
          [--timeline] [--simpoint] [--events FILE] [--trace] \
          [--serve-metrics ADDR] [table1..table10 fig1..fig10]"
     );
-    println!("  --no-cache    re-simulate everything; do not read or write the result cache");
-    println!("  --cache-dir   result-cache directory (default results/cache)");
-    println!("  --lint        statically check profiles and config before simulating");
-    println!("  --deny-warnings  with --lint, refuse to run on warnings too");
-    println!(
-        "  --timeline    sample a per-pair counter timeline (CSV + SVG under results/timelines)"
-    );
-    println!(
-        "  --simpoint    run the representative-interval campaign on the CPU2017 ref pairs \
-         (records under results/simpoints)"
-    );
-    println!("  --events      write perfmon span/event records as JSONL to FILE");
-    println!(
-        "  --trace       record a causal span trace under results/traces/ (Perfetto JSON + binary)"
-    );
-    println!(
-        "  --serve-metrics  serve Prometheus text at http://ADDR/metrics (JSON at /metrics.json)"
-    );
+    print!("{}", PipelineFlags::usage_lines());
     println!("experiments:");
     for id in ExperimentId::ALL {
         println!("  {id}");

@@ -16,6 +16,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use simpoint::SimpointRecord;
+use workchar::cli::ArgStream;
 use workchar::error::{Error, Result};
 use workchar::simpoints::summary_table;
 
@@ -35,33 +36,17 @@ fn parse_args() -> Result<Option<Options>> {
         max_error_pct: None,
         min_speedup: None,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = ArgStream::from_env();
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--dir" => {
-                opts.dir = PathBuf::from(
-                    args.next()
-                        .ok_or_else(|| Error::Usage("--dir needs a directory".to_string()))?,
-                );
-            }
+            "--dir" => opts.dir = args.path(&arg, "a directory")?,
             "--markdown" => opts.markdown = true,
             "--json" => opts.json = true,
             "--max-error" => {
-                let raw = args
-                    .next()
-                    .ok_or_else(|| Error::Usage("--max-error needs a percentage".to_string()))?;
-                opts.max_error_pct =
-                    Some(raw.parse().map_err(|_| {
-                        Error::Usage(format!("--max-error: '{raw}' is not a number"))
-                    })?);
+                opts.max_error_pct = Some(args.number(&arg, "a percentage")?);
             }
             "--min-speedup" => {
-                let raw = args
-                    .next()
-                    .ok_or_else(|| Error::Usage("--min-speedup needs a factor".to_string()))?;
-                opts.min_speedup = Some(raw.parse().map_err(|_| {
-                    Error::Usage(format!("--min-speedup: '{raw}' is not a number"))
-                })?);
+                opts.min_speedup = Some(args.number(&arg, "a factor")?);
             }
             "--help" | "-h" => {
                 print_usage();

@@ -4,7 +4,8 @@
 use simstore::{Progress, RunReport, Scheduler};
 use uarch_sim::config::SystemConfig;
 use uarch_sim::counters::{Event, PerfSession};
-use uarch_sim::engine::{Engine, RunOptions};
+use uarch_sim::engine::Engine;
+use uarch_sim::exec::ExecPlan;
 use uarch_sim::timeline::SamplerConfig;
 use workload_synth::footprint::{GrowthCurve, MemoryMap, PsSampler};
 use workload_synth::generator::{TraceGenerator, TraceScale};
@@ -230,12 +231,14 @@ pub fn characterize_pair(pair: &AppInputPair<'_>, config: &RunConfig) -> Result<
     // A third of the trace warms caches and predictor so steady-state
     // rates are measured, mirroring the paper's minutes-long executions.
     let warmup = sim_ops / 3;
-    let mut opts = RunOptions::new().warmup(warmup);
-    opts.sampler = config.sampler;
+    let mut plan = ExecPlan::new().hints(hints).warmup(warmup);
+    plan.sampler = config.sampler;
     let mut engine = Engine::new(&config.system);
     let simulate =
         crate::telemetry::stage("stage/simulate", crate::telemetry::stage_simulate_micros());
-    let session = engine.run_with(trace, &hints, &opts);
+    // The generator streams straight into the engine's batch arena — no
+    // per-op iterator hand-off on the hot path.
+    let session = engine.execute(trace, &plan);
     drop(simulate);
     let sim_seconds = engine.seconds(&session);
     let counted = session.count(Event::InstRetiredAny).max(1) as f64;

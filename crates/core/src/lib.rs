@@ -54,6 +54,7 @@
 pub mod ablation;
 pub mod cache;
 pub mod characterize;
+pub mod cli;
 pub mod compare;
 pub mod dataset;
 pub mod error;

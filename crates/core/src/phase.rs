@@ -24,7 +24,8 @@ use stat_analysis::standardize::Standardizer;
 use stat_analysis::StatsError;
 use uarch_sim::config::SystemConfig;
 use uarch_sim::counters::{Event, PerfSession};
-use uarch_sim::engine::{Engine, RunOptions, WorkloadHints};
+use uarch_sim::engine::{Engine, WorkloadHints};
+use uarch_sim::exec::{from_iter, ExecPlan};
 use uarch_sim::microop::MicroOp;
 
 /// One selected simulation point.
@@ -144,14 +145,15 @@ where
     // would otherwise register as a spurious "initialization phase" even in
     // stationary workloads.
     let window_len = all.len() / (n_windows + 1);
+    let plan = ExecPlan::new().hints(*hints);
     let mut engine = Engine::new(config);
     let mut chunks = all.chunks(window_len);
     if let Some(warm) = chunks.next() {
-        let _ = engine.run_with(warm.iter().copied(), hints, &RunOptions::new());
+        let _ = engine.execute(from_iter(warm.iter().copied()), &plan);
     }
     let mut windows = Vec::with_capacity(n_windows);
     for chunk in chunks.take(n_windows) {
-        windows.push(engine.run_with(chunk.iter().copied(), hints, &RunOptions::new()));
+        windows.push(engine.execute(from_iter(chunk.iter().copied()), &plan));
     }
 
     let vectors: Vec<Vec<f64>> = windows.iter().map(window_vector).collect();

@@ -14,7 +14,8 @@ use simreport::table::{num, Table};
 use uarch_sim::config::SystemConfig;
 use workload_synth::profile::{AppProfile, InputSize};
 
-use uarch_sim::engine::{Engine, RunOptions};
+use uarch_sim::engine::Engine;
+use uarch_sim::exec::{from_iter, ExecPlan};
 
 use crate::characterize::{prepared_run, CharRecord, RunConfig};
 
@@ -161,10 +162,9 @@ fn sweep_over(
         for t in &traces {
             let mut engine = Engine::new(&system);
             let warm = t.ops.len() as u64 / 3;
-            let session = engine.run_with(
-                t.ops.iter().copied(),
-                &t.hints,
-                &RunOptions::new().warmup(warm),
+            let session = engine.execute(
+                from_iter(t.ops.iter().copied()),
+                &ExecPlan::new().hints(t.hints).warmup(warm),
             );
             ipc += session.ipc();
             m2 += session.l2_miss_rate() * 100.0;

@@ -1,0 +1,119 @@
+//! Roster-wide differential suite for the batched engine hot loop.
+//!
+//! The data-oriented `Engine::execute` path (the generator streaming
+//! straight into the engine's SoA batch arena) is checked against the
+//! scalar reference loop `Engine::run_reference` across **all 64 CPU2017
+//! ref application–input pairs** — the acceptance gate of the hot-loop
+//! redesign. Sessions must be bit-identical, including sampled timelines,
+//! and the comparison runs with the sampler, process metrics, and causal
+//! tracing all enabled, because those paths share the segmentation logic
+//! with the plain run.
+
+use uarch_sim::config::SystemConfig;
+use uarch_sim::counters::Event;
+use uarch_sim::engine::{Engine, RunOptions, WorkloadHints};
+use uarch_sim::exec::{ExecPlan, UopSource};
+use uarch_sim::timeline::SamplerConfig;
+use workload_synth::cpu2017;
+use workload_synth::generator::{TraceGenerator, TraceScale};
+use workload_synth::profile::{AppInputPair, InputSize};
+
+/// Debug-build-friendly per-pair budget: enough to cross the warmup edge
+/// and several sampler intervals while keeping 64 × 2 runs quick.
+const OPS: u64 = 4_000;
+const WARMUP: u64 = 1_000;
+/// Deliberately not a divisor of the counted span, so every pair also
+/// exercises the partial final timeline interval.
+const INTERVAL: u64 = 900;
+
+/// The canonical (generator, hints) pair for one roster entry, mirroring
+/// `workchar::characterize::prepared_run` at quick scale.
+fn prepared(pair: &AppInputPair<'_>, config: &SystemConfig) -> (TraceGenerator, WorkloadHints) {
+    let gen = TraceGenerator::from_pair(pair, config, &TraceScale::quick())
+        .expect("roster behaviours validate");
+    let mut hints = pair.input.behavior.hints(config);
+    hints.l2_bypass_range = Some(gen.l2_bypass_range());
+    (gen, hints)
+}
+
+#[test]
+fn batched_engine_matches_scalar_reference_on_every_ref_pair() {
+    let config = SystemConfig::haswell_e5_2650l_v3();
+    let suite = cpu2017::suite();
+    let pairs: Vec<AppInputPair<'_>> = suite
+        .iter()
+        .flat_map(|app| app.pairs(InputSize::Ref))
+        .collect();
+    assert_eq!(pairs.len(), 64, "the paper's ref roster is 64 pairs");
+
+    // Metrics and tracing stay on for the whole sweep: their hooks must
+    // not perturb a single counter on either path.
+    simmetrics::enable();
+    simtrace::enable();
+    let opts = RunOptions::new()
+        .warmup(WARMUP)
+        .sampler(SamplerConfig::every(INTERVAL));
+    for pair in &pairs {
+        let span = simtrace::root("test/differential-roster");
+        let (gen, hints) = prepared(pair, &config);
+
+        let mut batched = Engine::new(&config);
+        let plan = ExecPlan::from(opts).hints(hints);
+        let got = batched.execute(gen.clone().take_ops(OPS), &plan);
+
+        let mut scalar = Engine::new(&config);
+        let want = scalar.run_reference(gen.clone().take(OPS as usize), &hints, &opts);
+
+        assert_eq!(want, got, "counters diverged on {}", pair.id());
+
+        // The timeline must be a decomposition of the session, not an
+        // approximation: interval deltas telescope to the exact totals.
+        let timeline = got.timeline().expect("sampler was configured");
+        let summed = timeline.total();
+        for ev in Event::ALL {
+            assert_eq!(
+                summed.count(ev),
+                got.count(ev),
+                "timeline sum diverged for {ev} on {}",
+                pair.id()
+            );
+        }
+        drop(span);
+        simtrace::drain();
+    }
+    simtrace::disable();
+    simmetrics::disable();
+}
+
+#[test]
+fn simpoint_full_replay_reconstructs_exactly_across_suites() {
+    // k = n turns the sparse replay into a full run: alternating
+    // execute/warm over the batched engine must telescope to the exact
+    // monolithic counters. One representative per suite quadrant keeps
+    // the debug-build runtime in check.
+    let config = SystemConfig::haswell_e5_2650l_v3();
+    for name in ["505.mcf_r", "508.namd_r", "602.gcc_s", "654.roms_s"] {
+        let app = cpu2017::app(name).expect("roster app");
+        let pairs = app.pairs(InputSize::Ref);
+        let pair = &pairs[0];
+        let (gen, hints) = prepared(pair, &config);
+        // Every interval a medoid: the scale-adjusted budget varies per
+        // pair, so derive the interval size from the actual op count.
+        let intervals = 8u64;
+        let interval_ops = gen.remaining().div_ceil(intervals);
+        let expected = gen.remaining().div_ceil(interval_ops) as usize;
+        let sp = simpoint::SimpointConfig {
+            interval_ops,
+            force_k: Some(expected),
+            ..simpoint::SimpointConfig::default()
+        };
+        let analysis = simpoint::analyze(&config, &gen, &hints, &sp).expect("analyzable trace");
+        assert_eq!(analysis.n_intervals(), expected, "{name}");
+        assert_eq!(analysis.k(), expected, "{name}");
+        assert_eq!(
+            analysis.estimate, analysis.reference,
+            "k = n reconstruction must be bit-identical on {name}"
+        );
+        assert_eq!(analysis.max_headline_error(), 0.0, "{name}");
+    }
+}

@@ -15,7 +15,8 @@ use stat_analysis::standardize::Standardizer;
 use stat_analysis::StatsError;
 use uarch_sim::config::SystemConfig;
 use uarch_sim::counters::{Event, PerfSession};
-use uarch_sim::engine::{Engine, RunOptions, WorkloadHints};
+use uarch_sim::engine::{Engine, WorkloadHints};
+use uarch_sim::exec::{ExecPlan, UopSource};
 use uarch_sim::timeline::IntervalSample;
 use workload_synth::generator::TraceGenerator;
 
@@ -25,7 +26,7 @@ use workload_synth::generator::TraceGenerator;
 pub enum GapMode {
     /// Functionally warm the gap: every micro-op still updates caches and
     /// the branch predictor (state transitions bit-identical to a counted
-    /// run, see `Engine::warm_with`), but nothing is counted or priced.
+    /// run, see `Engine::warm`), but nothing is counted or priced.
     /// Each medoid interval therefore starts from the exact state a full
     /// run would have given it, and the reconstruction error is purely
     /// the clustering approximation.
@@ -286,7 +287,7 @@ pub fn analyze(
         (total_ops / config.target_intervals.max(1) as u64).max(1)
     };
     let n = total_ops.div_ceil(interval_ops) as usize;
-    let opts = RunOptions::new();
+    let plan = ExecPlan::new().hints(*hints);
 
     // Profiling pass: one engine, one chunked run per interval. The
     // per-chunk sessions *are* the interval deltas (state carries across
@@ -298,7 +299,7 @@ pub fn analyze(
     let mut start = 0u64;
     while gen.remaining() > 0 {
         let take = interval_ops.min(gen.remaining());
-        let session = profiler.run_with((&mut gen).take(take as usize), hints, &opts);
+        let session = profiler.execute((&mut gen).take_ops(take), &plan);
         reference.merge(&session);
         samples.push(IntervalSample {
             start_op: start,
@@ -361,12 +362,12 @@ pub fn analyze(
         let len = interval_ops.min(gen.remaining());
         match step {
             Step::Detail => {
-                let session = replayer.run_with((&mut gen).take(len as usize), hints, &opts);
+                let session = replayer.execute((&mut gen).take_ops(len), &plan);
                 simulated_ops += len;
                 medoid_sessions[i] = Some(session);
             }
             Step::Warm => {
-                replayer.warm_with((&mut gen).take(len as usize), hints);
+                replayer.warm((&mut gen).take_ops(len), hints);
                 warmed_ops += len;
             }
             Step::Skip => {

@@ -49,7 +49,7 @@ impl Counter2 {
 }
 
 /// Classic bimodal predictor: a table of 2-bit counters indexed by PC.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bimodal {
     table: Vec<Counter2>,
     mask: u64,
@@ -94,10 +94,20 @@ impl BranchPredictor for Bimodal {
         let i = self.index(pc);
         self.table[i].train(taken);
     }
+
+    // Single table walk instead of predict + update recomputing the index;
+    // state and return value are bit-identical to the default method (see
+    // `overridden_predict_and_update_matches_default`).
+    fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let c = &mut self.table[((pc >> 2) & self.mask) as usize];
+        let predicted = c.taken();
+        c.train(taken);
+        predicted == taken
+    }
 }
 
 /// GShare: global history XOR PC indexes a table of 2-bit counters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GShare {
     table: Vec<Counter2>,
     mask: u64,
@@ -158,12 +168,24 @@ impl BranchPredictor for GShare {
         let mask = (1u64 << self.history_bits) - 1;
         self.history = ((self.history << 1) | taken as u64) & mask;
     }
+
+    // One index computation (against the pre-shift history, exactly as the
+    // default predict-then-update sequence sees it) instead of two.
+    fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let i = self.index(pc);
+        let c = &mut self.table[i];
+        let predicted = c.taken();
+        c.train(taken);
+        let mask = (1u64 << self.history_bits) - 1;
+        self.history = ((self.history << 1) | taken as u64) & mask;
+        predicted == taken
+    }
 }
 
 /// Tournament predictor: a chooser table selects between bimodal and gshare
 /// per branch — an Alpha-21264-style design that approximates Haswell-class
 /// accuracy on mixed workloads.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tournament {
     bimodal: Bimodal,
     gshare: GShare,
@@ -221,6 +243,28 @@ impl BranchPredictor for Tournament {
         }
         self.bimodal.update(pc, taken);
         self.gshare.update(pc, taken);
+    }
+
+    // The default sequence walks the component tables five times (chooser
+    // read + component predict, then both components re-predicted and
+    // re-indexed inside update). One walk per table suffices: every index
+    // below is computed against the pre-shift gshare history, exactly as
+    // the default sequence sees it, so state and return are bit-identical.
+    fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let bi = self.bimodal.index(pc);
+        let gi = self.gshare.index(pc);
+        let ci = self.choose_index(pc);
+        let pb = self.bimodal.table[bi].taken();
+        let pg = self.gshare.table[gi].taken();
+        let predicted = if self.chooser[ci].taken() { pg } else { pb };
+        if pb != pg {
+            self.chooser[ci].train(pg == taken);
+        }
+        self.bimodal.table[bi].train(taken);
+        self.gshare.table[gi].train(taken);
+        let mask = (1u64 << self.gshare.history_bits) - 1;
+        self.gshare.history = ((self.gshare.history << 1) | taken as u64) & mask;
+        predicted == taken
     }
 }
 
@@ -284,6 +328,59 @@ impl PredictorKind {
             PredictorKind::GShare => Box::new(GShare::new(16 * 1024, 12)),
             PredictorKind::Bimodal => Box::new(Bimodal::new(16 * 1024)),
             PredictorKind::AlwaysTaken => Box::new(AlwaysTaken),
+        }
+    }
+}
+
+/// Concrete predictor storage for the engine: an enum instead of a trait
+/// object, so the batched hot loop can match once per segment and run a
+/// monomorphized update loop with no virtual dispatch per branch.
+#[derive(Debug, Clone)]
+pub(crate) enum PredictorImpl {
+    Tournament(Tournament),
+    GShare(GShare),
+    Bimodal(Bimodal),
+    AlwaysTaken(AlwaysTaken),
+}
+
+impl PredictorImpl {
+    /// Builds the predictor with the same Haswell-class sizing as
+    /// [`PredictorKind::build`].
+    pub(crate) fn build(kind: PredictorKind) -> Self {
+        match kind {
+            PredictorKind::Tournament => PredictorImpl::Tournament(Tournament::haswell_class()),
+            PredictorKind::GShare => PredictorImpl::GShare(GShare::new(16 * 1024, 12)),
+            PredictorKind::Bimodal => PredictorImpl::Bimodal(Bimodal::new(16 * 1024)),
+            PredictorKind::AlwaysTaken => PredictorImpl::AlwaysTaken(AlwaysTaken),
+        }
+    }
+}
+
+impl BranchPredictor for PredictorImpl {
+    fn predict(&mut self, pc: u64) -> bool {
+        match self {
+            PredictorImpl::Tournament(p) => p.predict(pc),
+            PredictorImpl::GShare(p) => p.predict(pc),
+            PredictorImpl::Bimodal(p) => p.predict(pc),
+            PredictorImpl::AlwaysTaken(p) => p.predict(pc),
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        match self {
+            PredictorImpl::Tournament(p) => p.update(pc, taken),
+            PredictorImpl::GShare(p) => p.update(pc, taken),
+            PredictorImpl::Bimodal(p) => p.update(pc, taken),
+            PredictorImpl::AlwaysTaken(p) => p.update(pc, taken),
+        }
+    }
+
+    fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        match self {
+            PredictorImpl::Tournament(p) => p.predict_and_update(pc, taken),
+            PredictorImpl::GShare(p) => p.predict_and_update(pc, taken),
+            PredictorImpl::Bimodal(p) => p.predict_and_update(pc, taken),
+            PredictorImpl::AlwaysTaken(p) => p.predict_and_update(pc, taken),
         }
     }
 }
@@ -416,5 +513,46 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bimodal_rejects_non_pow2() {
         Bimodal::new(100);
+    }
+
+    /// The fused `predict_and_update` overrides must be indistinguishable —
+    /// in both return value and trained state — from the default
+    /// predict-then-update sequence they replace.
+    #[test]
+    fn overridden_predict_and_update_matches_default() {
+        // Aliasing pcs (small table) + patterned and pseudo-random outcomes
+        // exercise chooser disagreement and history wraparound.
+        let mut x = 0x9e37_79b9u64;
+        let stream: Vec<(u64, bool)> = (0..20_000u64)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let pc = 0x400 + (x % 97) * 4;
+                let taken = match i % 3 {
+                    0 => true,
+                    1 => i % 5 < 3,
+                    _ => x & 1 == 1,
+                };
+                (pc, taken)
+            })
+            .collect();
+        fn check<P: BranchPredictor + Clone + std::fmt::Debug + PartialEq>(
+            p: P,
+            stream: &[(u64, bool)],
+        ) {
+            let mut fused = p.clone();
+            let mut stepwise = p;
+            for &(pc, taken) in stream {
+                let a = fused.predict_and_update(pc, taken);
+                let predicted = stepwise.predict(pc);
+                stepwise.update(pc, taken);
+                assert_eq!(a, predicted == taken);
+            }
+            assert_eq!(fused, stepwise, "trained state must be bit-identical");
+        }
+        check(Bimodal::new(64), &stream);
+        check(GShare::new(64, 6), &stream);
+        check(Tournament::new(64, 6), &stream);
     }
 }

@@ -3,9 +3,15 @@
 //! Tag-only functional model: the simulator tracks which lines are resident,
 //! not their contents, which is exactly what is needed to produce the hit/miss
 //! counters the paper reads (`mem_load_uops_retired.l1_hit` and friends).
+//!
+//! Storage is flat: one contiguous tag lane and one valid/dirty metadata
+//! lane for the whole cache (`sets * ways` entries each), plus one
+//! whole-cache replacement-state allocation. The previous `Vec<Vec<Line>>`
+//! layout paid a pointer chase per probe; the hit scan now walks `ways`
+//! adjacent u64s.
 
 use crate::config::CacheConfig;
-use crate::replacement::SetState;
+use crate::replacement::{Policy, ReplState};
 
 /// Result of a cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,18 +33,13 @@ impl AccessResult {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-}
+const META_VALID: u8 = 1;
+const META_DIRTY: u8 = 2;
 
-const INVALID: Line = Line {
-    tag: 0,
-    valid: false,
-    dirty: false,
-};
+/// Valid marker embedded in the tag lane (bit 63 is unreachable for real
+/// line numbers: `line = addr >> 6` keeps the top 6 bits clear). Embedding
+/// it makes the hit scan a single-lane compare — no metadata load.
+const TAG_VALID: u64 = 1 << 63;
 
 /// Hit/miss statistics of one cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -85,11 +86,25 @@ impl CacheStats {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
-    state: Vec<SetState>,
+    /// `tags[set * ways + way]`; meaningful only where the valid bit is set.
+    tags: Vec<u64>,
+    /// Valid/dirty bits per way, parallel to `tags`.
+    meta: Vec<u8>,
+    state: ReplState,
     stats: CacheStats,
     line_shift: u32,
+    sets: usize,
     set_mask: u64,
+    pow2_sets: bool,
+    /// Lemire reciprocal for non-power-of-two set counts:
+    /// `m = u128::MAX / sets + 1` makes `line % sets` the high 128 bits
+    /// of `(m.wrapping_mul(line)) * sets`, exactly, for any 64-bit line.
+    /// Replaces the hardware divide on the set-index path of the Haswell
+    /// L3 (24576 sets), where every L1I and L2 miss lands.
+    set_magic: u128,
+    /// True for the dominant geometry (8-way LRU, power-of-two sets):
+    /// accesses take a monomorphized branch-free path over `[_; 8]` lanes.
+    fast_lru8: bool,
 }
 
 impl Cache {
@@ -97,13 +112,17 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
         Cache {
-            sets: vec![vec![INVALID; config.ways]; sets],
-            state: (0..sets)
-                .map(|i| SetState::new(config.policy, config.ways, i as u32 ^ 0x9e37_79b9))
-                .collect(),
+            tags: vec![0; sets * config.ways],
+            meta: vec![0; sets * config.ways],
+            state: ReplState::new(config.policy, sets, config.ways),
             stats: CacheStats::default(),
             line_shift: config.line_bytes.trailing_zeros(),
+            sets,
             set_mask: (sets as u64) - 1,
+            pow2_sets: sets.is_power_of_two(),
+            // Wrapping add handles sets == 1 (magic 0 -> remainder 0).
+            set_magic: (u128::MAX / sets as u128).wrapping_add(1),
+            fast_lru8: config.ways == 8 && sets.is_power_of_two() && config.policy == Policy::Lru,
             config,
         }
     }
@@ -123,72 +142,171 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    #[inline]
     fn index(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.line_shift;
-        let set =
-            if self.set_mask == (self.sets.len() as u64 - 1) && self.sets.len().is_power_of_two() {
-                (line & self.set_mask) as usize
-            } else {
-                (line % self.sets.len() as u64) as usize
-            };
+        let set = if self.pow2_sets {
+            (line & self.set_mask) as usize
+        } else {
+            // line % sets via the precomputed reciprocal (see `set_magic`):
+            // three widening multiplies instead of a 64-bit divide.
+            let lowbits = self.set_magic.wrapping_mul(line as u128);
+            let p1 = (lowbits >> 64) * self.sets as u128;
+            let p0 = (lowbits as u64 as u128) * self.sets as u128;
+            ((p1 + (p0 >> 64)) >> 64) as usize
+        };
         (set, line)
     }
 
     /// Accesses `addr`; `write` marks the line dirty. Fills on miss.
+    #[inline]
     pub fn access(&mut self, addr: u64, write: bool) -> AccessResult {
-        let (set_idx, tag) = self.index(addr);
-        let ways = self.config.ways;
-        let set = &mut self.sets[set_idx];
+        if self.fast_lru8 {
+            self.access_lru8(addr, write)
+        } else {
+            self.access_generic(addr, write)
+        }
+    }
 
-        // Hit path.
-        if let Some(way) = set.iter().position(|l| l.valid && l.tag == tag) {
+    /// The monomorphized hot path: 8 ways, LRU, power-of-two sets. All
+    /// lane slices are `[_; 8]`, so every scan is a fixed-trip branch-free
+    /// loop the compiler unrolls and vectorizes; counters and replacement
+    /// state evolve bit-identically to [`Cache::access_generic`] (LRU ranks
+    /// of a set are always a permutation, so "last maximum rank" and
+    /// "the unique rank 7" name the same victim).
+    #[inline]
+    fn access_lru8(&mut self, addr: u64, write: bool) -> AccessResult {
+        let line = addr >> self.line_shift;
+        let set_idx = (line & self.set_mask) as usize;
+        let tagv = line | TAG_VALID;
+        let base = set_idx * 8;
+        let tags: &mut [u64; 8] = (&mut self.tags[base..base + 8]).try_into().expect("8 ways");
+        let meta: &mut [u8; 8] = (&mut self.meta[base..base + 8]).try_into().expect("8 ways");
+        let ReplState::Lru { ranks } = &mut self.state else {
+            unreachable!("fast path is only taken for LRU caches")
+        };
+        let ranks: &mut [u8; 8] = (&mut ranks[base..base + 8]).try_into().expect("8 ways");
+
+        let mut hit_mask = 0u32;
+        for (w, &t) in tags.iter().enumerate() {
+            hit_mask |= u32::from(t == tagv) << w;
+        }
+        if hit_mask != 0 {
+            let way = hit_mask.trailing_zeros() as usize;
             if write {
-                set[way].dirty = true;
+                meta[way] |= META_DIRTY;
             }
-            self.state[set_idx].touch(way, ways);
+            let old = ranks[way];
+            for r in ranks.iter_mut() {
+                *r += u8::from(*r < old);
+            }
+            ranks[way] = 0;
+            self.stats.hits += 1;
+            return AccessResult::Hit;
+        }
+
+        self.stats.misses += 1;
+        let mut invalid_mask = 0u32;
+        for (w, &m) in meta.iter().enumerate() {
+            invalid_mask |= u32::from(m & META_VALID == 0) << w;
+        }
+        let way = if invalid_mask != 0 {
+            invalid_mask.trailing_zeros() as usize
+        } else {
+            let mut victim = 0usize;
+            for (w, &r) in ranks.iter().enumerate() {
+                if r == 7 {
+                    victim = w;
+                }
+            }
+            victim
+        };
+        let writeback = if meta[way] & (META_VALID | META_DIRTY) == META_VALID | META_DIRTY {
+            self.stats.writebacks += 1;
+            Some((tags[way] & !TAG_VALID) << self.line_shift)
+        } else {
+            None
+        };
+        tags[way] = tagv;
+        meta[way] = if write {
+            META_VALID | META_DIRTY
+        } else {
+            META_VALID
+        };
+        let old = ranks[way];
+        for r in ranks.iter_mut() {
+            *r += u8::from(*r < old);
+        }
+        ranks[way] = 0;
+        AccessResult::Miss { writeback }
+    }
+
+    fn access_generic(&mut self, addr: u64, write: bool) -> AccessResult {
+        let (set_idx, tag) = self.index(addr);
+        let tagv = tag | TAG_VALID;
+        let ways = self.config.ways;
+        let base = set_idx * ways;
+        let tags = &mut self.tags[base..base + ways];
+        let meta = &mut self.meta[base..base + ways];
+
+        // Hit path: scan ways in order (valid is embedded in the tag word).
+        let mut hit_way = usize::MAX;
+        for (w, &t) in tags.iter().enumerate() {
+            if t == tagv {
+                hit_way = w;
+                break;
+            }
+        }
+        if hit_way != usize::MAX {
+            if write {
+                meta[hit_way] |= META_DIRTY;
+            }
+            self.state.touch(set_idx, hit_way, ways);
             self.stats.hits += 1;
             return AccessResult::Hit;
         }
 
         // Miss path: fill into an invalid way or evict a victim.
         self.stats.misses += 1;
-        let way = match set.iter().position(|l| !l.valid) {
+        let way = match meta.iter().position(|&m| m & META_VALID == 0) {
             Some(w) => w,
-            None => self.state[set_idx].victim(ways),
+            None => self.state.victim(set_idx, ways),
         };
-        let victim = set[way];
-        let writeback = if victim.valid && victim.dirty {
+        let writeback = if meta[way] & (META_VALID | META_DIRTY) == META_VALID | META_DIRTY {
             self.stats.writebacks += 1;
-            Some(victim.tag << self.line_shift)
+            Some((tags[way] & !TAG_VALID) << self.line_shift)
         } else {
             None
         };
-        set[way] = Line {
-            tag,
-            valid: true,
-            dirty: write,
+        tags[way] = tagv;
+        meta[way] = if write {
+            META_VALID | META_DIRTY
+        } else {
+            META_VALID
         };
-        self.state[set_idx].touch(way, ways);
+        self.state.touch(set_idx, way, ways);
         AccessResult::Miss { writeback }
     }
 
     /// True if the line containing `addr` is currently resident.
     pub fn contains(&self, addr: u64) -> bool {
         let (set_idx, tag) = self.index(addr);
-        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+        let tagv = tag | TAG_VALID;
+        let base = set_idx * self.config.ways;
+        let end = base + self.config.ways;
+        self.tags[base..end].contains(&tagv)
     }
 
     /// Invalidates every line and clears statistics.
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.fill(INVALID);
-        }
+        self.meta.fill(0);
+        self.tags.fill(0);
         self.stats = CacheStats::default();
     }
 
     /// Number of currently valid lines.
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().flatten().filter(|l| l.valid).count()
+        self.meta.iter().filter(|&&m| m & META_VALID != 0).count()
     }
 }
 
@@ -209,6 +327,27 @@ mod tests {
         assert!(c.access(0x0, false).is_hit());
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn reciprocal_set_index_matches_division() {
+        // Non-power-of-two set counts exercise the Lemire reciprocal;
+        // sweep geometry corners and line-number extremes against `%`.
+        for sets in [1usize, 2, 3, 5, 24576, 24575, (1 << 20) - 1] {
+            let c = Cache::new(CacheConfig::new(sets * 64, 1, 64, Policy::Lru));
+            let mut line = 1u64;
+            for i in 0..1000u64 {
+                let probe = line ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let (set, l) = c.index(probe << 6 >> 6 << 6);
+                assert_eq!(set as u64, l % sets as u64, "sets={sets} line={l}");
+                line = line.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            }
+            for l in [0u64, 1, u64::MAX >> 6, (u64::MAX >> 6) - 1] {
+                let (set, got) = c.index(l << 6);
+                assert_eq!(got, l);
+                assert_eq!(set as u64, l % sets as u64, "sets={sets} line={l}");
+            }
+        }
     }
 
     #[test]
@@ -348,5 +487,18 @@ mod tests {
             c.access(i * 64, false);
         }
         assert!(c.resident_lines() <= 4);
+    }
+
+    #[test]
+    fn flush_then_refill_reuses_replacement_state() {
+        // After a flush, invalid ways fill first and hits behave exactly as
+        // on a cold cache of the same geometry.
+        let mut c = small_lru();
+        for i in 0..8u64 {
+            c.access(i * 64, false);
+        }
+        c.flush();
+        assert!(!c.access(0x0, false).is_hit());
+        assert!(c.access(0x0, false).is_hit());
     }
 }

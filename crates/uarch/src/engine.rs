@@ -4,10 +4,22 @@
 //!
 //! This is the stand-in for "run the benchmark under `perf stat` on the
 //! Haswell box" in the paper's methodology.
+//!
+//! Execution is batched (see [`crate::exec`]): the engine pulls flat SoA
+//! µop batches from a [`UopSource`], splits each batch into segments at
+//! warmup and sampler boundaries, and runs two tight passes per segment —
+//! a fetch/memory pass in op order (L1I probes share the L3 with the data
+//! path, so their interleaving matters) and a branch-predictor pass whose
+//! state is disjoint from the caches. Counters accumulate in per-segment
+//! tallies flushed once per segment. [`Engine::run_reference`] keeps the
+//! original one-op-at-a-time loop as the executable specification; the
+//! batched path reproduces its counters bit-for-bit (pinned by this
+//! crate's tests and the roster-wide differential suite).
 
-use crate::branch::{target_is_static, BranchPredictor, PredictorKind};
+use crate::branch::{target_is_static, BranchPredictor, PredictorImpl, PredictorKind};
 use crate::config::SystemConfig;
 use crate::counters::{Event, PerfSession};
+use crate::exec::{from_iter, ExecPlan, UopBatch, UopSource, KIND_ALU, KIND_BRANCH_BASE};
 use crate::hierarchy::{Hierarchy, ServedBy};
 use crate::microop::{BranchKind, MicroOp};
 use crate::pipeline::{estimate_cycles, CycleBreakdown, TimingInputs};
@@ -55,8 +67,9 @@ impl Default for WorkloadHints {
 
 /// Per-run execution options, consumed by [`Engine::run_with`].
 ///
-/// Consolidates what used to be spread across `run` / `run_warmed` /
-/// `with_predictor` into one builder:
+/// Superseded by [`ExecPlan`], which folds the hints in as well; convert
+/// with `ExecPlan::from(opts).hints(hints)`. Kept for one release of
+/// compatibility.
 ///
 /// ```
 /// use uarch_sim::branch::PredictorKind;
@@ -111,15 +124,220 @@ impl RunOptions {
     }
 }
 
+/// Per-run instruction-fetch state: sequential advance within the code
+/// footprint, with taken branches redirecting into the hot region (or,
+/// occasionally, across the full text segment).
+struct FetchState {
+    fetch_off: u64,
+    last_fetch_line: u64,
+    code_mask: u64,
+    hot_code_mask: u64,
+    taken_seen: u64,
+}
+
+impl FetchState {
+    fn new(hints: &WorkloadHints) -> Self {
+        let code_mask = hints.code_footprint_bytes.next_power_of_two().max(64) - 1;
+        // Loops keep most fetches inside a hot code region much smaller than
+        // the L1I; only occasional far jumps (cross-function transfers)
+        // touch the rest of the text segment. Big-code applications pay for
+        // this proportionally through compulsory far-target misses.
+        let hot_code_mask = (8 * 1024u64).min(code_mask + 1) - 1;
+        FetchState {
+            fetch_off: 0,
+            last_fetch_line: u64::MAX,
+            code_mask,
+            hot_code_mask,
+            taken_seen: 0,
+        }
+    }
+}
+
+/// Deterministic indirect-jump target-miss bookkeeping (the engine's BTB
+/// model): misses are realized by counting against the hint rate, so the
+/// realized rate converges on the hint exactly.
+#[derive(Default)]
+struct IndirectState {
+    seen: u64,
+    extra_mispredicts: u64,
+}
+
+/// Per-segment event tallies, flushed to the counter session once per
+/// counted segment (warmup segments discard theirs, exactly as the scalar
+/// path discarded its warmup sink).
+#[derive(Default)]
+struct Tallies {
+    loads: u64,
+    stores: u64,
+    l1h: u64,
+    l2h: u64,
+    l3h: u64,
+    l3m: u64,
+    branches: u64,
+    cond: u64,
+    direct_jmp: u64,
+    direct_call: u64,
+    indirect_jmp: u64,
+    returns: u64,
+    mispredicts: u64,
+}
+
+impl Tallies {
+    /// Adds this segment's tallies to `s`. `ops` is the segment length;
+    /// every op retires one instruction and one µop. The per-level load
+    /// counters partition exactly as the scalar path's per-op increments
+    /// did: L1 misses are loads served below L1, L2 misses loads served
+    /// below L2.
+    fn flush(&self, s: &mut PerfSession, ops: u64) {
+        s.add(Event::InstRetiredAny, ops);
+        s.add(Event::UopsRetiredAll, ops);
+        s.add(Event::MemUopsRetiredAllLoads, self.loads);
+        s.add(Event::MemUopsRetiredAllStores, self.stores);
+        s.add(Event::MemLoadUopsRetiredL1Hit, self.l1h);
+        s.add(
+            Event::MemLoadUopsRetiredL1Miss,
+            self.l2h + self.l3h + self.l3m,
+        );
+        s.add(Event::MemLoadUopsRetiredL2Hit, self.l2h);
+        s.add(Event::MemLoadUopsRetiredL2Miss, self.l3h + self.l3m);
+        s.add(Event::MemLoadUopsRetiredL3Hit, self.l3h);
+        s.add(Event::MemLoadUopsRetiredL3Miss, self.l3m);
+        s.add(Event::BrInstExecAllBranches, self.branches);
+        s.add(Event::BrInstExecAllConditional, self.cond);
+        s.add(Event::BrInstExecAllDirectJmp, self.direct_jmp);
+        s.add(Event::BrInstExecAllDirectNearCall, self.direct_call);
+        s.add(
+            Event::BrInstExecAllIndirectJumpNonCallRet,
+            self.indirect_jmp,
+        );
+        s.add(Event::BrInstExecAllIndirectNearReturn, self.returns);
+        s.add(Event::BrMispExecAllBranches, self.mispredicts);
+    }
+}
+
+/// One sweep over a segment, monomorphized over the predictor: instruction
+/// fetch (which shares the L3 with the data path, so it stays interleaved
+/// with loads and stores), demand accesses, branch classification,
+/// conditional direction prediction, the indirect target-miss model, and
+/// taken-branch fetch redirects.
+///
+/// The per-op order is exactly the scalar reference order (see
+/// [`Engine::run_reference`]); monomorphizing over `P` removes virtual
+/// dispatch from the conditional-branch path, and processing the batch as
+/// one sweep touches each SoA lane once. Within one branch op the
+/// predictor update and the fetch redirect commute — they touch disjoint
+/// state — so their relative order is immaterial to bit-identity.
+///
+/// The argument list is wide on purpose: the callers hold `&mut self`, so
+/// the disjoint engine fields must be passed as separate borrows.
+#[allow(clippy::too_many_arguments)]
+fn exec_pass<P: BranchPredictor>(
+    hierarchy: &mut Hierarchy,
+    fs: &mut FetchState,
+    predictor: &mut P,
+    kinds: &[u8],
+    addrs: &[u64],
+    bypass: Option<(u64, u64)>,
+    ind: &mut IndirectState,
+    indirect_target_miss_rate: f64,
+    t: &mut Tallies,
+) {
+    // An empty range never matches, so the per-load check is branch-free
+    // on the hint's presence.
+    let (bypass_lo, bypass_hi) = bypass.unwrap_or((1, 0));
+    for (&k, &operand) in kinds.iter().zip(addrs) {
+        // Instruction fetch: sequential 4-byte advance within the code
+        // footprint; only line crossings touch the L1I.
+        fs.fetch_off = (fs.fetch_off + 4) & fs.code_mask;
+        let fetch_pc = 0x40_0000 + fs.fetch_off;
+        let line = fetch_pc >> 6;
+        if line != fs.last_fetch_line {
+            hierarchy.fetch(fetch_pc);
+            fs.last_fetch_line = line;
+        }
+        match k {
+            KIND_ALU => {}
+            crate::exec::KIND_LOAD => {
+                t.loads += 1;
+                let served = if operand >= bypass_lo && operand < bypass_hi {
+                    hierarchy.load_bypass_l2(operand)
+                } else {
+                    hierarchy.load(operand)
+                };
+                match served {
+                    ServedBy::L1 => t.l1h += 1,
+                    ServedBy::L2 => t.l2h += 1,
+                    ServedBy::L3 => t.l3h += 1,
+                    ServedBy::Memory => t.l3m += 1,
+                }
+            }
+            crate::exec::KIND_STORE => {
+                t.stores += 1;
+                hierarchy.store(operand);
+            }
+            _ => {
+                t.branches += 1;
+                let taken = (k - KIND_BRANCH_BASE) & 1 == 1;
+                match (k - KIND_BRANCH_BASE) >> 1 {
+                    0 => {
+                        t.cond += 1;
+                        if !predictor.predict_and_update(operand, taken) {
+                            t.mispredicts += 1;
+                        }
+                    }
+                    // Direct targets are predicted perfectly once decoded.
+                    1 => t.direct_jmp += 1,
+                    2 => t.direct_call += 1,
+                    3 => {
+                        // Indirect jump target: BTB miss modelled by the
+                        // hint rate, realized deterministically by
+                        // counting.
+                        t.indirect_jmp += 1;
+                        ind.seen += 1;
+                        let due = (ind.seen as f64 * indirect_target_miss_rate).floor() as u64;
+                        if due > ind.extra_mispredicts {
+                            ind.extra_mispredicts = due;
+                            t.mispredicts += 1;
+                        }
+                    }
+                    // Returns are served by the return-address stack,
+                    // which is essentially perfect for call-balanced code.
+                    _ => t.returns += 1,
+                }
+                // Taken branches redirect fetch — mostly loop-local (hot
+                // region), occasionally a far cross-function transfer
+                // through the full text footprint.
+                if taken {
+                    fs.taken_seen += 1;
+                    let h = operand
+                        .wrapping_add(fs.taken_seen)
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        >> 17;
+                    let mask = if fs.taken_seen.is_multiple_of(32) {
+                        fs.code_mask
+                    } else {
+                        fs.hot_code_mask
+                    };
+                    fs.fetch_off = h & mask;
+                    fs.last_fetch_line = u64::MAX;
+                }
+            }
+        }
+    }
+}
+
 /// Executes micro-op streams on a fixed system configuration.
 ///
 /// See the [crate-level example](crate) for end-to-end usage.
 pub struct Engine {
     config: SystemConfig,
     hierarchy: Hierarchy,
-    predictor: Box<dyn BranchPredictor + Send>,
+    predictor: PredictorImpl,
     predictor_kind: PredictorKind,
     last_breakdown: Option<CycleBreakdown>,
+    /// Reusable batch arena: taken at the start of a run, returned at the
+    /// end, so steady-state execution does not allocate per batch.
+    arena: UopBatch,
 }
 
 impl std::fmt::Debug for Engine {
@@ -143,9 +361,10 @@ impl Engine {
         Engine {
             config: config.clone(),
             hierarchy: Hierarchy::new(config),
-            predictor: kind.build(),
+            predictor: PredictorImpl::build(kind),
             predictor_kind: kind,
             last_breakdown: None,
+            arena: UopBatch::new(),
         }
     }
 
@@ -162,55 +381,35 @@ impl Engine {
     /// Resets microarchitectural state (cold caches, fresh predictor).
     pub fn reset(&mut self) {
         self.hierarchy = Hierarchy::new(&self.config);
-        self.predictor = self.predictor_kind.build();
+        self.predictor = PredictorImpl::build(self.predictor_kind);
     }
 
-    /// Runs a micro-op stream to completion and returns the counter file.
-    #[deprecated(since = "0.2.0", note = "use `run_with` with `RunOptions::new()`")]
-    pub fn run<I>(&mut self, ops: I, hints: &WorkloadHints) -> PerfSession
-    where
-        I: IntoIterator<Item = MicroOp>,
-    {
-        self.run_with(ops, hints, &RunOptions::new())
-    }
-
-    /// Runs with the first `warmup_ops` micro-ops uncounted.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run_with` with `RunOptions::new().warmup(n)`"
-    )]
-    pub fn run_warmed<I>(&mut self, ops: I, hints: &WorkloadHints, warmup_ops: u64) -> PerfSession
-    where
-        I: IntoIterator<Item = MicroOp>,
-    {
-        self.run_with(ops, hints, &RunOptions::new().warmup(warmup_ops))
-    }
-
-    /// Runs a micro-op stream to completion under [`RunOptions`] and
-    /// returns the counter file.
+    /// Executes a batched µop source to completion under an [`ExecPlan`]
+    /// and returns the counter file.
     ///
     /// The returned session contains every [`Event`], including the cycle
     /// count derived by the interval timing model, so `session.ipc()` is
-    /// meaningful. With [`RunOptions::sampler`] set, the session also
+    /// meaningful. With [`ExecPlan::sampler`] set, the session also
     /// carries a [`CounterTimeline`] whose interval deltas sum exactly to
     /// the session's final counts.
-    pub fn run_with<I>(&mut self, ops: I, hints: &WorkloadHints, opts: &RunOptions) -> PerfSession
-    where
-        I: IntoIterator<Item = MicroOp>,
-    {
+    ///
+    /// Counters are bit-identical to [`Engine::run_reference`] on the same
+    /// stream for every plan.
+    pub fn execute<S: UopSource>(&mut self, mut source: S, plan: &ExecPlan) -> PerfSession {
         // One guard around the whole run: constant cost, never per op, and
         // inert while tracing is disabled so the hot loop is untouched.
         let mut trace_span = simtrace::span("engine/run");
-        if let Some(kind) = opts.predictor {
+        if let Some(kind) = plan.predictor {
             if kind != self.predictor_kind {
-                self.predictor = kind.build();
+                self.predictor = PredictorImpl::build(kind);
                 self.predictor_kind = kind;
             }
         }
-        let warmup_ops = opts.warmup_ops;
-        // When sampling is off the boundary is unreachable, so the run
-        // pays one integer compare per op and nothing else.
-        let interval = opts.sampler.map(|c| c.interval_ops.max(1));
+        let hints = &plan.hints;
+        let warmup_ops = plan.warmup_ops;
+        // When sampling is off the boundary is unreachable, so segments
+        // split only at batch and warmup edges.
+        let interval = plan.sampler.map(|c| c.interval_ops.max(1));
         let mut next_sample = interval.unwrap_or(u64::MAX);
         let mut counted: u64 = 0;
         // Snapshots at interval boundaries: (counted-op index, session
@@ -220,13 +419,226 @@ impl Engine {
         let mut s = PerfSession::new();
         let mut executed: u64 = 0;
         let mut l1i_misses_at_warmup: u64 = 0;
+        let mut fs = FetchState::new(hints);
+        let mut ind = IndirectState::default();
+        let batch_ops = plan.batch_ops.max(1);
+        let mut batch = std::mem::take(&mut self.arena);
+
+        loop {
+            batch.clear();
+            source.fill(&mut batch, batch_ops);
+            let n = batch.len();
+            if n == 0 {
+                break;
+            }
+            let mut start = 0usize;
+            // Segment the batch so no per-op boundary checks survive into
+            // the inner passes: a segment never crosses the warmup edge or
+            // a sampler interval edge.
+            while start < n {
+                let left = (n - start) as u64;
+                let in_warmup = executed < warmup_ops;
+                let seg = if in_warmup {
+                    (warmup_ops - executed).min(left) as usize
+                } else {
+                    (next_sample - counted).min(left) as usize
+                };
+                if !in_warmup && counted == 0 {
+                    // About to process the first counted op: snapshot the
+                    // L1I misses accumulated by warmup, exactly where the
+                    // scalar loop snapshots them.
+                    l1i_misses_at_warmup = self.hierarchy.l1i_stats().misses;
+                }
+                let kinds = &batch.kinds[start..start + seg];
+                let addrs = &batch.addrs[start..start + seg];
+                let mut t = Tallies::default();
+                let rate = hints.indirect_target_miss_rate;
+                let bypass = hints.l2_bypass_range;
+                let (h, f) = (&mut self.hierarchy, &mut fs);
+                match &mut self.predictor {
+                    PredictorImpl::Tournament(p) => {
+                        exec_pass(h, f, p, kinds, addrs, bypass, &mut ind, rate, &mut t)
+                    }
+                    PredictorImpl::GShare(p) => {
+                        exec_pass(h, f, p, kinds, addrs, bypass, &mut ind, rate, &mut t)
+                    }
+                    PredictorImpl::Bimodal(p) => {
+                        exec_pass(h, f, p, kinds, addrs, bypass, &mut ind, rate, &mut t)
+                    }
+                    PredictorImpl::AlwaysTaken(p) => {
+                        exec_pass(h, f, p, kinds, addrs, bypass, &mut ind, rate, &mut t)
+                    }
+                }
+                executed += seg as u64;
+                start += seg;
+                if !in_warmup {
+                    counted += seg as u64;
+                    t.flush(&mut s, seg as u64);
+                    if counted == next_sample {
+                        marks.push((counted, s.clone(), self.hierarchy.l1i_stats().misses));
+                        next_sample = next_sample.saturating_add(interval.unwrap_or(u64::MAX));
+                    }
+                }
+            }
+        }
+        self.arena = batch;
+
+        // Price the counted portion of the run.
+        let l1i_total = self.hierarchy.l1i_stats().misses;
+        let l1i_counted = if executed > warmup_ops {
+            l1i_total - l1i_misses_at_warmup
+        } else {
+            0
+        };
+        let inputs = TimingInputs {
+            uops: s.count(Event::UopsRetiredAll),
+            mispredicts: s.count(Event::BrMispExecAllBranches),
+            l2_served: s.count(Event::MemLoadUopsRetiredL2Hit),
+            l3_served: s.count(Event::MemLoadUopsRetiredL3Hit),
+            mem_served: s.count(Event::MemLoadUopsRetiredL3Miss),
+            l1i_misses: l1i_counted,
+            ilp: hints.ilp,
+            mlp: hints.mlp,
+        };
+        let breakdown = estimate_cycles(&self.config, &inputs);
+        let mut cycles = breakdown.total() as f64;
+        self.last_breakdown = Some(breakdown);
+        if hints.threads > 1 {
+            // Multi-threaded `speed` runs burn extra unhalted reference
+            // cycles on synchronization and shared-cache contention; the
+            // paper observes exactly this as the speed-fp IPC collapse.
+            cycles *= 1.0 + hints.sync_overhead * (hints.threads - 1) as f64;
+        }
+        s.set(Event::CpuClkUnhaltedRefTsc, cycles.max(1.0) as u64);
+
+        if let Some(interval_ops) = interval {
+            // Close the final (possibly partial) interval with the finished
+            // session so the interval deltas telescope to the exact totals.
+            if marks.last().is_none_or(|(end, _, _)| *end < counted) {
+                marks.push((counted, s.clone(), l1i_total));
+            }
+            s.set_timeline(self.build_timeline(interval_ops, &marks, &s, hints, l1i_counted));
+        }
+
+        // Process metrics: constant cost per run (never per op), so the
+        // enabled-vs-disabled overhead of the hot loop stays flat.
+        crate::metrics::engine_runs().inc();
+        crate::metrics::ops_retired().add(executed);
+        crate::metrics::sim_time_micros().record((self.seconds(&s) * 1e6) as u64);
+        if trace_span.is_recording() {
+            trace_span.arg("ops", executed);
+            trace_span.arg("warmup_ops", warmup_ops);
+        }
+        s
+    }
+
+    /// Functional warming over a batched source: advances every piece of
+    /// persistent microarchitectural state — cache hierarchy (demand and
+    /// instruction fetch), branch predictor — through transitions
+    /// bit-identical to [`Engine::execute`] on the same stream, but with
+    /// no counter accounting, no cycle pricing, and no timeline sampling.
+    /// Returns the number of ops warmed.
+    ///
+    /// This is the gap path of a SimPoint-style sparse replay (`simpoint`
+    /// crate): intervals between simulation points are warmed so each
+    /// medoid interval starts from the exact state a full chunked run
+    /// would have given it. The equivalence (`warm` on chunk A then
+    /// `execute` on chunk B produces the same session for B as `execute`
+    /// on both) is pinned by this crate's tests.
+    pub fn warm<S: UopSource>(&mut self, mut source: S, hints: &WorkloadHints) -> u64 {
+        let mut executed: u64 = 0;
+        // Per-run fetch state, reset per call exactly like execute.
+        let mut fs = FetchState::new(hints);
+        // Rate 0.0 keeps the indirect model inert, matching the scalar
+        // warm path (which never counted indirect misses).
+        let mut ind = IndirectState::default();
+        let mut batch = std::mem::take(&mut self.arena);
+        loop {
+            batch.clear();
+            source.fill(&mut batch, crate::exec::DEFAULT_BATCH_OPS);
+            let n = batch.len();
+            if n == 0 {
+                break;
+            }
+            let mut t = Tallies::default();
+            let kinds = &batch.kinds[..];
+            let addrs = &batch.addrs[..];
+            let bypass = hints.l2_bypass_range;
+            let (h, f) = (&mut self.hierarchy, &mut fs);
+            match &mut self.predictor {
+                PredictorImpl::Tournament(p) => {
+                    exec_pass(h, f, p, kinds, addrs, bypass, &mut ind, 0.0, &mut t)
+                }
+                PredictorImpl::GShare(p) => {
+                    exec_pass(h, f, p, kinds, addrs, bypass, &mut ind, 0.0, &mut t)
+                }
+                PredictorImpl::Bimodal(p) => {
+                    exec_pass(h, f, p, kinds, addrs, bypass, &mut ind, 0.0, &mut t)
+                }
+                PredictorImpl::AlwaysTaken(p) => {
+                    exec_pass(h, f, p, kinds, addrs, bypass, &mut ind, 0.0, &mut t)
+                }
+            }
+            executed += n as u64;
+        }
+        self.arena = batch;
+        crate::metrics::ops_warmed().add(executed);
+        executed
+    }
+
+    /// Runs a micro-op iterator to completion under [`RunOptions`] —
+    /// a thin compatibility shim over [`Engine::execute`].
+    pub fn run_with<I>(&mut self, ops: I, hints: &WorkloadHints, opts: &RunOptions) -> PerfSession
+    where
+        I: IntoIterator<Item = MicroOp>,
+    {
+        self.execute(from_iter(ops), &ExecPlan::from(*opts).hints(*hints))
+    }
+
+    /// Functional warming over a micro-op iterator — a thin compatibility
+    /// shim over [`Engine::warm`].
+    pub fn warm_with<I>(&mut self, ops: I, hints: &WorkloadHints) -> u64
+    where
+        I: IntoIterator<Item = MicroOp>,
+    {
+        self.warm(from_iter(ops), hints)
+    }
+
+    /// The original one-op-at-a-time execution loop, kept verbatim as the
+    /// executable specification of the engine's counter semantics.
+    ///
+    /// The batched [`Engine::execute`] must produce bit-identical sessions
+    /// (including timelines) for every stream and plan; the differential
+    /// tests in this crate and the roster-wide suite in `workload-synth`
+    /// pin that equivalence. Not a hot path — use [`Engine::execute`].
+    pub fn run_reference<I>(
+        &mut self,
+        ops: I,
+        hints: &WorkloadHints,
+        opts: &RunOptions,
+    ) -> PerfSession
+    where
+        I: IntoIterator<Item = MicroOp>,
+    {
+        let mut trace_span = simtrace::span("engine/run");
+        if let Some(kind) = opts.predictor {
+            if kind != self.predictor_kind {
+                self.predictor = PredictorImpl::build(kind);
+                self.predictor_kind = kind;
+            }
+        }
+        let warmup_ops = opts.warmup_ops;
+        let interval = opts.sampler.map(|c| c.interval_ops.max(1));
+        let mut next_sample = interval.unwrap_or(u64::MAX);
+        let mut counted: u64 = 0;
+        let mut marks: Vec<(u64, PerfSession, u64)> = Vec::new();
+
+        let mut s = PerfSession::new();
+        let mut executed: u64 = 0;
+        let mut l1i_misses_at_warmup: u64 = 0;
         let mut fetch_off: u64 = 0; // offset within the text segment
         let mut last_fetch_line = u64::MAX;
         let code_mask = hints.code_footprint_bytes.next_power_of_two().max(64) - 1;
-        // Loops keep most fetches inside a hot code region much smaller than
-        // the L1I; only occasional far jumps (cross-function transfers)
-        // touch the rest of the text segment. Big-code applications pay for
-        // this proportionally through compulsory far-target misses.
         let hot_code_mask = (8 * 1024u64).min(code_mask + 1) - 1;
         let mut taken_seen: u64 = 0;
         let mut indirect_seen: u64 = 0;
@@ -249,8 +661,6 @@ impl Engine {
             sink.incr(Event::InstRetiredAny);
             sink.incr(Event::UopsRetiredAll);
 
-            // Instruction fetch: sequential 4-byte advance within the code
-            // footprint; only line crossings touch the L1I.
             fetch_off = (fetch_off + 4) & code_mask;
             let fetch_pc = 0x40_0000 + fetch_off;
             let line = fetch_pc >> 6;
@@ -306,8 +716,6 @@ impl Engine {
                         // Returns are served by the return-address stack,
                         // which is essentially perfect for call-balanced code.
                     } else {
-                        // Indirect jump target: BTB miss modelled by the hint
-                        // rate, realized deterministically by counting.
                         indirect_seen += 1;
                         let due =
                             (indirect_seen as f64 * hints.indirect_target_miss_rate).floor() as u64;
@@ -317,9 +725,6 @@ impl Engine {
                         }
                     }
                     if taken {
-                        // Taken branches redirect fetch: mostly loop-local
-                        // (hot region), occasionally a far cross-function
-                        // transfer through the full text footprint.
                         taken_seen += 1;
                         let h = pc
                             .wrapping_add(taken_seen)
@@ -362,24 +767,17 @@ impl Engine {
         let mut cycles = breakdown.total() as f64;
         self.last_breakdown = Some(breakdown);
         if hints.threads > 1 {
-            // Multi-threaded `speed` runs burn extra unhalted reference
-            // cycles on synchronization and shared-cache contention; the
-            // paper observes exactly this as the speed-fp IPC collapse.
             cycles *= 1.0 + hints.sync_overhead * (hints.threads - 1) as f64;
         }
         s.set(Event::CpuClkUnhaltedRefTsc, cycles.max(1.0) as u64);
 
         if let Some(interval_ops) = interval {
-            // Close the final (possibly partial) interval with the finished
-            // session so the interval deltas telescope to the exact totals.
             if marks.last().is_none_or(|(end, _, _)| *end < counted) {
                 marks.push((counted, s.clone(), l1i_total));
             }
             s.set_timeline(self.build_timeline(interval_ops, &marks, &s, hints, l1i_counted));
         }
 
-        // Process metrics: constant cost per run (never per op), so the
-        // enabled-vs-disabled overhead of the hot loop stays flat.
         crate::metrics::engine_runs().inc();
         crate::metrics::ops_retired().add(executed);
         crate::metrics::sim_time_micros().record((self.seconds(&s) * 1e6) as u64);
@@ -388,79 +786,6 @@ impl Engine {
             trace_span.arg("warmup_ops", warmup_ops);
         }
         s
-    }
-
-    /// Functional warming: advances every piece of persistent
-    /// microarchitectural state over `ops` — cache hierarchy (demand and
-    /// instruction fetch), branch predictor — through transitions
-    /// bit-identical to [`Engine::run_with`] on the same stream, but with
-    /// no counter accounting, no cycle pricing, and no timeline sampling.
-    /// Returns the number of ops warmed.
-    ///
-    /// This is the gap path of a SimPoint-style sparse replay (`simpoint`
-    /// crate): intervals between simulation points are warmed so each
-    /// medoid interval starts from the exact state a full chunked run
-    /// would have given it. The equivalence (`warm_with` on chunk A then
-    /// `run_with` on chunk B produces the same session for B as
-    /// `run_with` on both) is pinned by this crate's tests.
-    pub fn warm_with<I>(&mut self, ops: I, hints: &WorkloadHints) -> u64
-    where
-        I: IntoIterator<Item = MicroOp>,
-    {
-        let mut executed: u64 = 0;
-        // Per-run fetch state, reset per call exactly like run_with.
-        let mut fetch_off: u64 = 0;
-        let mut last_fetch_line = u64::MAX;
-        let code_mask = hints.code_footprint_bytes.next_power_of_two().max(64) - 1;
-        let hot_code_mask = (8 * 1024u64).min(code_mask + 1) - 1;
-        let mut taken_seen: u64 = 0;
-        for op in ops {
-            executed += 1;
-            fetch_off = (fetch_off + 4) & code_mask;
-            let fetch_pc = 0x40_0000 + fetch_off;
-            let line = fetch_pc >> 6;
-            if line != last_fetch_line {
-                self.hierarchy.fetch(fetch_pc);
-                last_fetch_line = line;
-            }
-            match op {
-                MicroOp::Alu => {}
-                MicroOp::Load { addr } => {
-                    let bypass = hints
-                        .l2_bypass_range
-                        .is_some_and(|(base, end)| (base..end).contains(&addr));
-                    if bypass {
-                        self.hierarchy.load_bypass_l2(addr);
-                    } else {
-                        self.hierarchy.load(addr);
-                    }
-                }
-                MicroOp::Store { addr } => {
-                    self.hierarchy.store(addr);
-                }
-                MicroOp::Branch { pc, kind, taken } => {
-                    if kind.is_conditional() {
-                        self.predictor.predict_and_update(pc, taken);
-                    }
-                    if taken {
-                        taken_seen += 1;
-                        let h = pc
-                            .wrapping_add(taken_seen)
-                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                            >> 17;
-                        let mask = if taken_seen.is_multiple_of(32) {
-                            code_mask
-                        } else {
-                            hot_code_mask
-                        };
-                        fetch_off = h & mask;
-                        last_fetch_line = u64::MAX;
-                    }
-                }
-            }
-        }
-        crate::metrics::ops_warmed().add(executed);
-        executed
     }
 
     /// Turns boundary snapshots into a [`CounterTimeline`].
@@ -802,21 +1127,109 @@ mod tests {
             .collect()
     }
 
+    /// A mixed stream exercising every µop kind, including the branch
+    /// classes the phased stream lacks.
+    fn full_mix_ops(n: u64) -> Vec<MicroOp> {
+        let mut x = 0xfeed_f00d_dead_beefu64;
+        (0..n)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                match x % 10 {
+                    0..=2 => MicroOp::load((x >> 8) % (1 << 22)),
+                    3 => MicroOp::store((x >> 8) % (1 << 20)),
+                    4 | 5 => MicroOp::conditional_branch(0x40 + (i % 64) * 4, x & 2 == 2),
+                    6 => MicroOp::Branch {
+                        pc: 0x600 + (i % 8) * 4,
+                        kind: BranchKind::DirectJump,
+                        taken: true,
+                    },
+                    7 => MicroOp::Branch {
+                        pc: 0x700 + (i % 8) * 4,
+                        kind: BranchKind::IndirectJumpNonCallRet,
+                        taken: true,
+                    },
+                    8 => MicroOp::Branch {
+                        pc: 0x800,
+                        kind: BranchKind::IndirectNearReturn,
+                        taken: true,
+                    },
+                    _ => MicroOp::Alu,
+                }
+            })
+            .collect()
+    }
+
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_run_with() {
+    fn batched_execute_matches_reference_bit_for_bit() {
+        // The batched path vs the preserved scalar loop, across warmup,
+        // sampling (with an interval that does not divide the op count),
+        // and every µop kind — sessions including timelines must be equal.
+        let ops = full_mix_ops(30_000);
+        let hints = WorkloadHints {
+            l2_bypass_range: Some((0x8000, 0x9800)),
+            indirect_target_miss_rate: 0.13,
+            ..WorkloadHints::default()
+        };
+        for opts in [
+            RunOptions::new(),
+            RunOptions::new().warmup(7_001),
+            RunOptions::new().sampler(SamplerConfig::every(997)),
+            RunOptions::new()
+                .warmup(2_500)
+                .sampler(SamplerConfig::every(1_234)),
+        ] {
+            let mut scalar = Engine::new(&SystemConfig::tiny_test());
+            let want = scalar.run_reference(ops.iter().copied(), &hints, &opts);
+            // Exercise several batch sizes, including ones that misalign
+            // with the warmup and sampler boundaries.
+            for batch_ops in [1usize, 7, 4096, 100_000] {
+                let mut batched = Engine::new(&SystemConfig::tiny_test());
+                let plan = ExecPlan::from(opts).hints(hints).batch_ops(batch_ops);
+                let got = batched.execute(from_iter(ops.iter().copied()), &plan);
+                assert_eq!(
+                    want, got,
+                    "batched (batch_ops={batch_ops}) must match reference for {opts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_with_is_a_shim_over_execute() {
         let ops = phased_ops(20_000);
         let hints = WorkloadHints::default();
+        let opts = RunOptions::new().warmup(5000);
         let mut a = engine();
-        let old_run = a.run(ops.clone(), &hints);
+        let via_shim = a.run_with(ops.iter().copied(), &hints, &opts);
         let mut b = engine();
-        let new_run = b.run_with(ops.clone(), &hints, &RunOptions::new());
-        assert_eq!(old_run, new_run);
-        let mut c = engine();
-        let old_warmed = c.run_warmed(ops.clone(), &hints, 5000);
-        let mut d = engine();
-        let new_warmed = d.run_with(ops, &hints, &RunOptions::new().warmup(5000));
-        assert_eq!(old_warmed, new_warmed);
+        let via_plan = b.execute(
+            from_iter(ops.iter().copied()),
+            &ExecPlan::from(opts).hints(hints),
+        );
+        assert_eq!(via_shim, via_plan);
+    }
+
+    #[test]
+    fn empty_stream_after_warmup_boundary() {
+        // Stream length exactly equals warmup: nothing is counted, and the
+        // l1i accounting must not underflow.
+        let ops = phased_ops(1000);
+        let mut a = engine();
+        let sa = a.run_with(
+            ops.iter().copied(),
+            &WorkloadHints::default(),
+            &RunOptions::new().warmup(1000),
+        );
+        let mut b = engine();
+        let sb = b.run_reference(
+            ops.iter().copied(),
+            &WorkloadHints::default(),
+            &RunOptions::new().warmup(1000),
+        );
+        assert_eq!(sa, sb);
+        assert_eq!(sa.count(Event::InstRetiredAny), 0);
     }
 
     #[test]
@@ -999,5 +1412,24 @@ mod tests {
         // None keeps the switched predictor.
         e.run_with(ops, &WorkloadHints::default(), &RunOptions::new());
         assert_eq!(e.predictor_kind(), PredictorKind::Bimodal);
+    }
+
+    #[test]
+    fn every_predictor_kind_matches_reference() {
+        let ops = full_mix_ops(15_000);
+        let hints = WorkloadHints::default();
+        for kind in [
+            PredictorKind::Tournament,
+            PredictorKind::GShare,
+            PredictorKind::Bimodal,
+            PredictorKind::AlwaysTaken,
+        ] {
+            let opts = RunOptions::new().predictor(kind);
+            let mut scalar = engine();
+            let want = scalar.run_reference(ops.iter().copied(), &hints, &opts);
+            let mut batched = engine();
+            let got = batched.execute(from_iter(ops.iter().copied()), &ExecPlan::from(opts));
+            assert_eq!(want, got, "predictor {kind:?} must match reference");
+        }
     }
 }

@@ -1,0 +1,452 @@
+//! The batched execution API: flat SoA µop batches, the sources that fill
+//! them, and the [`ExecPlan`] describing one run.
+//!
+//! The per-op iterator API ([`crate::engine::Engine::run_with`]) dispatches
+//! on a `MicroOp` enum per µop. The batched API instead decodes a stream
+//! into a reusable [`UopBatch`] arena — a structure-of-arrays of kind bytes
+//! and addresses — and lets the engine process whole segments at a time:
+//! cache probes stay in one tight loop, predictor updates in another, and
+//! per-op counter increments collapse into per-segment tallies. Counters
+//! are bit-identical to the scalar path (pinned by the differential tests);
+//! only the cost per µop changes.
+//!
+//! ```
+//! use uarch_sim::config::SystemConfig;
+//! use uarch_sim::counters::Event;
+//! use uarch_sim::engine::Engine;
+//! use uarch_sim::exec::{from_iter, ExecPlan};
+//! use uarch_sim::microop::MicroOp;
+//!
+//! let mut engine = Engine::new(&SystemConfig::tiny_test());
+//! let ops = (0..1000u64).map(|i| MicroOp::load(i * 64));
+//! let session = engine.execute(from_iter(ops), &ExecPlan::new());
+//! assert_eq!(session.count(Event::InstRetiredAny), 1000);
+//! ```
+
+use crate::branch::PredictorKind;
+use crate::engine::{RunOptions, WorkloadHints};
+use crate::microop::{BranchKind, MicroOp};
+use crate::timeline::SamplerConfig;
+
+/// Kind byte for an ALU µop.
+pub(crate) const KIND_ALU: u8 = 0;
+/// Kind byte for a load µop (address in the parallel `addrs` lane).
+pub(crate) const KIND_LOAD: u8 = 1;
+/// Kind byte for a store µop (address in the parallel `addrs` lane).
+pub(crate) const KIND_STORE: u8 = 2;
+/// First branch kind byte; branches encode as
+/// `KIND_BRANCH_BASE + 2 * kind_index + taken` with `kind_index` the
+/// position of the [`BranchKind`] in [`BranchKind::ALL`], so the taken bit
+/// and the class both decode with shifts instead of an enum match.
+pub(crate) const KIND_BRANCH_BASE: u8 = 3;
+
+/// Default number of µops the engine asks a source for per batch. Sized so
+/// one batch's kind and address lanes stay L1/L2-resident while still
+/// amortizing per-batch overhead over thousands of ops.
+pub const DEFAULT_BATCH_OPS: usize = 4096;
+
+#[inline]
+fn encode_branch(kind: BranchKind, taken: bool) -> u8 {
+    let kind_index = match kind {
+        BranchKind::Conditional => 0u8,
+        BranchKind::DirectJump => 1,
+        BranchKind::DirectNearCall => 2,
+        BranchKind::IndirectJumpNonCallRet => 3,
+        BranchKind::IndirectNearReturn => 4,
+    };
+    KIND_BRANCH_BASE + 2 * kind_index + taken as u8
+}
+
+/// A flat structure-of-arrays batch of decoded µops.
+///
+/// Two parallel lanes: a kind byte per op and a 64-bit operand per op (the
+/// data address for loads/stores, the branch pc for branches, unused for
+/// ALU). The engine owns one as a reusable arena, so steady-state execution
+/// allocates nothing per batch.
+#[derive(Debug, Clone, Default)]
+pub struct UopBatch {
+    pub(crate) kinds: Vec<u8>,
+    pub(crate) addrs: Vec<u64>,
+}
+
+impl UopBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        UopBatch::default()
+    }
+
+    /// An empty batch with room for `cap` µops before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        UopBatch {
+            kinds: Vec::with_capacity(cap),
+            addrs: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of µops currently in the batch.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True when the batch holds no µops.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Clears the batch, keeping its allocations for reuse.
+    pub fn clear(&mut self) {
+        self.kinds.clear();
+        self.addrs.clear();
+    }
+
+    /// Appends an ALU µop.
+    #[inline]
+    pub fn push_alu(&mut self) {
+        self.kinds.push(KIND_ALU);
+        self.addrs.push(0);
+    }
+
+    /// Appends a load of `addr`.
+    #[inline]
+    pub fn push_load(&mut self, addr: u64) {
+        self.kinds.push(KIND_LOAD);
+        self.addrs.push(addr);
+    }
+
+    /// Appends a store to `addr`.
+    #[inline]
+    pub fn push_store(&mut self, addr: u64) {
+        self.kinds.push(KIND_STORE);
+        self.addrs.push(addr);
+    }
+
+    /// Appends a branch at `pc`.
+    #[inline]
+    pub fn push_branch(&mut self, pc: u64, kind: BranchKind, taken: bool) {
+        self.kinds.push(encode_branch(kind, taken));
+        self.addrs.push(pc);
+    }
+
+    /// Appends any µop, dispatching on the enum once at decode time.
+    #[inline]
+    pub fn push(&mut self, op: MicroOp) {
+        match op {
+            MicroOp::Alu => self.push_alu(),
+            MicroOp::Load { addr } => self.push_load(addr),
+            MicroOp::Store { addr } => self.push_store(addr),
+            MicroOp::Branch { pc, kind, taken } => self.push_branch(pc, kind, taken),
+        }
+    }
+
+    /// Decodes the µop at `index` back into its enum form (test/debug aid;
+    /// the engine never round-trips through this).
+    pub fn get(&self, index: usize) -> Option<MicroOp> {
+        let k = *self.kinds.get(index)?;
+        let operand = self.addrs[index];
+        Some(match k {
+            KIND_ALU => MicroOp::Alu,
+            KIND_LOAD => MicroOp::Load { addr: operand },
+            KIND_STORE => MicroOp::Store { addr: operand },
+            _ => MicroOp::Branch {
+                pc: operand,
+                kind: BranchKind::ALL[((k - KIND_BRANCH_BASE) >> 1) as usize],
+                taken: (k - KIND_BRANCH_BASE) & 1 == 1,
+            },
+        })
+    }
+}
+
+/// A producer of µop batches: the decode side of the batched engine.
+///
+/// `fill` appends up to `max` µops to `batch` and returns how many were
+/// appended; returning 0 ends the stream. Implementations write straight
+/// into the SoA lanes (via the `push_*` methods), so a generator never
+/// materializes per-op enum values on the hot path.
+pub trait UopSource {
+    /// Appends up to `max` µops to `batch`; returns the count appended
+    /// (0 = exhausted).
+    fn fill(&mut self, batch: &mut UopBatch, max: usize) -> usize;
+
+    /// Caps this source at `n` more µops — the batched analogue of
+    /// `Iterator::take`, used by chunked callers (simpoint profiling and
+    /// replay) to run one interval at a time off a shared source.
+    fn take_ops(self, n: u64) -> TakeOps<Self>
+    where
+        Self: Sized,
+    {
+        TakeOps {
+            source: self,
+            remaining: n,
+        }
+    }
+}
+
+impl<S: UopSource + ?Sized> UopSource for &mut S {
+    fn fill(&mut self, batch: &mut UopBatch, max: usize) -> usize {
+        (**self).fill(batch, max)
+    }
+}
+
+/// Adapts any µop iterator into a [`UopSource`].
+///
+/// This is the compatibility path [`crate::engine::Engine::run_with`] rides
+/// on; sources with a native `fill` (the workload generator) skip the
+/// per-op iterator protocol entirely.
+#[derive(Debug, Clone)]
+pub struct IterSource<I> {
+    iter: I,
+}
+
+/// Wraps an iterator of µops as a [`UopSource`].
+pub fn from_iter<I>(ops: I) -> IterSource<I::IntoIter>
+where
+    I: IntoIterator<Item = MicroOp>,
+{
+    IterSource {
+        iter: ops.into_iter(),
+    }
+}
+
+impl<I: Iterator<Item = MicroOp>> UopSource for IterSource<I> {
+    fn fill(&mut self, batch: &mut UopBatch, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.iter.next() {
+                Some(op) => {
+                    batch.push(op);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+}
+
+/// A [`UopSource`] capped at a fixed number of µops (see
+/// [`UopSource::take_ops`]).
+#[derive(Debug)]
+pub struct TakeOps<S> {
+    source: S,
+    remaining: u64,
+}
+
+impl<S: UopSource> UopSource for TakeOps<S> {
+    fn fill(&mut self, batch: &mut UopBatch, max: usize) -> usize {
+        let cap = self.remaining.min(max as u64) as usize;
+        if cap == 0 {
+            return 0;
+        }
+        let n = self.source.fill(batch, cap);
+        self.remaining -= n as u64;
+        n
+    }
+}
+
+/// Everything one batched run needs: hints, warmup, predictor selection,
+/// sampling, and batch sizing.
+///
+/// The batched successor of [`RunOptions`] + a separate hints argument;
+/// `RunOptions` converts losslessly via `From` for one release of
+/// compatibility.
+///
+/// ```
+/// use uarch_sim::branch::PredictorKind;
+/// use uarch_sim::exec::ExecPlan;
+/// use uarch_sim::timeline::SamplerConfig;
+///
+/// let plan = ExecPlan::new()
+///     .warmup(10_000)
+///     .predictor(PredictorKind::GShare)
+///     .sampler(SamplerConfig::every(5_000));
+/// assert_eq!(plan.warmup_ops, 10_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecPlan {
+    /// Workload-level execution hints (see [`WorkloadHints`]).
+    pub hints: WorkloadHints,
+    /// Micro-ops that warm caches and predictor without being counted.
+    pub warmup_ops: u64,
+    /// Branch predictor to run with. `None` keeps the engine's current
+    /// predictor (including its trained state); `Some(kind)` switches to
+    /// `kind`, rebuilding it fresh if it differs from the current one.
+    pub predictor: Option<PredictorKind>,
+    /// Interval sampler configuration. `None` (the default) disables
+    /// sampling: the run takes the identical hot path and the returned
+    /// session carries no timeline.
+    pub sampler: Option<SamplerConfig>,
+    /// µops requested from the source per batch (min 1; defaults to
+    /// [`DEFAULT_BATCH_OPS`]). Tuning knob only — results are identical at
+    /// any batch size.
+    pub batch_ops: usize,
+}
+
+impl Default for ExecPlan {
+    fn default() -> Self {
+        ExecPlan {
+            hints: WorkloadHints::default(),
+            warmup_ops: 0,
+            predictor: None,
+            sampler: None,
+            batch_ops: DEFAULT_BATCH_OPS,
+        }
+    }
+}
+
+impl ExecPlan {
+    /// Default plan: default hints, no warmup, current predictor, sampling
+    /// off.
+    pub fn new() -> Self {
+        ExecPlan::default()
+    }
+
+    /// Sets the workload hints.
+    pub fn hints(mut self, hints: WorkloadHints) -> Self {
+        self.hints = hints;
+        self
+    }
+
+    /// Sets the number of uncounted warmup micro-ops.
+    pub fn warmup(mut self, ops: u64) -> Self {
+        self.warmup_ops = ops;
+        self
+    }
+
+    /// Selects the branch predictor for this run.
+    pub fn predictor(mut self, kind: PredictorKind) -> Self {
+        self.predictor = Some(kind);
+        self
+    }
+
+    /// Enables interval sampling with the given configuration.
+    pub fn sampler(mut self, config: SamplerConfig) -> Self {
+        self.sampler = Some(config);
+        self
+    }
+
+    /// Sets the per-batch µop count.
+    pub fn batch_ops(mut self, ops: usize) -> Self {
+        self.batch_ops = ops.max(1);
+        self
+    }
+}
+
+impl From<RunOptions> for ExecPlan {
+    /// Lifts legacy [`RunOptions`] into a plan with default hints; chain
+    /// [`ExecPlan::hints`] to attach the hints `run_with` took separately.
+    fn from(opts: RunOptions) -> Self {
+        ExecPlan {
+            warmup_ops: opts.warmup_ops,
+            predictor: opts.predictor,
+            sampler: opts.sampler,
+            ..ExecPlan::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_roundtrips_every_kind() {
+        let mut b = UopBatch::new();
+        let ops = [
+            MicroOp::Alu,
+            MicroOp::load(0x1234),
+            MicroOp::store(0x5678),
+            MicroOp::Branch {
+                pc: 0x40,
+                kind: BranchKind::Conditional,
+                taken: true,
+            },
+            MicroOp::Branch {
+                pc: 0x44,
+                kind: BranchKind::Conditional,
+                taken: false,
+            },
+            MicroOp::Branch {
+                pc: 0x48,
+                kind: BranchKind::DirectJump,
+                taken: true,
+            },
+            MicroOp::Branch {
+                pc: 0x4c,
+                kind: BranchKind::DirectNearCall,
+                taken: true,
+            },
+            MicroOp::Branch {
+                pc: 0x50,
+                kind: BranchKind::IndirectJumpNonCallRet,
+                taken: true,
+            },
+            MicroOp::Branch {
+                pc: 0x54,
+                kind: BranchKind::IndirectNearReturn,
+                taken: true,
+            },
+        ];
+        for op in ops {
+            b.push(op);
+        }
+        assert_eq!(b.len(), ops.len());
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(b.get(i), Some(*op), "op {i} must round-trip");
+        }
+        assert_eq!(b.get(ops.len()), None);
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn iter_source_fills_in_chunks() {
+        let ops: Vec<MicroOp> = (0..10u64).map(|i| MicroOp::load(i * 64)).collect();
+        let mut src = from_iter(ops.iter().copied());
+        let mut b = UopBatch::new();
+        assert_eq!(src.fill(&mut b, 4), 4);
+        assert_eq!(src.fill(&mut b, 4), 4);
+        assert_eq!(src.fill(&mut b, 4), 2);
+        assert_eq!(src.fill(&mut b, 4), 0);
+        assert_eq!(b.len(), 10);
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(b.get(i), Some(*op));
+        }
+    }
+
+    #[test]
+    fn take_ops_caps_a_shared_source() {
+        let ops: Vec<MicroOp> = (0..10u64).map(|i| MicroOp::load(i * 64)).collect();
+        let mut src = from_iter(ops.iter().copied());
+        let mut b = UopBatch::new();
+        let mut head = (&mut src).take_ops(3);
+        assert_eq!(head.fill(&mut b, 100), 3);
+        assert_eq!(head.fill(&mut b, 100), 0, "cap reached");
+        // The underlying source resumes where the cap left off.
+        let mut rest = src.take_ops(100);
+        assert_eq!(rest.fill(&mut b, 100), 7);
+        assert_eq!(b.len(), 10);
+    }
+
+    #[test]
+    fn run_options_lift_into_plan() {
+        let opts = RunOptions::new()
+            .warmup(42)
+            .predictor(PredictorKind::Bimodal)
+            .sampler(SamplerConfig::every(7));
+        let plan = ExecPlan::from(opts);
+        assert_eq!(plan.warmup_ops, 42);
+        assert_eq!(plan.predictor, Some(PredictorKind::Bimodal));
+        assert_eq!(plan.sampler, Some(SamplerConfig::every(7)));
+        assert_eq!(plan.hints, WorkloadHints::default());
+        assert_eq!(plan.batch_ops, DEFAULT_BATCH_OPS);
+    }
+
+    #[test]
+    fn plan_builder_mirrors_run_options() {
+        let plan = ExecPlan::new().warmup(5).batch_ops(0);
+        assert_eq!(plan.batch_ops, 1, "batch_ops clamps to at least 1");
+        assert_eq!(plan.warmup_ops, 5);
+        assert!(plan.predictor.is_none());
+        assert!(plan.sampler.is_none());
+    }
+}

@@ -18,12 +18,19 @@
 //! `mem_load_uops_retired.l2_miss`, …), so the downstream characterization
 //! code reads counters exactly the way the authors read `perf` output.
 //!
+//! Execution is batched: the engine pulls flat structure-of-arrays µop
+//! batches from a [`exec::UopSource`] and processes them in cache-friendly
+//! segments (see [`exec`] for the layout and [`engine::Engine::execute`]
+//! for the run loop). Anything that yields [`microop::MicroOp`]s lifts
+//! into a source with [`exec::from_iter`].
+//!
 //! # Example
 //!
 //! ```
 //! use uarch_sim::config::SystemConfig;
 //! use uarch_sim::counters::Event;
-//! use uarch_sim::engine::{Engine, RunOptions, WorkloadHints};
+//! use uarch_sim::engine::Engine;
+//! use uarch_sim::exec::{from_iter, ExecPlan};
 //! use uarch_sim::microop::MicroOp;
 //! use uarch_sim::timeline::SamplerConfig;
 //!
@@ -37,8 +44,8 @@
 //!         MicroOp::conditional_branch(0x400, i % 16 != 0),
 //!     ]
 //! });
-//! let opts = RunOptions::new().sampler(SamplerConfig::every(5_000));
-//! let session = engine.run_with(ops, &WorkloadHints::default(), &opts);
+//! let plan = ExecPlan::new().sampler(SamplerConfig::every(5_000));
+//! let session = engine.execute(from_iter(ops), &plan);
 //! assert_eq!(session.count(Event::InstRetiredAny), 30_000);
 //! assert!(session.ipc() > 0.0);
 //! // The sampler records per-interval counter deltas that sum back to
@@ -54,6 +61,7 @@ pub mod cache;
 pub mod config;
 pub mod counters;
 pub mod engine;
+pub mod exec;
 pub mod hierarchy;
 pub mod lint;
 pub mod metrics;

@@ -9,6 +9,7 @@
 //! reproduction is bit-deterministic.
 
 use uarch_sim::config::SystemConfig;
+use uarch_sim::exec::{UopBatch, UopSource};
 use uarch_sim::microop::MicroOp;
 
 use crate::branchmodel::BranchModel;
@@ -286,6 +287,34 @@ impl Iterator for TraceGenerator {
 
 impl ExactSizeIterator for TraceGenerator {}
 
+impl UopSource for TraceGenerator {
+    /// Streams up to `max` µops straight into the batch's SoA lanes,
+    /// skipping [`MicroOp`] materialization for the three common classes.
+    ///
+    /// Issues exactly the RNG and model draws [`Iterator::next`] would
+    /// (one class selector per op, then the address or branch draw that
+    /// class performs), so batched and iterated streams from the same
+    /// generator state are bit-identical — pinned by this module's tests.
+    fn fill(&mut self, batch: &mut UopBatch, max: usize) -> usize {
+        let take = (max as u64).min(self.remaining);
+        self.remaining -= take;
+        self.produced += take;
+        for _ in 0..take {
+            let u = self.rng.gen_f64();
+            if u < self.cum[0] {
+                batch.push_load(self.locality.next_addr(&mut self.rng));
+            } else if u < self.cum[1] {
+                batch.push_store(self.locality.next_addr(&mut self.rng));
+            } else if u < self.cum[2] {
+                batch.push(self.branches.next(&mut self.rng));
+            } else {
+                batch.push_alu();
+            }
+        }
+        take as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,6 +467,50 @@ mod tests {
         assert_eq!(g.remaining(), 0);
         assert_eq!(g.fast_forward(10), 0);
         assert_eq!(g.next(), None);
+    }
+
+    #[test]
+    fn batched_fill_is_bit_identical_to_iteration() {
+        use uarch_sim::exec::UopBatch;
+        let behavior = Behavior {
+            load_pct: 30.0,
+            store_pct: 10.0,
+            branch_pct: 20.0,
+            ..Behavior::default()
+        };
+        let full: Vec<MicroOp> = TraceGenerator::new(&behavior, &config(), 13, 5000)
+            .unwrap()
+            .collect();
+        // Odd batch size so fills straddle every model's internal cadence.
+        let mut g = TraceGenerator::new(&behavior, &config(), 13, 5000).unwrap();
+        let mut batch = UopBatch::new();
+        let mut got: Vec<MicroOp> = Vec::new();
+        loop {
+            batch.clear();
+            let n = g.fill(&mut batch, 611);
+            if n == 0 {
+                break;
+            }
+            assert_eq!(batch.len(), n);
+            got.extend((0..n).map(|i| batch.get(i).unwrap()));
+        }
+        assert_eq!(got, full, "fill() must replay the iterator stream");
+        assert_eq!(g.remaining(), 0);
+    }
+
+    #[test]
+    fn fill_after_fast_forward_continues_the_stream() {
+        use uarch_sim::exec::UopBatch;
+        let full: Vec<MicroOp> = TraceGenerator::new(&Behavior::default(), &config(), 17, 3000)
+            .unwrap()
+            .collect();
+        let mut g = TraceGenerator::new(&Behavior::default(), &config(), 17, 3000).unwrap();
+        assert_eq!(g.fast_forward(1234), 1234);
+        let mut batch = UopBatch::new();
+        let n = g.fill(&mut batch, 500);
+        assert_eq!(n, 500);
+        let got: Vec<MicroOp> = (0..n).map(|i| batch.get(i).unwrap()).collect();
+        assert_eq!(got, full[1234..1734]);
     }
 
     #[test]

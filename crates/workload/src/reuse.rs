@@ -152,18 +152,29 @@ impl LocalityModel {
             let line = rng.gen_below(self.hot_lines);
             HOT_BASE + line * LINE + rng.gen_below(LINE / 8) * 8
         } else if u < self.cum[1] {
-            let line = self.w2_cursor % self.w2_lines;
-            self.w2_cursor += 1;
+            let line = Self::advance(&mut self.w2_cursor, self.w2_lines);
             W2_BASE + line * LINE
         } else if u < self.cum[2] {
-            let line = self.w3_cursor % self.w3_lines;
-            self.w3_cursor += 1;
+            let line = Self::advance(&mut self.w3_cursor, self.w3_lines);
             W3_BASE + line * LINE
         } else {
-            let line = self.stream_cursor % self.stream_lines;
-            self.stream_cursor += 1;
+            let line = Self::advance(&mut self.stream_cursor, self.stream_lines);
             STREAM_BASE + line * LINE
         }
+    }
+
+    /// Cyclic cursor step. Cursors are kept pre-wrapped in `[0, lines)` so
+    /// the walk needs no division in the address hot path; stepping by one
+    /// and resetting at the boundary emits the same sequence as
+    /// `cursor % lines` over an ever-growing counter.
+    #[inline]
+    fn advance(cursor: &mut u64, lines: u64) -> u64 {
+        let line = *cursor;
+        *cursor += 1;
+        if *cursor == lines {
+            *cursor = 0;
+        }
+        line
     }
 
     /// The W3 (L3-resident) region's address range; loads in this range
