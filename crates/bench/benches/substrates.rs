@@ -1,6 +1,6 @@
 //! Microbenchmarks of every substrate the reproduction is built on:
 //! the cache model, the branch predictors, the trace generator, the full
-//! engine, and the statistical kernels (PCA, clustering).
+//! engine, the job scheduler, and the statistical kernels (PCA, clustering).
 
 use bench_suite::harness::{black_box, Runner};
 use stat_analysis::cluster::{agglomerative, Linkage};
@@ -175,6 +175,26 @@ fn bench_engine(r: &mut Runner) {
     });
 }
 
+fn bench_scheduler(r: &mut Runner) {
+    // Paired pair for the simrace design budget: the scheduler's sync hooks
+    // are compiled in unconditionally and cost one relaxed atomic load per
+    // site when disabled, so the ratio of the raced median to the anchor is
+    // the hooks' full recording overhead and the anchor's own median tracks
+    // the disabled-path cost (budgeted at <5% vs the pre-hook scheduler).
+    let sched = simstore::Scheduler::new(4);
+    let anchor = r.bench("sched_batch_64x4", || {
+        black_box(sched.run(64, |i| format!("job-{i}"), |i| black_box(i) * 3, |_| {}))
+    });
+    simrace::enable();
+    bench_paired(r, anchor, "sched_batch_64x4_raced", || {
+        let report = black_box(sched.run(64, |i| format!("job-{i}"), |i| black_box(i) * 3, |_| {}));
+        black_box(simrace::drain().len());
+        report
+    });
+    simrace::disable();
+    simrace::drain();
+}
+
 fn bench_pca(r: &mut Runner) {
     // The paper's exact shape: 194 observations x 20 characteristics.
     let data = Matrix::from_rows(&random_rows(3, 194, 20, 0.0)).unwrap();
@@ -257,6 +277,7 @@ fn main() {
     bench_predictors(&mut r);
     bench_generator(&mut r);
     bench_engine(&mut r);
+    bench_scheduler(&mut r);
     bench_pca(&mut r);
     bench_clustering(&mut r);
     bench_kmedoids_and_silhouette(&mut r);

@@ -2,18 +2,24 @@
 //!
 //! The CI bench-smoke job re-measures the engine benches and runs this
 //! against the committed baseline: any benchmark whose median slowed by
-//! more than `--max-regression` (default 10%) fails the job. Benchmarks
-//! appearing on only one side are reported but never fatal — suites grow
-//! and shrink, and only a measured slowdown is a regression.
+//! more than `--max-regression` (default 10%) fails the job. New
+//! benchmarks (current-only) are reported but never fatal — suites grow.
+//! Baseline benchmarks *missing* from the current run are a distinct
+//! failure (exit 3): a silently vanished benchmark would otherwise let a
+//! regression hide by deleting its measurement. `--allow-missing`
+//! downgrades that to a report, for intentionally pruned suites.
 //!
 //! ```text
 //! benchcmp --baseline BENCH_results.json --current new.json \
-//!          [--max-regression 0.10] [--write]
+//!          [--max-regression 0.10] [--allow-missing] [--write]
 //! ```
 //!
 //! `--write` merges the current medians over the baseline file afterwards
 //! (replace matching entries, append new ones), so an accepted run can
 //! refresh the committed record in one step.
+//!
+//! Exit codes: 0 clean, 1 regression, 2 usage/IO error, 3 baseline
+//! entries missing from current (without `--allow-missing`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,18 +31,20 @@ struct Options {
     baseline: PathBuf,
     current: PathBuf,
     max_regression: f64,
+    allow_missing: bool,
     write: bool,
 }
 
 fn usage() -> &'static str {
     "usage: benchcmp --baseline FILE --current FILE \
-     [--max-regression FRACTION] [--write]"
+     [--max-regression FRACTION] [--allow-missing] [--write]"
 }
 
 fn parse(args: &mut ArgStream) -> Result<Options, String> {
     let mut baseline = None;
     let mut current = None;
     let mut max_regression = 0.10;
+    let mut allow_missing = false;
     let mut write = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -48,6 +56,7 @@ fn parse(args: &mut ArgStream) -> Result<Options, String> {
                     return Err(format!("--max-regression: {max_regression} not in [0, 10)"));
                 }
             }
+            "--allow-missing" => allow_missing = true,
             "--write" => write = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
@@ -57,6 +66,7 @@ fn parse(args: &mut ArgStream) -> Result<Options, String> {
         baseline: baseline.ok_or_else(|| format!("--baseline is required\n{}", usage()))?,
         current: current.ok_or_else(|| format!("--current is required\n{}", usage()))?,
         max_regression,
+        allow_missing,
         write,
     })
 }
@@ -77,9 +87,17 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
-/// Compares entries by name; returns the regressed benchmark names.
-fn compare(baseline: &[ResultEntry], current: &[ResultEntry], max_regression: f64) -> Vec<String> {
+/// The outcome of a comparison: which benchmarks slowed past the
+/// threshold, and which baseline entries the current run never measured.
+struct Comparison {
+    regressed: Vec<String>,
+    missing: Vec<String>,
+}
+
+/// Compares entries by name.
+fn compare(baseline: &[ResultEntry], current: &[ResultEntry], max_regression: f64) -> Comparison {
     let mut regressed = Vec::new();
+    let mut missing = Vec::new();
     let mut compared = 0usize;
     let mut improved = 0usize;
     for (name, cur_ns, _) in current {
@@ -104,27 +122,32 @@ fn compare(baseline: &[ResultEntry], current: &[ResultEntry], max_regression: f6
             fmt_ns(*cur_ns),
         );
     }
-    for (name, _, _) in baseline {
+    for (name, base_ns, _) in baseline {
         if !current.iter().any(|(n, _, _)| n == name) {
-            println!("{name:<55} (missing from current)");
+            println!(
+                "{name:<55} {:>12} ->      MISSING from current",
+                fmt_ns(*base_ns)
+            );
+            missing.push(name.clone());
         }
     }
     println!(
-        "{compared} compared, {improved} improved, {} regressed (> +{:.0}%)",
+        "{compared} compared, {improved} improved, {} regressed (> +{:.0}%), {} missing",
         regressed.len(),
-        max_regression * 100.0
+        max_regression * 100.0,
+        missing.len()
     );
-    regressed
+    Comparison { regressed, missing }
 }
 
-fn run() -> Result<Vec<String>, String> {
+fn run() -> Result<(Options, Comparison), String> {
     let mut args = ArgStream::from_env();
     let opts = parse(&mut args)?;
     let baseline =
         read_results(&opts.baseline).map_err(|e| format!("{}: {e}", opts.baseline.display()))?;
     let current =
         read_results(&opts.current).map_err(|e| format!("{}: {e}", opts.current.display()))?;
-    let regressed = compare(&baseline, &current, opts.max_regression);
+    let outcome = compare(&baseline, &current, opts.max_regression);
     if opts.write {
         let mut merged = baseline;
         merge_entries(&mut merged, &current);
@@ -132,24 +155,39 @@ fn run() -> Result<Vec<String>, String> {
             .map_err(|e| format!("{}: {e}", opts.baseline.display()))?;
         println!("merged current medians into {}", opts.baseline.display());
     }
-    Ok(regressed)
+    Ok((opts, outcome))
 }
 
 fn main() -> ExitCode {
-    match run() {
-        Ok(regressed) if regressed.is_empty() => ExitCode::SUCCESS,
-        Ok(regressed) => {
-            eprintln!("benchcmp: {} benchmark(s) regressed:", regressed.len());
-            for name in regressed {
-                eprintln!("  {name}");
-            }
-            ExitCode::FAILURE
-        }
+    let (opts, outcome) = match run() {
+        Ok(pair) => pair,
         Err(message) => {
             eprintln!("benchcmp: {message}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+    if !outcome.regressed.is_empty() {
+        eprintln!(
+            "benchcmp: {} benchmark(s) regressed:",
+            outcome.regressed.len()
+        );
+        for name in &outcome.regressed {
+            eprintln!("  {name}");
+        }
+        return ExitCode::FAILURE;
     }
+    if !outcome.missing.is_empty() && !opts.allow_missing {
+        eprintln!(
+            "benchcmp: {} baseline benchmark(s) missing from the current run \
+             (renamed or dropped? pass --allow-missing if intentional):",
+            outcome.missing.len()
+        );
+        for name in &outcome.missing {
+            eprintln!("  {name}");
+        }
+        return ExitCode::from(3);
+    }
+    ExitCode::SUCCESS
 }
 
 #[cfg(test)]
@@ -166,21 +204,27 @@ mod tests {
     fn within_threshold_passes() {
         let base = entries(&[("a", 1000), ("b", 2000)]);
         let cur = entries(&[("a", 1050), ("b", 1500)]);
-        assert!(compare(&base, &cur, 0.10).is_empty());
+        let outcome = compare(&base, &cur, 0.10);
+        assert!(outcome.regressed.is_empty() && outcome.missing.is_empty());
     }
 
     #[test]
     fn slowdown_beyond_threshold_is_reported() {
         let base = entries(&[("a", 1000), ("b", 2000)]);
         let cur = entries(&[("a", 1200), ("b", 2000)]);
-        assert_eq!(compare(&base, &cur, 0.10), vec!["a".to_string()]);
+        assert_eq!(compare(&base, &cur, 0.10).regressed, vec!["a".to_string()]);
     }
 
     #[test]
-    fn new_and_missing_benchmarks_are_not_regressions() {
+    fn new_benchmarks_are_not_regressions_but_missing_are_flagged() {
         let base = entries(&[("gone", 1000)]);
         let cur = entries(&[("fresh", 999_999)]);
-        assert!(compare(&base, &cur, 0.10).is_empty());
+        let outcome = compare(&base, &cur, 0.10);
+        assert!(
+            outcome.regressed.is_empty(),
+            "one-sided entries never regress"
+        );
+        assert_eq!(outcome.missing, vec!["gone".to_string()]);
     }
 
     #[test]
@@ -192,12 +236,14 @@ mod tests {
             "b.json",
             "--max-regression",
             "0.25",
+            "--allow-missing",
             "--write",
         ]);
         let opts = parse(&mut args).expect("valid flags");
         assert_eq!(opts.baseline, PathBuf::from("a.json"));
         assert_eq!(opts.current, PathBuf::from("b.json"));
         assert!((opts.max_regression - 0.25).abs() < 1e-12);
+        assert!(opts.allow_missing);
         assert!(opts.write);
 
         let mut missing = ArgStream::from_args(["--baseline", "a.json"]);

@@ -14,8 +14,6 @@
 //! - `ablations` — design-choice sweeps: replacement policy, branch
 //!   predictor, linkage criterion, trace scale.
 
-#![forbid(unsafe_code)]
-
 pub mod harness;
 
 use workchar::characterize::RunConfig;

@@ -23,6 +23,8 @@ pub enum Family {
     Trace,
     /// `S…` — simpoint artifact consistency (simpoint).
     Simpoint,
+    /// `X…` — execution-order / happens-before violations (simrace).
+    Race,
 }
 
 impl Family {
@@ -36,6 +38,7 @@ impl Family {
             Family::Metrics => "metrics",
             Family::Trace => "trace",
             Family::Simpoint => "simpoint",
+            Family::Race => "race",
         }
     }
 }
@@ -515,6 +518,42 @@ pub mod codes {
          or trailing bytes) is either corruption or a foreign artifact \
          under the simpoint prefix; the reporter would otherwise skip it \
          silently and under-report the roster.");
+
+    // ------------------------------------------------------------------- X: race
+
+    rule!(pub X001, "X001", "unordered-conflicting-access", Error, Race,
+        "conflicting accesses to a shared resource must be ordered",
+        "Two accesses to one named shared resource, at least one of them a \
+         write, recorded on different threads with no happens-before path \
+         between them (no spawn/join edge, no common lock, no channel \
+         hand-off) can execute in either order — the textbook data race. \
+         For the pipeline it means a result slot, failure list, or counter \
+         whose final value depends on thread timing, which breaks the \
+         reproducibility every cached record and golden test relies on.");
+    rule!(pub X002, "X002", "lock-order-inversion", Error, Race,
+        "locks must be acquired in one global order",
+        "A cycle in the lock-order graph (thread A takes L1 then L2, \
+         thread B takes L2 then L1 — or a schedule already deadlocked on \
+         such a cycle) means there exists an interleaving where every \
+         participant holds one lock and waits forever for the other. The \
+         scheduler would hang mid-roster with workers parked, which no \
+         test timeout in CI distinguishes from a slow run.");
+    rule!(pub X003, "X003", "joinless-spawn", Warning, Race,
+        "every forked thread must be joined",
+        "A fork token that is never joined means nothing orders the \
+         spawned thread's writes before the code that reads its results: \
+         the parent may observe half-finished state, and under std::thread \
+         a detached worker can outlive the batch that spawned it. Scoped \
+         spawns make this structurally impossible, which is why the \
+         scheduler's instrumentation must show a join edge per worker.");
+    rule!(pub X004, "X004", "release-without-acquire", Error, Race,
+        "a lock release must match a prior acquire by the same thread",
+        "Releasing a lock the releasing thread does not hold (never \
+         acquired, already released, or acquired shared but released \
+         exclusive) means the instrumentation disagrees with the real \
+         locking discipline — either a hook is misplaced or a guard \
+         escaped its critical section. Every happens-before edge the \
+         checker derives from that lock is then untrustworthy.");
 }
 
 /// Every registered rule, in catalog order.
@@ -593,6 +632,10 @@ pub static CATALOG: &[&RuleCode] = &[
     &codes::S003,
     &codes::S004,
     &codes::S005,
+    &codes::X001,
+    &codes::X002,
+    &codes::X003,
+    &codes::X004,
 ];
 
 /// Looks up a rule by its code, case-insensitively (`"p004"` finds `P004`).
@@ -617,6 +660,37 @@ pub fn explain(code: &str) -> Option<String> {
     ))
 }
 
+/// The closest registered code to a mistyped one (edit distance ≤ 2 on the
+/// uppercased input), for "did you mean" hints; earliest catalog entry wins
+/// ties so the suggestion is deterministic.
+pub fn suggest(code: &str) -> Option<&'static str> {
+    let needle = code.to_ascii_uppercase();
+    let mut best: Option<(usize, &'static str)> = None;
+    for rule in CATALOG {
+        let d = edit_distance(&needle, rule.code);
+        if d <= 2 && best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, rule.code));
+        }
+    }
+    best.map(|(_, code)| code)
+}
+
+/// Plain Levenshtein distance over bytes (codes are ASCII).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let subst = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = subst.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -634,6 +708,7 @@ mod tests {
                 Family::Metrics => 'M',
                 Family::Trace => 'T',
                 Family::Simpoint => 'S',
+                Family::Race => 'X',
             };
             assert!(
                 rule.code.starts_with(family_letter),
@@ -654,6 +729,15 @@ mod tests {
         assert_eq!(find("p004"), Some(&codes::P004));
         assert_eq!(find("R020").map(|r| r.code), Some("R020"));
         assert!(find("Z999").is_none());
+    }
+
+    #[test]
+    fn suggest_finds_near_misses_only() {
+        assert_eq!(suggest("X01"), Some("X001"));
+        assert_eq!(suggest("x002"), Some("X002"));
+        assert_eq!(suggest("P04"), Some("P004"));
+        assert_eq!(suggest("R0200"), Some("R020"));
+        assert_eq!(suggest("qqqqqq"), None, "far-off strings get no hint");
     }
 
     #[test]

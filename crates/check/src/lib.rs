@@ -42,11 +42,9 @@
 //! assert!(simcheck::explain("P004").is_some());
 //! ```
 
-#![forbid(unsafe_code)]
-
 pub mod catalog;
 pub mod diag;
 pub mod render;
 
-pub use catalog::{codes, explain, find, Family, RuleCode, CATALOG};
+pub use catalog::{codes, explain, find, suggest, Family, RuleCode, CATALOG};
 pub use diag::{Diagnostic, Report, Severity, Span};

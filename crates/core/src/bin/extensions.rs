@@ -4,7 +4,7 @@
 //! ```text
 //! extensions [--results DIR] [--no-cache] [--cache-dir DIR]
 //!            [--lint] [--deny-warnings] [--timeline] [--simpoint]
-//!            [--events FILE] [--trace] [--serve-metrics ADDR]
+//!            [--events FILE] [--trace] [--race] [--serve-metrics ADDR]
 //! ```
 //!
 //! `--lint` statically checks the rate-suite profiles and the system
@@ -24,7 +24,9 @@
 //! timelines for the rate-suite characterization (artifacts under
 //! `<results>/timelines/`), `--events FILE` streams perfmon JSONL, `--trace`
 //! exports a causal span trace of the run under `<results>/traces/`
-//! (Perfetto-loadable JSON plus the binary format `trace-report` reads), and
+//! (Perfetto-loadable JSON plus the binary format `trace-report` reads),
+//! `--race` records sync events and audits the whole run with the
+//! vector-clock happens-before checker (`X`-rules), and
 //! a per-stage summary table prints to stderr on exit. Process metrics are
 //! always on — `--serve-metrics ADDR` scrapes them live, a final snapshot
 //! lands in `<results>/metrics.json`, and a panic dumps the flight
@@ -60,7 +62,7 @@ fn parse_args() -> Result<PipelineFlags> {
                 println!(
                     "usage: extensions [--results DIR] [--no-cache] [--cache-dir DIR] \
                      [--lint] [--deny-warnings] [--timeline] [--simpoint] \
-                     [--events FILE] [--trace] [--serve-metrics ADDR]"
+                     [--events FILE] [--trace] [--race] [--serve-metrics ADDR]"
                 );
                 print!("{}", PipelineFlags::usage_lines());
                 std::process::exit(0);
@@ -113,6 +115,10 @@ fn real_main(opts: PipelineFlags) -> Result<()> {
     } else {
         None
     };
+    if opts.race {
+        simrace::enable();
+        eprintln!("race auditing on: recording sync events for a happens-before check");
+    }
     std::fs::create_dir_all(&opts.results_dir)?;
     let mut all = String::new();
     let mut config = RunConfig::default();
@@ -307,6 +313,22 @@ fn real_main(opts: PipelineFlags) -> Result<()> {
             spans.len(),
             json_path.display()
         );
+    }
+    if opts.race {
+        simrace::disable();
+        let events = simrace::drain();
+        let report = simrace::checker::check_events("run/extensions", &events);
+        eprintln!(
+            "race audit: {} sync events — {}",
+            events.len(),
+            report.summary()
+        );
+        if !report.is_empty() {
+            eprint!("{}", report.to_table());
+        }
+        if report.failed(opts.deny_warnings) {
+            return Err(report.into());
+        }
     }
     eprint!("{}", recorder.render_summary());
     Ok(())

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! lint [--all] [--profiles] [--config] [--metrics] [--cache-dir DIR]
-//!      [--simpoint] [--simpoint-dir DIR]
+//!      [--simpoint] [--simpoint-dir DIR] [--race] [--race-seeds N]
 //!      [--events FILE]... [--trace FILE]... [--quick] [--json]
 //!      [--deny-warnings] [--explain CODE]
 //! ```
@@ -15,12 +15,14 @@
 //! `results/simpoints/` and trace artifacts under `results/traces/`.
 //! Individual passes can be selected with `--profiles`, `--config`,
 //! `--metrics`, `--cache-dir DIR`, `--simpoint` (default store location) /
-//! `--simpoint-dir DIR`, `--events FILE` (repeatable), and `--trace FILE`
+//! `--simpoint-dir DIR`, `--race` (schedule exploration of the scheduler's
+//! synchronization protocol; `--race-seeds N` schedules per model shape,
+//! default 16), `--events FILE` (repeatable), and `--trace FILE`
 //! (repeatable; either simtrace export format).
 //!
 //! Every violation carries a stable rule code (`P...` profile, `C...`
 //! config, `R...` result, `E...` events, `M...` metrics, `T...` trace,
-//! `S...` simpoint); `--explain CODE`
+//! `S...` simpoint, `X...` concurrency); `--explain CODE`
 //! prints the catalog entry for one rule. Exits 0 when clean, 1 when any
 //! error (or, under `--deny-warnings`, any warning) was found, 2 on usage
 //! errors.
@@ -42,6 +44,8 @@ struct Options {
     simpoint_dir: Option<PathBuf>,
     events: Vec<PathBuf>,
     traces: Vec<PathBuf>,
+    race: bool,
+    race_seeds: u64,
     quick: bool,
     json: bool,
     deny_warnings: bool,
@@ -56,6 +60,8 @@ fn parse_args() -> Result<Option<Options>> {
         simpoint_dir: None,
         events: Vec::new(),
         traces: Vec::new(),
+        race: false,
+        race_seeds: 16,
         quick: false,
         json: false,
         deny_warnings: false,
@@ -67,6 +73,7 @@ fn parse_args() -> Result<Option<Options>> {
                 opts.profiles = true;
                 opts.config = true;
                 opts.metrics = true;
+                opts.race = true;
                 // Audit the default cache location only if a cache exists
                 // there; a fresh checkout must still lint clean.
                 let default_cache = PathBuf::from("results/cache");
@@ -98,6 +105,16 @@ fn parse_args() -> Result<Option<Options>> {
             "--profiles" => opts.profiles = true,
             "--config" => opts.config = true,
             "--metrics" => opts.metrics = true,
+            "--race" => opts.race = true,
+            "--race-seeds" => {
+                let raw = args
+                    .next()
+                    .ok_or_else(|| Error::Usage("--race-seeds needs a count".to_string()))?;
+                opts.race_seeds = raw
+                    .parse()
+                    .map_err(|_| Error::Usage(format!("--race-seeds: '{raw}' is not a number")))?;
+                opts.race = true;
+            }
             "--quick" => opts.quick = true,
             "--json" => opts.json = true,
             "--deny-warnings" => opts.deny_warnings = true,
@@ -139,8 +156,13 @@ fn parse_args() -> Result<Option<Options>> {
                         return Ok(None);
                     }
                     None => {
+                        let hint = match simcheck::suggest(&code) {
+                            Some(s) => format!("; did you mean '{s}'?"),
+                            None => String::new(),
+                        };
                         return Err(Error::Usage(format!(
-                            "unknown rule code '{code}' (codes are P/C/R/E/M/T/Sxxx; see DESIGN.md)"
+                            "unknown rule code '{code}' (codes are P/C/R/E/M/T/S/Xxxx; \
+                             see DESIGN.md){hint}"
                         )));
                     }
                 }
@@ -157,6 +179,7 @@ fn parse_args() -> Result<Option<Options>> {
     let selected_any = opts.profiles
         || opts.config
         || opts.metrics
+        || opts.race
         || opts.cache_dir.is_some()
         || opts.simpoint_dir.is_some()
         || !opts.events.is_empty()
@@ -213,6 +236,12 @@ fn run(opts: &Options) -> Result<Report> {
         let snapshot = simmetrics::snapshot();
         eprintln!("linted {} registered metric series", snapshot.series.len());
         report.merge(simmetrics::lint::check_snapshot(&snapshot));
+    }
+
+    if opts.race {
+        let (explored, race_report) = lint::check_race(opts.race_seeds);
+        eprintln!("explored {explored} scheduler schedules for races and deadlocks");
+        report.merge(race_report);
     }
 
     if let Some(dir) = &opts.cache_dir {
@@ -285,13 +314,13 @@ fn main() -> ExitCode {
 fn print_usage() {
     println!(
         "usage: lint [--all] [--profiles] [--config] [--metrics] [--cache-dir DIR] \
-         [--simpoint] [--simpoint-dir DIR] \
+         [--simpoint] [--simpoint-dir DIR] [--race] [--race-seeds N] \
          [--events FILE]... [--trace FILE]... [--quick] [--json] [--deny-warnings] \
          [--explain CODE]"
     );
     println!(
-        "  --all            lint shipped rosters + config + metric registry \
-         (+ results/cache and results/simpoints if present)"
+        "  --all            lint shipped rosters + config + metric registry + scheduler \
+         race check (+ results/cache and results/simpoints if present)"
     );
     println!("  --profiles       lint the CPU2017 and CPU2006 behavior profiles (P-rules)");
     println!("  --config         lint the system configuration (C-rules)");
@@ -299,6 +328,8 @@ fn print_usage() {
     println!("  --cache-dir DIR  audit every cached record in DIR (R-rules)");
     println!("  --simpoint       audit simpoint records under results/simpoints (S-rules)");
     println!("  --simpoint-dir DIR  audit simpoint records in DIR (S-rules)");
+    println!("  --race           explore scheduler schedules for races and deadlocks (X-rules)");
+    println!("  --race-seeds N   schedules per model shape for --race (default 16)");
     println!("  --events FILE    audit a perfmon JSONL stream (E-rules; repeatable)");
     println!(
         "  --trace FILE     audit a simtrace artifact, .trace.json or .trace.bin \

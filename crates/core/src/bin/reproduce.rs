@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce [--quick] [--markdown] [--results DIR]
 //!           [--no-cache] [--cache-dir DIR]
-//!           [--timeline] [--simpoint] [--events FILE] [--trace]
+//!           [--timeline] [--simpoint] [--events FILE] [--trace] [--race]
 //!           [--serve-metrics ADDR]
 //!           [table1 .. fig10]
 //! ```
@@ -30,7 +30,11 @@
 //! run — every per-pair job nests under the run root across the scheduler's
 //! worker threads — exported as Perfetto-loadable Chrome Trace Event JSON
 //! plus the compact binary format under `<results>/traces/` (feed either to
-//! `trace-report`). Process metrics are always on: `--serve-metrics
+//! `trace-report`). `--race` records synchronization events from the
+//! scheduler, the store's index shards, and the metrics registry, and at
+//! the end of the run audits them with the vector-clock happens-before
+//! checker (`X`-rules; any finding exits nonzero). Process metrics are
+//! always on: `--serve-metrics
 //! ADDR` scrapes them live (Prometheus text at `/metrics`, JSON at
 //! `/metrics.json`), a final snapshot lands in `<results>/metrics.json`,
 //! and a panic dumps the flight recorder's last events to
@@ -141,6 +145,13 @@ fn real_main(opts: Options) -> Result<()> {
     } else {
         None
     };
+
+    // Race auditing records every sync event for the whole run; the
+    // happens-before check happens once at the end, after all stages.
+    if opts.shared.race {
+        simrace::enable();
+        eprintln!("race auditing on: recording sync events for a happens-before check");
+    }
 
     let cache = if opts.shared.no_cache {
         None
@@ -363,6 +374,23 @@ fn real_main(opts: Options) -> Result<()> {
         );
     }
 
+    if opts.shared.race {
+        simrace::disable();
+        let events = simrace::drain();
+        let report = simrace::checker::check_events("run/reproduce", &events);
+        eprintln!(
+            "race audit: {} sync events — {}",
+            events.len(),
+            report.summary()
+        );
+        if !report.is_empty() {
+            eprint!("{}", report.to_table());
+        }
+        if report.failed(opts.shared.deny_warnings) {
+            return Err(report.into());
+        }
+    }
+
     eprint!("{}", recorder.render_summary());
     Ok(())
 }
@@ -379,7 +407,7 @@ fn print_usage() {
     println!(
         "usage: reproduce [--quick] [--markdown] [--results DIR] \
          [--no-cache] [--cache-dir DIR] [--lint] [--deny-warnings] \
-         [--timeline] [--simpoint] [--events FILE] [--trace] \
+         [--timeline] [--simpoint] [--events FILE] [--trace] [--race] \
          [--serve-metrics ADDR] [table1..table10 fig1..fig10]"
     );
     print!("{}", PipelineFlags::usage_lines());

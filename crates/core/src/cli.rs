@@ -10,8 +10,8 @@
 //! - [`PipelineFlags`]: the observability/caching flag block the two
 //!   campaign binaries share (`--results`, `--cache-dir`, `--no-cache`,
 //!   `--lint`, `--deny-warnings`, `--timeline`, `--simpoint`, `--trace`,
-//!   `--events`, `--serve-metrics`), parsed by a single `accept` call so
-//!   the binaries cannot drift apart flag by flag.
+//!   `--race`, `--events`, `--serve-metrics`), parsed by a single `accept`
+//!   call so the binaries cannot drift apart flag by flag.
 
 use std::path::PathBuf;
 use std::str::FromStr;
@@ -89,6 +89,8 @@ pub struct PipelineFlags {
     pub simpoint: bool,
     /// Record a causal span trace of the run (`--trace`).
     pub trace: bool,
+    /// Record sync events and audit the run for data races (`--race`).
+    pub race: bool,
     /// Stream perfmon span/event JSONL to this file (`--events FILE`).
     pub events: Option<PathBuf>,
     /// Serve live process metrics on this address (`--serve-metrics ADDR`).
@@ -106,6 +108,7 @@ impl Default for PipelineFlags {
             timeline: false,
             simpoint: false,
             trace: false,
+            race: false,
             events: None,
             serve_metrics: None,
         }
@@ -131,6 +134,7 @@ impl PipelineFlags {
             "--timeline" => self.timeline = true,
             "--simpoint" => self.simpoint = true,
             "--trace" => self.trace = true,
+            "--race" => self.race = true,
             "--events" => self.events = Some(args.path(arg, "a file path")?),
             "--serve-metrics" => {
                 self.serve_metrics = Some(args.value(arg, "an address like 127.0.0.1:9184")?);
@@ -152,6 +156,7 @@ impl PipelineFlags {
             "  --simpoint       run the representative-interval campaign (records under results/simpoints)\n",
             "  --events FILE    write perfmon span/event records as JSONL to FILE\n",
             "  --trace          record a causal span trace under results/traces/ (Perfetto JSON + binary)\n",
+            "  --race           record sync events and audit the run for data races (X-rules)\n",
             "  --serve-metrics ADDR  serve Prometheus text at http://ADDR/metrics (JSON at /metrics.json)\n",
         )
     }
@@ -203,7 +208,7 @@ mod tests {
         assert_eq!(flags.results_dir, PathBuf::from("out"));
         assert_eq!(flags.cache_dir, PathBuf::from("results/cache"));
         assert!(flags.no_cache && flags.timeline);
-        assert!(!flags.lint && !flags.trace && !flags.simpoint);
+        assert!(!flags.lint && !flags.trace && !flags.simpoint && !flags.race);
         assert_eq!(
             flags.events.as_deref(),
             Some(std::path::Path::new("ev.jsonl"))

@@ -49,8 +49,6 @@
 //! # Ok::<(), workchar::error::Error>(())
 //! ```
 
-#![forbid(unsafe_code)]
-
 pub mod ablation;
 pub mod cache;
 pub mod characterize;

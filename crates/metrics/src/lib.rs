@@ -29,8 +29,6 @@
 //! `M…` rule family ([`lint::check_snapshot`]), wired into the `lint`
 //! binary as `--metrics`.
 
-#![forbid(unsafe_code)]
-
 pub mod flight;
 pub mod hist;
 pub mod http;
@@ -251,11 +249,20 @@ impl Registry {
                     .all(|((k, v), (wk, wv))| k == wk && v == wv)
         };
         let entries = poison_ok(self.entries.read());
+        let hook = simrace::shared_held(|| "metrics/registry".to_string());
+        if simrace::is_enabled() {
+            simrace::read("metrics/registry");
+        }
         if let Some(e) = entries.iter().find(|e| matches(e)) {
             return clone_handle(&e.handle);
         }
+        drop(hook);
         drop(entries);
         let mut entries = poison_ok(self.entries.write());
+        let _hook = simrace::exclusive_held(|| "metrics/registry".to_string());
+        if simrace::is_enabled() {
+            simrace::write("metrics/registry");
+        }
         // Re-check under the write lock: another thread may have raced us.
         if let Some(e) = entries.iter().find(|e| matches(e)) {
             return clone_handle(&e.handle);
@@ -278,6 +285,10 @@ impl Registry {
     /// exposition output.
     pub fn snapshot(&self) -> Snapshot {
         let entries = poison_ok(self.entries.read());
+        let _hook = simrace::shared_held(|| "metrics/registry".to_string());
+        if simrace::is_enabled() {
+            simrace::read("metrics/registry");
+        }
         let mut series: Vec<Series> = entries
             .iter()
             .map(|e| Series {

@@ -32,8 +32,6 @@
 //! - `mem_hwm_bytes` (optional, number): process peak RSS at finish.
 //! - `fields` (optional, object): stage-specific scalars/strings.
 
-#![forbid(unsafe_code)]
-
 pub mod json;
 
 use std::fmt;

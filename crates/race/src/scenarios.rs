@@ -1,0 +1,265 @@
+//! Scheduler-protocol models for the shuffle harness, clean and with
+//! deliberately planted bugs, plus the exploration driver behind
+//! `lint --race`.
+//!
+//! [`scheduler_model`] scripts the protocol `simstore`'s `Scheduler::run`
+//! actually follows: a parent forks W workers; each worker writes its
+//! jobs' result slots under per-slot mutexes (failed jobs append to the
+//! shared failure list under its mutex instead); the parent joins every
+//! worker and only then reads slots and failures. The planted variants
+//! each break exactly one link of that chain, giving the negative tests a
+//! bug the checker *must* find under every explored seed.
+
+use simcheck::{codes, Diagnostic, Report, Span};
+
+use crate::checker::check_events;
+use crate::shuffle::{Op, Shuffle, VThread};
+
+/// The scheduler's job/slot/failure protocol as shuffle scripts: one
+/// parent plus `workers` workers round-robining `jobs` jobs; job indices
+/// in `failing` append to the failure list instead of writing their slot.
+pub fn scheduler_model(workers: usize, jobs: usize, failing: &[usize]) -> Vec<VThread> {
+    let workers = workers.max(1);
+    let mut threads = Vec::with_capacity(workers + 1);
+
+    let mut parent = Vec::new();
+    for w in 0..workers {
+        parent.push(Op::Fork(w as u64 + 1));
+    }
+    for w in 0..workers {
+        parent.push(Op::Join(w as u64 + 1));
+    }
+    for job in 0..jobs {
+        if !failing.contains(&job) {
+            parent.push(Op::Read(format!("sched/slot:{job}")));
+        }
+    }
+    parent.push(Op::Acquire("sched/failures".to_string()));
+    parent.push(Op::Read("sched/failures".to_string()));
+    parent.push(Op::Release("sched/failures".to_string()));
+    threads.push(VThread::new("parent", parent));
+
+    for w in 0..workers {
+        let mut ops = vec![Op::Begin(w as u64 + 1)];
+        for job in (0..jobs).filter(|job| job % workers == w) {
+            if failing.contains(&job) {
+                ops.push(Op::Acquire("sched/failures".to_string()));
+                ops.push(Op::Write("sched/failures".to_string()));
+                ops.push(Op::Release("sched/failures".to_string()));
+            } else {
+                ops.push(Op::Acquire(format!("sched/slot:{job}")));
+                ops.push(Op::Write(format!("sched/slot:{job}")));
+                ops.push(Op::Release(format!("sched/slot:{job}")));
+            }
+        }
+        ops.push(Op::End(w as u64 + 1));
+        threads.push(VThread::new(format!("worker-{w}"), ops));
+    }
+    threads
+}
+
+/// The planted data race: workers also bump a shared progress counter
+/// with no lock, so every seed where two workers both touch it yields an
+/// unordered write-write pair (X001).
+pub fn planted_race(workers: usize, jobs: usize) -> Vec<VThread> {
+    let mut threads = scheduler_model(workers, jobs, &[]);
+    for worker in threads.iter_mut().skip(1) {
+        let end = worker.ops.pop().expect("worker ends with End");
+        worker.ops.push(Op::Write("sched/progress".to_string()));
+        worker.ops.push(end);
+    }
+    threads
+}
+
+/// The planted lock-order inversion: one worker takes slot 0's lock then
+/// the failure lock, another takes them in the opposite order (X002 —
+/// and, under unlucky seeds, an actual deadlock the driver also reports
+/// as X002).
+pub fn planted_inversion() -> Vec<VThread> {
+    vec![
+        VThread::new(
+            "parent",
+            vec![Op::Fork(1), Op::Fork(2), Op::Join(1), Op::Join(2)],
+        ),
+        VThread::new(
+            "slot-then-failures",
+            vec![
+                Op::Begin(1),
+                Op::Acquire("sched/slot:0".to_string()),
+                Op::Acquire("sched/failures".to_string()),
+                Op::Write("sched/failures".to_string()),
+                Op::Release("sched/failures".to_string()),
+                Op::Write("sched/slot:0".to_string()),
+                Op::Release("sched/slot:0".to_string()),
+                Op::End(1),
+            ],
+        ),
+        VThread::new(
+            "failures-then-slot",
+            vec![
+                Op::Begin(2),
+                Op::Acquire("sched/failures".to_string()),
+                Op::Acquire("sched/slot:0".to_string()),
+                Op::Write("sched/slot:0".to_string()),
+                Op::Release("sched/slot:0".to_string()),
+                Op::Write("sched/failures".to_string()),
+                Op::Release("sched/failures".to_string()),
+                Op::End(2),
+            ],
+        ),
+    ]
+}
+
+/// The planted join-less spawn: the parent forks a worker, never joins
+/// it, and reads the slot the worker writes (X003 plus X001).
+pub fn joinless_model() -> Vec<VThread> {
+    vec![
+        VThread::new(
+            "parent",
+            vec![Op::Fork(1), Op::Read("sched/slot:0".to_string())],
+        ),
+        VThread::new(
+            "worker",
+            vec![
+                Op::Begin(1),
+                Op::Write("sched/slot:0".to_string()),
+                Op::End(1),
+            ],
+        ),
+    ]
+}
+
+/// The planted unbalanced release: a thread releases a lock it never
+/// acquired (X004).
+pub fn stray_release_model() -> Vec<VThread> {
+    vec![VThread::new(
+        "sloppy",
+        vec![
+            Op::Release("sched/failures".to_string()),
+            Op::Write("sched/slot:0".to_string()),
+        ],
+    )]
+}
+
+/// Explores `threads` under every seed in `seeds`, checking each
+/// interleaving's event stream; an outright deadlock becomes an X002
+/// diagnostic naming the wedged threads. Findings are deduplicated across
+/// seeds by (code, span), so a bug found under thirty seeds reads as one
+/// finding.
+pub fn check_model(object: &str, threads: &[VThread], seeds: &[u64]) -> Report {
+    let mut merged = Report::new();
+    let mut seen: std::collections::HashSet<(&'static str, String, Option<String>)> =
+        std::collections::HashSet::new();
+    for &seed in seeds {
+        let run = Shuffle::new(seed).run(threads);
+        let report = if let Some(blocked) = run.deadlock {
+            let who: Vec<String> = blocked
+                .iter()
+                .map(|b| format!("{} waiting on {}", b.name, b.waiting_on))
+                .collect();
+            let mut r = Report::new();
+            r.push(Diagnostic::new(
+                &codes::X002,
+                Span::field(object, "deadlock"),
+                format!("seed {seed} deadlocks: {}", who.join("; ")),
+            ));
+            r
+        } else {
+            check_events(object, &run.events)
+        };
+        for diag in report.diagnostics() {
+            let key = (
+                diag.code.code,
+                diag.span.object.clone(),
+                diag.span.field.clone(),
+            );
+            if seen.insert(key) {
+                merged.push(diag.clone());
+            }
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEEDS: [u64; 32] = {
+        let mut seeds = [0u64; 32];
+        let mut i = 0;
+        while i < 32 {
+            seeds[i] = i as u64;
+            i += 1;
+        }
+        seeds
+    };
+
+    #[test]
+    fn clean_scheduler_model_has_no_findings() {
+        for (workers, jobs) in [(4usize, 16usize), (1, 4), (4, 2), (3, 7)] {
+            let threads = scheduler_model(workers, jobs, &[]);
+            let report = check_model("model", &threads, &SEEDS);
+            assert!(report.is_empty(), "{workers}x{jobs}: {}", report.to_table());
+        }
+    }
+
+    #[test]
+    fn failing_jobs_stay_clean_under_the_failure_lock() {
+        let threads = scheduler_model(4, 8, &[1, 5, 6]);
+        let report = check_model("model", &threads, &SEEDS);
+        assert!(report.is_empty(), "{}", report.to_table());
+    }
+
+    #[test]
+    fn planted_race_is_flagged_x001() {
+        let report = check_model("planted-race", &planted_race(4, 8), &SEEDS);
+        assert!(
+            report
+                .diagnostics()
+                .iter()
+                .any(|d| d.code.code == "X001" && d.span.to_string().contains("sched/progress")),
+            "{}",
+            report.to_table()
+        );
+    }
+
+    #[test]
+    fn planted_inversion_is_flagged_x002() {
+        let report = check_model("planted-inversion", &planted_inversion(), &SEEDS);
+        assert!(
+            report.diagnostics().iter().any(|d| d.code.code == "X002"),
+            "{}",
+            report.to_table()
+        );
+    }
+
+    #[test]
+    fn joinless_model_is_flagged_x003() {
+        let report = check_model("joinless", &joinless_model(), &SEEDS);
+        let codes: Vec<&str> = report.diagnostics().iter().map(|d| d.code.code).collect();
+        assert!(codes.contains(&"X003"), "{}", report.to_table());
+        assert!(codes.contains(&"X001"), "{}", report.to_table());
+    }
+
+    #[test]
+    fn stray_release_is_flagged_x004() {
+        let report = check_model("stray", &stray_release_model(), &SEEDS);
+        assert!(
+            report.diagnostics().iter().any(|d| d.code.code == "X004"),
+            "{}",
+            report.to_table()
+        );
+    }
+
+    #[test]
+    fn findings_dedup_across_seeds() {
+        let report = check_model("planted-race", &planted_race(2, 4), &SEEDS);
+        let x001: Vec<_> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code.code == "X001" && d.span.to_string().contains("progress"))
+            .collect();
+        assert_eq!(x001.len(), 1, "one finding despite 32 seeds");
+    }
+}

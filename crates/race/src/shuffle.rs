@@ -1,0 +1,483 @@
+//! The deterministic schedule-exploration harness (loom-lite).
+//!
+//! Real thread interleavings are whatever the OS gives you; a race that
+//! needs one specific ordering may hide for a thousand test runs. This
+//! harness takes the opposite trade: *virtual* threads — scripted lists of
+//! synchronization [`Op`]s — executed one step at a time by a seed-driven
+//! scheduler, so a given seed always produces the same interleaving and a
+//! sweep of seeds explores many. The output of a run is exactly the event
+//! stream [`crate::checker::check_events`] consumes, plus an explicit
+//! deadlock verdict when no runnable thread remains.
+//!
+//! The scheduler prefers to keep running the current thread and spends a
+//! bounded budget of *preemptions* (forced switches at points where the
+//! current thread could have continued); switches forced by blocking are
+//! free. Bounding preemptions is the classic CHESS result: most real
+//! concurrency bugs need only a couple of preemptions, so small budgets
+//! explore the interesting schedules without factorial blowup.
+
+use crate::event::{Event, EventKind};
+
+/// One scripted synchronization step of a virtual thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Take the named exclusive lock (blocks while anyone holds it).
+    Acquire(String),
+    /// Drop the named exclusive lock.
+    Release(String),
+    /// Take the named lock shared (blocks while write-held).
+    AcquireRead(String),
+    /// Drop a shared hold of the named lock.
+    ReleaseRead(String),
+    /// Send one message on the named channel (never blocks).
+    Send(String),
+    /// Receive one message from the named channel (blocks while empty).
+    Recv(String),
+    /// Read the named shared resource.
+    Read(String),
+    /// Write the named shared resource.
+    Write(String),
+    /// Mint the given rendezvous token (never blocks; `Begin` waits for it).
+    Fork(u64),
+    /// First step of a spawned thread (blocks until the token was forked).
+    Begin(u64),
+    /// Last step of a spawned thread.
+    End(u64),
+    /// Wait for the thread behind the token (blocks until its `End`).
+    Join(u64),
+}
+
+/// A scripted virtual thread; its index in the script list is its thread
+/// id in the recorded events.
+#[derive(Debug, Clone)]
+pub struct VThread {
+    /// Human label used in deadlock reports.
+    pub name: String,
+    /// The steps, executed in order.
+    pub ops: Vec<Op>,
+}
+
+impl VThread {
+    /// A named script.
+    pub fn new(name: impl Into<String>, ops: Vec<Op>) -> VThread {
+        VThread {
+            name: name.into(),
+            ops,
+        }
+    }
+}
+
+/// One blocked-thread description in a deadlock verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedThread {
+    /// Virtual thread id (script index).
+    pub thread: u32,
+    /// The thread's label.
+    pub name: String,
+    /// What it was waiting for, e.g. `acquire('b')`.
+    pub waiting_on: String,
+}
+
+/// The outcome of one seeded interleaving.
+#[derive(Debug, Clone)]
+pub struct ShuffleRun {
+    /// The recorded event stream, in execution order.
+    pub events: Vec<Event>,
+    /// When the run wedged, who was blocked on what.
+    pub deadlock: Option<Vec<BlockedThread>>,
+    /// Total ops executed.
+    pub steps: usize,
+    /// Preemptions actually spent.
+    pub preemptions_used: usize,
+}
+
+/// Seed-driven deterministic scheduler over virtual threads.
+#[derive(Debug, Clone, Copy)]
+pub struct Shuffle {
+    /// The interleaving seed; equal seeds replay identical schedules.
+    pub seed: u64,
+    /// Budget of forced switches at non-blocking points.
+    pub max_preemptions: usize,
+}
+
+/// SplitMix64 (public domain, Steele et al.) — the same generator the
+/// workload synthesizer uses, inlined so this crate stays free of
+/// workspace dependencies beyond simcheck.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Shuffle {
+    /// A harness with the default preemption budget (4).
+    pub fn new(seed: u64) -> Shuffle {
+        Shuffle {
+            seed,
+            max_preemptions: 4,
+        }
+    }
+
+    /// Runs `threads` to completion (or deadlock) under this seed.
+    pub fn run(&self, threads: &[VThread]) -> ShuffleRun {
+        let mut rng = self.seed ^ 0x5bf0_3635_dee0_91bb;
+        let mut pc: Vec<usize> = vec![0; threads.len()];
+        // Lock state: name -> (exclusive holder, shared holder count).
+        let mut locks: std::collections::HashMap<String, (Option<usize>, usize)> =
+            std::collections::HashMap::new();
+        let mut pending: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        let mut forked: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut ended: std::collections::HashSet<u64> = std::collections::HashSet::new();
+
+        let mut events = Vec::new();
+        let mut preemptions_used = 0usize;
+        let mut current: Option<usize> = None;
+
+        let runnable_op = |op: &Op,
+                           locks: &std::collections::HashMap<String, (Option<usize>, usize)>,
+                           pending: &std::collections::HashMap<String, usize>,
+                           forked: &std::collections::HashSet<u64>,
+                           ended: &std::collections::HashSet<u64>|
+         -> bool {
+            match op {
+                // std::sync::Mutex is not reentrant: a held lock blocks
+                // every acquirer, including its own holder.
+                Op::Acquire(name) => match locks.get(name) {
+                    Some(&(holder, readers)) => holder.is_none() && readers == 0,
+                    None => true,
+                },
+                Op::AcquireRead(name) => match locks.get(name) {
+                    Some(&(holder, _)) => holder.is_none(),
+                    None => true,
+                },
+                Op::Recv(name) => pending.get(name).copied().unwrap_or(0) > 0,
+                Op::Begin(token) => forked.contains(token),
+                Op::Join(token) => ended.contains(token),
+                _ => true,
+            }
+        };
+
+        loop {
+            let runnable: Vec<usize> = (0..threads.len())
+                .filter(|&tid| {
+                    threads[tid]
+                        .ops
+                        .get(pc[tid])
+                        .is_some_and(|op| runnable_op(op, &locks, &pending, &forked, &ended))
+                })
+                .collect();
+            if runnable.is_empty() {
+                let blocked: Vec<BlockedThread> = (0..threads.len())
+                    .filter_map(|tid| {
+                        threads[tid].ops.get(pc[tid]).map(|op| BlockedThread {
+                            thread: tid as u32,
+                            name: threads[tid].name.clone(),
+                            waiting_on: describe(op),
+                        })
+                    })
+                    .collect();
+                return ShuffleRun {
+                    events,
+                    deadlock: if blocked.is_empty() {
+                        None
+                    } else {
+                        Some(blocked)
+                    },
+                    steps: pc.iter().sum(),
+                    preemptions_used,
+                };
+            }
+
+            // Keep running the current thread unless it blocked or a
+            // budgeted preemption fires (~1 in 4 eligible steps).
+            let tid = match current {
+                Some(cur) if runnable.contains(&cur) => {
+                    let preempt = runnable.len() > 1
+                        && preemptions_used < self.max_preemptions
+                        && splitmix64(&mut rng).is_multiple_of(4);
+                    if preempt {
+                        preemptions_used += 1;
+                        let others: Vec<usize> =
+                            runnable.iter().copied().filter(|&t| t != cur).collect();
+                        others[(splitmix64(&mut rng) % others.len() as u64) as usize]
+                    } else {
+                        cur
+                    }
+                }
+                _ => runnable[(splitmix64(&mut rng) % runnable.len() as u64) as usize],
+            };
+            current = Some(tid);
+
+            let op = &threads[tid].ops[pc[tid]];
+            pc[tid] += 1;
+            match op {
+                Op::Acquire(name) => {
+                    let entry = locks.entry(name.clone()).or_insert((None, 0));
+                    entry.0 = Some(tid);
+                    events.push(Event::new(tid as u32, EventKind::Acquire, name));
+                }
+                Op::Release(name) => {
+                    if let Some(entry) = locks.get_mut(name) {
+                        if entry.0 == Some(tid) {
+                            entry.0 = None;
+                        }
+                    }
+                    events.push(Event::new(tid as u32, EventKind::Release, name));
+                }
+                Op::AcquireRead(name) => {
+                    let entry = locks.entry(name.clone()).or_insert((None, 0));
+                    entry.1 += 1;
+                    events.push(Event::new(tid as u32, EventKind::AcquireRead, name));
+                }
+                Op::ReleaseRead(name) => {
+                    if let Some(entry) = locks.get_mut(name) {
+                        entry.1 = entry.1.saturating_sub(1);
+                    }
+                    events.push(Event::new(tid as u32, EventKind::ReleaseRead, name));
+                }
+                Op::Send(name) => {
+                    *pending.entry(name.clone()).or_insert(0) += 1;
+                    events.push(Event::new(tid as u32, EventKind::Send, name));
+                }
+                Op::Recv(name) => {
+                    *pending.get_mut(name).expect("runnable recv") -= 1;
+                    events.push(Event::new(tid as u32, EventKind::Recv, name));
+                }
+                Op::Read(name) => events.push(Event::new(tid as u32, EventKind::Read, name)),
+                Op::Write(name) => events.push(Event::new(tid as u32, EventKind::Write, name)),
+                Op::Fork(token) => {
+                    forked.insert(*token);
+                    events.push(Event::new(
+                        tid as u32,
+                        EventKind::Fork { token: *token },
+                        "",
+                    ));
+                }
+                Op::Begin(token) => {
+                    events.push(Event::new(
+                        tid as u32,
+                        EventKind::Begin { token: *token },
+                        "",
+                    ));
+                }
+                Op::End(token) => {
+                    ended.insert(*token);
+                    events.push(Event::new(tid as u32, EventKind::End { token: *token }, ""));
+                }
+                Op::Join(token) => {
+                    events.push(Event::new(
+                        tid as u32,
+                        EventKind::Join { token: *token },
+                        "",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Human description of a blocked op for deadlock verdicts.
+fn describe(op: &Op) -> String {
+    match op {
+        Op::Acquire(n) => format!("acquire('{n}')"),
+        Op::AcquireRead(n) => format!("acquire-read('{n}')"),
+        Op::Release(n) => format!("release('{n}')"),
+        Op::ReleaseRead(n) => format!("release-read('{n}')"),
+        Op::Send(n) => format!("send('{n}')"),
+        Op::Recv(n) => format!("recv('{n}')"),
+        Op::Read(n) => format!("read('{n}')"),
+        Op::Write(n) => format!("write('{n}')"),
+        Op::Fork(t) => format!("fork({t})"),
+        Op::Begin(t) => format!("begin({t})"),
+        Op::End(t) => format!("end({t})"),
+        Op::Join(t) => format!("join({t})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::check_events;
+
+    fn two_workers_locked() -> Vec<VThread> {
+        vec![
+            VThread::new(
+                "a",
+                vec![
+                    Op::Acquire("m".into()),
+                    Op::Write("x".into()),
+                    Op::Release("m".into()),
+                ],
+            ),
+            VThread::new(
+                "b",
+                vec![
+                    Op::Acquire("m".into()),
+                    Op::Write("x".into()),
+                    Op::Release("m".into()),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn same_seed_replays_identical_events() {
+        let threads = two_workers_locked();
+        let a = Shuffle::new(42).run(&threads);
+        let b = Shuffle::new(42).run(&threads);
+        assert_eq!(a.events, b.events);
+        assert!(a.deadlock.is_none());
+        assert_eq!(a.steps, 6);
+    }
+
+    #[test]
+    fn seeds_explore_different_interleavings() {
+        let threads = vec![
+            VThread::new("a", vec![Op::Write("x".into()), Op::Write("y".into())]),
+            VThread::new("b", vec![Op::Write("p".into()), Op::Write("q".into())]),
+        ];
+        let runs: Vec<Vec<Event>> = (0..32)
+            .map(|seed| Shuffle::new(seed).run(&threads).events)
+            .collect();
+        assert!(
+            runs.iter().any(|r| r != &runs[0]),
+            "32 seeds must not all produce one schedule"
+        );
+    }
+
+    #[test]
+    fn mutual_exclusion_is_respected() {
+        // Under every seed the lock serializes the writes, so the checker
+        // finds nothing.
+        let threads = two_workers_locked();
+        for seed in 0..64 {
+            let run = Shuffle::new(seed).run(&threads);
+            assert!(run.deadlock.is_none(), "seed {seed}");
+            let report = check_events("shuffle", &run.events);
+            assert!(report.is_empty(), "seed {seed}: {}", report.to_table());
+        }
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let threads = vec![
+            VThread::new(
+                "consumer",
+                vec![Op::Recv("ch".into()), Op::Read("payload".into())],
+            ),
+            VThread::new(
+                "producer",
+                vec![Op::Write("payload".into()), Op::Send("ch".into())],
+            ),
+        ];
+        for seed in 0..32 {
+            let run = Shuffle::new(seed).run(&threads);
+            assert!(run.deadlock.is_none());
+            let recv_at = run
+                .events
+                .iter()
+                .position(|e| e.kind == EventKind::Recv)
+                .unwrap();
+            let send_at = run
+                .events
+                .iter()
+                .position(|e| e.kind == EventKind::Send)
+                .unwrap();
+            assert!(send_at < recv_at, "seed {seed}");
+            assert!(check_events("shuffle", &run.events).is_empty());
+        }
+    }
+
+    #[test]
+    fn opposed_lock_orders_deadlock_under_some_seed() {
+        let threads = vec![
+            VThread::new(
+                "ab",
+                vec![
+                    Op::Acquire("a".into()),
+                    Op::Acquire("b".into()),
+                    Op::Release("b".into()),
+                    Op::Release("a".into()),
+                ],
+            ),
+            VThread::new(
+                "ba",
+                vec![
+                    Op::Acquire("b".into()),
+                    Op::Acquire("a".into()),
+                    Op::Release("a".into()),
+                    Op::Release("b".into()),
+                ],
+            ),
+        ];
+        let mut saw_deadlock = false;
+        let mut saw_completion = false;
+        for seed in 0..64 {
+            let run = Shuffle::new(seed).run(&threads);
+            match run.deadlock {
+                Some(blocked) => {
+                    saw_deadlock = true;
+                    assert_eq!(blocked.len(), 2);
+                    assert!(blocked.iter().all(|b| b.waiting_on.starts_with("acquire")));
+                }
+                None => saw_completion = true,
+            }
+        }
+        assert!(saw_deadlock, "some seed must wedge on the inversion");
+        assert!(saw_completion, "some seed must slip through");
+    }
+
+    #[test]
+    fn begin_waits_for_fork_and_join_for_end() {
+        let threads = vec![
+            VThread::new(
+                "parent",
+                vec![
+                    Op::Write("x".into()),
+                    Op::Fork(1),
+                    Op::Join(1),
+                    Op::Read("y".into()),
+                ],
+            ),
+            VThread::new(
+                "child",
+                vec![Op::Begin(1), Op::Write("y".into()), Op::End(1)],
+            ),
+        ];
+        for seed in 0..32 {
+            let run = Shuffle::new(seed).run(&threads);
+            assert!(run.deadlock.is_none(), "seed {seed}");
+            assert!(
+                check_events("shuffle", &run.events).is_empty(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn preemption_budget_is_respected() {
+        let threads = vec![
+            VThread::new("a", vec![Op::Write("a1".into()); 50]),
+            VThread::new("b", vec![Op::Write("b1".into()); 50]),
+        ];
+        for seed in 0..16 {
+            let harness = Shuffle {
+                seed,
+                max_preemptions: 2,
+            };
+            let run = harness.run(&threads);
+            assert!(run.preemptions_used <= 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_scripts_finish_immediately() {
+        let run = Shuffle::new(0).run(&[VThread::new("idle", vec![])]);
+        assert!(run.events.is_empty());
+        assert!(run.deadlock.is_none());
+        assert_eq!(run.steps, 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Vector clocks for the happens-before checker.
+//!
+//! A [`VClock`] maps thread slots to logical timestamps; clock `a` happens
+//! before clock `b` when every component of `a` is ≤ the matching
+//! component of `b`. Clocks grow on demand (missing components read as 0)
+//! so the checker never has to know the thread count up front.
+
+/// A growable vector clock.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The all-zero clock.
+    pub fn new() -> VClock {
+        VClock::default()
+    }
+
+    /// The component for thread slot `t` (0 when never set).
+    pub fn get(&self, t: usize) -> u32 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    /// Sets thread slot `t` to `value`, growing as needed.
+    pub fn set(&mut self, t: usize, value: u32) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] = value;
+    }
+
+    /// Increments thread slot `t` and returns the new value.
+    pub fn bump(&mut self, t: usize) -> u32 {
+        let next = self.get(t) + 1;
+        self.set(t, next);
+        next
+    }
+
+    /// Component-wise maximum: after the call, everything ordered before
+    /// `other` is also ordered before this clock.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (slot, &theirs) in other.0.iter().enumerate() {
+            if self.0[slot] < theirs {
+                self.0[slot] = theirs;
+            }
+        }
+    }
+
+    /// Whether this clock is component-wise ≤ `other` (this event is
+    /// ordered before, or equal to, the moment `other` describes).
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(slot, &mine)| mine <= other.get(slot))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_bump_grow_on_demand() {
+        let mut c = VClock::new();
+        assert_eq!(c.get(5), 0);
+        c.set(2, 7);
+        assert_eq!(c.get(2), 7);
+        assert_eq!(c.bump(2), 8);
+        assert_eq!(c.bump(4), 1);
+        assert_eq!(c.get(3), 0);
+    }
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = VClock::new();
+        a.set(0, 3);
+        a.set(1, 1);
+        let mut b = VClock::new();
+        b.set(1, 5);
+        b.set(2, 2);
+        a.join(&b);
+        assert_eq!((a.get(0), a.get(1), a.get(2)), (3, 5, 2));
+    }
+
+    #[test]
+    fn le_orders_clocks() {
+        let mut a = VClock::new();
+        a.set(0, 1);
+        let mut b = VClock::new();
+        b.set(0, 2);
+        b.set(1, 1);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        let mut c = VClock::new();
+        c.set(1, 9);
+        assert!(!b.le(&c), "concurrent clocks are unordered both ways");
+        assert!(!c.le(&b));
+    }
+
+    #[test]
+    fn longer_clock_with_zero_tail_is_still_le() {
+        let mut a = VClock::new();
+        a.set(3, 0);
+        a.set(0, 1);
+        let mut b = VClock::new();
+        b.set(0, 1);
+        assert!(a.le(&b), "explicit zero components do not break ordering");
+    }
+}

@@ -17,8 +17,6 @@
 //! assert!(text.contains("rate int"));
 //! ```
 
-#![forbid(unsafe_code)]
-
 pub mod csv;
 pub mod figure;
 pub mod sparkline;

@@ -35,8 +35,6 @@
 //! its own cluster), the sparse replay degenerates to a full chunked run
 //! and the reconstructed counters are **bit-identical** to the reference.
 
-#![forbid(unsafe_code)]
-
 pub mod analysis;
 pub mod artifact;
 pub mod lint;

@@ -39,8 +39,6 @@
 //! # Ok::<(), stat_analysis::StatsError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-
 pub mod cluster;
 pub mod distance;
 pub mod eigen;

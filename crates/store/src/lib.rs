@@ -27,8 +27,6 @@
 //! [`codec`]-encoded payloads). Its only dependency is the workspace's
 //! own dependency-free `simmetrics` instrumentation core.
 
-#![forbid(unsafe_code)]
-
 pub mod codec;
 pub mod hash;
 pub mod metrics;

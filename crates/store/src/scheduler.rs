@@ -42,7 +42,8 @@ impl std::fmt::Display for JobFailure {
 pub struct RunReport<T> {
     /// Per-job outcomes, in submission order.
     pub results: Vec<Option<T>>,
-    /// Jobs that panicked twice, in completion order.
+    /// Jobs that panicked twice, sorted by label then index so failure
+    /// reports are identical across thread interleavings.
     pub failures: Vec<JobFailure>,
 }
 
@@ -146,104 +147,139 @@ impl Scheduler {
         batch_span.arg("workers", self.workers.min(total.max(1)));
         batch_span.arg("jobs", total);
         let batch_ctx = batch_span.context();
+        // One rendezvous token per worker: simrace needs explicit
+        // fork/begin/end/join edges to order worker writes against the
+        // parent's result collection (all no-ops while checking is off).
+        let worker_count = self.workers.min(total.max(1));
+        let tokens: Vec<simrace::ForkToken> = (0..worker_count).map(|_| simrace::fork()).collect();
         thread::scope(|scope| {
-            for _ in 0..self.workers.min(total.max(1)) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
-                        break;
-                    }
-                    // Flight breadcrumbs carry the job label (the pair id
-                    // in the pipeline), so a panic dump names what was in
-                    // flight. Label formatting is skipped entirely while
-                    // metrics are disabled.
-                    if simmetrics::is_enabled() {
-                        flight::note("job-start", label(i));
-                    }
-                    let mut job_span = simtrace::child_of(batch_ctx, "sched/job");
-                    if job_span.is_recording() {
-                        job_span.arg("pair", label(i));
-                        job_span.arg("index", i);
-                    }
-                    let timer = metrics::job_wall_micros().start_timer();
-                    let mut outcome = None;
-                    let mut message = String::new();
-                    for attempt in 0..2 {
-                        // The job span is this thread's current context
-                        // while held, so the attempt (and anything the job
-                        // itself opens) nests under it automatically.
-                        let mut attempt_span = simtrace::span("sched/attempt");
-                        match catch_unwind(AssertUnwindSafe(|| job(i))) {
-                            Ok(value) => {
-                                outcome = Some(value);
-                                break;
-                            }
-                            Err(payload) => {
-                                message = panic_message(payload.as_ref());
-                                attempt_span.set_error(&message);
-                                metrics::job_panics().inc();
-                                if attempt == 0 {
-                                    metrics::job_retries().inc();
-                                    if job_span.is_recording() {
-                                        job_span.arg("retried", true);
-                                    }
-                                    if simmetrics::is_enabled() {
-                                        flight::note("job-retry", label(i));
+            let (next, done, failed) = (&next, &done, &failed);
+            let (slots, failures) = (&slots, &failures);
+            let (label, job, progress) = (&label, &job, &progress);
+            for &token in &tokens {
+                scope.spawn(move || {
+                    simrace::begin(token);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        // Flight breadcrumbs carry the job label (the pair id
+                        // in the pipeline), so a panic dump names what was in
+                        // flight. Label formatting is skipped entirely while
+                        // metrics are disabled.
+                        if simmetrics::is_enabled() {
+                            flight::note("job-start", label(i));
+                        }
+                        let mut job_span = simtrace::child_of(batch_ctx, "sched/job");
+                        if job_span.is_recording() {
+                            job_span.arg("pair", label(i));
+                            job_span.arg("index", i);
+                        }
+                        let timer = metrics::job_wall_micros().start_timer();
+                        let mut outcome = None;
+                        let mut message = String::new();
+                        for attempt in 0..2 {
+                            // The job span is this thread's current context
+                            // while held, so the attempt (and anything the job
+                            // itself opens) nests under it automatically.
+                            let mut attempt_span = simtrace::span("sched/attempt");
+                            match catch_unwind(AssertUnwindSafe(|| job(i))) {
+                                Ok(value) => {
+                                    outcome = Some(value);
+                                    break;
+                                }
+                                Err(payload) => {
+                                    message = panic_message(payload.as_ref());
+                                    attempt_span.set_error(&message);
+                                    metrics::job_panics().inc();
+                                    if attempt == 0 {
+                                        metrics::job_retries().inc();
+                                        if job_span.is_recording() {
+                                            job_span.arg("retried", true);
+                                        }
+                                        if simmetrics::is_enabled() {
+                                            flight::note("job-retry", label(i));
+                                        }
                                     }
                                 }
                             }
                         }
-                    }
-                    drop(timer);
-                    metrics::jobs().inc();
-                    metrics::queue_depth().sub(1);
-                    if outcome.is_none() {
-                        job_span.set_error(&message);
-                    }
-                    drop(job_span);
-                    match outcome {
-                        Some(value) => {
-                            // A previous panic cannot have poisoned slot i:
-                            // jobs run outside any lock and each slot is
-                            // touched exactly once.
-                            let mut slot =
-                                slots[i].lock().unwrap_or_else(|poison| poison.into_inner());
-                            *slot = Some(value);
+                        drop(timer);
+                        metrics::jobs().inc();
+                        metrics::queue_depth().sub(1);
+                        if outcome.is_none() {
+                            job_span.set_error(&message);
                         }
-                        None => {
-                            failed.fetch_add(1, Ordering::Relaxed);
-                            if simmetrics::is_enabled() {
-                                flight::note("job-failed", format!("{}: {message}", label(i)));
+                        drop(job_span);
+                        match outcome {
+                            Some(value) => {
+                                // A previous panic cannot have poisoned slot i:
+                                // jobs run outside any lock and each slot is
+                                // touched exactly once.
+                                let mut slot =
+                                    slots[i].lock().unwrap_or_else(|poison| poison.into_inner());
+                                // Declared after `slot`, so the release event
+                                // lands before the real unlock on drop.
+                                let _held = simrace::exclusive_held(|| format!("sched/slot:{i}"));
+                                if simrace::is_enabled() {
+                                    simrace::write(&format!("sched/slot:{i}"));
+                                }
+                                *slot = Some(value);
                             }
-                            failures
-                                .lock()
-                                .unwrap_or_else(|poison| poison.into_inner())
-                                .push(JobFailure {
+                            None => {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                                if simmetrics::is_enabled() {
+                                    flight::note("job-failed", format!("{}: {message}", label(i)));
+                                }
+                                let mut list =
+                                    failures.lock().unwrap_or_else(|poison| poison.into_inner());
+                                let _held =
+                                    simrace::exclusive_held(|| "sched/failures".to_string());
+                                if simrace::is_enabled() {
+                                    simrace::write("sched/failures");
+                                }
+                                list.push(JobFailure {
                                     index: i,
                                     label: label(i),
                                     message,
                                 });
+                            }
                         }
+                        progress(Progress {
+                            done: done.fetch_add(1, Ordering::Relaxed) + 1,
+                            total,
+                            failed: failed.load(Ordering::Relaxed),
+                        });
                     }
-                    progress(Progress {
-                        done: done.fetch_add(1, Ordering::Relaxed) + 1,
-                        total,
-                        failed: failed.load(Ordering::Relaxed),
-                    });
+                    simrace::end(token);
                 });
             }
         });
+        for token in tokens {
+            simrace::join(token);
+        }
         let results = slots
             .into_iter()
-            .map(|slot| {
+            .enumerate()
+            .map(|(i, slot)| {
+                if simrace::is_enabled() {
+                    simrace::read(&format!("sched/slot:{i}"));
+                }
                 slot.into_inner()
                     .unwrap_or_else(|poison| poison.into_inner())
             })
             .collect();
+        if simrace::is_enabled() {
+            simrace::read("sched/failures");
+        }
         let mut failures = failures
             .into_inner()
             .unwrap_or_else(|poison| poison.into_inner());
-        failures.sort_by_key(|f| f.index);
+        // Label-first ordering keeps failure reports stable across thread
+        // interleavings even if two jobs ever share an index space (e.g.
+        // merged batches); index breaks ties deterministically.
+        failures.sort_by(|a, b| a.label.cmp(&b.label).then(a.index.cmp(&b.index)));
         RunReport { results, failures }
     }
 }
@@ -346,5 +382,115 @@ mod tests {
             |_| {},
         );
         assert_eq!(report.failures[0].message, "formatted 7");
+    }
+
+    #[test]
+    fn failures_are_sorted_by_label_then_index() {
+        // Labels deliberately sort opposite to indices so the test fails
+        // under the old index-only ordering.
+        let report = Scheduler::new(4).run(
+            6,
+            |i| format!("pair-{}", 9 - i),
+            |i| {
+                if i == 1 || i == 3 {
+                    panic!("planted double failure");
+                }
+                i
+            },
+            |_| {},
+        );
+        let order: Vec<(usize, &str)> = report
+            .failures
+            .iter()
+            .map(|f| (f.index, f.label.as_str()))
+            .collect();
+        assert_eq!(order, [(3, "pair-6"), (1, "pair-8")]);
+    }
+
+    /// Runs a real scheduler batch with simrace recording on and returns
+    /// the happens-before findings alongside the batch report.
+    fn checked_run<T, J>(workers: usize, total: usize, job: J) -> (RunReport<T>, simcheck::Report)
+    where
+        T: Send,
+        J: Fn(usize) -> T + Sync,
+    {
+        let _on = simrace::test_support::enabled();
+        let report = Scheduler::new(workers).run(total, |i| format!("job-{i}"), job, |_| {});
+        let events = simrace::drain();
+        assert!(
+            total == 0 || !events.is_empty(),
+            "instrumentation must record something for a non-empty batch"
+        );
+        (
+            report,
+            simrace::checker::check_events("sched/live", &events),
+        )
+    }
+
+    #[test]
+    fn single_worker_serial_batch_is_checker_clean() {
+        let (report, findings) = checked_run(1, 5, |i| i * 3);
+        assert!(report.failures.is_empty());
+        assert_eq!(report.results[4], Some(12));
+        assert!(findings.is_empty(), "{}", findings.to_table());
+    }
+
+    #[test]
+    fn fewer_jobs_than_workers_is_checker_clean() {
+        let (report, findings) = checked_run(8, 3, |i| i);
+        assert_eq!(report.results.iter().filter(|r| r.is_some()).count(), 3);
+        assert!(findings.is_empty(), "{}", findings.to_table());
+    }
+
+    #[test]
+    fn empty_batch_is_checker_clean() {
+        let (report, findings) = checked_run(4, 0, |i| i);
+        assert!(report.results.is_empty());
+        assert!(findings.is_empty(), "{}", findings.to_table());
+    }
+
+    #[test]
+    fn double_panic_failure_path_is_checker_clean() {
+        let (report, findings) = checked_run(4, 8, |i| {
+            if i % 3 == 0 {
+                panic!("always fails");
+            }
+            i
+        });
+        assert_eq!(report.failures.len(), 3);
+        assert!(findings.is_empty(), "{}", findings.to_table());
+    }
+
+    #[test]
+    fn contended_batch_is_checker_clean() {
+        let (report, findings) = checked_run(4, 64, |i| i.wrapping_mul(0x9e37));
+        assert!(report.failures.is_empty());
+        assert!(findings.is_empty(), "{}", findings.to_table());
+    }
+
+    #[test]
+    fn planted_unsynchronized_write_is_flagged() {
+        // Jobs on different workers write one shared name with no lock:
+        // the checker must flag X001 on a real multi-threaded run.
+        let _on = simrace::test_support::enabled();
+        let barrier = std::sync::Barrier::new(2);
+        Scheduler::new(2).run(
+            2,
+            |i| format!("racy-{i}"),
+            |_| {
+                barrier.wait(); // force both jobs onto distinct workers
+                simrace::write("bug/shared");
+            },
+            |_| {},
+        );
+        let findings = simrace::checker::check_events("sched/live", &simrace::drain());
+        assert!(
+            findings
+                .diagnostics()
+                .iter()
+                .any(|d| d.code.code == "X001" && d.span.to_string().contains("bug/shared")),
+            "{}",
+            findings.to_table()
+        );
     }
 }

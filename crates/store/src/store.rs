@@ -40,30 +40,74 @@ fn shard_of(key: Key) -> usize {
 
 type Index = HashMap<Key, ()>;
 
-/// Read-locks a shard, counting a contention event when the lock was
+/// A read-locked shard plus its simrace held-lock witness. The witness is
+/// declared first so it drops before the guard: the recorded release event
+/// always precedes the real unlock.
+struct ReadShard<'a> {
+    _hook: simrace::HeldLock,
+    guard: RwLockReadGuard<'a, Index>,
+}
+
+impl std::ops::Deref for ReadShard<'_> {
+    type Target = Index;
+    fn deref(&self) -> &Index {
+        &self.guard
+    }
+}
+
+/// A write-locked shard plus its simrace witness (see [`ReadShard`]).
+struct WriteShard<'a> {
+    _hook: simrace::HeldLock,
+    guard: RwLockWriteGuard<'a, Index>,
+}
+
+impl std::ops::Deref for WriteShard<'_> {
+    type Target = Index;
+    fn deref(&self) -> &Index {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for WriteShard<'_> {
+    fn deref_mut(&mut self) -> &mut Index {
+        &mut self.guard
+    }
+}
+
+/// Read-locks shard `n`, counting a contention event when the lock was
 /// already held (the `simstore_index_contention_total` metric). `None`
 /// only on poisoning, which callers treat as an empty index.
-fn read_shard(shard: &RwLock<Index>) -> Option<RwLockReadGuard<'_, Index>> {
-    match shard.try_read() {
+fn read_shard(shard: &RwLock<Index>, n: usize) -> Option<ReadShard<'_>> {
+    let guard = match shard.try_read() {
         Ok(guard) => Some(guard),
         Err(TryLockError::WouldBlock) => {
             metrics::index_contention().inc();
             shard.read().ok()
         }
         Err(TryLockError::Poisoned(_)) => None,
+    }?;
+    let hook = simrace::shared_held(|| format!("store/index-shard:{n}"));
+    if simrace::is_enabled() {
+        simrace::read(&format!("store/index-shard:{n}"));
     }
+    Some(ReadShard { _hook: hook, guard })
 }
 
-/// Write-locks a shard, counting contention like [`read_shard`].
-fn write_shard(shard: &RwLock<Index>) -> Option<RwLockWriteGuard<'_, Index>> {
-    match shard.try_write() {
+/// Write-locks shard `n`, counting contention like [`read_shard`].
+fn write_shard(shard: &RwLock<Index>, n: usize) -> Option<WriteShard<'_>> {
+    let guard = match shard.try_write() {
         Ok(guard) => Some(guard),
         Err(TryLockError::WouldBlock) => {
             metrics::index_contention().inc();
             shard.write().ok()
         }
         Err(TryLockError::Poisoned(_)) => None,
+    }?;
+    let hook = simrace::exclusive_held(|| format!("store/index-shard:{n}"));
+    if simrace::is_enabled() {
+        simrace::write(&format!("store/index-shard:{n}"));
     }
+    Some(WriteShard { _hook: hook, guard })
 }
 
 /// A persistent, concurrently readable content-addressed record store.
@@ -131,7 +175,8 @@ impl Store {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| read_shard(s).map(|m| m.len()).unwrap_or(0))
+            .enumerate()
+            .map(|(n, s)| read_shard(s, n).map(|m| m.len()).unwrap_or(0))
             .sum()
     }
 
@@ -145,8 +190,8 @@ impl Store {
     /// knowing which pairs produced them.
     pub fn keys(&self) -> Vec<Key> {
         let mut keys = Vec::with_capacity(self.len());
-        for shard in &self.shards {
-            if let Some(index) = read_shard(shard) {
+        for (n, shard) in self.shards.iter().enumerate() {
+            if let Some(index) = read_shard(shard, n) {
                 keys.extend(index.keys().copied());
             }
         }
@@ -155,7 +200,8 @@ impl Store {
 
     /// True when `key` is indexed (cheap: no file I/O).
     pub fn contains(&self, key: Key) -> bool {
-        read_shard(&self.shards[shard_of(key)])
+        let n = shard_of(key);
+        read_shard(&self.shards[n], n)
             .map(|m| m.contains_key(&key))
             .unwrap_or(false)
     }
@@ -208,14 +254,16 @@ impl Store {
         ));
         fs::write(&tmp, wrap_envelope(key, payload))?;
         fs::rename(&tmp, &final_path)?;
-        if let Some(mut index) = write_shard(&self.shards[shard_of(key)]) {
+        let n = shard_of(key);
+        if let Some(mut index) = write_shard(&self.shards[n], n) {
             index.insert(key, ());
         }
         Ok(())
     }
 
     fn evict(&self, key: Key) {
-        if let Some(mut index) = write_shard(&self.shards[shard_of(key)]) {
+        let n = shard_of(key);
+        if let Some(mut index) = write_shard(&self.shards[n], n) {
             index.remove(&key);
         }
     }

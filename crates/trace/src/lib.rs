@@ -28,8 +28,6 @@
 //! [`is_enabled`] is false every guard is inert — no allocation, no clock
 //! read, no lock — so the engine path is bit-identical with tracing off.
 
-#![forbid(unsafe_code)]
-
 pub mod analyze;
 pub mod binfmt;
 pub mod chrome;

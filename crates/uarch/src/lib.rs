@@ -54,8 +54,6 @@
 //! assert_eq!(timeline.total().count(Event::InstRetiredAny), 30_000);
 //! ```
 
-#![forbid(unsafe_code)]
-
 pub mod branch;
 pub mod cache;
 pub mod config;

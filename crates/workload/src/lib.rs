@@ -42,8 +42,6 @@
 //! assert_eq!(pairs, 64); // the paper's 64 distinct ref pairs
 //! ```
 
-#![forbid(unsafe_code)]
-
 pub mod branchmodel;
 pub mod cpu2006;
 pub mod cpu2017;

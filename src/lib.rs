@@ -7,6 +7,7 @@
 //! - [`uarch_sim`] — cache / branch-predictor / pipeline simulator with perf-style counters.
 //! - [`stat_analysis`] — PCA, hierarchical clustering, Pareto analysis.
 //! - [`simstore`] — content-addressed result store + fault-tolerant scheduler.
+//! - [`simrace`] — happens-before race checker and schedule-exploration harness.
 //! - [`simcheck`] — static model-analysis diagnostics (rule codes, spans, renderers).
 //! - [`perfmon`] — structured span/event observability with a JSONL sink.
 //! - [`simmetrics`] — process-wide metrics registry, exporters, and flight recorder.
@@ -14,12 +15,11 @@
 //! - [`workchar`] — the paper's characterization + subsetting pipeline.
 //! - [`simreport`] — table and figure rendering.
 
-#![forbid(unsafe_code)]
-
 pub use perfmon;
 pub use simcheck;
 pub use simmetrics;
 pub use simpoint;
+pub use simrace;
 pub use simreport;
 pub use simstore;
 pub use stat_analysis;

@@ -1,0 +1,52 @@
+//! End-to-end concurrency auditing: a full characterization roster runs
+//! with the simrace hooks recording, the vector-clock checker must find
+//! nothing, and recording must not perturb results bit-for-bit.
+
+use spec2017_workchar::simrace;
+use spec2017_workchar::workchar::cache::encode_record;
+use spec2017_workchar::workchar::characterize::{characterize_pair, characterize_pairs, RunConfig};
+use spec2017_workchar::workload_synth::cpu2017;
+use spec2017_workchar::workload_synth::profile::InputSize;
+
+#[test]
+fn full_roster_run_is_race_clean() {
+    let config = RunConfig::quick();
+    let apps = cpu2017::suite();
+    let pairs: Vec<_> = apps.iter().flat_map(|a| a.pairs(InputSize::Ref)).collect();
+    let _guard = simrace::test_support::enabled();
+    let records = characterize_pairs(&pairs, &config).expect("roster characterizes");
+    let events = simrace::drain();
+    assert_eq!(records.len(), pairs.len());
+    assert!(
+        !events.is_empty(),
+        "the scheduler must emit sync events while recording is on"
+    );
+    let report = simrace::checker::check_events("race/roster", &events);
+    assert!(
+        report.is_empty(),
+        "full-roster run must be race-free:\n{}",
+        report.to_table()
+    );
+}
+
+#[test]
+fn recording_does_not_perturb_results() {
+    // The hooks observe synchronization; they must never change what the
+    // pipeline computes. Same pair, recording off vs on, identical payload
+    // bytes through the cache codec.
+    let config = RunConfig::quick();
+    let app = cpu2017::app("505.mcf_r").expect("known app");
+    let pair = &app.pairs(InputSize::Ref)[0];
+    let off = characterize_pair(pair, &config).expect("baseline run");
+    let on = {
+        let _guard = simrace::test_support::enabled();
+        let record = characterize_pair(pair, &config).expect("recorded run");
+        simrace::drain();
+        record
+    };
+    assert_eq!(
+        encode_record(&off),
+        encode_record(&on),
+        "sync recording changed the characterization payload"
+    );
+}
