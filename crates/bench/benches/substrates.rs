@@ -132,6 +132,29 @@ fn bench_engine(r: &mut Runner) {
     });
     simtrace::disable();
     simtrace::drain();
+    // Paired with engine_run_100k above: with profiling enabled at the
+    // default interval, the engine takes one op-clocked sample per 10k ops
+    // on a countdown folded into the hot loop, so the ratio of the two
+    // medians is the simprof overhead the design budgets at <5%. The
+    // drained profile's leaf self-weights ride into BENCH_results.json as
+    // this entry's attribution breakdown.
+    simprof::enable_with_interval(simprof::DEFAULT_INTERVAL);
+    bench_paired(r, anchor, "engine_run_100k_profiled", || {
+        let gen =
+            TraceGenerator::new(&Behavior::default(), &config, 7, 100_000).expect("valid behavior");
+        let mut engine = Engine::new(&config);
+        black_box(engine.execute(gen, &ExecPlan::new()))
+    });
+    simprof::disable();
+    let profile = simprof::drain();
+    let attribution: Vec<(String, u64)> = simprof::analyze::attribute(&profile)
+        .into_iter()
+        .filter(|(_, a)| a.self_weight > 0)
+        .map(|(name, a)| (name, a.self_weight))
+        .collect();
+    if !attribution.is_empty() {
+        r.attach_attribution("engine_run_100k_profiled", attribution);
+    }
     // Paired with engine_run_100k above: a simpoint sparse replay of the
     // same 100k-op trace — detailed counted simulation for the medoid
     // intervals only, functional warming in between. The clustering plan is

@@ -100,13 +100,14 @@ fn compare(baseline: &[ResultEntry], current: &[ResultEntry], max_regression: f6
     let mut missing = Vec::new();
     let mut compared = 0usize;
     let mut improved = 0usize;
-    for (name, cur_ns, _) in current {
-        let Some((_, base_ns, _)) = baseline.iter().find(|(n, _, _)| n == name) else {
-            println!("{name:<55} (new)            {:>12}", fmt_ns(*cur_ns));
+    for cur in current {
+        let name = &cur.name;
+        let Some(base) = baseline.iter().find(|e| &e.name == name) else {
+            println!("{name:<55} (new)            {:>12}", fmt_ns(cur.median_ns));
             continue;
         };
         compared += 1;
-        let ratio = *cur_ns as f64 / (*base_ns).max(1) as f64;
+        let ratio = cur.median_ns as f64 / base.median_ns.max(1) as f64;
         let verdict = if ratio > 1.0 + max_regression {
             regressed.push(name.clone());
             "REGRESSED"
@@ -118,17 +119,18 @@ fn compare(baseline: &[ResultEntry], current: &[ResultEntry], max_regression: f6
         };
         println!(
             "{name:<55} {:>12} -> {:>12}  {ratio:>5.2}x  {verdict}",
-            fmt_ns(*base_ns),
-            fmt_ns(*cur_ns),
+            fmt_ns(base.median_ns),
+            fmt_ns(cur.median_ns),
         );
     }
-    for (name, base_ns, _) in baseline {
-        if !current.iter().any(|(n, _, _)| n == name) {
+    for base in baseline {
+        if !current.iter().any(|e| e.name == base.name) {
             println!(
-                "{name:<55} {:>12} ->      MISSING from current",
-                fmt_ns(*base_ns)
+                "{:<55} {:>12} ->      MISSING from current",
+                base.name,
+                fmt_ns(base.median_ns)
             );
-            missing.push(name.clone());
+            missing.push(base.name.clone());
         }
     }
     println!(
@@ -196,7 +198,7 @@ mod tests {
 
     fn entries(list: &[(&str, u64)]) -> Vec<ResultEntry> {
         list.iter()
-            .map(|(n, ns)| (n.to_string(), *ns, 10))
+            .map(|(n, ns)| ResultEntry::new(*n, *ns, 10))
             .collect()
     }
 

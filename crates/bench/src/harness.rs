@@ -28,6 +28,9 @@ pub struct Measurement {
     pub median: Duration,
     /// Iterations per timed batch after calibration.
     pub iters_per_batch: u64,
+    /// Leaf-frame attribution from a profiled run (frame name → sampled
+    /// self weight in engine ops); empty for unprofiled benchmarks.
+    pub attribution: Vec<(String, u64)>,
 }
 
 /// Collects and runs registered benchmarks.
@@ -153,6 +156,7 @@ impl Runner {
             name: format!("{}/{}", self.suite, name),
             median,
             iters_per_batch: iters,
+            attribution: Vec::new(),
         });
         Some(iters)
     }
@@ -160,6 +164,17 @@ impl Runner {
     /// All measurements recorded so far.
     pub fn results(&self) -> &[Measurement] {
         &self.results
+    }
+
+    /// Attaches a profiler attribution breakdown to the already-recorded
+    /// benchmark `name` (bare name, without the suite prefix), so
+    /// [`Runner::finish`] carries it into `BENCH_results.json`. A no-op
+    /// when the benchmark was filtered out and never measured.
+    pub fn attach_attribution(&mut self, name: &str, attribution: Vec<(String, u64)>) {
+        let full = format!("{}/{name}", self.suite);
+        if let Some(m) = self.results.iter_mut().find(|m| m.name == full) {
+            m.attribution = attribution;
+        }
     }
 
     /// Prints the closing summary line and merges this suite's medians into
@@ -187,8 +202,31 @@ fn results_path() -> PathBuf {
     p.join("BENCH_results.json")
 }
 
-/// One `BENCH_results.json` record: `(name, median_ns, iters_per_batch)`.
-pub type ResultEntry = (String, u64, u64);
+/// One `BENCH_results.json` record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultEntry {
+    /// Benchmark name (suite/group prefix included).
+    pub name: String,
+    /// Median per-iteration time.
+    pub median_ns: u64,
+    /// Iterations per timed batch.
+    pub iters_per_batch: u64,
+    /// Leaf-frame attribution from a profiled run (frame name → sampled
+    /// self weight in engine ops); empty for unprofiled benchmarks.
+    pub attribution: Vec<(String, u64)>,
+}
+
+impl ResultEntry {
+    /// An entry with no attribution breakdown.
+    pub fn new(name: impl Into<String>, median_ns: u64, iters_per_batch: u64) -> Self {
+        ResultEntry {
+            name: name.into(),
+            median_ns,
+            iters_per_batch,
+            attribution: Vec::new(),
+        }
+    }
+}
 
 /// Parses a `BENCH_results.json` file (schema 1) into its entries, in file
 /// order. Unlike the merge path, a malformed file is an error here — the
@@ -205,27 +243,57 @@ pub fn read_results(path: &Path) -> std::io::Result<Vec<ResultEntry>> {
     for (name, m) in benchmarks {
         let median = m.get("median_ns").and_then(Value::as_u64);
         let iters = m.get("iters_per_batch").and_then(Value::as_u64);
-        match (median, iters) {
-            (Some(median), Some(iters)) => entries.push((name.clone(), median, iters)),
-            _ => {
-                return Err(bad(&format!(
-                    "entry '{name}' lacks median_ns/iters_per_batch"
-                )))
+        let (Some(median_ns), Some(iters_per_batch)) = (median, iters) else {
+            return Err(bad(&format!(
+                "entry '{name}' lacks median_ns/iters_per_batch"
+            )));
+        };
+        let mut attribution = Vec::new();
+        if let Some(attr) = m.get("attribution") {
+            let frames = attr
+                .as_object()
+                .ok_or_else(|| bad(&format!("entry '{name}': attribution is not an object")))?;
+            for (frame, weight) in frames {
+                let weight = weight.as_u64().ok_or_else(|| {
+                    bad(&format!(
+                        "entry '{name}': attribution['{frame}'] is not an integer"
+                    ))
+                })?;
+                attribution.push((frame.clone(), weight));
             }
         }
+        entries.push(ResultEntry {
+            name: name.clone(),
+            median_ns,
+            iters_per_batch,
+            attribution,
+        });
     }
     Ok(entries)
 }
 
 /// Writes entries in the canonical format — one benchmark per line for
-/// clean diffs, schema 1.
+/// clean diffs, schema 1. The `attribution` key is written only for
+/// entries that carry a breakdown.
 pub fn write_results(path: &Path, entries: &[ResultEntry]) -> std::io::Result<()> {
     let mut out = String::from("{\n  \"schema\": 1,\n  \"benchmarks\": {\n");
-    for (i, (name, median, iters)) in entries.iter().enumerate() {
+    for (i, entry) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
+        let attribution = if entry.attribution.is_empty() {
+            String::new()
+        } else {
+            let frames: Vec<String> = entry
+                .attribution
+                .iter()
+                .map(|(frame, weight)| format!("\"{}\": {weight}", json::escape(frame)))
+                .collect();
+            format!(", \"attribution\": {{{}}}", frames.join(", "))
+        };
         out.push_str(&format!(
-            "    \"{}\": {{\"median_ns\": {median}, \"iters_per_batch\": {iters}}}{comma}\n",
-            json::escape(name)
+            "    \"{}\": {{\"median_ns\": {}, \"iters_per_batch\": {}{attribution}}}{comma}\n",
+            json::escape(&entry.name),
+            entry.median_ns,
+            entry.iters_per_batch,
         ));
     }
     out.push_str("  }\n}\n");
@@ -235,10 +303,10 @@ pub fn write_results(path: &Path, entries: &[ResultEntry]) -> std::io::Result<()
 /// Merges `updates` over `entries` in place: existing names are replaced,
 /// new ones appended in order.
 pub fn merge_entries(entries: &mut Vec<ResultEntry>, updates: &[ResultEntry]) {
-    for (name, median, iters) in updates {
-        match entries.iter_mut().find(|(n, _, _)| n == name) {
-            Some(slot) => (slot.1, slot.2) = (*median, *iters),
-            None => entries.push((name.clone(), *median, *iters)),
+    for update in updates {
+        match entries.iter_mut().find(|e| e.name == update.name) {
+            Some(slot) => *slot = update.clone(),
+            None => entries.push(update.clone()),
         }
     }
 }
@@ -250,12 +318,11 @@ fn merge_results(path: &Path, results: &[Measurement]) -> std::io::Result<()> {
     let mut entries = read_results(path).unwrap_or_default();
     let updates: Vec<ResultEntry> = results
         .iter()
-        .map(|m| {
-            (
-                m.name.clone(),
-                m.median.as_nanos() as u64,
-                m.iters_per_batch,
-            )
+        .map(|m| ResultEntry {
+            name: m.name.clone(),
+            median_ns: m.median.as_nanos() as u64,
+            iters_per_batch: m.iters_per_batch,
+            attribution: m.attribution.clone(),
         })
         .collect();
     merge_entries(&mut entries, &updates);
@@ -333,6 +400,7 @@ mod tests {
             name: name.to_string(),
             median: Duration::from_nanos(ns),
             iters_per_batch: 100,
+            attribution: Vec::new(),
         };
         merge_results(&path, &[m("substrates/a", 10), m("substrates/b", 20)]).unwrap();
         merge_results(&path, &[m("tables/t1", 30), m("substrates/a", 15)]).unwrap();
@@ -352,6 +420,43 @@ mod tests {
         assert_eq!(median("substrates/b"), Some(20), "untouched entry kept");
         assert_eq!(median("tables/t1"), Some(30));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn attribution_round_trips_and_merges() {
+        let path =
+            std::env::temp_dir().join(format!("bench-results-attr-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut profiled = ResultEntry::new("substrates/engine_run_100k_profiled", 500, 20);
+        profiled.attribution = vec![
+            ("uop/alu".to_string(), 60_000),
+            ("uop/load".to_string(), 40_000),
+        ];
+        let plain = ResultEntry::new("substrates/engine_run_100k", 480, 20);
+        write_results(&path, &[profiled.clone(), plain.clone()]).unwrap();
+
+        let back = read_results(&path).unwrap();
+        assert_eq!(back, vec![profiled.clone(), plain.clone()]);
+
+        // A re-measured entry replaces attribution wholesale; others keep theirs.
+        let mut entries = back;
+        let mut update = ResultEntry::new("substrates/engine_run_100k_profiled", 510, 20);
+        update.attribution = vec![("uop/alu".to_string(), 100_000)];
+        merge_entries(&mut entries, &[update.clone()]);
+        assert_eq!(entries[0], update);
+        assert_eq!(entries[1], plain);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn attach_attribution_targets_the_named_benchmark() {
+        let mut r = quick_runner(None);
+        r.bench("engine/a", || black_box(1u64 + 1));
+        r.bench("engine/b", || black_box(2u64 + 2));
+        r.attach_attribution("engine/b", vec![("uop/alu".to_string(), 7)]);
+        r.attach_attribution("engine/never-ran", vec![("uop/alu".to_string(), 9)]);
+        assert!(r.results()[0].attribution.is_empty());
+        assert_eq!(r.results()[1].attribution, vec![("uop/alu".to_string(), 7)]);
     }
 
     #[test]

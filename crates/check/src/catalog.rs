@@ -25,6 +25,8 @@ pub enum Family {
     Simpoint,
     /// `X…` — execution-order / happens-before violations (simrace).
     Race,
+    /// `F…` — statistical-profile artifact integrity (simprof).
+    Profiler,
 }
 
 impl Family {
@@ -39,6 +41,7 @@ impl Family {
             Family::Trace => "trace",
             Family::Simpoint => "simpoint",
             Family::Race => "race",
+            Family::Profiler => "profiler",
         }
     }
 }
@@ -554,6 +557,58 @@ pub mod codes {
          locking discipline — either a hook is misplaced or a guard \
          escaped its critical section. Every happens-before edge the \
          checker derives from that lock is then untrustworthy.");
+
+    // --------------------------------------------------------------- F: profiler
+
+    rule!(pub F001, "F001", "orphan-frame", Error, Profiler,
+        "every stack must reference only declared frame ids",
+        "A profile artifact declares its frame table up front and each \
+         stack line is a list of frame ids, root first. A stack that \
+         references an undeclared frame id cannot be named in any report: \
+         the flamegraph exporter and the attribution tables would either \
+         skip the sample (silently shrinking the profile) or invent a \
+         placeholder name that folds unrelated samples together, so the \
+         differential gate compares phantom frames.");
+    rule!(pub F002, "F002", "non-monotonic-sample-clock", Error, Profiler,
+        "sample clocks must strictly increase within a thread",
+        "Samples are taken on a deterministic op-count clock, so within \
+         one thread the clock strictly increases by the sampling weight. \
+         A repeated or decreasing clock means two profiles were \
+         concatenated, a writer double-flushed a ring buffer, or the \
+         artifact was edited by hand — in every case the sample weights \
+         double-count ops and the attribution shares no longer sum to \
+         the run's op total.");
+    rule!(pub F003, "F003", "profile-schema-too-new", Error, Profiler,
+        "profile schema version must not exceed what this build supports",
+        "The `simprof N` header names the artifact schema. A version \
+         newer than this build understands may carry fields or semantics \
+         the parser would silently drop, so the linter refuses to vouch \
+         for the artifact rather than validating the subset it happens \
+         to recognize. Regenerate the profile with the matching \
+         toolchain, or upgrade the linter.");
+    rule!(pub F004, "F004", "malformed-profile-line", Error, Profiler,
+        "every artifact line must parse as a known record",
+        "The profile format is line-based: a header, then `interval`, \
+         `wall_ns`, `frame`, `stack`, and `sample` records. A line that \
+         parses as none of these is corruption or a foreign file under \
+         results/profiles/; consumers that skipped it would report a \
+         profile that disagrees with what a re-run produces, which \
+         poisons the committed diff baseline.");
+    rule!(pub F005, "F005", "frame-name-charset", Warning, Profiler,
+        "frame names must follow the span-naming scheme",
+        "Frames reuse simtrace's span names — /-separated lowercase \
+         [a-z0-9_.-]+ segments, optionally suffixed with a bracketed \
+         pair label like ` [505.mcf_r/refrate-1]` — so profile frames, \
+         trace spans, and the diff gates all align on one vocabulary. \
+         An off-scheme name cannot be matched against its span twin and \
+         shows up as an add/remove pair in every differential report.");
+    rule!(pub F006, "F006", "dangling-stack-reference", Error, Profiler,
+        "every sample must reference a declared stack id",
+        "Each sample line carries the id of a declared stack. A dangling \
+         id means the sample's weight cannot be attributed to any frame \
+         path: folding drops it, so the flamegraph's total no longer \
+         matches the sample sum and the attribution shares are computed \
+         over a silently smaller denominator.");
 }
 
 /// Every registered rule, in catalog order.
@@ -636,6 +691,12 @@ pub static CATALOG: &[&RuleCode] = &[
     &codes::X002,
     &codes::X003,
     &codes::X004,
+    &codes::F001,
+    &codes::F002,
+    &codes::F003,
+    &codes::F004,
+    &codes::F005,
+    &codes::F006,
 ];
 
 /// Looks up a rule by its code, case-insensitively (`"p004"` finds `P004`).
@@ -709,6 +770,7 @@ mod tests {
                 Family::Trace => 'T',
                 Family::Simpoint => 'S',
                 Family::Race => 'X',
+                Family::Profiler => 'F',
             };
             assert!(
                 rule.code.starts_with(family_letter),

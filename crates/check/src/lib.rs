@@ -10,8 +10,10 @@
 //! - [`Severity`] — `error` / `warning` / `info` levels with deny-warnings
 //!   escalation at the call site.
 //! - [`RuleCode`] — stable, documented rule identities (`P004`, `C005`,
-//!   `R010`, …) grouped into four [`Family`]s: profile well-formedness,
-//!   config legality, result/counter auditing, and perfmon event streams.
+//!   `R010`, …) grouped into [`Family`]s: profile well-formedness, config
+//!   legality, result/counter auditing, perfmon event streams, metric
+//!   registry hygiene, trace integrity, simpoint artifacts, concurrency
+//!   order, and statistical-profiler artifacts.
 //! - [`Span`] — a field-level location (`"505.mcf_r/ref/in1.load_pct"`)
 //!   naming exactly which object and field violated the rule.
 //! - [`Report`] — an ordered collection of [`Diagnostic`]s with a
@@ -22,7 +24,8 @@
 //!
 //! The crate is deliberately dependency-free and domain-agnostic: rule
 //! *logic* lives next to the types it checks (`workload-synth` for P-rules,
-//! `uarch-sim` for C-rules, `workchar` for R-rules, `perfmon` for E-rules);
+//! `uarch-sim` for C-rules, `workchar` for R-rules, `perfmon` for E-rules,
+//! `simprof` for F-rules);
 //! this crate owns the codes, severities, and renderers so every layer
 //! reports violations the same way.
 //!

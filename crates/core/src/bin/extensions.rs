@@ -4,7 +4,8 @@
 //! ```text
 //! extensions [--results DIR] [--no-cache] [--cache-dir DIR]
 //!            [--lint] [--deny-warnings] [--timeline] [--simpoint]
-//!            [--events FILE] [--trace] [--race] [--serve-metrics ADDR]
+//!            [--events FILE] [--trace] [--race] [--profile]
+//!            [--profile-interval N] [--serve-metrics ADDR]
 //! ```
 //!
 //! `--lint` statically checks the rate-suite profiles and the system
@@ -26,7 +27,9 @@
 //! exports a causal span trace of the run under `<results>/traces/`
 //! (Perfetto-loadable JSON plus the binary format `trace-report` reads),
 //! `--race` records sync events and audits the whole run with the
-//! vector-clock happens-before checker (`X`-rules), and
+//! vector-clock happens-before checker (`X`-rules), `--profile` records an
+//! op-clocked statistical profile (artifacts under `<results>/profiles/`,
+//! cache bypassed so engine work exists to sample), and
 //! a per-stage summary table prints to stderr on exit. Process metrics are
 //! always on — `--serve-metrics ADDR` scrapes them live, a final snapshot
 //! lands in `<results>/metrics.json`, and a panic dumps the flight
@@ -62,7 +65,8 @@ fn parse_args() -> Result<PipelineFlags> {
                 println!(
                     "usage: extensions [--results DIR] [--no-cache] [--cache-dir DIR] \
                      [--lint] [--deny-warnings] [--timeline] [--simpoint] \
-                     [--events FILE] [--trace] [--race] [--serve-metrics ADDR]"
+                     [--events FILE] [--trace] [--race] [--profile] \
+                     [--profile-interval N] [--serve-metrics ADDR]"
                 );
                 print!("{}", PipelineFlags::usage_lines());
                 std::process::exit(0);
@@ -119,13 +123,26 @@ fn real_main(opts: PipelineFlags) -> Result<()> {
         simrace::enable();
         eprintln!("race auditing on: recording sync events for a happens-before check");
     }
+    let prof_root = if opts.profile {
+        simprof::enable_with_interval(opts.profile_interval);
+        eprintln!(
+            "profiling on: one sample per {} engine ops, artifacts under {}",
+            opts.profile_interval,
+            opts.results_dir.join("profiles").display()
+        );
+        Some(simprof::frame("run/extensions"))
+    } else {
+        None
+    };
     std::fs::create_dir_all(&opts.results_dir)?;
     let mut all = String::new();
     let mut config = RunConfig::default();
     if opts.timeline {
         config = config.with_sampler(SamplerConfig::default());
     }
-    let cache = if opts.no_cache {
+    // A cache-hit run executes no engine ops, leaving nothing to sample,
+    // so profiled runs bypass the cache entirely.
+    let cache = if opts.no_cache || opts.profile {
         None
     } else {
         match CacheContext::open(&opts.cache_dir) {
@@ -312,6 +329,20 @@ fn real_main(opts: PipelineFlags) -> Result<()> {
             "wrote {} trace spans to {} (load in Perfetto, or run trace-report)",
             spans.len(),
             json_path.display()
+        );
+    }
+    if let Some(root) = prof_root {
+        drop(root);
+        simprof::disable();
+        let profile = simprof::drain();
+        let dir = opts.results_dir.join("profiles");
+        let paths = simprof::export(&dir, "extensions", &profile)?;
+        eprintln!(
+            "wrote {} profile samples ({} ops) to {} (run prof-report, or open {})",
+            profile.samples.len(),
+            profile.total_weight(),
+            paths.prof.display(),
+            paths.svg.display()
         );
     }
     if opts.race {

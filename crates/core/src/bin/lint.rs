@@ -4,25 +4,27 @@
 //! ```text
 //! lint [--all] [--profiles] [--config] [--metrics] [--cache-dir DIR]
 //!      [--simpoint] [--simpoint-dir DIR] [--race] [--race-seeds N]
-//!      [--events FILE]... [--trace FILE]... [--quick] [--json]
-//!      [--deny-warnings] [--explain CODE]
+//!      [--events FILE]... [--trace FILE]... [--prof FILE]... [--quick]
+//!      [--json] [--deny-warnings] [--explain CODE]
 //! ```
 //!
 //! `--all` lints the shipped CPU2017 + CPU2006 rosters, the Haswell
 //! system configuration, and the pipeline's metric registry, and — when
 //! the default cache directory (`results/cache`) exists — audits every
 //! cached record's counter identities, plus any simpoint records under
-//! `results/simpoints/` and trace artifacts under `results/traces/`.
+//! `results/simpoints/`, trace artifacts under `results/traces/`, and
+//! profile artifacts under `results/profiles/`.
 //! Individual passes can be selected with `--profiles`, `--config`,
 //! `--metrics`, `--cache-dir DIR`, `--simpoint` (default store location) /
 //! `--simpoint-dir DIR`, `--race` (schedule exploration of the scheduler's
 //! synchronization protocol; `--race-seeds N` schedules per model shape,
-//! default 16), `--events FILE` (repeatable), and `--trace FILE`
-//! (repeatable; either simtrace export format).
+//! default 16), `--events FILE` (repeatable), `--trace FILE`
+//! (repeatable; either simtrace export format), and `--prof FILE`
+//! (repeatable; simprof `.prof` artifacts).
 //!
 //! Every violation carries a stable rule code (`P...` profile, `C...`
 //! config, `R...` result, `E...` events, `M...` metrics, `T...` trace,
-//! `S...` simpoint, `X...` concurrency); `--explain CODE`
+//! `S...` simpoint, `X...` concurrency, `F...` profiler); `--explain CODE`
 //! prints the catalog entry for one rule. Exits 0 when clean, 1 when any
 //! error (or, under `--deny-warnings`, any warning) was found, 2 on usage
 //! errors.
@@ -44,6 +46,7 @@ struct Options {
     simpoint_dir: Option<PathBuf>,
     events: Vec<PathBuf>,
     traces: Vec<PathBuf>,
+    profs: Vec<PathBuf>,
     race: bool,
     race_seeds: u64,
     quick: bool,
@@ -60,6 +63,7 @@ fn parse_args() -> Result<Option<Options>> {
         simpoint_dir: None,
         events: Vec::new(),
         traces: Vec::new(),
+        profs: Vec::new(),
         race: false,
         race_seeds: 16,
         quick: false,
@@ -100,6 +104,21 @@ fn parse_args() -> Result<Option<Options>> {
                         .collect();
                     found.sort();
                     opts.traces.extend(found);
+                }
+                // And for profiler artifacts from `reproduce --profile`.
+                let default_profiles = PathBuf::from("results/profiles");
+                if let Ok(entries) = std::fs::read_dir(&default_profiles) {
+                    let mut found: Vec<PathBuf> = entries
+                        .flatten()
+                        .map(|e| e.path())
+                        .filter(|p| {
+                            p.extension()
+                                .and_then(|e| e.to_str())
+                                .is_some_and(|e| e == "prof")
+                        })
+                        .collect();
+                    found.sort();
+                    opts.profs.extend(found);
                 }
             }
             "--profiles" => opts.profiles = true,
@@ -146,6 +165,12 @@ fn parse_args() -> Result<Option<Options>> {
                         Error::Usage("--trace needs a file path".to_string())
                     })?));
             }
+            "--prof" => {
+                opts.profs
+                    .push(PathBuf::from(args.next().ok_or_else(|| {
+                        Error::Usage("--prof needs a file path".to_string())
+                    })?));
+            }
             "--explain" => {
                 let code = args
                     .next()
@@ -161,7 +186,7 @@ fn parse_args() -> Result<Option<Options>> {
                             None => String::new(),
                         };
                         return Err(Error::Usage(format!(
-                            "unknown rule code '{code}' (codes are P/C/R/E/M/T/S/Xxxx; \
+                            "unknown rule code '{code}' (codes are P/C/R/E/M/T/S/X/Fxxx; \
                              see DESIGN.md){hint}"
                         )));
                     }
@@ -183,7 +208,8 @@ fn parse_args() -> Result<Option<Options>> {
         || opts.cache_dir.is_some()
         || opts.simpoint_dir.is_some()
         || !opts.events.is_empty()
-        || !opts.traces.is_empty();
+        || !opts.traces.is_empty()
+        || !opts.profs.is_empty();
     if !selected_any {
         return Err(Error::Usage(
             "nothing to lint; pass --all or select passes (see --help)".to_string(),
@@ -279,6 +305,19 @@ fn run(opts: &Options) -> Result<Report> {
         ));
     }
 
+    for path in &opts.profs {
+        let text = std::fs::read_to_string(path)?;
+        eprintln!(
+            "audited {}: {} profile lines",
+            path.display(),
+            text.lines().count()
+        );
+        report.merge(simprof::lint::check_profile_text(
+            &path.display().to_string(),
+            &text,
+        ));
+    }
+
     Ok(report)
 }
 
@@ -315,12 +354,13 @@ fn print_usage() {
     println!(
         "usage: lint [--all] [--profiles] [--config] [--metrics] [--cache-dir DIR] \
          [--simpoint] [--simpoint-dir DIR] [--race] [--race-seeds N] \
-         [--events FILE]... [--trace FILE]... [--quick] [--json] [--deny-warnings] \
-         [--explain CODE]"
+         [--events FILE]... [--trace FILE]... [--prof FILE]... [--quick] [--json] \
+         [--deny-warnings] [--explain CODE]"
     );
     println!(
         "  --all            lint shipped rosters + config + metric registry + scheduler \
-         race check (+ results/cache and results/simpoints if present)"
+         race check (+ results/cache, results/simpoints, results/traces, and \
+         results/profiles if present)"
     );
     println!("  --profiles       lint the CPU2017 and CPU2006 behavior profiles (P-rules)");
     println!("  --config         lint the system configuration (C-rules)");
@@ -335,6 +375,7 @@ fn print_usage() {
         "  --trace FILE     audit a simtrace artifact, .trace.json or .trace.bin \
          (T-rules; repeatable)"
     );
+    println!("  --prof FILE      audit a simprof .prof artifact (F-rules; repeatable)");
     println!("  --quick          use the reduced-fidelity run configuration");
     println!("  --json           machine-readable diagnostics document on stdout");
     println!("  --deny-warnings  exit nonzero on warnings, not just errors");

@@ -4,6 +4,7 @@
 //! reproduce [--quick] [--markdown] [--results DIR]
 //!           [--no-cache] [--cache-dir DIR]
 //!           [--timeline] [--simpoint] [--events FILE] [--trace] [--race]
+//!           [--profile] [--profile-interval N]
 //!           [--serve-metrics ADDR]
 //!           [table1 .. fig10]
 //! ```
@@ -33,8 +34,13 @@
 //! `trace-report`). `--race` records synchronization events from the
 //! scheduler, the store's index shards, and the metrics registry, and at
 //! the end of the run audits them with the vector-clock happens-before
-//! checker (`X`-rules; any finding exits nonzero). Process metrics are
-//! always on: `--serve-metrics
+//! checker (`X`-rules; any finding exits nonzero). `--profile` records an
+//! op-clocked statistical profile of the whole run — engine samples fold
+//! under the pipeline stage and scheduler job frames — and writes the
+//! `.prof` artifact, folded stacks, and a flamegraph SVG under
+//! `<results>/profiles/` (feed the `.prof` to `prof-report`; profiled runs
+//! bypass the result cache so there is always engine work to sample).
+//! Process metrics are always on: `--serve-metrics
 //! ADDR` scrapes them live (Prometheus text at `/metrics`, JSON at
 //! `/metrics.json`), a final snapshot lands in `<results>/metrics.json`,
 //! and a panic dumps the flight recorder's last events to
@@ -153,7 +159,23 @@ fn real_main(opts: Options) -> Result<()> {
         eprintln!("race auditing on: recording sync events for a happens-before check");
     }
 
-    let cache = if opts.shared.no_cache {
+    // The profile root frame opens before any stage so every sample of the
+    // run folds under it, mirroring the trace root.
+    let prof_root = if opts.shared.profile {
+        simprof::enable_with_interval(opts.shared.profile_interval);
+        eprintln!(
+            "profiling on: one sample per {} engine ops, artifacts under {}",
+            opts.shared.profile_interval,
+            opts.shared.results_dir.join("profiles").display()
+        );
+        Some(simprof::frame("run/reproduce"))
+    } else {
+        None
+    };
+
+    // A cache-hit run executes no engine ops, leaving nothing to sample,
+    // so profiled runs bypass the cache entirely.
+    let cache = if opts.shared.no_cache || opts.shared.profile {
         None
     } else {
         match CacheContext::open(&opts.shared.cache_dir) {
@@ -374,6 +396,21 @@ fn real_main(opts: Options) -> Result<()> {
         );
     }
 
+    if let Some(root) = prof_root {
+        drop(root);
+        simprof::disable();
+        let profile = simprof::drain();
+        let dir = opts.shared.results_dir.join("profiles");
+        let paths = simprof::export(&dir, "reproduce", &profile)?;
+        eprintln!(
+            "wrote {} profile samples ({} ops) to {} (run prof-report, or open {})",
+            profile.samples.len(),
+            profile.total_weight(),
+            paths.prof.display(),
+            paths.svg.display()
+        );
+    }
+
     if opts.shared.race {
         simrace::disable();
         let events = simrace::drain();
@@ -408,6 +445,7 @@ fn print_usage() {
         "usage: reproduce [--quick] [--markdown] [--results DIR] \
          [--no-cache] [--cache-dir DIR] [--lint] [--deny-warnings] \
          [--timeline] [--simpoint] [--events FILE] [--trace] [--race] \
+         [--profile] [--profile-interval N] \
          [--serve-metrics ADDR] [table1..table10 fig1..fig10]"
     );
     print!("{}", PipelineFlags::usage_lines());

@@ -10,8 +10,9 @@
 //! - [`PipelineFlags`]: the observability/caching flag block the two
 //!   campaign binaries share (`--results`, `--cache-dir`, `--no-cache`,
 //!   `--lint`, `--deny-warnings`, `--timeline`, `--simpoint`, `--trace`,
-//!   `--race`, `--events`, `--serve-metrics`), parsed by a single `accept`
-//!   call so the binaries cannot drift apart flag by flag.
+//!   `--race`, `--profile`, `--profile-interval`, `--events`,
+//!   `--serve-metrics`), parsed by a single `accept` call so the binaries
+//!   cannot drift apart flag by flag.
 
 use std::path::PathBuf;
 use std::str::FromStr;
@@ -91,6 +92,10 @@ pub struct PipelineFlags {
     pub trace: bool,
     /// Record sync events and audit the run for data races (`--race`).
     pub race: bool,
+    /// Record an op-clocked statistical profile of the run (`--profile`).
+    pub profile: bool,
+    /// Profile sampling interval in engine ops (`--profile-interval N`).
+    pub profile_interval: u64,
     /// Stream perfmon span/event JSONL to this file (`--events FILE`).
     pub events: Option<PathBuf>,
     /// Serve live process metrics on this address (`--serve-metrics ADDR`).
@@ -109,6 +114,8 @@ impl Default for PipelineFlags {
             simpoint: false,
             trace: false,
             race: false,
+            profile: false,
+            profile_interval: simprof::DEFAULT_INTERVAL,
             events: None,
             serve_metrics: None,
         }
@@ -135,6 +142,11 @@ impl PipelineFlags {
             "--simpoint" => self.simpoint = true,
             "--trace" => self.trace = true,
             "--race" => self.race = true,
+            "--profile" => self.profile = true,
+            "--profile-interval" => {
+                self.profile = true;
+                self.profile_interval = args.number::<u64>(arg, "an op count")?.max(1);
+            }
             "--events" => self.events = Some(args.path(arg, "a file path")?),
             "--serve-metrics" => {
                 self.serve_metrics = Some(args.value(arg, "an address like 127.0.0.1:9184")?);
@@ -157,6 +169,9 @@ impl PipelineFlags {
             "  --events FILE    write perfmon span/event records as JSONL to FILE\n",
             "  --trace          record a causal span trace under results/traces/ (Perfetto JSON + binary)\n",
             "  --race           record sync events and audit the run for data races (X-rules)\n",
+            "  --profile        record an op-clocked statistical profile under results/profiles/\n",
+            "                   (.prof artifact + folded stacks + flamegraph SVG; implies --no-cache)\n",
+            "  --profile-interval N  ops per profile sample (default 10000; implies --profile)\n",
             "  --serve-metrics ADDR  serve Prometheus text at http://ADDR/metrics (JSON at /metrics.json)\n",
         )
     }
@@ -208,13 +223,30 @@ mod tests {
         assert_eq!(flags.results_dir, PathBuf::from("out"));
         assert_eq!(flags.cache_dir, PathBuf::from("results/cache"));
         assert!(flags.no_cache && flags.timeline);
-        assert!(!flags.lint && !flags.trace && !flags.simpoint && !flags.race);
+        assert!(!flags.lint && !flags.trace && !flags.simpoint && !flags.race && !flags.profile);
         assert_eq!(
             flags.events.as_deref(),
             Some(std::path::Path::new("ev.jsonl"))
         );
         assert_eq!(flags.serve_metrics.as_deref(), Some("127.0.0.1:9184"));
         assert_eq!(rest, ["--quick"], "unknown args flow back to the caller");
+    }
+
+    #[test]
+    fn profile_interval_implies_profile() {
+        let mut args = ArgStream::from_args(["--profile-interval", "5000"]);
+        let mut flags = PipelineFlags::new();
+        let arg = args.next().unwrap();
+        assert!(flags.accept(&arg, &mut args).unwrap());
+        assert!(flags.profile);
+        assert_eq!(flags.profile_interval, 5000);
+        // Bare --profile keeps the default interval.
+        let mut args = ArgStream::from_args(["--profile"]);
+        let mut flags = PipelineFlags::new();
+        let arg = args.next().unwrap();
+        assert!(flags.accept(&arg, &mut args).unwrap());
+        assert!(flags.profile);
+        assert_eq!(flags.profile_interval, simprof::DEFAULT_INTERVAL);
     }
 
     #[test]

@@ -16,24 +16,29 @@ use uarch_sim::timeline::IntervalSample;
 use crate::characterize::CharRecord;
 use crate::error::Result;
 
-/// One top-level pipeline phase in *both* span layers: a [`perfmon::Span`]
-/// (JSONL event + stderr stage table) and a [`simtrace`] span (the causal
-/// trace), opened and closed from the same scope so the two reports always
-/// describe the same wall-clock window. Fields recorded here land in both
-/// layers. Either side being disabled degrades to the other alone.
+/// One top-level pipeline phase in *all three* span layers: a
+/// [`perfmon::Span`] (JSONL event + stderr stage table), a [`simtrace`]
+/// span (the causal trace), and a [`simprof`] frame (so profile samples
+/// taken during the phase fold under its name), opened and closed from
+/// the same scope so the reports always describe the same window. Fields
+/// recorded here land in the two span layers (frames carry no fields).
+/// Any side being disabled degrades to the others alone.
 #[derive(Debug)]
 pub struct PipelineSpan {
     perf: perfmon::Span,
     trace: simtrace::SpanGuard,
+    _frame: simprof::FrameGuard,
 }
 
 impl PipelineSpan {
-    /// Opens the phase `name` in both layers; the trace span nests under
-    /// whatever is current on this thread (the binary's run root).
+    /// Opens the phase `name` in every layer; the trace span and profile
+    /// frame nest under whatever is current on this thread (the binary's
+    /// run root).
     pub fn open(recorder: &perfmon::Recorder, name: &str) -> PipelineSpan {
         PipelineSpan {
             perf: recorder.span(name),
             trace: simtrace::span(name),
+            _frame: simprof::frame(name),
         }
     }
 

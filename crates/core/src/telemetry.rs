@@ -65,22 +65,25 @@ handle! {
     }
 }
 
-/// One guard covering a pipeline stage in *both* observability layers:
-/// dropping it closes the simtrace span and records the simmetrics latency
-/// histogram sample from the same scope, so the trace view and the metric
-/// view always describe the same wall-clock window.
+/// One guard covering a pipeline stage in *three* observability layers:
+/// dropping it closes the simtrace span, records the simmetrics latency
+/// histogram sample, and pops the simprof frame from the same scope, so
+/// the trace view, the metric view, and the profile's stage attribution
+/// always describe the same wall-clock window.
 pub(crate) struct StageTimer {
     _span: simtrace::SpanGuard,
     _timer: simmetrics::Timer,
+    _frame: simprof::FrameGuard,
 }
 
 /// Opens a [`StageTimer`] for the stage named `span_name`, feeding
-/// `histogram` on close. The span nests under whatever is current on this
-/// thread (the scheduler's per-job span during suite runs).
+/// `histogram` on close. The span and frame nest under whatever is current
+/// on this thread (the scheduler's per-job span during suite runs).
 pub(crate) fn stage(span_name: &str, histogram: &'static Histogram) -> StageTimer {
     StageTimer {
         _span: simtrace::span(span_name),
         _timer: histogram.start_timer(),
+        _frame: simprof::frame(span_name),
     }
 }
 

@@ -1,8 +1,9 @@
 //! A std-only, single-threaded HTTP scrape endpoint.
 //!
 //! `serve("127.0.0.1:9100")` binds a listener and spawns one thread that
-//! answers `GET /metrics` (Prometheus text exposition) and
-//! `GET /metrics.json` (the JSON snapshot) from the global registry. It is
+//! answers `GET /metrics` (Prometheus text exposition), `GET /metrics.json`
+//! (the JSON snapshot) from the global registry, and `GET /healthz`
+//! (liveness: build version and server uptime). It is
 //! deliberately minimal — one connection at a time, no keep-alive, no TLS —
 //! because its only job is letting a scraper poll a live `reproduce` run.
 //! Bind port 0 to let the OS pick (tests do); [`Server::local_addr`]
@@ -13,7 +14,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::{json, prometheus};
 
@@ -33,13 +34,14 @@ pub fn serve(addr: &str) -> io::Result<Server> {
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
+    let started = Instant::now();
     let thread = std::thread::Builder::new()
         .name("simmetrics-http".to_string())
         .spawn(move || {
             while !stop_flag.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        let _ = answer(stream);
+                        let _ = answer(stream, started);
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(20));
@@ -80,7 +82,7 @@ impl Drop for Server {
     }
 }
 
-fn answer(mut stream: TcpStream) -> io::Result<()> {
+fn answer(mut stream: TcpStream, started: Instant) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_millis(500)))?;
     let mut request = Vec::new();
@@ -108,10 +110,19 @@ fn answer(mut stream: TcpStream) -> io::Result<()> {
             json::CONTENT_TYPE,
             json::render(&crate::snapshot()),
         ),
+        ("GET", "/healthz") => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            format!(
+                "ok\nversion: {}\nuptime_seconds: {}\n",
+                env!("CARGO_PKG_VERSION"),
+                started.elapsed().as_secs()
+            ),
+        ),
         ("GET", _) => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; routes are /metrics and /metrics.json\n".to_string(),
+            "not found; routes are /metrics, /metrics.json, and /healthz\n".to_string(),
         ),
         _ => (
             "405 Method Not Allowed",
@@ -216,6 +227,30 @@ mod tests {
             body.contains("/metrics") && body.contains("/metrics.json"),
             "the 404 body names the real routes: {body}"
         );
+        server.stop();
+    }
+
+    #[test]
+    fn healthz_reports_liveness_version_and_uptime() {
+        let server = serve("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        let (head, body) = raw_exchange(
+            addr,
+            &format!("GET /healthz HTTP/1.1\r\nHost: {addr}\r\n\r\n"),
+        );
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.lines().any(|l| l == "Connection: close"), "{head}");
+        assert_eq!(content_length(&head), body.len());
+        assert!(body.starts_with("ok\n"), "{body}");
+        assert!(
+            body.contains(&format!("version: {}\n", env!("CARGO_PKG_VERSION"))),
+            "the body carries the build version: {body}"
+        );
+        let uptime = body
+            .lines()
+            .find_map(|l| l.strip_prefix("uptime_seconds: "))
+            .expect("uptime line present");
+        let _seconds: u64 = uptime.parse().expect("numeric uptime");
         server.stop();
     }
 

@@ -1,0 +1,153 @@
+//! Analyzes simprof profile artifacts.
+//!
+//! Usage:
+//!
+//! ```text
+//! prof-report <run.prof>
+//! prof-report --diff <old.prof> <new.prof> [--threshold-pct P]
+//!             [--min-weight N] [--allow-missing]
+//! ```
+//!
+//! Single-file mode prints the self/total attribution table. Diff mode
+//! aligns frames by name and gates on self-weight growth in deterministic
+//! op weights: exits 0 when clean, 1 when any frame regressed past both
+//! the relative threshold (default 25%) and the absolute floor (default
+//! 1000 ops), 2 on usage or I/O errors. Benchcmp-style baseline handling:
+//! a missing baseline *file*, or baseline frames absent from the current
+//! profile, exit 3 so CI can distinguish "regressed" from "nothing to
+//! compare against"; `--allow-missing` downgrades both to a note.
+
+use simprof::analyze;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: prof-report <run.prof>\n       \
+     prof-report --diff <old.prof> <new.prof> [--threshold-pct P] [--min-weight N] [--allow-missing]";
+
+struct Options {
+    diff: bool,
+    threshold_pct: f64,
+    min_weight: u64,
+    allow_missing: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        diff: false,
+        threshold_pct: 25.0,
+        min_weight: 1000,
+        allow_missing: false,
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--diff" => opts.diff = true,
+            "--allow-missing" => opts.allow_missing = true,
+            "--threshold-pct" => {
+                opts.threshold_pct = value("--threshold-pct")?
+                    .parse()
+                    .map_err(|_| "--threshold-pct needs a number".to_string())?;
+            }
+            "--min-weight" => {
+                opts.min_weight = value("--min-weight")?
+                    .parse()
+                    .map_err(|_| "--min-weight needs an integer".to_string())?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    let expected = if opts.diff { 2 } else { 1 };
+    if opts.paths.len() != expected {
+        return Err(format!(
+            "expected {expected} profile file(s), got {}\n{USAGE}",
+            opts.paths.len()
+        ));
+    }
+    Ok(opts)
+}
+
+fn report_one(opts: &Options) -> Result<ExitCode, String> {
+    let path = &opts.paths[0];
+    let profile = simprof::load(path).map_err(|e| e.to_string())?;
+    print!(
+        "{}",
+        analyze::render_report(&path.display().to_string(), &profile)
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn report_diff(opts: &Options) -> Result<ExitCode, String> {
+    if !opts.paths[0].exists() {
+        let message = format!(
+            "baseline profile {} does not exist",
+            opts.paths[0].display()
+        );
+        if opts.allow_missing {
+            println!("{message}; skipping comparison (--allow-missing)");
+            return Ok(ExitCode::SUCCESS);
+        }
+        eprintln!("{message}; pass --allow-missing to tolerate this");
+        return Ok(ExitCode::from(3));
+    }
+    let old = simprof::load(&opts.paths[0]).map_err(|e| e.to_string())?;
+    let new = simprof::load(&opts.paths[1]).map_err(|e| e.to_string())?;
+    let report = analyze::diff(
+        &old,
+        &new,
+        analyze::DiffOptions {
+            threshold_pct: opts.threshold_pct,
+            min_weight: opts.min_weight,
+        },
+    );
+    println!(
+        "diff {} -> {} (gate: +{}% and +{} ops of self weight)\n",
+        opts.paths[0].display(),
+        opts.paths[1].display(),
+        opts.threshold_pct,
+        opts.min_weight
+    );
+    print!("{}", analyze::render_diff(&old, &new, &report));
+    let regressions = report.regressions().len();
+    if regressions > 0 {
+        eprintln!("\n{regressions} frame(s) regressed past the gate");
+        return Ok(ExitCode::FAILURE);
+    }
+    if !report.missing.is_empty() && !opts.allow_missing {
+        eprintln!(
+            "\n{} baseline frame(s) missing from the current profile; \
+             pass --allow-missing if the rename/removal is intended",
+            report.missing.len()
+        );
+        return Ok(ExitCode::from(3));
+    }
+    println!("\nno regressions past the gate");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let run = if opts.diff { report_diff } else { report_one };
+    match run(&opts) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! End-to-end exit-code contract for the `prof-report` binary: 0 clean,
+//! 1 gated regression, 2 usage/I-O error, 3 missing baseline (downgraded
+//! by `--allow-missing`), matching trace-report and benchcmp.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn artifact(stacks: &[(&[&str], u64)]) -> String {
+    let mut frames: Vec<String> = Vec::new();
+    let mut out = String::from("simprof 1\ninterval 100\nwall_ns 1000000\n");
+    let mut stack_lines = String::new();
+    let mut sample_lines = String::new();
+    for (i, (names, weight)) in stacks.iter().enumerate() {
+        let ids: Vec<String> = names
+            .iter()
+            .map(|n| {
+                let id = frames.iter().position(|f| f == n).unwrap_or_else(|| {
+                    frames.push((*n).to_string());
+                    frames.len() - 1
+                });
+                id.to_string()
+            })
+            .collect();
+        stack_lines.push_str(&format!("stack {i} {}\n", ids.join(";")));
+        sample_lines.push_str(&format!("sample 0 {} {i} {weight}\n", (i as u64 + 1) * 100));
+    }
+    for (i, name) in frames.iter().enumerate() {
+        out.push_str(&format!("frame {i} {name}\n"));
+    }
+    out.push_str(&stack_lines);
+    out.push_str(&sample_lines);
+    out
+}
+
+struct Fixture {
+    dir: PathBuf,
+}
+
+impl Fixture {
+    fn new(tag: &str) -> Fixture {
+        let dir = std::env::temp_dir().join(format!("prof-report-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("fixture dir");
+        Fixture { dir }
+    }
+
+    fn write(&self, name: &str, stacks: &[(&[&str], u64)]) -> PathBuf {
+        let path = self.dir.join(name);
+        std::fs::write(&path, artifact(stacks)).expect("write fixture");
+        path
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_prof-report"))
+        .args(args)
+        .output()
+        .expect("spawn prof-report");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn report_mode_prints_attribution_table() {
+    let fx = Fixture::new("report");
+    let p = fx.write(
+        "run.prof",
+        &[
+            (&["run/reproduce", "engine/run", "uop/alu"], 700),
+            (&["run/reproduce", "engine/run", "uop/load"], 300),
+        ],
+    );
+    let (code, stdout, _) = run(&[p.to_str().unwrap()]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("uop/alu"), "{stdout}");
+    assert!(stdout.contains("70.0%"), "{stdout}");
+    assert!(stdout.contains("engine/run"), "{stdout}");
+}
+
+#[test]
+fn planted_regression_exits_1() {
+    let fx = Fixture::new("regress");
+    let old = fx.write("old.prof", &[(&["run/reproduce", "engine/run"], 10_000)]);
+    let new = fx.write("new.prof", &[(&["run/reproduce", "engine/run"], 20_000)]);
+    let (code, stdout, stderr) = run(&["--diff", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(code, 1, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(stderr.contains("regressed past the gate"), "{stderr}");
+}
+
+#[test]
+fn self_diff_exits_0() {
+    let fx = Fixture::new("clean");
+    let p = fx.write("run.prof", &[(&["run/reproduce", "engine/run"], 10_000)]);
+    let (code, stdout, _) = run(&["--diff", p.to_str().unwrap(), p.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("no regressions"), "{stdout}");
+}
+
+#[test]
+fn growth_under_gate_exits_0() {
+    let fx = Fixture::new("undergate");
+    let old = fx.write("old.prof", &[(&["run/reproduce", "engine/run"], 100_000)]);
+    let new = fx.write("new.prof", &[(&["run/reproduce", "engine/run"], 110_000)]);
+    let (code, _, _) = run(&["--diff", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn missing_baseline_file_exits_3_unless_allowed() {
+    let fx = Fixture::new("nobase");
+    let new = fx.write("new.prof", &[(&["run/reproduce"], 100)]);
+    let ghost = fx.dir.join("ghost.prof");
+    let (code, _, stderr) = run(&["--diff", ghost.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(code, 3, "{stderr}");
+    assert!(stderr.contains("does not exist"), "{stderr}");
+    let (code, stdout, _) = run(&[
+        "--diff",
+        "--allow-missing",
+        ghost.to_str().unwrap(),
+        new.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("skipping comparison"), "{stdout}");
+}
+
+#[test]
+fn missing_baseline_frames_exit_3_unless_allowed() {
+    let fx = Fixture::new("noframe");
+    let old = fx.write(
+        "old.prof",
+        &[
+            (&["run/reproduce", "stage/keep"], 5000),
+            (&["run/reproduce", "stage/gone"], 500),
+        ],
+    );
+    let new = fx.write("new.prof", &[(&["run/reproduce", "stage/keep"], 5000)]);
+    let (code, stdout, stderr) = run(&["--diff", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(code, 3, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(
+        stdout.contains("missing from current profile: stage/gone"),
+        "{stdout}"
+    );
+    let (code, _, _) = run(&[
+        "--diff",
+        "--allow-missing",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let (code, _, stderr) = run(&[]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("usage:"), "{stderr}");
+    let (code, _, _) = run(&["--diff", "only-one.prof"]);
+    assert_eq!(code, 2);
+    let (code, _, _) = run(&["--frobnicate", "x.prof"]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn malformed_artifact_exits_2() {
+    let fx = Fixture::new("malformed");
+    let path = fx.dir.join("bad.prof");
+    std::fs::write(&path, "simprof 1\nzorp\n").unwrap();
+    let (code, _, stderr) = run(&[path.to_str().unwrap()]);
+    assert_eq!(code, 2, "{stderr}");
+}

@@ -47,7 +47,10 @@ pub fn sparkline_svg(title: &str, series: &[(&str, Vec<f64>)], width: u32, heigh
         let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
         let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let span = hi - lo;
+        // Halved arithmetic keeps the normalization finite even when the
+        // series spans more than half the f64 range (`hi - lo` overflows
+        // to infinity, which would put NaN in the coordinates).
+        let span = hi / 2.0 - lo / 2.0;
         let step = if values.len() > 1 {
             (x1 - x0) / (values.len() - 1) as f64
         } else {
@@ -58,7 +61,7 @@ pub fn sparkline_svg(title: &str, series: &[(&str, Vec<f64>)], width: u32, heigh
             .enumerate()
             .map(|(i, &v)| {
                 let frac = if span > 0.0 && v.is_finite() {
-                    (v - lo) / span
+                    ((v / 2.0 - lo / 2.0) / span).clamp(0.0, 1.0)
                 } else {
                     0.5
                 };
@@ -134,5 +137,48 @@ mod tests {
         let svg = sparkline_svg("a<b>&c", &[("s", Vec::new())], 200, 48);
         assert!(svg.contains("a&lt;b&gt;&amp;c"));
         assert!(svg.contains("</svg>"));
+    }
+
+    // The same well-formedness bar the flamegraph exporter's tests hold:
+    // a parseable document with no non-finite coordinates, whatever the
+    // input looks like.
+    fn assert_valid_svg(svg: &str) {
+        assert!(svg.starts_with("<svg"), "must open with <svg");
+        assert!(svg.trim_end().ends_with("</svg>"), "must close the root");
+        assert!(!svg.contains("NaN"), "no NaN coordinates: {svg}");
+        assert!(!svg.contains("inf"), "no infinite coordinates: {svg}");
+    }
+
+    #[test]
+    fn no_series_at_all_is_still_valid_svg() {
+        let svg = sparkline_svg("empty", &[], 200, 48);
+        assert_valid_svg(&svg);
+        assert_eq!(svg.matches("<polyline").count(), 0);
+    }
+
+    #[test]
+    fn extreme_and_nonfinite_values_never_leak_into_coordinates() {
+        let svg = sparkline_svg(
+            "extremes",
+            &[
+                ("huge", vec![f64::MAX, f64::MIN_POSITIVE, -f64::MAX]),
+                ("holes", vec![f64::NAN, 1.0, f64::INFINITY, 2.0]),
+                ("allbad", vec![f64::NAN, f64::NEG_INFINITY]),
+            ],
+            200,
+            48,
+        );
+        assert_valid_svg(&svg);
+        assert_eq!(svg.matches("<polyline").count(), 3);
+        // The non-finite legend tag degrades to '-', not to "NaN".
+        assert!(svg.contains("allbad -"), "{svg}");
+    }
+
+    #[test]
+    fn degenerate_dimensions_are_clamped() {
+        let svg = sparkline_svg("tiny", &[("s", vec![1.0, 2.0])], 0, 0);
+        assert_valid_svg(&svg);
+        assert!(svg.contains("width=\"120\""), "width floor applies: {svg}");
+        assert!(svg.contains("height=\"40\""), "height floor applies: {svg}");
     }
 }

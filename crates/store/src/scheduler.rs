@@ -147,6 +147,10 @@ impl Scheduler {
         batch_span.arg("workers", self.workers.min(total.max(1)));
         batch_span.arg("jobs", total);
         let batch_ctx = batch_span.context();
+        // Profile frames are per-thread context: the batch frame covers the
+        // submitting thread; workers open their own job frames below, so
+        // engine samples from a worker fold under that worker's job label.
+        let _batch_frame = simprof::frame("sched/batch");
         // One rendezvous token per worker: simrace needs explicit
         // fork/begin/end/join edges to order worker writes against the
         // parent's result collection (all no-ops while checking is off).
@@ -176,6 +180,14 @@ impl Scheduler {
                             job_span.arg("pair", label(i));
                             job_span.arg("index", i);
                         }
+                        // Label formatting only when profiling is on; the
+                        // bracketed pair label folds each pair's engine
+                        // samples separately in the flamegraph.
+                        let _job_frame = if simprof::is_enabled() {
+                            Some(simprof::frame(&format!("sched/job [{}]", label(i))))
+                        } else {
+                            None
+                        };
                         let timer = metrics::job_wall_micros().start_timer();
                         let mut outcome = None;
                         let mut message = String::new();
@@ -348,6 +360,27 @@ mod tests {
         assert!(report.failures.is_empty());
         assert_eq!(report.results[0], Some(42));
         assert_eq!(attempts.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn jobs_record_profile_frames_per_pair() {
+        let _prof = simprof::test_support::enabled(10);
+        let report = Scheduler::new(2).run(
+            3,
+            |i| format!("pair-{i}"),
+            |_| simprof::record_engine_sample(10, simprof::KIND_ALU, simprof::LEVEL_NONE, false),
+            |_| {},
+        );
+        assert!(report.failures.is_empty());
+        let profile = simprof::drain();
+        assert_eq!(profile.samples.len(), 3);
+        let folded = profile.folded();
+        for i in 0..3 {
+            assert!(
+                folded.contains(&format!("sched/job [pair-{i}];seg/measured;uop/alu 10")),
+                "job frame for pair-{i} missing:\n{folded}"
+            );
+        }
     }
 
     #[test]

@@ -228,10 +228,17 @@ impl Tallies {
 /// predictor update and the fetch redirect commute — they touch disjoint
 /// state — so their relative order is immaterial to bit-identity.
 ///
+/// `PROFILE` selects the simprof hook: every `prof.interval` ops one
+/// sample (stack, µop kind, serving cache level, segment) is recorded via
+/// [`simprof::record_engine_sample`]. With `PROFILE = false` the hook
+/// code is compiled out entirely, so the unprofiled monomorphization is
+/// the exact pre-simprof hot loop. The hook reads engine state but never
+/// writes it, so counters are bit-identical either way.
+///
 /// The argument list is wide on purpose: the callers hold `&mut self`, so
 /// the disjoint engine fields must be passed as separate borrows.
 #[allow(clippy::too_many_arguments)]
-fn exec_pass<P: BranchPredictor>(
+fn exec_pass<P: BranchPredictor, const PROFILE: bool>(
     hierarchy: &mut Hierarchy,
     fs: &mut FetchState,
     predictor: &mut P,
@@ -241,6 +248,7 @@ fn exec_pass<P: BranchPredictor>(
     ind: &mut IndirectState,
     indirect_target_miss_rate: f64,
     t: &mut Tallies,
+    prof: &mut ProfState,
 ) {
     // An empty range never matches, so the per-load check is branch-free
     // on the hint's presence.
@@ -255,6 +263,7 @@ fn exec_pass<P: BranchPredictor>(
             hierarchy.fetch(fetch_pc);
             fs.last_fetch_line = line;
         }
+        let mut prof_level = simprof::LEVEL_NONE;
         match k {
             KIND_ALU => {}
             crate::exec::KIND_LOAD => {
@@ -269,6 +278,14 @@ fn exec_pass<P: BranchPredictor>(
                     ServedBy::L2 => t.l2h += 1,
                     ServedBy::L3 => t.l3h += 1,
                     ServedBy::Memory => t.l3m += 1,
+                }
+                if PROFILE {
+                    prof_level = match served {
+                        ServedBy::L1 => simprof::LEVEL_L1,
+                        ServedBy::L2 => simprof::LEVEL_L2,
+                        ServedBy::L3 => simprof::LEVEL_L3,
+                        ServedBy::Memory => simprof::LEVEL_MEM,
+                    };
                 }
             }
             crate::exec::KIND_STORE => {
@@ -322,6 +339,41 @@ fn exec_pass<P: BranchPredictor>(
                     fs.last_fetch_line = u64::MAX;
                 }
             }
+        }
+        if PROFILE {
+            prof.countdown -= 1;
+            if prof.countdown == 0 {
+                prof.countdown = prof.interval;
+                // The sample stands for the whole interval that just
+                // elapsed, attributed to the op that closed it — standard
+                // statistical attribution, exact in aggregate.
+                let prof_kind = match k {
+                    KIND_ALU => simprof::KIND_ALU,
+                    crate::exec::KIND_LOAD => simprof::KIND_LOAD,
+                    crate::exec::KIND_STORE => simprof::KIND_STORE,
+                    _ => simprof::KIND_BRANCH,
+                };
+                simprof::record_engine_sample(prof.interval, prof_kind, prof_level, prof.in_warmup);
+            }
+        }
+    }
+}
+
+/// Sampling state threaded through [`exec_pass`]: the countdown persists
+/// across segments and batches so sample spacing is exact over the whole
+/// run. With `PROFILE = false` the fields are never read.
+struct ProfState {
+    countdown: u64,
+    interval: u64,
+    in_warmup: bool,
+}
+
+impl ProfState {
+    fn off() -> Self {
+        ProfState {
+            countdown: u64::MAX,
+            interval: u64::MAX,
+            in_warmup: false,
         }
     }
 }
@@ -395,10 +447,41 @@ impl Engine {
     ///
     /// Counters are bit-identical to [`Engine::run_reference`] on the same
     /// stream for every plan.
-    pub fn execute<S: UopSource>(&mut self, mut source: S, plan: &ExecPlan) -> PerfSession {
+    ///
+    /// Counters are also independent of profiling: one dispatch here picks
+    /// the profiled or unprofiled monomorphization of the hot loop, and
+    /// the simprof hook only ever reads engine state (pinned by
+    /// `profiling_does_not_perturb_counters`).
+    pub fn execute<S: UopSource>(&mut self, source: S, plan: &ExecPlan) -> PerfSession {
+        match simprof::engine_interval() {
+            0 => self.execute_impl::<S, false>(source, plan, 0),
+            interval => self.execute_impl::<S, true>(source, plan, interval),
+        }
+    }
+
+    fn execute_impl<S: UopSource, const PROFILE: bool>(
+        &mut self,
+        mut source: S,
+        plan: &ExecPlan,
+        prof_interval: u64,
+    ) -> PerfSession {
         // One guard around the whole run: constant cost, never per op, and
         // inert while tracing is disabled so the hot loop is untouched.
         let mut trace_span = simtrace::span("engine/run");
+        let _prof_frame = if PROFILE {
+            Some(simprof::frame("engine/run"))
+        } else {
+            None
+        };
+        let mut prof = if PROFILE {
+            ProfState {
+                countdown: prof_interval,
+                interval: prof_interval,
+                in_warmup: false,
+            }
+        } else {
+            ProfState::off()
+        };
         if let Some(kind) = plan.predictor {
             if kind != self.predictor_kind {
                 self.predictor = PredictorImpl::build(kind);
@@ -454,20 +537,21 @@ impl Engine {
                 let mut t = Tallies::default();
                 let rate = hints.indirect_target_miss_rate;
                 let bypass = hints.l2_bypass_range;
-                let (h, f) = (&mut self.hierarchy, &mut fs);
+                prof.in_warmup = in_warmup;
+                let (h, f, pr) = (&mut self.hierarchy, &mut fs, &mut prof);
                 match &mut self.predictor {
-                    PredictorImpl::Tournament(p) => {
-                        exec_pass(h, f, p, kinds, addrs, bypass, &mut ind, rate, &mut t)
-                    }
-                    PredictorImpl::GShare(p) => {
-                        exec_pass(h, f, p, kinds, addrs, bypass, &mut ind, rate, &mut t)
-                    }
-                    PredictorImpl::Bimodal(p) => {
-                        exec_pass(h, f, p, kinds, addrs, bypass, &mut ind, rate, &mut t)
-                    }
-                    PredictorImpl::AlwaysTaken(p) => {
-                        exec_pass(h, f, p, kinds, addrs, bypass, &mut ind, rate, &mut t)
-                    }
+                    PredictorImpl::Tournament(p) => exec_pass::<_, PROFILE>(
+                        h, f, p, kinds, addrs, bypass, &mut ind, rate, &mut t, pr,
+                    ),
+                    PredictorImpl::GShare(p) => exec_pass::<_, PROFILE>(
+                        h, f, p, kinds, addrs, bypass, &mut ind, rate, &mut t, pr,
+                    ),
+                    PredictorImpl::Bimodal(p) => exec_pass::<_, PROFILE>(
+                        h, f, p, kinds, addrs, bypass, &mut ind, rate, &mut t, pr,
+                    ),
+                    PredictorImpl::AlwaysTaken(p) => exec_pass::<_, PROFILE>(
+                        h, f, p, kinds, addrs, bypass, &mut ind, rate, &mut t, pr,
+                    ),
                 }
                 executed += seg as u64;
                 start += seg;
@@ -529,6 +613,11 @@ impl Engine {
             trace_span.arg("ops", executed);
             trace_span.arg("warmup_ops", warmup_ops);
         }
+        if PROFILE {
+            // Hand this run's samples to the collector before the worker
+            // moves on, so a drain on another thread sees them.
+            simprof::flush_thread();
+        }
         s
     }
 
@@ -564,19 +653,21 @@ impl Engine {
             let kinds = &batch.kinds[..];
             let addrs = &batch.addrs[..];
             let bypass = hints.l2_bypass_range;
-            let (h, f) = (&mut self.hierarchy, &mut fs);
+            // Warming is uncounted gap-filling; it is never profiled.
+            let mut prof = ProfState::off();
+            let (h, f, pr) = (&mut self.hierarchy, &mut fs, &mut prof);
             match &mut self.predictor {
                 PredictorImpl::Tournament(p) => {
-                    exec_pass(h, f, p, kinds, addrs, bypass, &mut ind, 0.0, &mut t)
+                    exec_pass::<_, false>(h, f, p, kinds, addrs, bypass, &mut ind, 0.0, &mut t, pr)
                 }
                 PredictorImpl::GShare(p) => {
-                    exec_pass(h, f, p, kinds, addrs, bypass, &mut ind, 0.0, &mut t)
+                    exec_pass::<_, false>(h, f, p, kinds, addrs, bypass, &mut ind, 0.0, &mut t, pr)
                 }
                 PredictorImpl::Bimodal(p) => {
-                    exec_pass(h, f, p, kinds, addrs, bypass, &mut ind, 0.0, &mut t)
+                    exec_pass::<_, false>(h, f, p, kinds, addrs, bypass, &mut ind, 0.0, &mut t, pr)
                 }
                 PredictorImpl::AlwaysTaken(p) => {
-                    exec_pass(h, f, p, kinds, addrs, bypass, &mut ind, 0.0, &mut t)
+                    exec_pass::<_, false>(h, f, p, kinds, addrs, bypass, &mut ind, 0.0, &mut t, pr)
                 }
             }
             executed += n as u64;
@@ -1396,6 +1487,60 @@ mod tests {
             t.total().count(Event::CpuClkUnhaltedRefTsc),
             s.count(Event::CpuClkUnhaltedRefTsc)
         );
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_counters() {
+        // Differential-roster style: the profiled monomorphization must
+        // produce the same session, bit for bit, as the unprofiled one —
+        // the hook reads engine state but never writes it.
+        let ops = full_mix_ops(30_000);
+        let hints = WorkloadHints {
+            l2_bypass_range: Some((0x8000, 0x9800)),
+            indirect_target_miss_rate: 0.13,
+            ..WorkloadHints::default()
+        };
+        let opts = RunOptions::new()
+            .warmup(2_500)
+            .sampler(SamplerConfig::every(1_234));
+        let mut plain_engine = engine();
+        let plain = plain_engine.execute(
+            from_iter(ops.iter().copied()),
+            &ExecPlan::from(opts).hints(hints),
+        );
+        let profiled = {
+            let _prof = simprof::test_support::enabled(777);
+            let mut e = engine();
+            e.execute(
+                from_iter(ops.iter().copied()),
+                &ExecPlan::from(opts).hints(hints),
+            )
+        };
+        assert_eq!(plain, profiled, "profiling must not perturb any counter");
+    }
+
+    #[test]
+    fn profile_samples_cover_the_run() {
+        let interval = 1_000u64;
+        let n = 30_000u64;
+        let profile = {
+            let _prof = simprof::test_support::enabled(interval);
+            let mut e = engine();
+            e.execute(
+                from_iter(phased_ops(n)),
+                &ExecPlan::from(RunOptions::new().warmup(5_000)),
+            );
+            simprof::drain()
+        };
+        // One sample per interval, each carrying the interval's weight.
+        assert_eq!(profile.total_weight(), (n / interval) * interval);
+        assert_eq!(profile.samples.len(), (n / interval) as usize);
+        let folded = profile.folded();
+        assert!(folded.contains("engine/run;seg/warmup;"), "{folded}");
+        assert!(folded.contains("engine/run;seg/measured;"), "{folded}");
+        // The phased stream streams loads first: the memory leaves must
+        // show up under the load samples.
+        assert!(folded.contains("uop/load;mem/"), "{folded}");
     }
 
     #[test]

@@ -25,16 +25,23 @@ const TAG_LOAD: u8 = 1;
 const TAG_STORE: u8 = 2;
 const TAG_BRANCH: u8 = 3;
 
-fn kind_code(kind: BranchKind) -> u8 {
-    match kind {
+fn kind_code(kind: BranchKind) -> io::Result<u8> {
+    Ok(match kind {
         BranchKind::Conditional => 0,
         BranchKind::DirectJump => 1,
         BranchKind::DirectNearCall => 2,
         BranchKind::IndirectJumpNonCallRet => 3,
         BranchKind::IndirectNearReturn => 4,
-        // `BranchKind` is non_exhaustive; a new kind needs a format bump.
-        other => unimplemented!("branch kind {other:?} not in trace format v{VERSION}"),
-    }
+        // `BranchKind` is non_exhaustive; a new kind needs a format bump,
+        // which the writer surfaces as a typed error rather than a panic
+        // so callers can fall back to regenerating instead of crashing.
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("branch kind {other:?} not in trace format v{VERSION}"),
+            ))
+        }
+    })
 }
 
 fn code_kind(code: u8) -> Option<BranchKind> {
@@ -55,7 +62,8 @@ fn code_kind(code: u8) -> Option<BranchKind> {
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from `writer`.
+/// Propagates I/O errors from `writer`, and returns `InvalidInput` for a
+/// branch kind the on-disk format cannot represent yet.
 pub fn write_trace<W: Write, I>(mut writer: W, ops: I, count: u64) -> io::Result<()>
 where
     I: IntoIterator<Item = MicroOp>,
@@ -78,7 +86,7 @@ where
             MicroOp::Branch { pc, kind, taken } => {
                 writer.write_all(&[TAG_BRANCH])?;
                 writer.write_all(&pc.to_le_bytes())?;
-                writer.write_all(&[kind_code(kind), taken as u8])?;
+                writer.write_all(&[kind_code(kind)?, taken as u8])?;
             }
         }
         written += 1;
@@ -271,6 +279,24 @@ mod tests {
     fn count_mismatch_detected_on_write() {
         let err = write_trace(Vec::new(), sample_ops(), 99).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn every_known_branch_kind_round_trips() {
+        // A kind that can't be encoded must surface as a typed error (the
+        // non_exhaustive arm), and every kind that can must survive the
+        // code/kind round trip so the two tables stay in sync.
+        for (code, kind) in [
+            (0u8, BranchKind::Conditional),
+            (1, BranchKind::DirectJump),
+            (2, BranchKind::DirectNearCall),
+            (3, BranchKind::IndirectJumpNonCallRet),
+            (4, BranchKind::IndirectNearReturn),
+        ] {
+            assert_eq!(kind_code(kind).unwrap(), code);
+            assert_eq!(code_kind(code), Some(kind));
+        }
+        assert_eq!(code_kind(5), None);
     }
 
     #[test]
